@@ -1,0 +1,82 @@
+// Ablation for the paper's future-work direction implemented here as
+// VpctStrategy::lattice_reuse: with several Vpct terms using different BY
+// lists, partial aggregations are computed bottom-up over the dimension
+// lattice ("a set of percentage queries on the same table may be efficiently
+// evaluated using shared summaries") — each coarser Fj aggregates the finest
+// already-materialized Fj that subsumes it, instead of re-aggregating Fk.
+//
+// Expected shape: reuse wins more as the number of terms grows and as Fk
+// gets large relative to the intermediate Fj levels.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using pctagg::VpctStrategy;
+using pctagg_bench::MustRunVpct;
+
+struct Sweep {
+  const char* label;
+  const char* sql;
+};
+
+// Nested groupings over sales: each later term's totals level is a subset
+// of the previous one, the best case for bottom-up sharing.
+const Sweep kSweeps[] = {
+    {"m=2",
+     "SELECT dept, store, dweek, monthNo, "
+     "Vpct(salesAmt BY monthNo) AS p1, "
+     "Vpct(salesAmt BY dweek, monthNo) AS p2 "
+     "FROM sales GROUP BY dept, store, dweek, monthNo"},
+    {"m=3",
+     "SELECT dept, store, dweek, monthNo, "
+     "Vpct(salesAmt BY monthNo) AS p1, "
+     "Vpct(salesAmt BY dweek, monthNo) AS p2, "
+     "Vpct(salesAmt BY store, dweek, monthNo) AS p3 "
+     "FROM sales GROUP BY dept, store, dweek, monthNo"},
+    {"m=4",
+     "SELECT dept, store, dweek, monthNo, "
+     "Vpct(salesAmt BY monthNo) AS p1, "
+     "Vpct(salesAmt BY dweek, monthNo) AS p2, "
+     "Vpct(salesAmt BY store, dweek, monthNo) AS p3, "
+     "Vpct(salesAmt BY store, dweek) AS p4 "
+     "FROM sales GROUP BY dept, store, dweek, monthNo"},
+};
+
+void BM_Lattice(benchmark::State& state) {
+  pctagg_bench::EnsureSales();
+  const Sweep& sweep = kSweeps[state.range(0)];
+  VpctStrategy strategy;
+  strategy.lattice_reuse = state.range(1) != 0;
+  for (auto _ : state) {
+    MustRunVpct(sweep.sql, strategy);
+  }
+}
+
+void RegisterAll() {
+  for (size_t si = 0; si < std::size(kSweeps); ++si) {
+    for (int reuse = 0; reuse <= 1; ++reuse) {
+      std::string name = std::string("AblationLattice/") + kSweeps[si].label +
+                         (reuse ? "/bottom_up_reuse" : "/each_from_Fk");
+      benchmark::RegisterBenchmark(name.c_str(), BM_Lattice)
+          ->Args({static_cast<long>(si), reuse})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Ablation: bottom-up shared summaries for multi-term Vpct queries "
+      "(lattice reuse on/off).\n\n");
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

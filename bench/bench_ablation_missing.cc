@@ -1,0 +1,95 @@
+// Ablation for the missing-rows discussion (SIGMOD Section 3.1): the paper
+// argues pre-processing (inserting zero-measure rows into F) is preferred
+// when many percentage queries reuse the expanded F, while post-processing
+// (inserting rows into the small result) is cheaper for one-off queries and
+// "allows faster processing".
+//
+// This benchmark uses a sparse sales table (a fraction of the store x dweek
+// cells has no rows) and times: no handling, post-processing, and
+// pre-processing, for a single Vpct query. Expected shape: post-processing
+// adds little over the baseline (it touches the |FV|-sized result);
+// pre-processing costs a copy-and-expand pass over all of F.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+
+namespace {
+
+using pctagg::MissingRowPolicy;
+using pctagg::Value;
+using pctagg::VpctStrategy;
+using pctagg_bench::Db;
+using pctagg_bench::MustRunVpct;
+using pctagg_bench::Scaled;
+
+// Sales where each store is closed on two pseudo-random weekdays: about 29%
+// of the store x dweek cells are empty.
+void EnsureSparseSales() {
+  if (Db().catalog().HasTable("sparse_sales")) return;
+  size_t n = Scaled(400000);
+  std::fprintf(stderr, "[setup] generating sparse sales n=%zu...\n", n);
+  pctagg::Rng rng(2718);
+  pctagg::Table t(pctagg::Schema({{"store", pctagg::DataType::kInt64},
+                                  {"dweek", pctagg::DataType::kInt64},
+                                  {"salesAmt", pctagg::DataType::kFloat64}}));
+  t.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t store = static_cast<int64_t>(rng.Uniform(100));
+    int64_t dweek = static_cast<int64_t>(rng.Uniform(7) + 1);
+    // Store s is closed on weekdays (s % 7)+1 and (s % 5)+1.
+    if (dweek == store % 7 + 1 || dweek == store % 5 + 1) dweek = 7;
+    t.AppendRow({Value::Int64(store), Value::Int64(dweek),
+                 Value::Float64(1.0 + rng.NextDouble() * 9.0)});
+  }
+  Db().CreateTable("sparse_sales", std::move(t)).ok();
+}
+
+constexpr char kSql[] =
+    "SELECT store, dweek, Vpct(salesAmt BY dweek) AS pct FROM sparse_sales "
+    "GROUP BY store, dweek";
+
+void BM_Missing(benchmark::State& state) {
+  EnsureSparseSales();
+  VpctStrategy strategy;
+  switch (state.range(0)) {
+    case 0:
+      strategy.missing_rows = MissingRowPolicy::kNone;
+      break;
+    case 1:
+      strategy.missing_rows = MissingRowPolicy::kPostProcess;
+      break;
+    case 2:
+      strategy.missing_rows = MissingRowPolicy::kPreProcess;
+      break;
+  }
+  for (auto _ : state) {
+    MustRunVpct(kSql, strategy);
+  }
+}
+
+void RegisterAll() {
+  const char* labels[] = {"none", "post_process_result", "pre_process_F"};
+  for (long mode = 0; mode < 3; ++mode) {
+    std::string name =
+        std::string("AblationMissingRows/") + labels[mode];
+    benchmark::RegisterBenchmark(name.c_str(), BM_Missing)
+        ->Args({mode})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Ablation: missing-row handling — none vs post-processing (insert "
+      "into FV) vs pre-processing (expand F).\n\n");
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces SIGMOD 2004 Table 4: "Query optimizations for Vpct()".
+//
+// Eight query shapes (four on employee, four on sales) x four strategy
+// columns:
+//   (1) best strategy  — matching indexes, INSERT, Fj from Fk
+//   (2) index(Fj) != index(Fk) — mismatched indexes, join rebuilds its hash
+//   (3) UPDATE FV instead of INSERT
+//   (4) Fj computed from F (second scan) instead of from the partial Fk
+//
+// Expected shape (paper): (2) is marginally slower than (1); (3) hurts most
+// when |FV| ~ |F| (the dept,store query); (4) costs a second full scan and
+// matters most when |Fk| << |F|.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using pctagg::VpctStrategy;
+using pctagg_bench::Db;
+using pctagg_bench::MustRunVpct;
+
+struct QueryShape {
+  const char* label;
+  const char* sql;
+  bool on_sales;
+};
+
+const QueryShape kQueries[] = {
+    {"employee/gender",
+     "SELECT gender, Vpct(salary) AS pct FROM employee GROUP BY gender",
+     false},
+    {"employee/gender_by_marstatus",
+     "SELECT gender, marstatus, Vpct(salary BY marstatus) AS pct "
+     "FROM employee GROUP BY gender, marstatus",
+     false},
+    {"employee/gender_by_educat_marstatus",
+     "SELECT gender, educat, marstatus, Vpct(salary BY educat, marstatus) "
+     "AS pct FROM employee GROUP BY gender, educat, marstatus",
+     false},
+    {"employee/gender_educat_by_age_marstatus",
+     "SELECT gender, educat, age, marstatus, "
+     "Vpct(salary BY age, marstatus) AS pct "
+     "FROM employee GROUP BY gender, educat, age, marstatus",
+     false},
+    {"sales/dweek",
+     "SELECT dweek, Vpct(salesAmt) AS pct FROM sales GROUP BY dweek", true},
+    {"sales/monthNo_by_dweek",
+     "SELECT monthNo, dweek, Vpct(salesAmt BY dweek) AS pct FROM sales "
+     "GROUP BY monthNo, dweek",
+     true},
+    {"sales/dept_by_dweek_monthNo",
+     "SELECT dept, dweek, monthNo, Vpct(salesAmt BY dweek, monthNo) AS pct "
+     "FROM sales GROUP BY dept, dweek, monthNo",
+     true},
+    {"sales/dept_store_by_dweek_monthNo",
+     "SELECT dept, store, dweek, monthNo, "
+     "Vpct(salesAmt BY dweek, monthNo) AS pct "
+     "FROM sales GROUP BY dept, store, dweek, monthNo",
+     true},
+};
+
+VpctStrategy StrategyForColumn(int column) {
+  VpctStrategy s;  // column 1: the paper's best strategy
+  if (column == 2) s.matching_indexes = false;
+  if (column == 3) s.insert_result = false;
+  if (column == 4) s.fj_from_fk = false;
+  return s;
+}
+
+void BM_Table4(benchmark::State& state) {
+  const QueryShape& q = kQueries[state.range(0)];
+  VpctStrategy strategy = StrategyForColumn(static_cast<int>(state.range(1)));
+  if (q.on_sales) {
+    pctagg_bench::EnsureSales();
+  } else {
+    pctagg_bench::EnsureEmployee();
+  }
+  for (auto _ : state) {
+    MustRunVpct(q.sql, strategy);
+  }
+}
+
+const char* ColumnName(int column) {
+  switch (column) {
+    case 1:
+      return "1_best";
+    case 2:
+      return "2_mismatched_index";
+    case 3:
+      return "3_update";
+    case 4:
+      return "4_fj_from_F";
+  }
+  return "?";
+}
+
+void RegisterAll() {
+  for (size_t qi = 0; qi < std::size(kQueries); ++qi) {
+    for (int column = 1; column <= 4; ++column) {
+      std::string name = std::string("Table4/") + kQueries[qi].label + "/" +
+                         ColumnName(column);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Table4)
+          ->Args({static_cast<long>(qi), column})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "SIGMOD 2004 Table 4 reproduction: Vpct() optimization strategies.\n"
+      "Columns: (1) best, (2) mismatched indexes, (3) UPDATE, "
+      "(4) Fj from F.\n\n");
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

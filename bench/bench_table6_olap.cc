@@ -1,0 +1,149 @@
+// Reproduces SIGMOD 2004 Table 6: "Comparing percentage aggregations versus
+// OLAP extensions" — Vpct (best strategy) and Hpct (best strategy) against
+// the ANSI SQL/OLAP window-function formulation
+//   SELECT DISTINCT D1..Dk, sum(A) OVER (PARTITION BY D1..Dk) /
+//                           sum(A) OVER (PARTITION BY D1..Dj) FROM F.
+//
+// Expected shape (paper): both proposed aggregations beat the OLAP baseline
+// on every query, by up to an order of magnitude — the window formulation
+// carries per-fact-row aggregates through the division and a DISTINCT over
+// all n rows, instead of aggregating first.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using pctagg::HorizontalMethod;
+using pctagg::HorizontalStrategy;
+using pctagg::VpctStrategy;
+using pctagg_bench::MustRunHorizontal;
+using pctagg_bench::MustRunOlap;
+using pctagg_bench::MustRunVpct;
+
+struct QueryShape {
+  const char* label;
+  const char* vpct_sql;   // also the OLAP-baseline input
+  const char* hpct_sql;   // same question in horizontal form
+  bool on_sales;
+  bool hpct_from_fv;      // the Table 5 winner for this shape
+};
+
+const QueryShape kQueries[] = {
+    {"employee/gender",
+     "SELECT gender, Vpct(salary) AS pct FROM employee GROUP BY gender",
+     "SELECT Hpct(salary BY gender) FROM employee", false, false},
+    {"employee/gender_by_marstatus",
+     "SELECT gender, marstatus, Vpct(salary BY marstatus) AS pct "
+     "FROM employee GROUP BY gender, marstatus",
+     "SELECT gender, Hpct(salary BY marstatus) FROM employee "
+     "GROUP BY gender",
+     false, false},
+    {"employee/gender_by_educat_marstatus",
+     "SELECT gender, educat, marstatus, Vpct(salary BY educat, marstatus) "
+     "AS pct FROM employee GROUP BY gender, educat, marstatus",
+     "SELECT gender, Hpct(salary BY educat, marstatus) FROM employee "
+     "GROUP BY gender",
+     false, false},
+    {"employee/gender_educat_by_age_marstatus",
+     "SELECT gender, educat, age, marstatus, "
+     "Vpct(salary BY age, marstatus) AS pct "
+     "FROM employee GROUP BY gender, educat, age, marstatus",
+     "SELECT gender, educat, Hpct(salary BY age, marstatus) FROM employee "
+     "GROUP BY gender, educat",
+     false, true},
+    {"sales/dweek",
+     "SELECT dweek, Vpct(salesAmt) AS pct FROM sales GROUP BY dweek",
+     "SELECT Hpct(salesAmt BY dweek) FROM sales", true, false},
+    {"sales/monthNo_by_dweek",
+     "SELECT monthNo, dweek, Vpct(salesAmt BY dweek) AS pct FROM sales "
+     "GROUP BY monthNo, dweek",
+     "SELECT monthNo, Hpct(salesAmt BY dweek) FROM sales GROUP BY monthNo",
+     true, false},
+    {"sales/dept_by_dweek_monthNo",
+     "SELECT dept, dweek, monthNo, Vpct(salesAmt BY dweek, monthNo) AS pct "
+     "FROM sales GROUP BY dept, dweek, monthNo",
+     "SELECT dept, Hpct(salesAmt BY dweek, monthNo) FROM sales "
+     "GROUP BY dept",
+     true, true},
+    {"sales/dept_store_by_dweek_monthNo",
+     "SELECT dept, store, dweek, monthNo, "
+     "Vpct(salesAmt BY dweek, monthNo) AS pct "
+     "FROM sales GROUP BY dept, store, dweek, monthNo",
+     "SELECT dept, store, Hpct(salesAmt BY dweek, monthNo) FROM sales "
+     "GROUP BY dept, store",
+     true, true},
+};
+
+void Ensure(const QueryShape& q) {
+  if (q.on_sales) {
+    pctagg_bench::EnsureSales();
+  } else {
+    pctagg_bench::EnsureEmployee();
+  }
+}
+
+void BM_Vpct(benchmark::State& state) {
+  const QueryShape& q = kQueries[state.range(0)];
+  Ensure(q);
+  for (auto _ : state) {
+    MustRunVpct(q.vpct_sql, VpctStrategy{});  // the Table 4 best strategy
+  }
+}
+
+void BM_Hpct(benchmark::State& state) {
+  const QueryShape& q = kQueries[state.range(0)];
+  Ensure(q);
+  // Like the paper, each side runs its *measured best* strategy. In this
+  // engine Table 5 shows CASE-from-FV winning (or tying) on every shape —
+  // the in-memory from-FV path pays no per-statement I/O — so it is the
+  // best-strategy choice here, regardless of the per-shape winner flag the
+  // paper's DBMS would pick.
+  (void)q.hpct_from_fv;
+  HorizontalStrategy strategy;
+  strategy.method = HorizontalMethod::kCaseFromFV;
+  strategy.hash_dispatch = false;  // the DBMS's O(N) CASE evaluation
+  for (auto _ : state) {
+    MustRunHorizontal(q.hpct_sql, strategy);
+  }
+}
+
+void BM_Olap(benchmark::State& state) {
+  const QueryShape& q = kQueries[state.range(0)];
+  Ensure(q);
+  for (auto _ : state) {
+    MustRunOlap(q.vpct_sql);
+  }
+}
+
+void RegisterAll() {
+  for (size_t qi = 0; qi < std::size(kQueries); ++qi) {
+    std::string base = std::string("Table6/") + kQueries[qi].label;
+    benchmark::RegisterBenchmark((base + "/Vpct").c_str(), BM_Vpct)
+        ->Args({static_cast<long>(qi)})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark((base + "/Hpct").c_str(), BM_Hpct)
+        ->Args({static_cast<long>(qi)})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark((base + "/OLAP_extension").c_str(), BM_Olap)
+        ->Args({static_cast<long>(qi)})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "SIGMOD 2004 Table 6 reproduction: percentage aggregations vs ANSI "
+      "OLAP window extensions.\n\n");
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

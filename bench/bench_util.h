@@ -1,0 +1,113 @@
+#ifndef PCTAGG_BENCH_BENCH_UTIL_H_
+#define PCTAGG_BENCH_BENCH_UTIL_H_
+
+// Shared setup for the paper-reproduction benchmark binaries.
+//
+// Row counts default to laptop-friendly scales of the paper's sizes
+// (employee 1M -> 1M, sales 10M -> 2.5M, transactionLine 1M/2M ->
+// 250k/500k, UScensus 200k -> 200k) and can be scaled with the
+// PCTAGG_BENCH_SCALE environment variable (e.g. 2.5 for the paper's
+// employee size). Strategy *rankings* are scale-stable; absolute times are
+// not comparable to the paper's 2004 hardware.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace pctagg_bench {
+
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("PCTAGG_BENCH_SCALE");
+    double s = env != nullptr ? std::atof(env) : 1.0;
+    return s > 0 ? s : 1.0;
+  }();
+  return scale;
+}
+
+inline size_t Scaled(size_t base) {
+  return static_cast<size_t>(static_cast<double>(base) * Scale());
+}
+
+// One process-wide database holding every benchmark table, built lazily.
+// Never destroyed (trivial-teardown rule for static storage).
+inline pctagg::PctDatabase& Db() {
+  static pctagg::PctDatabase* db = new pctagg::PctDatabase();
+  return *db;
+}
+
+inline void EnsureEmployee() {
+  if (!Db().catalog().HasTable("employee")) {
+    size_t n = Scaled(1000000);
+    std::fprintf(stderr, "[setup] generating employee n=%zu...\n", n);
+    Db().CreateTable("employee", pctagg::GenerateEmployee(n)).ok();
+  }
+}
+
+inline void EnsureSales() {
+  if (!Db().catalog().HasTable("sales")) {
+    size_t n = Scaled(2500000);
+    std::fprintf(stderr, "[setup] generating sales n=%zu...\n", n);
+    Db().CreateTable("sales", pctagg::GenerateSales(n)).ok();
+  }
+}
+
+inline void EnsureTransactionLine() {
+  if (!Db().catalog().HasTable("transactionLine1")) {
+    size_t n1 = Scaled(250000);
+    size_t n2 = Scaled(500000);
+    std::fprintf(stderr,
+                 "[setup] generating transactionLine n=%zu and n=%zu...\n", n1,
+                 n2);
+    Db().CreateTable("transactionLine1", pctagg::GenerateTransactionLine(n1))
+        .ok();
+    Db().CreateTable("transactionLine2", pctagg::GenerateTransactionLine(n2))
+        .ok();
+  }
+}
+
+inline void EnsureCensus() {
+  if (!Db().catalog().HasTable("uscensus")) {
+    size_t n = Scaled(200000);
+    std::fprintf(stderr, "[setup] generating census-like n=%zu...\n", n);
+    Db().CreateTable("uscensus", pctagg::GenerateCensusLike(n)).ok();
+  }
+}
+
+// Runs a query under a forced strategy, aborting the benchmark process on
+// error (a broken benchmark must be loud, not silently fast).
+inline void MustRunVpct(const std::string& sql,
+                        const pctagg::VpctStrategy& strategy) {
+  auto r = Db().QueryVpct(sql, strategy);
+  if (!r.ok()) {
+    std::fprintf(stderr, "benchmark query failed: %s\n%s\n",
+                 r.status().ToString().c_str(), sql.c_str());
+    std::abort();
+  }
+}
+
+inline void MustRunHorizontal(const std::string& sql,
+                              const pctagg::HorizontalStrategy& strategy) {
+  auto r = Db().QueryHorizontal(sql, strategy);
+  if (!r.ok()) {
+    std::fprintf(stderr, "benchmark query failed: %s\n%s\n",
+                 r.status().ToString().c_str(), sql.c_str());
+    std::abort();
+  }
+}
+
+inline void MustRunOlap(const std::string& sql) {
+  auto r = Db().QueryOlapBaseline(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "benchmark query failed: %s\n%s\n",
+                 r.status().ToString().c_str(), sql.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace pctagg_bench
+
+#endif  // PCTAGG_BENCH_BENCH_UTIL_H_

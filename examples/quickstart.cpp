@@ -1,0 +1,74 @@
+// Quickstart: create a table, run a vertical and a horizontal percentage
+// query, and look at the SQL the framework generates under the hood.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "pctagg.h"
+
+namespace {
+
+pctagg::Table BuildSales() {
+  pctagg::Table t(pctagg::Schema({{"region", pctagg::DataType::kString},
+                                  {"product", pctagg::DataType::kString},
+                                  {"amount", pctagg::DataType::kFloat64}}));
+  using pctagg::Value;
+  struct Row {
+    const char* region;
+    const char* product;
+    double amount;
+  };
+  const Row rows[] = {
+      {"east", "widget", 120}, {"east", "widget", 80}, {"east", "gadget", 200},
+      {"west", "widget", 60},  {"west", "gadget", 90}, {"west", "gadget", 150},
+      {"west", "gizmo", 100},
+  };
+  for (const Row& r : rows) {
+    t.AppendRow({Value::String(r.region), Value::String(r.product),
+                 Value::Float64(r.amount)});
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  pctagg::PctDatabase db;
+  if (!db.CreateTable("sales", BuildSales()).ok()) return 1;
+
+  // 1. Vertical percentages: what share of its region does each product
+  //    contribute? One row per percentage, like standard aggregates.
+  auto vertical = db.Query(
+      "SELECT region, product, Vpct(amount BY product) AS pct "
+      "FROM sales GROUP BY region, product ORDER BY region, product");
+  if (!vertical.ok()) {
+    std::fprintf(stderr, "error: %s\n", vertical.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Vertical percentages (Vpct):\n%s\n",
+              vertical->ToString().c_str());
+
+  // 2. Horizontal percentages: the same shares, one region per row with all
+  //    of its percentages adding to 100%% — data-mining-ready tabular form.
+  auto horizontal = db.Query(
+      "SELECT region, Hpct(amount BY product), sum(amount) AS total "
+      "FROM sales GROUP BY region ORDER BY region");
+  if (!horizontal.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 horizontal.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Horizontal percentages (Hpct):\n%s\n",
+              horizontal->ToString().c_str());
+
+  // 3. The framework is a SQL code generator at heart: inspect the
+  //    multi-statement script the optimizer would run for the Vpct query.
+  auto script = db.Explain(
+      "SELECT region, product, Vpct(amount BY product) AS pct "
+      "FROM sales GROUP BY region, product");
+  if (script.ok()) {
+    std::printf("Generated evaluation script:\n%s\n", script->c_str());
+  }
+  return 0;
+}

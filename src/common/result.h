@@ -1,0 +1,69 @@
+#ifndef PCTAGG_COMMON_RESULT_H_
+#define PCTAGG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pctagg {
+
+// Holds either a value of type T or an error Status (never both). The
+// database-library equivalent of StatusOr/arrow::Result.
+//
+//   Result<Table> r = RunQuery(...);
+//   if (!r.ok()) return r.status();
+//   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from an error Status keeps call
+  // sites readable ("return table;" / "return Status::NotFound(...)").
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+// Propagates an error Result, otherwise moves the value into `lhs`.
+#define PCTAGG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define PCTAGG_TOKEN_PASTE2(x, y) x##y
+#define PCTAGG_TOKEN_PASTE(x, y) PCTAGG_TOKEN_PASTE2(x, y)
+
+#define PCTAGG_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  PCTAGG_ASSIGN_OR_RETURN_IMPL(PCTAGG_TOKEN_PASTE(_result_, __LINE__), lhs, \
+                               expr)
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_COMMON_RESULT_H_

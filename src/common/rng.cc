@@ -1,0 +1,26 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace pctagg {
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF sampling against the (unnormalized) harmonic weights.
+  // O(log n) via the standard approximation: draw u, then solve for rank
+  // using the continuous integral of x^-theta.
+  double u = NextDouble();
+  if (theta == 1.0) {
+    double h = std::log(static_cast<double>(n) + 1.0);
+    double r = std::exp(u * h) - 1.0;
+    uint64_t rank = static_cast<uint64_t>(r);
+    return rank >= n ? n - 1 : rank;
+  }
+  double one_minus = 1.0 - theta;
+  double h = (std::pow(static_cast<double>(n) + 1.0, one_minus) - 1.0) / one_minus;
+  double r = std::pow(u * h * one_minus + 1.0, 1.0 / one_minus) - 1.0;
+  uint64_t rank = static_cast<uint64_t>(r);
+  return rank >= n ? n - 1 : rank;
+}
+
+}  // namespace pctagg

@@ -1,0 +1,47 @@
+#ifndef PCTAGG_COMMON_RNG_H_
+#define PCTAGG_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace pctagg {
+
+// Deterministic 64-bit pseudo-random generator (splitmix64 core). Every
+// workload generator seeds one of these so that test and benchmark data are
+// reproducible across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Zipf-like skewed integer in [0, n): rank r is picked with probability
+  // proportional to 1/(r+1)^theta. Used by the census-like generator to model
+  // the skewed value distributions the paper's real data set exhibits.
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_COMMON_RNG_H_

@@ -1,0 +1,85 @@
+#ifndef PCTAGG_COMMON_STATUS_H_
+#define PCTAGG_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace pctagg {
+
+// Error categories used across the library. Modeled after the Status idiom
+// used by production database libraries (RocksDB, Arrow): no exceptions cross
+// the public API; every fallible operation returns a Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // SQL text could not be tokenized/parsed
+  kAnalysisError,     // query violates the paper's usage rules
+  kNotFound,          // table/column does not exist
+  kAlreadyExists,     // catalog name collision
+  kTypeMismatch,      // expression/value typing error
+  kLimitExceeded,     // e.g. DBMS max-column limit reached
+  kInternal,          // invariant violation inside the engine
+};
+
+// Returns a short human-readable name such as "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A cheap, copyable success-or-error value.
+//
+//   Status s = table.AppendRow(values);
+//   if (!s.ok()) return s;
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AnalysisError(std::string msg) {
+    return Status(StatusCode::kAnalysisError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status LimitExceeded(std::string msg) {
+    return Status(StatusCode::kLimitExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Propagates a non-OK Status from an expression to the caller.
+#define PCTAGG_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::pctagg::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_COMMON_STATUS_H_

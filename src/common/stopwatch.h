@@ -1,0 +1,29 @@
+#ifndef PCTAGG_COMMON_STOPWATCH_H_
+#define PCTAGG_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pctagg {
+
+// Wall-clock stopwatch used by the benchmark harnesses to report
+// per-statement times the way the paper's tables do.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_COMMON_STOPWATCH_H_

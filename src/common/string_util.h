@@ -1,0 +1,26 @@
+#ifndef PCTAGG_COMMON_STRING_UTIL_H_
+#define PCTAGG_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace pctagg {
+
+// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep ", ").
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Case-insensitive ASCII equality, used by the SQL lexer for keywords.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+// Lower-cases ASCII letters.
+std::string ToLower(const std::string& s);
+
+// True if `s` parses fully as an integer / floating literal.
+bool IsInteger(const std::string& s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_COMMON_STRING_UTIL_H_

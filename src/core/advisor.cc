@@ -1,0 +1,92 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/cost_model.h"
+
+namespace pctagg {
+
+VpctStrategy StrategyAdvisor::AdviseVpct(const Table& fact,
+                                         const AnalyzedQuery& query) const {
+  (void)fact;
+  (void)query;
+  // Table 4's winner in every configuration: create matching indexes on the
+  // common subkey, compute Fj from Fk (sum() is distributive) and produce FV
+  // with INSERT rather than UPDATE.
+  return VpctStrategy{};
+}
+
+HorizontalStrategy StrategyAdvisor::AdviseHorizontal(
+    const Table& fact, const AnalyzedQuery& query) const {
+  HorizontalStrategy strategy;
+  strategy.method = HorizontalMethod::kCaseDirect;  // CASE always beats SPJ
+
+  // Gather the union of BY columns across horizontal terms.
+  size_t max_by = 0;
+  bool all_low_selectivity = true;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (!t.has_by) continue;
+    max_by = std::max(max_by, t.by_columns.size());
+    for (const std::string& b : t.by_columns) {
+      Result<size_t> card = EstimateCardinality(fact, b);
+      if (!card.ok() || card.value() > kLowSelectivityThreshold) {
+        all_low_selectivity = false;
+      }
+    }
+  }
+  // The paper's recommendation: direct from F for <=2 low-selectivity BY
+  // columns, otherwise compute FV first and transpose the (much smaller) FV.
+  if (max_by > 2 || !all_low_selectivity) {
+    strategy.method = HorizontalMethod::kCaseFromFV;
+  }
+  // count(DISTINCT) has no indirect form (avg goes through FV via its
+  // algebraic sum/count decomposition); fall back to direct.
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.has_by && t.distinct) {
+      strategy.method = HorizontalMethod::kCaseDirect;
+      break;
+    }
+  }
+  return strategy;
+}
+
+HorizontalStrategy StrategyAdvisor::AdviseHorizontalByCost(
+    const Table& fact, const AnalyzedQuery& query) const {
+  const AnalyzedTerm* term = nullptr;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.has_by) {
+      term = &t;
+      break;
+    }
+  }
+  if (term == nullptr) return AdviseHorizontal(fact, query);
+  CostModel model;
+  std::vector<std::string> full_group = query.group_by;
+  full_group.insert(full_group.end(), term->by_columns.begin(),
+                    term->by_columns.end());
+  Result<FactStats> stats =
+      model.EstimateStats(fact, full_group, query.group_by, term->by_columns);
+  if (!stats.ok()) return AdviseHorizontal(fact, query);
+  HorizontalStrategy strategy = model.PickHorizontal(stats.value());
+  // DISTINCT terms still require a direct strategy.
+  if (term->distinct) strategy.method = HorizontalMethod::kCaseDirect;
+  return strategy;
+}
+
+Result<size_t> StrategyAdvisor::EstimateCardinality(
+    const Table& fact, const std::string& column) const {
+  PCTAGG_ASSIGN_OR_RETURN(size_t idx, fact.schema().FindColumn(column));
+  const size_t limit = std::min(fact.num_rows(), kSampleRows);
+  std::unordered_set<std::string> seen;
+  std::string key;
+  const std::vector<size_t> cols = {idx};
+  for (size_t row = 0; row < limit; ++row) {
+    key.clear();
+    fact.AppendKeyBytes(row, cols, &key);
+    seen.insert(key);
+  }
+  return seen.size();
+}
+
+}  // namespace pctagg

@@ -1,0 +1,51 @@
+#ifndef PCTAGG_CORE_ADVISOR_H_
+#define PCTAGG_CORE_ADVISOR_H_
+
+#include "common/result.h"
+#include "core/horizontal_planner.h"
+#include "core/vpct_planner.h"
+#include "engine/table.h"
+#include "sql/analyzer.h"
+
+namespace pctagg {
+
+// Picks evaluation strategies following the experimental recommendations of
+// Sections 4.1 (Vpct, Hpct) of the SIGMOD paper and Section 4.2 of the DMKD
+// paper. The advisor looks at simple table statistics (row count, estimated
+// BY-column cardinalities from a bounded sample) — the same signals the
+// papers reason about.
+class StrategyAdvisor {
+ public:
+  // A BY column is "low selectivity" if its estimated cardinality is at most
+  // this many distinct values (dweek=7 and monthNo=12 qualify; dept=100,
+  // store=100 and age=100 do not).
+  static constexpr size_t kLowSelectivityThreshold = 32;
+
+  // Rows sampled when estimating cardinalities.
+  static constexpr size_t kSampleRows = 20000;
+
+  // Vpct: the paper's best strategy is unconditional — matching subkey
+  // indexes, Fj from the partial aggregate Fk, INSERT over UPDATE.
+  VpctStrategy AdviseVpct(const Table& fact, const AnalyzedQuery& query) const;
+
+  // Hpct/Hagg: CASE always beats SPJ; direct from F when there are at most
+  // two BY columns, all of low selectivity; otherwise go through FV.
+  HorizontalStrategy AdviseHorizontal(const Table& fact,
+                                      const AnalyzedQuery& query) const;
+
+  // Estimated number of distinct values in `column` over a bounded prefix
+  // sample of `fact` (exact when the table is smaller than the sample).
+  Result<size_t> EstimateCardinality(const Table& fact,
+                                     const std::string& column) const;
+
+  // Cost-model-driven variant (paper future work: characterize strategies
+  // with cost models): estimates FactStats for the first horizontal term
+  // and picks the minimum-cost strategy. Falls back to AdviseHorizontal
+  // when statistics cannot be estimated.
+  HorizontalStrategy AdviseHorizontalByCost(const Table& fact,
+                                            const AnalyzedQuery& query) const;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_ADVISOR_H_

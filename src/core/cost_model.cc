@@ -1,0 +1,162 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pctagg {
+
+namespace {
+
+constexpr size_t kSampleRows = 20000;
+
+// Distinct-count estimate of one column over a bounded prefix sample,
+// linearly extrapolated when the sample saturates (every sampled value
+// distinct suggests a key-like column).
+Result<double> ColumnCardinality(const Table& fact, const std::string& name) {
+  PCTAGG_ASSIGN_OR_RETURN(size_t idx, fact.schema().FindColumn(name));
+  const size_t limit = std::min(fact.num_rows(), kSampleRows);
+  std::unordered_set<std::string> seen;
+  std::string key;
+  const std::vector<size_t> cols = {idx};
+  for (size_t row = 0; row < limit; ++row) {
+    key.clear();
+    fact.AppendKeyBytes(row, cols, &key);
+    seen.insert(key);
+  }
+  double estimate = static_cast<double>(seen.size());
+  if (limit > 0 && seen.size() == limit && fact.num_rows() > limit) {
+    estimate = static_cast<double>(fact.num_rows());
+  }
+  return estimate;
+}
+
+// Product of per-column cardinalities (independence assumption), capped at n.
+Result<double> ComboCardinality(const Table& fact,
+                                const std::vector<std::string>& columns) {
+  double product = 1.0;
+  for (const std::string& c : columns) {
+    PCTAGG_ASSIGN_OR_RETURN(double card, ColumnCardinality(fact, c));
+    product *= std::max(card, 1.0);
+  }
+  return std::min(product, std::max(1.0, static_cast<double>(fact.num_rows())));
+}
+
+}  // namespace
+
+Result<FactStats> CostModel::EstimateStats(
+    const Table& fact, const std::vector<std::string>& group_by,
+    const std::vector<std::string>& totals_by,
+    const std::vector<std::string>& by) const {
+  FactStats stats;
+  stats.rows = static_cast<double>(fact.num_rows());
+  PCTAGG_ASSIGN_OR_RETURN(stats.group_cardinality,
+                          ComboCardinality(fact, group_by));
+  PCTAGG_ASSIGN_OR_RETURN(stats.totals_cardinality,
+                          ComboCardinality(fact, totals_by));
+  PCTAGG_ASSIGN_OR_RETURN(stats.by_cardinality, ComboCardinality(fact, by));
+  return stats;
+}
+
+double CostModel::VpctCost(const FactStats& stats,
+                           const VpctStrategy& strategy) const {
+  const double n = stats.rows;
+  const double fk = stats.group_cardinality;
+  const double fj = stats.totals_cardinality;
+  double cost = 0;
+  // Fk: one scan of F plus |Fk| materialized rows.
+  cost += n * params_.scan + fk * params_.write + params_.statement;
+  // Fj: from Fk (tiny) or a second scan of F.
+  cost += (strategy.fj_from_fk ? fk : n) * params_.scan +
+          fj * params_.write + params_.statement;
+  // Index build on Fj (worth it; mismatched indexes just waste the build).
+  cost += fj * params_.probe + params_.statement;
+  // Division: probe Fj once per Fk row, then INSERT or UPDATE.
+  cost += fk * params_.probe;
+  if (!strategy.matching_indexes) cost += fj * params_.probe;  // rebuild hash
+  cost += fk * (strategy.insert_result ? params_.write : params_.update);
+  cost += params_.statement;
+  return cost;
+}
+
+double CostModel::HorizontalCost(const FactStats& stats,
+                                 const HorizontalStrategy& strategy) const {
+  const double n = stats.rows;
+  const double groups = stats.totals_cardinality;  // result rows (D1..Dj)
+  const double cells = stats.by_cardinality;       // N
+  const bool from_fv = strategy.method == HorizontalMethod::kCaseFromFV ||
+                       strategy.method == HorizontalMethod::kSpjFromFV;
+  const bool spj = strategy.method == HorizontalMethod::kSpjDirect ||
+                   strategy.method == HorizontalMethod::kSpjFromFV;
+  // Rows the transposition actually reads: |FV| is the finest-level group
+  // count (already includes the BY columns), capped by n.
+  double fv = std::min(n, stats.group_cardinality);
+  double pivot_input = from_fv ? fv : n;
+  double cost = 0;
+  if (from_fv) {
+    // Materialize FV first: one scan of F.
+    cost += n * params_.scan + fv * params_.write + params_.statement;
+  }
+  if (spj) {
+    // One full pass + one aggregate per result column, then N outer joins.
+    cost += cells * (pivot_input * params_.scan + groups * params_.write +
+                     2 * params_.statement);
+    cost += cells * groups * (params_.probe + params_.write);
+  } else if (strategy.hash_dispatch) {
+    // One scan, two probes per row, one result table.
+    cost += pivot_input * (params_.scan + 2 * params_.probe) +
+            groups * cells * params_.write + params_.statement;
+  } else {
+    // One scan, N CASE evaluations per row.
+    cost += pivot_input * (params_.scan + cells * params_.cell) +
+            groups * cells * params_.write + params_.statement;
+  }
+  return cost;
+}
+
+double CostModel::OlapCost(const FactStats& stats) const {
+  const double n = stats.rows;
+  // Two window passes (each: probe + carry a value per fact row), an n-row
+  // division, and an n-row DISTINCT.
+  return n * (2 * (params_.scan + params_.probe) + params_.write) +
+         n * (params_.scan + params_.probe) + params_.statement;
+}
+
+VpctStrategy CostModel::PickVpct(const FactStats& stats) const {
+  VpctStrategy best;
+  double best_cost = VpctCost(stats, best);
+  for (bool idx : {true, false}) {
+    for (bool ins : {true, false}) {
+      for (bool fjfk : {true, false}) {
+        VpctStrategy s;
+        s.matching_indexes = idx;
+        s.insert_result = ins;
+        s.fj_from_fk = fjfk;
+        double cost = VpctCost(stats, s);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = s;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+HorizontalStrategy CostModel::PickHorizontal(const FactStats& stats) const {
+  HorizontalStrategy best;
+  double best_cost = HorizontalCost(stats, best);
+  for (HorizontalMethod method :
+       {HorizontalMethod::kCaseDirect, HorizontalMethod::kCaseFromFV,
+        HorizontalMethod::kSpjDirect, HorizontalMethod::kSpjFromFV}) {
+    HorizontalStrategy s;
+    s.method = method;
+    double cost = HorizontalCost(stats, s);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace pctagg

@@ -1,0 +1,89 @@
+#ifndef PCTAGG_CORE_COST_MODEL_H_
+#define PCTAGG_CORE_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/horizontal_planner.h"
+#include "core/vpct_planner.h"
+#include "engine/table.h"
+#include "sql/analyzer.h"
+
+namespace pctagg {
+
+// An analytic cost model for percentage-query strategies — the paper's
+// future-work direction "we want to characterize our query optimization
+// strategies more precisely in theoretical terms with I/O cost models",
+// adapted to an in-memory engine: costs are abstract row-operation counts,
+// not seconds, and are useful for *ranking* strategies, which is all the
+// advisor needs.
+//
+// Inputs are simple statistics over the fact table: n (rows), the estimated
+// number of groups |Fk| at the GROUP BY level, |Fj| at each totals level,
+// and N (the number of result columns of a horizontal term).
+//
+// Cost terms (per row unless stated):
+//   kScanCost      reading one fact row through an aggregation/pivot
+//   kCellCost      evaluating one CASE conjunction for one row (naive mode)
+//   kProbeCost     one hash probe (join/lookup/dispatch)
+//   kWriteCost     materializing one output row (INSERT)
+//   kUpdateCost    read-modify-write of one row (UPDATE)
+//   kStatementCost fixed overhead per generated statement
+struct CostParams {
+  double scan = 1.0;
+  double cell = 0.15;
+  double probe = 0.5;
+  double write = 0.6;
+  double update = 2.0;
+  double statement = 50.0;
+};
+
+// Statistics the model needs; derived from a table via EstimateStats.
+struct FactStats {
+  double rows = 0;  // n
+  // Cardinality at the finest aggregation level a plan materializes: the
+  // GROUP BY level for Vpct (|Fk|), or D1..Dj ∪ BY for horizontal terms
+  // (|FV|).
+  double group_cardinality = 1;
+  double totals_cardinality = 1;  // |Fj| / result-row estimate (D1..Dj)
+  double by_cardinality = 1;      // N: product of BY-column cardinalities
+};
+
+// Cardinality estimation over a bounded sample, with the standard
+// independence assumption for multi-column products (capped at n).
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = CostParams()) : params_(params) {}
+
+  // Estimates FactStats for a Vpct query shape (group_by = D1..Dk,
+  // totals_by = D1..Dj) or a horizontal shape (group_by = D1..Dj,
+  // by = Dh..Dk).
+  Result<FactStats> EstimateStats(const Table& fact,
+                                  const std::vector<std::string>& group_by,
+                                  const std::vector<std::string>& totals_by,
+                                  const std::vector<std::string>& by) const;
+
+  // Abstract cost of evaluating a Vpct query under `strategy`.
+  double VpctCost(const FactStats& stats, const VpctStrategy& strategy) const;
+
+  // Abstract cost of a horizontal term under `strategy`.
+  double HorizontalCost(const FactStats& stats,
+                        const HorizontalStrategy& strategy) const;
+
+  // Abstract cost of the OLAP window formulation of the same Vpct query.
+  double OlapCost(const FactStats& stats) const;
+
+  // Minimum-cost strategies according to the model.
+  VpctStrategy PickVpct(const FactStats& stats) const;
+  HorizontalStrategy PickHorizontal(const FactStats& stats) const;
+
+  const CostParams& params() const { return params_; }
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_COST_MODEL_H_

@@ -1,0 +1,210 @@
+#include "core/database.h"
+
+#include "core/olap_planner.h"
+#include "engine/aggregate.h"
+#include "engine/table_ops.h"
+#include "sql/parser.h"
+
+namespace pctagg {
+
+namespace {
+
+// Inline evaluation for plain projections and vertical aggregates (no
+// percentage machinery involved).
+Result<Table> EvaluateSimple(Catalog* catalog, const AnalyzedQuery& query) {
+  PCTAGG_ASSIGN_OR_RETURN(const Table* base,
+                          catalog->GetTable(query.table_name));
+  Table filtered;
+  const Table* input = base;
+  if (query.where != nullptr) {
+    PCTAGG_ASSIGN_OR_RETURN(filtered, Filter(*base, query.where));
+    input = &filtered;
+  }
+  if (query.query_class == QueryClass::kProjection) {
+    std::vector<ProjectSpec> specs;
+    for (const AnalyzedTerm& t : query.terms) {
+      specs.push_back({t.argument, t.output_name});
+    }
+    return Project(*input, specs);
+  }
+  // Vertical aggregate: group columns in SELECT order plus aggregates.
+  std::vector<AggSpec> aggs;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.func == TermFunc::kScalar) continue;
+    AggFunc func;
+    switch (t.func) {
+      case TermFunc::kSum:
+        func = AggFunc::kSum;
+        break;
+      case TermFunc::kCount:
+        func = AggFunc::kCount;
+        break;
+      case TermFunc::kCountStar:
+        func = AggFunc::kCountStar;
+        break;
+      case TermFunc::kAvg:
+        func = AggFunc::kAvg;
+        break;
+      case TermFunc::kMin:
+        func = AggFunc::kMin;
+        break;
+      case TermFunc::kMax:
+        func = AggFunc::kMax;
+        break;
+      default:
+        return Status::Internal("unexpected term in vertical aggregate");
+    }
+    if (t.distinct) {
+      return Status::InvalidArgument(
+          "count(DISTINCT ...) is only supported with a BY clause");
+    }
+    aggs.push_back({func, t.argument, t.output_name});
+  }
+  PCTAGG_ASSIGN_OR_RETURN(Table agg,
+                          HashAggregate(*input, query.group_by, aggs));
+  // Reorder to the SELECT list.
+  std::vector<ProjectSpec> specs;
+  for (const AnalyzedTerm& t : query.terms) {
+    specs.push_back({Col(t.func == TermFunc::kScalar ? t.scalar_column
+                                                     : t.output_name),
+                     t.output_name});
+  }
+  return Project(agg, specs);
+}
+
+// Applies the statement tail — HAVING, ORDER BY, LIMIT — to the
+// materialized result, in SQL's order.
+Result<Table> ApplyTail(Table table, const AnalyzedQuery& query) {
+  if (query.having != nullptr) {
+    Result<Table> filtered = Filter(table, query.having);
+    if (!filtered.ok()) {
+      return Status::AnalysisError("HAVING failed to evaluate: " +
+                                   filtered.status().message());
+    }
+    table = std::move(filtered).value();
+  }
+  if (!query.order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (const OrderItem& item : query.order_by) {
+      if (!table.schema().HasColumn(item.column)) {
+        return Status::AnalysisError("ORDER BY column not in result: " +
+                                     item.column);
+      }
+      keys.push_back({item.column, item.descending});
+    }
+    PCTAGG_ASSIGN_OR_RETURN(table, SortBy(table, keys));
+  }
+  if (query.has_limit) {
+    table = Limit(table, query.limit);
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<AnalyzedQuery> PctDatabase::Prepare(const std::string& sql) {
+  PCTAGG_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  PCTAGG_ASSIGN_OR_RETURN(const Table* table,
+                          catalog_.GetTable(stmt.from_table));
+  return Analyze(stmt, table->schema());
+}
+
+Result<Table> PctDatabase::RunPlan(const Plan& plan,
+                                   const AnalyzedQuery& query) {
+  Status st = plan.Execute(&catalog_,
+                           summary_cache_enabled_ ? &summaries_ : nullptr);
+  if (!st.ok()) {
+    plan.Cleanup(&catalog_);
+    return st;
+  }
+  Result<Table*> result = catalog_.GetTable(plan.result_table());
+  if (!result.ok()) {
+    plan.Cleanup(&catalog_);
+    return result.status();
+  }
+  Table out = std::move(*result.value());
+  plan.Cleanup(&catalog_);
+  return ApplyTail(std::move(out), query);
+}
+
+Result<Table> PctDatabase::Query(const std::string& sql) {
+  PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
+  switch (query.query_class) {
+    case QueryClass::kProjection:
+    case QueryClass::kVertical: {
+      PCTAGG_ASSIGN_OR_RETURN(Table out, EvaluateSimple(&catalog_, query));
+      return ApplyTail(std::move(out), query);
+    }
+    case QueryClass::kVpct: {
+      PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
+                              catalog_.GetTable(query.table_name));
+      VpctStrategy strategy = advisor_.AdviseVpct(*fact, query);
+      PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanVpctQuery(query, strategy));
+      return RunPlan(plan, query);
+    }
+    case QueryClass::kHorizontal: {
+      PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
+                              catalog_.GetTable(query.table_name));
+      HorizontalStrategy strategy = advisor_.AdviseHorizontal(*fact, query);
+      PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanHorizontalQuery(query, strategy));
+      return RunPlan(plan, query);
+    }
+    case QueryClass::kWindow: {
+      PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanWindowQuery(query));
+      return RunPlan(plan, query);
+    }
+  }
+  return Status::Internal("unhandled query class");
+}
+
+Result<Table> PctDatabase::QueryVpct(const std::string& sql,
+                                     const VpctStrategy& strategy) {
+  PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
+  PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanVpctQuery(query, strategy));
+  return RunPlan(plan, query);
+}
+
+Result<Table> PctDatabase::QueryHorizontal(const std::string& sql,
+                                           const HorizontalStrategy& strategy) {
+  PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
+  PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanHorizontalQuery(query, strategy));
+  return RunPlan(plan, query);
+}
+
+Result<Table> PctDatabase::QueryOlapBaseline(const std::string& sql) {
+  PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
+  PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanOlapPercentageQuery(query));
+  return RunPlan(plan, query);
+}
+
+Status PctDatabase::CreateTableAs(const std::string& name,
+                                  const std::string& sql) {
+  if (catalog_.HasTable(name)) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  PCTAGG_ASSIGN_OR_RETURN(Table result, Query(sql));
+  summaries_.InvalidateTable(name);
+  return catalog_.CreateTable(name, std::move(result));
+}
+
+Result<std::string> PctDatabase::Explain(const std::string& sql) {
+  PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
+  PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
+                          catalog_.GetTable(query.table_name));
+  switch (query.query_class) {
+    case QueryClass::kVpct: {
+      VpctStrategy strategy = advisor_.AdviseVpct(*fact, query);
+      PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanVpctQuery(query, strategy));
+      return plan.ToSql();
+    }
+    case QueryClass::kHorizontal: {
+      HorizontalStrategy strategy = advisor_.AdviseHorizontal(*fact, query);
+      PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanHorizontalQuery(query, strategy));
+      return plan.ToSql();
+    }
+    default:
+      return std::string("/* evaluated directly, no generated script */\n");
+  }
+}
+
+}  // namespace pctagg

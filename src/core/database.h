@@ -1,0 +1,89 @@
+#ifndef PCTAGG_CORE_DATABASE_H_
+#define PCTAGG_CORE_DATABASE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/advisor.h"
+#include "core/horizontal_planner.h"
+#include "core/vpct_planner.h"
+#include "engine/catalog.h"
+#include "engine/table.h"
+
+namespace pctagg {
+
+// The top-level facade: a catalog of tables plus the percentage-query
+// framework. This is the piece the paper's Java program played — take a
+// query written with the proposed aggregations, generate the evaluation
+// plan, run it against the (here: embedded) engine.
+//
+//   PctDatabase db;
+//   db.CreateTable("sales", BuildSalesTable());
+//   Result<Table> r = db.Query(
+//       "SELECT state, city, Vpct(salesAmt BY city) "
+//       "FROM sales GROUP BY state, city ORDER BY state, city");
+class PctDatabase {
+ public:
+  PctDatabase() = default;
+
+  PctDatabase(const PctDatabase&) = delete;
+  PctDatabase& operator=(const PctDatabase&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  Status CreateTable(const std::string& name, Table table) {
+    summaries_.InvalidateTable(name);
+    return catalog_.CreateTable(name, std::move(table));
+  }
+
+  // Enables/disables the cross-query shared-summary cache (paper future
+  // work: repeated percentage queries on the same table reuse the Fk-level
+  // aggregate instead of re-scanning F). Off by default. Assumes base
+  // tables are only replaced through CreateTable/ReplaceTable.
+  void EnableSummaryCache(bool enabled) { summary_cache_enabled_ = enabled; }
+  SummaryCache& summaries() { return summaries_; }
+
+  // Replaces a base table, invalidating its cached summaries.
+  void ReplaceTable(const std::string& name, Table table) {
+    summaries_.InvalidateTable(name);
+    catalog_.CreateOrReplaceTable(name, std::move(table));
+  }
+
+  // CREATE TABLE <name> AS <select>: materializes a query result as a new
+  // base table. This is how the paper's "F can be a temporary table
+  // resulting from some query or a view" works here — denormalize or
+  // pre-filter once, then run percentage queries against the result.
+  Status CreateTableAs(const std::string& name, const std::string& sql);
+
+  // Parses, analyzes, plans (strategies picked by the StrategyAdvisor),
+  // executes and returns the result. Temporary tables are cleaned up.
+  Result<Table> Query(const std::string& sql);
+
+  // Same, but forces the given strategy (the benchmark harness drives these).
+  Result<Table> QueryVpct(const std::string& sql, const VpctStrategy& strategy);
+  Result<Table> QueryHorizontal(const std::string& sql,
+                                const HorizontalStrategy& strategy);
+
+  // Evaluates a Vpct query through the ANSI OLAP window-function baseline.
+  Result<Table> QueryOlapBaseline(const std::string& sql);
+
+  // The generated multi-statement SQL script for `sql` under the advised (or
+  // given) strategy, without executing it.
+  Result<std::string> Explain(const std::string& sql);
+
+ private:
+  // Shared tail: execute `plan`, pull out the result, drop temps.
+  Result<Table> RunPlan(const Plan& plan, const AnalyzedQuery& query);
+
+  Result<AnalyzedQuery> Prepare(const std::string& sql);
+
+  Catalog catalog_;
+  StrategyAdvisor advisor_;
+  SummaryCache summaries_;
+  bool summary_cache_enabled_ = false;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_DATABASE_H_

@@ -1,0 +1,55 @@
+#ifndef PCTAGG_CORE_HORIZONTAL_PLANNER_H_
+#define PCTAGG_CORE_HORIZONTAL_PLANNER_H_
+
+#include "common/result.h"
+#include "core/plan.h"
+#include "core/vpct_planner.h"
+#include "sql/analyzer.h"
+
+namespace pctagg {
+
+// Evaluation methods for horizontal terms (Hpct and horizontal
+// aggregations). These are the strategies compared in SIGMOD Table 5 and
+// DMKD Table 3.
+enum class HorizontalMethod {
+  // One scan of F; each output column is a sum(CASE WHEN <combo> THEN A ...)
+  // term of a single GROUP BY D1..Dj statement.
+  kCaseDirect,
+  // Compute the equivalent vertical result FV first (for Hpct: the full
+  // vertical percentage query; for Hagg: the vertical aggregate at level
+  // D1..Dk), then transpose FV with the CASE statement.
+  kCaseFromFV,
+  // Pure relational evaluation: one aggregate table F_I per result column,
+  // assembled with N left outer joins against F0 (DMKD Section 3.4).
+  kSpjDirect,
+  // SPJ, but the F_I tables aggregate the smaller FV instead of F.
+  kSpjFromFV,
+};
+
+const char* HorizontalMethodName(HorizontalMethod method);
+
+struct HorizontalStrategy {
+  HorizontalMethod method = HorizontalMethod::kCaseDirect;
+  // CASE evaluation mode: true uses the hash-based O(1)-per-row dispatch the
+  // papers propose as the optimizer improvement; false literally evaluates
+  // all N disjoint CASE conjunctions per row (the O(N) behaviour both papers
+  // criticize). Results are identical.
+  bool hash_dispatch = true;
+  // Sub-strategy for the embedded vertical-percentage plan of
+  // Hpct + kCaseFromFV / kSpjFromFV (defaults to the paper's best strategy).
+  VpctStrategy vpct;
+  // ORDER BY the grouping columns at the end (off for benchmarks).
+  bool order_result = false;
+};
+
+// Generates the evaluation plan for a horizontal query
+// (QueryClass::kHorizontal): any number of Hpct()/Hagg-BY terms plus
+// standard vertical aggregates on the same GROUP BY D1..Dj. Each horizontal
+// term contributes one result column per distinct combination of its BY
+// columns; result blocks are assembled on D1..Dj.
+Result<Plan> PlanHorizontalQuery(const AnalyzedQuery& query,
+                                 const HorizontalStrategy& strategy);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_HORIZONTAL_PLANNER_H_

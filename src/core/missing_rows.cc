@@ -1,0 +1,219 @@
+#include "core/missing_rows.h"
+
+#include <unordered_set>
+
+#include "engine/table_ops.h"
+
+namespace pctagg {
+
+namespace {
+
+// Key bytes of `columns` at `row`.
+Result<std::string> KeyAt(const Table& t, const std::vector<std::string>& columns,
+                          size_t row) {
+  std::vector<size_t> idx;
+  idx.reserve(columns.size());
+  for (const std::string& c : columns) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t i, t.schema().FindColumn(c));
+    idx.push_back(i);
+  }
+  std::string key;
+  t.AppendKeyBytes(row, idx, &key);
+  return key;
+}
+
+}  // namespace
+
+Status InsertMissingResultRows(const Table& fact,
+                               const std::vector<std::string>& totals_by,
+                               const std::vector<std::string>& by_columns,
+                               const std::vector<std::string>& pct_columns,
+                               Table* result) {
+  // Domain of BY combinations comes from all of F.
+  PCTAGG_ASSIGN_OR_RETURN(Table combos, Distinct(fact, by_columns));
+  // Groups present in the result (one entry when totals_by is empty).
+  Table groups;
+  if (totals_by.empty()) {
+    groups = Table(Schema());
+  } else {
+    PCTAGG_ASSIGN_OR_RETURN(groups, Distinct(*result, totals_by));
+  }
+  size_t num_groups = totals_by.empty() ? 1 : groups.num_rows();
+
+  // Existing (group, combo) keys in the result.
+  std::vector<std::string> full_key_cols = totals_by;
+  full_key_cols.insert(full_key_cols.end(), by_columns.begin(),
+                       by_columns.end());
+  std::unordered_set<std::string> existing;
+  existing.reserve(result->num_rows());
+  for (size_t row = 0; row < result->num_rows(); ++row) {
+    PCTAGG_ASSIGN_OR_RETURN(std::string key, KeyAt(*result, full_key_cols, row));
+    existing.insert(std::move(key));
+  }
+
+  // Classify result columns once.
+  enum class Role { kTotals, kBy, kPct, kOther };
+  std::vector<Role> roles(result->num_columns(), Role::kOther);
+  std::vector<size_t> src_in_groups(result->num_columns(), 0);
+  std::vector<size_t> src_in_combos(result->num_columns(), 0);
+  for (size_t c = 0; c < result->num_columns(); ++c) {
+    const std::string& name = result->schema().column(c).name;
+    if (!totals_by.empty()) {
+      Result<size_t> gi = groups.schema().FindColumn(name);
+      if (gi.ok()) {
+        roles[c] = Role::kTotals;
+        src_in_groups[c] = gi.value();
+        continue;
+      }
+    }
+    Result<size_t> ci = combos.schema().FindColumn(name);
+    if (ci.ok()) {
+      roles[c] = Role::kBy;
+      src_in_combos[c] = ci.value();
+      continue;
+    }
+    for (const std::string& p : pct_columns) {
+      Result<size_t> pi = result->schema().FindColumn(p);
+      if (pi.ok() && pi.value() == c) {
+        roles[c] = Role::kPct;
+        break;
+      }
+    }
+  }
+
+  // Cross product: append whatever is absent.
+  std::string key;
+  for (size_t g = 0; g < num_groups; ++g) {
+    for (size_t m = 0; m < combos.num_rows(); ++m) {
+      key.clear();
+      if (!totals_by.empty()) {
+        std::vector<size_t> gidx(groups.num_columns());
+        for (size_t i = 0; i < groups.num_columns(); ++i) gidx[i] = i;
+        groups.AppendKeyBytes(g, gidx, &key);
+      }
+      std::vector<size_t> cidx(combos.num_columns());
+      for (size_t i = 0; i < combos.num_columns(); ++i) cidx[i] = i;
+      combos.AppendKeyBytes(m, cidx, &key);
+      if (existing.count(key) > 0) continue;
+      std::vector<Value> row;
+      row.reserve(result->num_columns());
+      for (size_t c = 0; c < result->num_columns(); ++c) {
+        switch (roles[c]) {
+          case Role::kTotals:
+            row.push_back(groups.column(src_in_groups[c]).GetValue(g));
+            break;
+          case Role::kBy:
+            row.push_back(combos.column(src_in_combos[c]).GetValue(m));
+            break;
+          case Role::kPct:
+            row.push_back(Value::Float64(0.0));
+            break;
+          case Role::kOther:
+            row.push_back(Value::Null());
+            break;
+        }
+      }
+      PCTAGG_RETURN_IF_ERROR(result->AppendRow(row));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> ExpandFactWithMissingRows(
+    const Table& fact, const std::vector<std::string>& totals_by,
+    const std::vector<std::string>& by_columns,
+    const std::vector<std::string>& measure_columns) {
+  PCTAGG_ASSIGN_OR_RETURN(Table combos, Distinct(fact, by_columns));
+  Table groups;
+  size_t num_groups = 1;
+  if (!totals_by.empty()) {
+    PCTAGG_ASSIGN_OR_RETURN(groups, Distinct(fact, totals_by));
+    num_groups = groups.num_rows();
+  }
+
+  std::vector<std::string> full_key_cols = totals_by;
+  full_key_cols.insert(full_key_cols.end(), by_columns.begin(),
+                       by_columns.end());
+  std::unordered_set<std::string> existing;
+  existing.reserve(fact.num_rows());
+  for (size_t row = 0; row < fact.num_rows(); ++row) {
+    PCTAGG_ASSIGN_OR_RETURN(std::string key, KeyAt(fact, full_key_cols, row));
+    existing.insert(std::move(key));
+  }
+
+  Table out(fact.schema());
+  out.Reserve(fact.num_rows());
+  for (size_t row = 0; row < fact.num_rows(); ++row) {
+    out.AppendRowFrom(fact, row);
+  }
+
+  // Per-column roles for the synthesized rows.
+  enum class Role { kTotals, kBy, kMeasure, kOther };
+  std::vector<Role> roles(fact.num_columns(), Role::kOther);
+  std::vector<size_t> src_in_groups(fact.num_columns(), 0);
+  std::vector<size_t> src_in_combos(fact.num_columns(), 0);
+  for (size_t c = 0; c < fact.num_columns(); ++c) {
+    const std::string& name = fact.schema().column(c).name;
+    if (!totals_by.empty()) {
+      Result<size_t> gi = groups.schema().FindColumn(name);
+      if (gi.ok()) {
+        roles[c] = Role::kTotals;
+        src_in_groups[c] = gi.value();
+        continue;
+      }
+    }
+    Result<size_t> ci = combos.schema().FindColumn(name);
+    if (ci.ok()) {
+      roles[c] = Role::kBy;
+      src_in_combos[c] = ci.value();
+      continue;
+    }
+    for (const std::string& m : measure_columns) {
+      Result<size_t> mi = fact.schema().FindColumn(m);
+      if (mi.ok() && mi.value() == c) {
+        roles[c] = Role::kMeasure;
+        break;
+      }
+    }
+  }
+
+  std::string key;
+  for (size_t g = 0; g < num_groups; ++g) {
+    for (size_t m = 0; m < combos.num_rows(); ++m) {
+      key.clear();
+      if (!totals_by.empty()) {
+        std::vector<size_t> gidx(groups.num_columns());
+        for (size_t i = 0; i < groups.num_columns(); ++i) gidx[i] = i;
+        groups.AppendKeyBytes(g, gidx, &key);
+      }
+      std::vector<size_t> cidx(combos.num_columns());
+      for (size_t i = 0; i < combos.num_columns(); ++i) cidx[i] = i;
+      combos.AppendKeyBytes(m, cidx, &key);
+      if (existing.count(key) > 0) continue;
+      std::vector<Value> row;
+      row.reserve(fact.num_columns());
+      for (size_t c = 0; c < fact.num_columns(); ++c) {
+        switch (roles[c]) {
+          case Role::kTotals:
+            row.push_back(groups.column(src_in_groups[c]).GetValue(g));
+            break;
+          case Role::kBy:
+            row.push_back(combos.column(src_in_combos[c]).GetValue(m));
+            break;
+          case Role::kMeasure:
+            row.push_back(fact.schema().column(c).type == DataType::kInt64
+                              ? Value::Int64(0)
+                              : Value::Float64(0.0));
+            break;
+          case Role::kOther:
+            row.push_back(Value::Null());
+            break;
+        }
+      }
+      PCTAGG_RETURN_IF_ERROR(out.AppendRow(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace pctagg

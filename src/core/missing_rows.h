@@ -1,0 +1,38 @@
+#ifndef PCTAGG_CORE_MISSING_ROWS_H_
+#define PCTAGG_CORE_MISSING_ROWS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace pctagg {
+
+// Implements the two optional missing-row treatments of paper Section 3.1.
+
+// Post-processing: inserts into `result` one row for every
+// (totals-group x BY-combination) pair that is absent. Totals groups are the
+// distinct `totals_by` values already in `result`; BY combinations are the
+// distinct `by_columns` values of `fact` (the F-wide domain the paper
+// prescribes). Inserted rows carry 0 in every `pct_columns` entry and NULL in
+// any other non-key column. `totals_by` may be empty (grand-total queries).
+Status InsertMissingResultRows(const Table& fact,
+                               const std::vector<std::string>& totals_by,
+                               const std::vector<std::string>& by_columns,
+                               const std::vector<std::string>& pct_columns,
+                               Table* result);
+
+// Pre-processing: returns a copy of `fact` extended with one zero-measure row
+// per missing (totals-group x BY-combination) pair. The appended rows hold
+// the pair's dimension values, 0 in each of `measure_columns`, and NULL
+// everywhere else — which is why a subsequent Vpct(1) row-count percentage
+// over the expanded table is (deliberately, per the paper) wrong.
+Result<Table> ExpandFactWithMissingRows(
+    const Table& fact, const std::vector<std::string>& totals_by,
+    const std::vector<std::string>& by_columns,
+    const std::vector<std::string>& measure_columns);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_MISSING_ROWS_H_

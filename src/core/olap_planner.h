@@ -1,0 +1,33 @@
+#ifndef PCTAGG_CORE_OLAP_PLANNER_H_
+#define PCTAGG_CORE_OLAP_PLANNER_H_
+
+#include "common/result.h"
+#include "core/plan.h"
+#include "sql/analyzer.h"
+
+namespace pctagg {
+
+// The comparison baseline of paper Section 4.2: evaluate a vertical
+// percentage query with ANSI SQL/OLAP window extensions instead of the
+// percentage aggregations:
+//
+//   SELECT DISTINCT D1..Dk,
+//          sum(A) OVER (PARTITION BY D1..Dk) /
+//          sum(A) OVER (PARTITION BY D1..Dj)
+//   FROM F;
+//
+// Both window aggregates carry one value per *fact row* (n rows), the
+// division runs over n rows, and a DISTINCT pass shrinks the result to the
+// |Fk| groups — the work profile that makes this formulation an order of
+// magnitude slower than the generated percentage plans. Accepts the same
+// analyzed Vpct query the percentage planner takes, so benchmarks compare
+// identical questions.
+Result<Plan> PlanOlapPercentageQuery(const AnalyzedQuery& query);
+
+// Plain window query (QueryClass::kWindow): scalar columns plus
+// func(arg) OVER (PARTITION BY ...) terms, one output row per input row.
+Result<Plan> PlanWindowQuery(const AnalyzedQuery& query);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_OLAP_PLANNER_H_

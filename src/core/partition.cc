@@ -1,0 +1,52 @@
+#include "core/partition.h"
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+Result<std::vector<Table>> VerticallyPartition(
+    const Table& wide, const std::vector<std::string>& key_columns,
+    size_t max_columns) {
+  std::vector<size_t> key_idx;
+  for (const std::string& k : key_columns) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx, wide.schema().FindColumn(k));
+    key_idx.push_back(idx);
+  }
+  if (max_columns <= key_columns.size()) {
+    return Status::InvalidArgument(
+        "max_columns must exceed the number of key columns");
+  }
+  std::vector<size_t> cell_idx;
+  for (size_t c = 0; c < wide.num_columns(); ++c) {
+    bool is_key = false;
+    for (size_t k : key_idx) {
+      if (k == c) {
+        is_key = true;
+        break;
+      }
+    }
+    if (!is_key) cell_idx.push_back(c);
+  }
+
+  const size_t cells_per_part = max_columns - key_columns.size();
+  std::vector<Table> parts;
+  for (size_t start = 0; start < cell_idx.size() || parts.empty();
+       start += cells_per_part) {
+    Schema schema;
+    std::vector<Column> columns;
+    for (size_t k : key_idx) {
+      schema.AddColumn(wide.schema().column(k));
+      columns.push_back(wide.column(k));
+    }
+    for (size_t i = start;
+         i < cell_idx.size() && i < start + cells_per_part; ++i) {
+      schema.AddColumn(wide.schema().column(cell_idx[i]));
+      columns.push_back(wide.column(cell_idx[i]));
+    }
+    parts.emplace_back(std::move(schema), std::move(columns));
+    if (cell_idx.empty()) break;
+  }
+  return parts;
+}
+
+}  // namespace pctagg

@@ -1,0 +1,26 @@
+#ifndef PCTAGG_CORE_PARTITION_H_
+#define PCTAGG_CORE_PARTITION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace pctagg {
+
+// Handles the practical limit both papers call out: a horizontal result can
+// exceed the DBMS's maximum column count (Hpct Section "Issues", DMKD
+// Section 3.6). The prescribed fix is vertical partitioning — split FH into
+// several tables, each carrying the primary key D1..Dj plus at most
+// `max_columns` total columns.
+//
+// `key_columns` must be a prefix-independent subset of `wide`'s columns; the
+// remaining (cell) columns are distributed over partitions in order. Errors
+// if max_columns cannot even hold the key plus one cell.
+Result<std::vector<Table>> VerticallyPartition(
+    const Table& wide, const std::vector<std::string>& key_columns,
+    size_t max_columns);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_PARTITION_H_

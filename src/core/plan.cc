@@ -1,0 +1,59 @@
+#include "core/plan.h"
+
+#include <atomic>
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+void Plan::AddStep(std::string sql, StepFn run) {
+  steps_.push_back({std::move(sql), std::move(run)});
+}
+
+std::string Plan::AppendPlan(Plan other) {
+  for (Step& step : other.steps_) {
+    steps_.push_back(std::move(step));
+  }
+  for (std::string& name : other.temp_tables_) {
+    temp_tables_.push_back(std::move(name));
+  }
+  return other.result_table_;
+}
+
+Status Plan::Execute(Catalog* catalog, SummaryCache* summaries) const {
+  ExecContext ctx(catalog, summaries);
+  for (const Step& step : steps_) {
+    Status s = step.run(&ctx);
+    if (!s.ok()) {
+      return Status(s.code(),
+                    s.message() + " (while executing: " + step.sql + ")");
+    }
+  }
+  return Status::OK();
+}
+
+void Plan::Cleanup(Catalog* catalog) const {
+  for (const std::string& name : temp_tables_) {
+    if (catalog->HasTable(name)) {
+      catalog->DropTable(name).ok();
+    }
+  }
+}
+
+std::string Plan::ToSql() const {
+  std::string out;
+  for (const Step& step : steps_) {
+    out += step.sql;
+    if (!step.sql.empty() && step.sql.back() != ';') out += ";";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string NewTempName(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  return prefix + "_" + StrFormat("%04llu",
+                                  static_cast<unsigned long long>(++counter));
+}
+
+}  // namespace pctagg

@@ -1,0 +1,66 @@
+#include "core/summary_cache.h"
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+std::string SummaryCache::KeyFor(const std::string& base_table,
+                                 const std::vector<std::string>& group_by,
+                                 const std::string& rendered_aggs) {
+  std::vector<std::string> lowered;
+  lowered.reserve(group_by.size());
+  for (const std::string& g : group_by) lowered.push_back(ToLower(g));
+  return ToLower(base_table) + "|" + Join(lowered, ",") + "|" + rendered_aggs;
+}
+
+std::shared_ptr<const Table> SummaryCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second.summary;
+}
+
+void SummaryCache::Insert(const std::string& key, const Table& summary) {
+  std::string base = ToLower(key.substr(0, key.find('|')));
+  auto snapshot = std::make_shared<const Table>(summary);
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.insert_or_assign(key, Entry{std::move(base), std::move(snapshot)});
+}
+
+void SummaryCache::InvalidateTable(const std::string& base_table) {
+  std::string lowered = ToLower(base_table);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.base_table == lowered) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SummaryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+size_t SummaryCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+size_t SummaryCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+size_t SummaryCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace pctagg

@@ -1,0 +1,68 @@
+#ifndef PCTAGG_CORE_SUMMARY_CACHE_H_
+#define PCTAGG_CORE_SUMMARY_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace pctagg {
+
+// Materialized-summary cache across percentage queries, implementing the
+// paper's future-work idea that "a set of percentage queries on the same
+// table may be efficiently evaluated using shared summaries": the Fk-level
+// aggregate of one query answers any later query asking for the same
+// (table, grouping, aggregates) combination, no matter the strategy.
+//
+// Keys are built by the planner from the *generated SQL fragments* (base
+// table, grouping columns, rendered aggregate list), so two textually
+// different queries with the same aggregation share an entry. Entries store
+// full table copies; the cache assumes base tables are immutable while
+// cached (PctDatabase invalidates on CreateTable/CreateOrReplace through its
+// API).
+class SummaryCache {
+ public:
+  SummaryCache() = default;
+
+  SummaryCache(const SummaryCache&) = delete;
+  SummaryCache& operator=(const SummaryCache&) = delete;
+
+  // Canonical cache key for an aggregation step.
+  static std::string KeyFor(const std::string& base_table,
+                            const std::vector<std::string>& group_by,
+                            const std::string& rendered_aggs);
+
+  // The cached summary, or nullptr. Counts a hit/miss. The returned snapshot
+  // stays valid even if the entry is concurrently replaced or invalidated
+  // (entries are immutable once stored).
+  std::shared_ptr<const Table> Lookup(const std::string& key);
+
+  // Stores a copy of `summary` (replacing any previous entry).
+  void Insert(const std::string& key, const Table& summary);
+
+  // Drops every entry derived from `base_table`.
+  void InvalidateTable(const std::string& base_table);
+
+  void Clear();
+
+  size_t size() const;
+  size_t hits() const;
+  size_t misses() const;
+
+ private:
+  struct Entry {
+    std::string base_table;  // lower-cased, for invalidation
+    std::shared_ptr<const Table> summary;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_SUMMARY_CACHE_H_

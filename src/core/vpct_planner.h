@@ -1,0 +1,63 @@
+#ifndef PCTAGG_CORE_VPCT_PLANNER_H_
+#define PCTAGG_CORE_VPCT_PLANNER_H_
+
+#include "common/result.h"
+#include "core/plan.h"
+#include "sql/analyzer.h"
+
+namespace pctagg {
+
+// How to deal with cube cells that have no rows (paper Section 3.1, "Missing
+// rows"). Both treatments are optional, exactly as the paper recommends.
+enum class MissingRowPolicy {
+  kNone,  // default: absent combinations simply produce no result row
+  // Post-processing: after FV is computed, insert one row per absent
+  // (totals-group x BY-combination) pair with percentage 0 (non-percentage
+  // columns become NULL). Cheap when few percentage queries run against F.
+  kPostProcess,
+  // Pre-processing: insert zero-measure rows into (a copy of) F before
+  // aggregating. Correct for measures but deliberately corrupts row-count
+  // percentages like Vpct(1) — the trade-off the paper warns about. Requires
+  // every Vpct argument to be a plain numeric column.
+  kPreProcess,
+};
+
+// The optimization knobs studied in Table 4 of the paper. Defaults give the
+// paper's recommended best strategy: matching subkey indexes on Fj, the
+// coarse aggregate Fj computed from the partial aggregate Fk (sum() is
+// distributive), and INSERT (join) rather than UPDATE to produce FV.
+struct VpctStrategy {
+  // Table 4 column (2): when false, indexes are created on mismatched keys,
+  // so the division join must build its own hash table.
+  bool matching_indexes = true;
+  // Table 4 column (3): when false, FV is produced by UPDATEing Fk in place
+  // (row-at-a-time; avoids the third temporary table, costs time when
+  // |FV| ~ |F|).
+  bool insert_result = true;
+  // Table 4 column (4): when false, Fj is computed with a second scan of F
+  // instead of reusing Fk.
+  bool fj_from_fk = true;
+  // Extension of the paper's future-work direction "optimizing vertical
+  // percentage queries with different groupings in each term ... bottom-up
+  // search" / "shared summaries": with several Vpct terms, compute each Fj
+  // from the smallest already-materialized aggregate whose grouping columns
+  // subsume it (and whose measure matches), instead of always from Fk.
+  // Requires fj_from_fk; no effect for single-term queries.
+  bool lattice_reuse = true;
+  MissingRowPolicy missing_rows = MissingRowPolicy::kNone;
+  // ORDER BY the grouping columns at the end (display convenience; off for
+  // benchmarks, like the paper's timed queries).
+  bool order_result = false;
+};
+
+// Generates the multi-statement evaluation plan for a vertical percentage
+// query (QueryClass::kVpct): Fk at the GROUP BY level, one Fj per Vpct term
+// at its totals level, and the division producing FV. Handles any number of
+// Vpct terms (m >= 1, each with its own BY list) plus additional standard
+// vertical aggregates on the same GROUP BY.
+Result<Plan> PlanVpctQuery(const AnalyzedQuery& query,
+                           const VpctStrategy& strategy);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_VPCT_PLANNER_H_

@@ -1,0 +1,210 @@
+#include "engine/aggregate.h"
+
+#include <limits>
+#include <unordered_map>
+
+namespace pctagg {
+
+namespace {
+
+// Accumulator state for one (group, aggregate) pair. A single struct covers
+// all functions; which fields are live depends on the function.
+struct AggState {
+  double sum = 0.0;
+  int64_t isum = 0;
+  int64_t count = 0;      // non-null inputs seen
+  int64_t row_count = 0;  // all rows (count(*))
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::string smin;
+  std::string smax;
+  bool saw_value = false;
+};
+
+Result<DataType> AggOutputType(const AggSpec& spec, const Schema& schema) {
+  switch (spec.func) {
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      return DataType::kInt64;
+    case AggFunc::kAvg:
+      return DataType::kFloat64;
+    case AggFunc::kSum: {
+      PCTAGG_ASSIGN_OR_RETURN(DataType t, spec.input->ResultType(schema));
+      if (t == DataType::kString) {
+        return Status::TypeMismatch("sum() over string column");
+      }
+      return t;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      PCTAGG_ASSIGN_OR_RETURN(DataType t, spec.input->ResultType(schema));
+      return t;
+    }
+  }
+  return Status::Internal("unknown aggregate function");
+}
+
+}  // namespace
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      return "count";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+Result<Table> HashAggregate(const Table& input,
+                            const std::vector<std::string>& group_by,
+                            const std::vector<AggSpec>& aggs) {
+  // Resolve group-by columns.
+  std::vector<size_t> group_idx;
+  group_idx.reserve(group_by.size());
+  for (const std::string& name : group_by) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx, input.schema().FindColumn(name));
+    group_idx.push_back(idx);
+  }
+
+  // Validate aggregates and evaluate inputs (vectorized, once per spec).
+  std::vector<DataType> out_types;
+  std::vector<Column> agg_inputs;
+  out_types.reserve(aggs.size());
+  agg_inputs.reserve(aggs.size());
+  for (const AggSpec& spec : aggs) {
+    if (spec.func != AggFunc::kCountStar && spec.input == nullptr) {
+      return Status::InvalidArgument("aggregate requires an input expression");
+    }
+    if (spec.func == AggFunc::kCountStar) {
+      out_types.push_back(DataType::kInt64);
+      agg_inputs.emplace_back(DataType::kInt64);  // placeholder, unused
+      continue;
+    }
+    PCTAGG_ASSIGN_OR_RETURN(DataType t, AggOutputType(spec, input.schema()));
+    out_types.push_back(t);
+    PCTAGG_ASSIGN_OR_RETURN(Column c, spec.input->Evaluate(input));
+    agg_inputs.push_back(std::move(c));
+  }
+
+  // Group assignment.
+  std::unordered_map<std::string, size_t> group_of;
+  std::vector<size_t> representative_row;  // first row of each group
+  std::vector<std::vector<AggState>> states;
+  const size_t n = input.num_rows();
+  std::string key;
+  for (size_t row = 0; row < n; ++row) {
+    key.clear();
+    input.AppendKeyBytes(row, group_idx, &key);
+    auto [it, inserted] = group_of.emplace(key, states.size());
+    if (inserted) {
+      representative_row.push_back(row);
+      states.emplace_back(aggs.size());
+    }
+    std::vector<AggState>& gs = states[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& st = gs[a];
+      st.row_count++;
+      if (aggs[a].func == AggFunc::kCountStar) continue;
+      const Column& in = agg_inputs[a];
+      if (in.IsNull(row)) continue;  // sum()/count()/min()/max() skip NULLs
+      st.count++;
+      st.saw_value = true;
+      if (in.type() == DataType::kString) {
+        const std::string& s = in.StringAt(row);
+        if (st.count == 1 || s < st.smin) st.smin = s;
+        if (st.count == 1 || s > st.smax) st.smax = s;
+      } else {
+        double v = in.NumericAt(row);
+        st.sum += v;
+        if (in.type() == DataType::kInt64) st.isum += in.Int64At(row);
+        if (v < st.min) st.min = v;
+        if (v > st.max) st.max = v;
+      }
+    }
+  }
+
+  // A global aggregation over zero rows still produces one (empty) group.
+  if (group_idx.empty() && states.empty()) {
+    states.emplace_back(aggs.size());
+    representative_row.push_back(0);  // unused: no group columns to copy
+  }
+
+  // Build output schema.
+  Schema out_schema;
+  for (size_t gi : group_idx) {
+    out_schema.AddColumn(input.schema().column(gi));
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    out_schema.AddColumn({aggs[a].output_name, out_types[a]});
+  }
+  Table out(out_schema);
+  out.Reserve(states.size());
+
+  for (size_t g = 0; g < states.size(); ++g) {
+    std::vector<Value> row;
+    row.reserve(group_idx.size() + aggs.size());
+    for (size_t gi : group_idx) {
+      row.push_back(input.column(gi).GetValue(representative_row[g]));
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggState& st = states[g][a];
+      const AggSpec& spec = aggs[a];
+      switch (spec.func) {
+        case AggFunc::kCountStar:
+          row.push_back(Value::Int64(st.row_count));
+          break;
+        case AggFunc::kCount:
+          row.push_back(Value::Int64(st.count));
+          break;
+        case AggFunc::kSum:
+          if (!st.saw_value) {
+            row.push_back(Value::Null());
+          } else if (out_types[a] == DataType::kInt64) {
+            row.push_back(Value::Int64(st.isum));
+          } else {
+            row.push_back(Value::Float64(st.sum));
+          }
+          break;
+        case AggFunc::kAvg:
+          row.push_back(st.saw_value
+                            ? Value::Float64(st.sum / static_cast<double>(st.count))
+                            : Value::Null());
+          break;
+        case AggFunc::kMin:
+          if (!st.saw_value) {
+            row.push_back(Value::Null());
+          } else if (out_types[a] == DataType::kString) {
+            row.push_back(Value::String(st.smin));
+          } else if (out_types[a] == DataType::kInt64) {
+            row.push_back(Value::Int64(static_cast<int64_t>(st.min)));
+          } else {
+            row.push_back(Value::Float64(st.min));
+          }
+          break;
+        case AggFunc::kMax:
+          if (!st.saw_value) {
+            row.push_back(Value::Null());
+          } else if (out_types[a] == DataType::kString) {
+            row.push_back(Value::String(st.smax));
+          } else if (out_types[a] == DataType::kInt64) {
+            row.push_back(Value::Int64(static_cast<int64_t>(st.max)));
+          } else {
+            row.push_back(Value::Float64(st.max));
+          }
+          break;
+      }
+    }
+    PCTAGG_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace pctagg

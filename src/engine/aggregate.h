@@ -1,0 +1,48 @@
+#ifndef PCTAGG_ENGINE_AGGREGATE_H_
+#define PCTAGG_ENGINE_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/expression.h"
+#include "engine/table.h"
+
+namespace pctagg {
+
+// Standard SQL aggregate functions (the paper's "vertical aggregations").
+enum class AggFunc {
+  kSum,
+  kCount,      // count(expr): non-null inputs
+  kCountStar,  // count(*): all rows in the group
+  kAvg,
+  kMin,
+  kMax,
+};
+
+const char* AggFuncName(AggFunc func);
+
+// One aggregate output column: `func` applied to `input` (ignored for
+// count(*)), emitted as `output_name`. `input` may be any scalar expression —
+// in particular the sum(CASE WHEN ... THEN A ELSE null END) terms generated
+// by the CASE pivot strategy.
+struct AggSpec {
+  AggFunc func;
+  ExprPtr input;  // nullptr only for kCountStar
+  std::string output_name;
+};
+
+// Hash-based GROUP BY over `group_by` columns (possibly empty: one global
+// group; with zero input rows the global group still yields one row of
+// NULL/0 aggregates, matching SQL). NULL semantics follow sum()/count():
+// NULL inputs are skipped, an all-NULL group aggregates to NULL (count: 0).
+//
+// Output schema: the group-by columns (input types preserved) followed by one
+// column per AggSpec.
+Result<Table> HashAggregate(const Table& input,
+                            const std::vector<std::string>& group_by,
+                            const std::vector<AggSpec>& aggs);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_AGGREGATE_H_

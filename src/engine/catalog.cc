@@ -1,0 +1,66 @@
+#include "engine/catalog.h"
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+Status Catalog::CreateTable(const std::string& name, Table table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  tables_[key] = std::make_unique<Table>(std::move(table));
+  return Status::OK();
+}
+
+void Catalog::CreateOrReplaceTable(const std::string& name, Table table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tables_[ToLower(name)] = std::make_unique<Table>(std::move(table));
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  return static_cast<const Table*>(it->second.get());
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+std::string Catalog::TempName(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string name;
+  do {
+    name = prefix + "_" + std::to_string(++temp_counter_);
+  } while (tables_.count(ToLower(name)) > 0);
+  return name;
+}
+
+}  // namespace pctagg

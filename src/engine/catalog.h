@@ -1,0 +1,60 @@
+#ifndef PCTAGG_ENGINE_CATALOG_H_
+#define PCTAGG_ENGINE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace pctagg {
+
+// A named-table registry. Base tables and the temporary tables materialized
+// by percentage-query plans (Fk, Fj, FV, FH, ...) all live here; plan steps
+// refer to tables by name exactly like the generated SQL does.
+//
+// Thread safety: registry operations (create/drop/lookup) are internally
+// synchronized, so concurrent percentage queries can materialize their own
+// temporary tables against one shared catalog (each plan's temp names are
+// process-unique). The *contents* of a table are not locked — concurrent
+// queries may read shared base tables but must not mutate or replace a
+// table another query is reading.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Not copyable: tables can be large and names are identity.
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Registers `table` under `name` (case-insensitive). Fails on collision.
+  Status CreateTable(const std::string& name, Table table);
+
+  // Registers or replaces.
+  void CreateOrReplaceTable(const std::string& name, Table table);
+
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  // Sorted list of registered names (normalized to lower case).
+  std::vector<std::string> TableNames() const;
+
+  // Generates a fresh temporary-table name with the given prefix.
+  std::string TempName(const std::string& prefix);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  uint64_t temp_counter_ = 0;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_CATALOG_H_

@@ -1,0 +1,174 @@
+#include "engine/column.h"
+
+#include <cstring>
+
+namespace pctagg {
+
+Column::Column(DataType type) : type_(type) {
+  switch (type) {
+    case DataType::kInt64:
+      data_ = std::vector<int64_t>();
+      break;
+    case DataType::kFloat64:
+      data_ = std::vector<double>();
+      break;
+    case DataType::kString:
+      data_ = std::vector<std::string>();
+      break;
+  }
+}
+
+void Column::Reserve(size_t n) {
+  validity_.reserve(n);
+  std::visit([n](auto& vec) { vec.reserve(n); }, data_);
+}
+
+void Column::AppendNull() {
+  std::visit([](auto& vec) { vec.emplace_back(); }, data_);
+  validity_.push_back(0);
+}
+
+void Column::AppendInt64(int64_t v) {
+  std::get<std::vector<int64_t>>(data_).push_back(v);
+  validity_.push_back(1);
+}
+
+void Column::AppendFloat64(double v) {
+  std::get<std::vector<double>>(data_).push_back(v);
+  validity_.push_back(1);
+}
+
+void Column::AppendString(std::string v) {
+  std::get<std::vector<std::string>>(data_).push_back(std::move(v));
+  validity_.push_back(1);
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (v.is_int64()) {
+        AppendInt64(v.int64());
+        return Status::OK();
+      }
+      break;
+    case DataType::kFloat64:
+      if (v.is_float64()) {
+        AppendFloat64(v.float64());
+        return Status::OK();
+      }
+      if (v.is_int64()) {  // implicit widening, as SQL does
+        AppendFloat64(static_cast<double>(v.int64()));
+        return Status::OK();
+      }
+      break;
+    case DataType::kString:
+      if (v.is_string()) {
+        AppendString(v.string());
+        return Status::OK();
+      }
+      break;
+  }
+  return Status::TypeMismatch(std::string("cannot store ") + v.ToString() +
+                              " in " + DataTypeName(type_) + " column");
+}
+
+void Column::AppendFrom(const Column& other, size_t row) {
+  if (other.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      AppendInt64(other.Int64At(row));
+      break;
+    case DataType::kFloat64:
+      AppendFloat64(other.type() == DataType::kInt64
+                        ? static_cast<double>(other.Int64At(row))
+                        : other.Float64At(row));
+      break;
+    case DataType::kString:
+      AppendString(other.StringAt(row));
+      break;
+  }
+}
+
+Value Column::GetValue(size_t row) const {
+  if (IsNull(row)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int64(Int64At(row));
+    case DataType::kFloat64:
+      return Value::Float64(Float64At(row));
+    case DataType::kString:
+      return Value::String(StringAt(row));
+  }
+  return Value::Null();
+}
+
+Status Column::SetValue(size_t row, const Value& v) {
+  if (row >= size()) return Status::InvalidArgument("SetValue row out of range");
+  if (v.is_null()) {
+    validity_[row] = 0;
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (!v.is_int64()) break;
+      std::get<std::vector<int64_t>>(data_)[row] = v.int64();
+      validity_[row] = 1;
+      return Status::OK();
+    case DataType::kFloat64:
+      if (!v.is_int64() && !v.is_float64()) break;
+      std::get<std::vector<double>>(data_)[row] = v.AsDouble();
+      validity_[row] = 1;
+      return Status::OK();
+    case DataType::kString:
+      if (!v.is_string()) break;
+      std::get<std::vector<std::string>>(data_)[row] = v.string();
+      validity_[row] = 1;
+      return Status::OK();
+  }
+  return Status::TypeMismatch(std::string("cannot store ") + v.ToString() +
+                              " in " + DataTypeName(type_) + " column");
+}
+
+void Column::AppendKeyBytes(size_t row, std::string* out) const {
+  if (IsNull(row)) {
+    out->push_back('\0');
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64: {
+      out->push_back('i');
+      int64_t v = Int64At(row);
+      char buf[sizeof(v)];
+      std::memcpy(buf, &v, sizeof(v));
+      out->append(buf, sizeof(v));
+      break;
+    }
+    case DataType::kFloat64: {
+      out->push_back('f');
+      double v = Float64At(row);
+      char buf[sizeof(v)];
+      std::memcpy(buf, &v, sizeof(v));
+      out->append(buf, sizeof(v));
+      break;
+    }
+    case DataType::kString: {
+      out->push_back('s');
+      const std::string& s = StringAt(row);
+      uint32_t len = static_cast<uint32_t>(s.size());
+      char buf[sizeof(len)];
+      std::memcpy(buf, &len, sizeof(len));
+      out->append(buf, sizeof(len));
+      out->append(s);
+      break;
+    }
+  }
+}
+
+}  // namespace pctagg

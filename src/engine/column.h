@@ -1,0 +1,88 @@
+#ifndef PCTAGG_ENGINE_COLUMN_H_
+#define PCTAGG_ENGINE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/data_type.h"
+#include "engine/value.h"
+
+namespace pctagg {
+
+// A typed, nullable vector of values: the unit of columnar storage and of
+// vectorized expression evaluation. NULLs keep a placeholder slot in the data
+// vector and are tracked by a validity byte per row (1 = valid).
+class Column {
+ public:
+  explicit Column(DataType type);
+
+  DataType type() const { return type_; }
+  size_t size() const { return validity_.size(); }
+  bool empty() const { return validity_.empty(); }
+
+  bool IsNull(size_t row) const { return validity_[row] == 0; }
+
+  void Reserve(size_t n);
+
+  // Typed appends; the data vector and validity grow in lockstep.
+  void AppendNull();
+  void AppendInt64(int64_t v);
+  void AppendFloat64(double v);
+  void AppendString(std::string v);
+
+  // Type-checked append of a scalar (NULL always allowed).
+  Status AppendValue(const Value& v);
+
+  // Append row `row` of `other` (same type) to this column.
+  void AppendFrom(const Column& other, size_t row);
+
+  // Scalar accessors. The typed *At accessors require a non-null slot of the
+  // matching type.
+  Value GetValue(size_t row) const;
+  int64_t Int64At(size_t row) const { return int64_data()[row]; }
+  double Float64At(size_t row) const { return float64_data()[row]; }
+  const std::string& StringAt(size_t row) const { return string_data()[row]; }
+
+  // Numeric value widened to double (valid for INT64/FLOAT64 columns).
+  double NumericAt(size_t row) const {
+    return type_ == DataType::kInt64 ? static_cast<double>(Int64At(row))
+                                     : Float64At(row);
+  }
+
+  // Direct typed storage, used by vectorized kernels.
+  const std::vector<int64_t>& int64_data() const {
+    return std::get<std::vector<int64_t>>(data_);
+  }
+  const std::vector<double>& float64_data() const {
+    return std::get<std::vector<double>>(data_);
+  }
+  const std::vector<std::string>& string_data() const {
+    return std::get<std::vector<std::string>>(data_);
+  }
+  const std::vector<uint8_t>& validity() const { return validity_; }
+
+  // Overwrites row `row` with a (type-compatible) value; used by the UPDATE
+  // operator which models the paper's in-place FV = Fk strategy.
+  Status SetValue(size_t row, const Value& v);
+
+  // Appends a deterministic, type-tagged byte encoding of row `row` to
+  // `out`. Two rows produce identical bytes iff their values are equal
+  // (NULL encodes distinctly). This is the hashing key used by group-by,
+  // joins, DISTINCT and indexes.
+  void AppendKeyBytes(size_t row, std::string* out) const;
+
+ private:
+  DataType type_;
+  std::variant<std::vector<int64_t>, std::vector<double>,
+               std::vector<std::string>>
+      data_;
+  std::vector<uint8_t> validity_;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_COLUMN_H_

@@ -1,0 +1,292 @@
+#include "engine/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+namespace {
+
+// One parsed record: raw field texts plus which fields were quoted (a quoted
+// empty string is "", an unquoted empty field is NULL).
+struct Record {
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+};
+
+// Splits `text` into records honoring quotes; handles \r\n line ends.
+Result<std::vector<Record>> SplitCsv(const std::string& text) {
+  std::vector<Record> records;
+  Record current;
+  std::string field;
+  bool quoted = false;
+  bool in_quotes = false;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto end_field = [&]() {
+    current.fields.push_back(field);
+    current.quoted.push_back(quoted);
+    field.clear();
+    quoted = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    // Skip records that are entirely empty (trailing newline).
+    if (current.fields.size() == 1 && current.fields[0].empty() &&
+        !current.quoted[0]) {
+      current = Record();
+      return;
+    }
+    records.push_back(std::move(current));
+    current = Record();
+  };
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::ParseError("unexpected quote inside CSV field");
+        }
+        in_quotes = true;
+        quoted = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        if (i + 1 < n && text[i + 1] == '\n') ++i;
+        [[fallthrough]];
+      case '\n':
+        end_record();
+        ++i;
+        break;
+      default:
+        field.push_back(c);
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (!field.empty() || quoted || !current.fields.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+bool LooksLikeFloat(const std::string& s) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+Result<Value> ParseField(const std::string& text, bool was_quoted,
+                         DataType type) {
+  if (text.empty() && !was_quoted) return Value::Null();
+  switch (type) {
+    case DataType::kInt64:
+      if (!IsInteger(text)) {
+        return Status::ParseError("not an integer: '" + text + "'");
+      }
+      return Value::Int64(std::stoll(text));
+    case DataType::kFloat64:
+      if (!LooksLikeFloat(text)) {
+        return Status::ParseError("not a number: '" + text + "'");
+      }
+      return Value::Float64(std::stod(text));
+    case DataType::kString:
+      return Value::String(text);
+  }
+  return Status::Internal("unknown type");
+}
+
+Result<std::vector<Record>> SplitAndCheckHeader(const std::string& text,
+                                                const Schema& schema,
+                                                bool has_header) {
+  PCTAGG_ASSIGN_OR_RETURN(std::vector<Record> records, SplitCsv(text));
+  if (has_header) {
+    if (records.empty()) return Status::ParseError("CSV is empty (no header)");
+    const Record& header = records.front();
+    if (header.fields.size() != schema.num_columns()) {
+      return Status::ParseError("CSV header has " +
+                                std::to_string(header.fields.size()) +
+                                " columns, schema has " +
+                                std::to_string(schema.num_columns()));
+    }
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (!EqualsIgnoreCase(header.fields[c], schema.column(c).name)) {
+        return Status::ParseError("CSV header mismatch at column " +
+                                  std::to_string(c + 1) + ": '" +
+                                  header.fields[c] + "' vs '" +
+                                  schema.column(c).name + "'");
+      }
+    }
+    records.erase(records.begin());
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(const std::string& text, const Schema& schema,
+                       bool has_header) {
+  PCTAGG_ASSIGN_OR_RETURN(std::vector<Record> records,
+                          SplitAndCheckHeader(text, schema, has_header));
+  Table out(schema);
+  out.Reserve(records.size());
+  for (size_t r = 0; r < records.size(); ++r) {
+    const Record& rec = records[r];
+    if (rec.fields.size() != schema.num_columns()) {
+      return Status::ParseError("CSV row " + std::to_string(r + 1) + " has " +
+                                std::to_string(rec.fields.size()) +
+                                " fields, expected " +
+                                std::to_string(schema.num_columns()));
+    }
+    std::vector<Value> row;
+    row.reserve(rec.fields.size());
+    for (size_t c = 0; c < rec.fields.size(); ++c) {
+      Result<Value> v =
+          ParseField(rec.fields[c], rec.quoted[c], schema.column(c).type);
+      if (!v.ok()) {
+        return Status::ParseError("CSV row " + std::to_string(r + 1) +
+                                  ", column " + schema.column(c).name + ": " +
+                                  v.status().message());
+      }
+      row.push_back(std::move(v).value());
+    }
+    PCTAGG_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<Table> ParseCsvAuto(const std::string& text) {
+  PCTAGG_ASSIGN_OR_RETURN(std::vector<Record> records, SplitCsv(text));
+  if (records.empty()) return Status::ParseError("CSV is empty");
+  const Record& header = records.front();
+  const size_t num_cols = header.fields.size();
+  // Infer per-column types from the data rows.
+  std::vector<bool> all_int(num_cols, true);
+  std::vector<bool> all_float(num_cols, true);
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].fields.size() != num_cols) {
+      return Status::ParseError("CSV row " + std::to_string(r) +
+                                " has inconsistent column count");
+    }
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& f = records[r].fields[c];
+      bool is_null = f.empty() && !records[r].quoted[c];
+      if (is_null) continue;
+      if (records[r].quoted[c]) {  // quoted fields are strings by intent
+        all_int[c] = false;
+        all_float[c] = false;
+        continue;
+      }
+      if (!IsInteger(f)) all_int[c] = false;
+      if (!LooksLikeFloat(f)) all_float[c] = false;
+    }
+  }
+  Schema schema;
+  for (size_t c = 0; c < num_cols; ++c) {
+    DataType type = all_int[c] ? DataType::kInt64
+                    : all_float[c] ? DataType::kFloat64
+                                   : DataType::kString;
+    std::string name = header.fields[c];
+    if (name.empty()) name = "column" + std::to_string(c + 1);
+    schema.AddColumn({std::move(name), type});
+  }
+  return ParseCsv(text, schema, /*has_header=*/true);
+}
+
+std::string FormatCsv(const Table& table) {
+  std::string out;
+  auto append_field = [&out](const std::string& text, bool force_quote) {
+    bool needs_quote =
+        force_quote || text.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote) {
+      out += text;
+      return;
+    }
+    out.push_back('"');
+    for (char c : text) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  };
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out.push_back(',');
+    append_field(table.schema().column(c).name, false);
+  }
+  out.push_back('\n');
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(',');
+      const Column& col = table.column(c);
+      if (col.IsNull(r)) continue;  // NULL renders as an empty field
+      switch (col.type()) {
+        case DataType::kInt64:
+          out += std::to_string(col.Int64At(r));
+          break;
+        case DataType::kFloat64:
+          out += StrFormat("%.17g", col.Float64At(r));
+          break;
+        case DataType::kString:
+          // Quote empty strings to distinguish them from NULL.
+          append_field(col.StringAt(r), col.StringAt(r).empty());
+          break;
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), schema, has_header);
+}
+
+Result<Table> ReadCsvFileAuto(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsvAuto(buffer.str());
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot open file for write: " + path);
+  out << FormatCsv(table);
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace pctagg

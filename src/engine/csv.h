@@ -1,0 +1,36 @@
+#ifndef PCTAGG_ENGINE_CSV_H_
+#define PCTAGG_ENGINE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace pctagg {
+
+// Minimal RFC-4180-style CSV support so fact tables can be loaded from and
+// results exported to files (quoted fields, embedded commas/quotes/newlines,
+// empty field = NULL).
+
+// Parses CSV text against a known schema. The first line is a header when
+// `has_header` (validated against the schema by name, case-insensitively).
+Result<Table> ParseCsv(const std::string& text, const Schema& schema,
+                       bool has_header = true);
+
+// Parses CSV text inferring the schema from the header line plus the data:
+// a column is INT64 if every non-empty value parses as an integer, FLOAT64
+// if every non-empty value parses as a number, STRING otherwise.
+Result<Table> ParseCsvAuto(const std::string& text);
+
+// Renders a table as CSV (header + rows; NULL as empty field).
+std::string FormatCsv(const Table& table);
+
+// File wrappers.
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          bool has_header = true);
+Result<Table> ReadCsvFileAuto(const std::string& path);
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_CSV_H_

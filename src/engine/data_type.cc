@@ -1,0 +1,39 @@
+#include "engine/data_type.h"
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kFloat64:
+      return "FLOAT64";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+Result<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return Status::NotFound("column not found: " + name);
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return FindColumn(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const ColumnDef& c : columns_) {
+    parts.push_back(c.name + " " + DataTypeName(c.type));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace pctagg

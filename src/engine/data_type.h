@@ -1,0 +1,65 @@
+#ifndef PCTAGG_ENGINE_DATA_TYPE_H_
+#define PCTAGG_ENGINE_DATA_TYPE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pctagg {
+
+// Column data types. The paper's model F(RID, D1..Dd, A) needs integer and
+// string dimensions plus a floating-point measure; INT64/FLOAT64/STRING cover
+// the whole evaluation.
+enum class DataType {
+  kInt64,
+  kFloat64,
+  kString,
+};
+
+const char* DataTypeName(DataType type);
+
+// One column definition: a name plus a type.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+
+  bool operator==(const ColumnDef& other) const = default;
+};
+
+// An ordered list of column definitions. Column lookup is by
+// case-insensitive name, mirroring SQL identifier resolution.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  // Index of `name` (case-insensitive), or NotFound.
+  Result<size_t> FindColumn(const std::string& name) const;
+  bool HasColumn(const std::string& name) const;
+
+  void AddColumn(ColumnDef def) { columns_.push_back(std::move(def)); }
+
+  // Renames column `i` (no data movement).
+  void RenameColumn(size_t i, std::string name) {
+    columns_[i].name = std::move(name);
+  }
+
+  // "name1 TYPE, name2 TYPE, ..." — used in error text and plan rendering.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_DATA_TYPE_H_

@@ -1,0 +1,25 @@
+#include "engine/index.h"
+
+namespace pctagg {
+
+Result<HashIndex> HashIndex::Build(const Table& table,
+                                   const std::vector<std::string>& columns) {
+  HashIndex index;
+  std::vector<size_t> col_idx;
+  col_idx.reserve(columns.size());
+  for (const std::string& name : columns) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx, table.schema().FindColumn(name));
+    col_idx.push_back(idx);
+    index.columns_.push_back(table.schema().column(idx).name);
+  }
+  index.map_.reserve(table.num_rows());
+  std::string key;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    key.clear();
+    table.AppendKeyBytes(row, col_idx, &key);
+    index.map_[key].push_back(row);
+  }
+  return index;
+}
+
+}  // namespace pctagg

@@ -1,0 +1,45 @@
+#ifndef PCTAGG_ENGINE_INDEX_H_
+#define PCTAGG_ENGINE_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace pctagg {
+
+// A hash index over a column subset of one table. The paper's Vpct study
+// recommends building *matching* indexes on the common subkey D1..Dj of Fk
+// and Fj so the division join probes cheaply; this class is what that knob
+// turns on. Index maintenance cost is paid at Build() time, exactly like the
+// paper's "index maintenance can slow down Fj and Fk computation".
+class HashIndex {
+ public:
+  HashIndex() = default;
+
+  // Builds the index on `columns` of `table`. The table must outlive lookups
+  // performed through row indices (the index stores positions, not values).
+  static Result<HashIndex> Build(const Table& table,
+                                 const std::vector<std::string>& columns);
+
+  // The indexed column names, normalized to the table's schema spelling.
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  // Row positions whose key bytes equal `key`; empty vector if absent.
+  const std::vector<size_t>* Lookup(const std::string& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t num_keys() const { return map_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::unordered_map<std::string, std::vector<size_t>> map_;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_INDEX_H_

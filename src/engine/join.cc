@@ -1,0 +1,193 @@
+#include "engine/join.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+namespace {
+
+// True if any key column is NULL at `row` (such rows never join).
+bool HasNullKey(const Table& t, const std::vector<size_t>& keys, size_t row) {
+  for (size_t k : keys) {
+    if (t.column(k).IsNull(row)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// True when `index` is keyed on exactly `key_names` in order — only then can
+// a join or update probe it instead of building its own hash table. This is
+// how the "mismatched index" strategy degrades gracefully instead of
+// producing wrong results.
+bool IndexMatchesKeys(const HashIndex& index,
+                      const std::vector<std::string>& key_names) {
+  if (index.columns().size() != key_names.size()) return false;
+  for (size_t i = 0; i < key_names.size(); ++i) {
+    if (!EqualsIgnoreCase(index.columns()[i], key_names[i])) return false;
+  }
+  return true;
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<std::string>& left_keys,
+                       const std::vector<std::string>& right_keys,
+                       JoinKind kind, const std::vector<JoinOutput>& outputs,
+                       const HashIndex* right_index, bool null_safe) {
+  if (left_keys.empty() || left_keys.size() != right_keys.size()) {
+    return Status::InvalidArgument("join key lists must match and be nonempty");
+  }
+  std::vector<size_t> lkeys;
+  std::vector<size_t> rkeys;
+  for (const std::string& name : left_keys) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx, left.schema().FindColumn(name));
+    lkeys.push_back(idx);
+  }
+  for (const std::string& name : right_keys) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx, right.schema().FindColumn(name));
+    rkeys.push_back(idx);
+  }
+
+  // Resolve outputs.
+  struct ResolvedOutput {
+    bool from_left;
+    size_t column;
+  };
+  Schema out_schema;
+  std::vector<ResolvedOutput> out_cols;
+  out_cols.reserve(outputs.size());
+  for (const JoinOutput& o : outputs) {
+    const Table& src = o.side == JoinOutput::Side::kLeft ? left : right;
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx, src.schema().FindColumn(o.column));
+    out_cols.push_back({o.side == JoinOutput::Side::kLeft, idx});
+    out_schema.AddColumn(
+        {o.output_name.empty() ? src.schema().column(idx).name : o.output_name,
+         src.schema().column(idx).type});
+  }
+  Table out(out_schema);
+
+  // Build side: a fresh hash table unless the caller supplies a matching
+  // index (the paper's matching-subkey-index optimization skips this pass).
+  std::unordered_map<std::string, std::vector<size_t>> built;
+  const bool use_index =
+      right_index != nullptr && IndexMatchesKeys(*right_index, right_keys);
+  if (!use_index) {
+    built.reserve(right.num_rows());
+    std::string key;
+    for (size_t row = 0; row < right.num_rows(); ++row) {
+      if (!null_safe && HasNullKey(right, rkeys, row)) continue;
+      key.clear();
+      right.AppendKeyBytes(row, rkeys, &key);
+      built[key].push_back(row);
+    }
+  }
+
+  // Probe side.
+  std::string key;
+  auto emit = [&](size_t lrow, const size_t* rrow) {
+    for (size_t c = 0; c < out_cols.size(); ++c) {
+      const ResolvedOutput& oc = out_cols[c];
+      if (oc.from_left) {
+        out.mutable_column(c).AppendFrom(left.column(oc.column), lrow);
+      } else if (rrow != nullptr) {
+        out.mutable_column(c).AppendFrom(right.column(oc.column), *rrow);
+      } else {
+        out.mutable_column(c).AppendNull();
+      }
+    }
+  };
+
+  for (size_t lrow = 0; lrow < left.num_rows(); ++lrow) {
+    const std::vector<size_t>* matches = nullptr;
+    if (null_safe || !HasNullKey(left, lkeys, lrow)) {
+      key.clear();
+      left.AppendKeyBytes(lrow, lkeys, &key);
+      if (use_index) {
+        matches = right_index->Lookup(key);
+      } else {
+        auto it = built.find(key);
+        if (it != built.end()) matches = &it->second;
+      }
+    }
+    if (matches == nullptr || matches->empty()) {
+      if (kind == JoinKind::kLeftOuter) emit(lrow, nullptr);
+      continue;
+    }
+    for (size_t rrow : *matches) {
+      emit(lrow, &rrow);
+    }
+  }
+  return out;
+}
+
+}  // namespace pctagg
+
+namespace pctagg {
+
+Result<Column> LookupColumn(const Table& left, const Table& right,
+                            const std::vector<std::string>& left_keys,
+                            const std::vector<std::string>& right_keys,
+                            const std::string& value,
+                            const HashIndex* right_index) {
+  if (left_keys.empty() || left_keys.size() != right_keys.size()) {
+    return Status::InvalidArgument("lookup key lists must match and be nonempty");
+  }
+  std::vector<size_t> lkeys;
+  std::vector<size_t> rkeys;
+  for (const std::string& name : left_keys) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx, left.schema().FindColumn(name));
+    lkeys.push_back(idx);
+  }
+  for (const std::string& name : right_keys) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx, right.schema().FindColumn(name));
+    rkeys.push_back(idx);
+  }
+  PCTAGG_ASSIGN_OR_RETURN(size_t vcol, right.schema().FindColumn(value));
+
+  const bool use_index =
+      right_index != nullptr && IndexMatchesKeys(*right_index, right_keys);
+  std::unordered_map<std::string, size_t> built;
+  if (!use_index) {
+    built.reserve(right.num_rows());
+    std::string key;
+    for (size_t row = 0; row < right.num_rows(); ++row) {
+      key.clear();
+      right.AppendKeyBytes(row, rkeys, &key);
+      built.emplace(key, row);  // unique keys: keep the first
+    }
+  }
+
+  const Column& values = right.column(vcol);
+  Column out(values.type());
+  out.Reserve(left.num_rows());
+  std::string key;
+  for (size_t row = 0; row < left.num_rows(); ++row) {
+    key.clear();
+    left.AppendKeyBytes(row, lkeys, &key);
+    const size_t* match = nullptr;
+    size_t storage = 0;
+    if (use_index) {
+      const std::vector<size_t>* rows = right_index->Lookup(key);
+      if (rows != nullptr && !rows->empty()) {
+        storage = (*rows)[0];
+        match = &storage;
+      }
+    } else {
+      auto it = built.find(key);
+      if (it != built.end()) {
+        storage = it->second;
+        match = &storage;
+      }
+    }
+    if (match == nullptr) {
+      out.AppendNull();
+    } else {
+      out.AppendFrom(values, *match);
+    }
+  }
+  return out;
+}
+
+}  // namespace pctagg

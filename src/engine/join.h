@@ -1,0 +1,69 @@
+#ifndef PCTAGG_ENGINE_JOIN_H_
+#define PCTAGG_ENGINE_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/expression.h"
+#include "engine/index.h"
+#include "engine/table.h"
+
+namespace pctagg {
+
+enum class JoinKind {
+  kInner,
+  kLeftOuter,  // unmatched left rows keep NULLs in right-side outputs
+};
+
+// One output column of a join: taken from the left or right input, optionally
+// renamed. Percentage plans use this to emit Fk.D1..Dk plus the two sums that
+// feed the division.
+struct JoinOutput {
+  enum class Side { kLeft, kRight };
+  Side side;
+  std::string column;       // name in the source table
+  std::string output_name;  // name in the result (defaults to `column`)
+
+  static JoinOutput Left(std::string column, std::string output_name = "") {
+    return {Side::kLeft, std::move(column), std::move(output_name)};
+  }
+  static JoinOutput Right(std::string column, std::string output_name = "") {
+    return {Side::kRight, std::move(column), std::move(output_name)};
+  }
+};
+
+// Equi-join of `left` and `right` on pairwise-equal key columns. Builds a
+// hash table on the right side, or probes `right_index` when the caller
+// already maintains a matching index (the paper's "same index on Fk and Fj"
+// optimization). By SQL equality, rows whose key contains NULL never match;
+// `null_safe` switches to IS-NOT-DISTINCT-FROM matching (NULL == NULL),
+// which the generated plans use when joining on GROUP BY outputs — a NULL
+// dimension value forms its own group and must keep its totals. Key lists
+// must be the same nonzero length.
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<std::string>& left_keys,
+                       const std::vector<std::string>& right_keys,
+                       JoinKind kind, const std::vector<JoinOutput>& outputs,
+                       const HashIndex* right_index = nullptr,
+                       bool null_safe = false);
+
+// True when `index` is keyed on exactly `key_names` (in order,
+// case-insensitive) and may therefore stand in for a join hash table.
+bool IndexMatchesKeys(const HashIndex& index,
+                      const std::vector<std::string>& key_names);
+
+// Specialized probe for the percentage division join, where `right` (Fj) is
+// keyed uniquely by `right_keys`: returns one column with right.`value` for
+// each left row (NULL when unmatched), without materializing joined rows.
+// This is how the bulk INSERT..SELECT Fk JOIN Fj statement executes in one
+// vectorized pass — the reason INSERT beats the row-at-a-time UPDATE.
+Result<Column> LookupColumn(const Table& left, const Table& right,
+                            const std::vector<std::string>& left_keys,
+                            const std::vector<std::string>& right_keys,
+                            const std::string& value,
+                            const HashIndex* right_index = nullptr);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_JOIN_H_

@@ -1,0 +1,233 @@
+#include "engine/pivot.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "engine/table_ops.h"
+
+namespace pctagg {
+
+std::string PivotColumnName(const Table& combos, size_t row) {
+  std::vector<std::string> parts;
+  parts.reserve(combos.num_columns());
+  for (size_t c = 0; c < combos.num_columns(); ++c) {
+    const Column& col = combos.column(c);
+    std::string v;
+    if (col.IsNull(row)) {
+      v = "NULL";
+    } else if (col.type() == DataType::kString) {
+      v = col.StringAt(row);
+    } else {
+      v = col.GetValue(row).ToString();
+    }
+    parts.push_back(combos.schema().column(c).name + "=" + v);
+  }
+  return Join(parts, ",");
+}
+
+Result<Table> HashDispatchPivot(const Table& input,
+                                const std::vector<std::string>& group_by,
+                                const std::vector<std::string>& pivot_by,
+                                const ExprPtr& value_expr,
+                                const PivotOptions& options) {
+  if (pivot_by.empty()) {
+    return Status::InvalidArgument("pivot requires at least one BY column");
+  }
+  std::vector<size_t> group_idx;
+  for (const std::string& name : group_by) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx, input.schema().FindColumn(name));
+    group_idx.push_back(idx);
+  }
+  std::vector<size_t> pivot_idx;
+  for (const std::string& name : pivot_by) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx, input.schema().FindColumn(name));
+    pivot_idx.push_back(idx);
+  }
+  if (value_expr == nullptr && options.func != AggFunc::kCountStar) {
+    return Status::InvalidArgument("pivot aggregate requires a value expression");
+  }
+
+  Column vals(DataType::kFloat64);
+  DataType val_type = DataType::kFloat64;
+  if (options.func != AggFunc::kCountStar) {
+    PCTAGG_ASSIGN_OR_RETURN(val_type, value_expr->ResultType(input.schema()));
+    if (val_type == DataType::kString) {
+      return Status::TypeMismatch("pivot aggregates require a numeric measure");
+    }
+    PCTAGG_ASSIGN_OR_RETURN(vals, value_expr->Evaluate(input));
+  }
+
+  struct CellState {
+    double sum = 0.0;
+    int64_t isum = 0;
+    int64_t count = 0;
+    int64_t rows = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    bool saw_value = false;
+  };
+
+  // Two hash maps: group key -> dense group id; pivot key -> dense column id.
+  // Each row is charged exactly one probe per map — the O(1) dispatch.
+  std::unordered_map<std::string, size_t> group_of;
+  std::unordered_map<std::string, size_t> combo_of;
+  std::vector<size_t> group_rep_row;
+  std::vector<size_t> combo_rep_row;
+  // cells[g] grows lazily to the current number of combos.
+  std::vector<std::vector<CellState>> cells;
+  std::vector<CellState> group_total;  // for percent_of_group_total
+
+  const size_t n = input.num_rows();
+  std::string key;
+  for (size_t row = 0; row < n; ++row) {
+    key.clear();
+    input.AppendKeyBytes(row, group_idx, &key);
+    auto [git, ginserted] = group_of.emplace(key, cells.size());
+    if (ginserted) {
+      group_rep_row.push_back(row);
+      cells.emplace_back();
+      group_total.emplace_back();
+    }
+    size_t g = git->second;
+
+    key.clear();
+    input.AppendKeyBytes(row, pivot_idx, &key);
+    auto [cit, cinserted] = combo_of.emplace(key, combo_rep_row.size());
+    if (cinserted) combo_rep_row.push_back(row);
+    size_t c = cit->second;
+
+    if (cells[g].size() <= c) cells[g].resize(c + 1);
+    CellState& st = cells[g][c];
+    CellState& tot = group_total[g];
+    st.rows++;
+    tot.rows++;
+    if (options.func == AggFunc::kCountStar) continue;
+    if (vals.IsNull(row)) continue;
+    double v = vals.NumericAt(row);
+    st.count++;
+    tot.count++;
+    st.saw_value = true;
+    tot.saw_value = true;
+    st.sum += v;
+    tot.sum += v;
+    if (val_type == DataType::kInt64) {
+      st.isum += vals.Int64At(row);
+      tot.isum += vals.Int64At(row);
+    }
+    if (v < st.min) st.min = v;
+    if (v > st.max) st.max = v;
+  }
+
+  const size_t num_groups = cells.size();
+  const size_t num_combos = combo_rep_row.size();
+
+  // Result-column names come from the distinct pivot combinations in
+  // first-seen order; build a small table of them to share naming with the
+  // CASE strategies.
+  Schema combo_schema;
+  for (size_t pi : pivot_idx) combo_schema.AddColumn(input.schema().column(pi));
+  Table combos(combo_schema);
+  for (size_t c = 0; c < num_combos; ++c) {
+    size_t row = combo_rep_row[c];
+    for (size_t k = 0; k < pivot_idx.size(); ++k) {
+      combos.mutable_column(k).AppendFrom(input.column(pivot_idx[k]), row);
+    }
+  }
+
+  DataType cell_type = DataType::kFloat64;
+  if (options.percent_of_group_total) {
+    cell_type = DataType::kFloat64;
+  } else if (options.func == AggFunc::kCount ||
+             options.func == AggFunc::kCountStar) {
+    cell_type = DataType::kInt64;
+  } else if (options.func != AggFunc::kAvg && val_type == DataType::kInt64) {
+    cell_type = DataType::kInt64;
+  }
+
+  // Emit cell columns in sorted combination order so results render (and
+  // compare) deterministically regardless of row arrival order.
+  std::vector<std::string> combo_cols;
+  for (size_t c = 0; c < combos.num_columns(); ++c) {
+    combo_cols.push_back(combos.schema().column(c).name);
+  }
+  PCTAGG_ASSIGN_OR_RETURN(std::vector<size_t> combo_order,
+                          SortPermutation(combos, combo_cols));
+
+  Schema out_schema;
+  for (size_t gi : group_idx) out_schema.AddColumn(input.schema().column(gi));
+  for (size_t c = 0; c < num_combos; ++c) {
+    out_schema.AddColumn({PivotColumnName(combos, combo_order[c]), cell_type});
+  }
+  Table out(out_schema);
+  out.Reserve(num_groups);
+
+  auto cell_value = [&](const CellState& st) -> Value {
+    switch (options.func) {
+      case AggFunc::kCountStar:
+        return Value::Int64(st.rows);
+      case AggFunc::kCount:
+        return Value::Int64(st.count);
+      case AggFunc::kSum:
+        if (!st.saw_value) return Value::Null();
+        return cell_type == DataType::kInt64 ? Value::Int64(st.isum)
+                                             : Value::Float64(st.sum);
+      case AggFunc::kAvg:
+        return st.saw_value
+                   ? Value::Float64(st.sum / static_cast<double>(st.count))
+                   : Value::Null();
+      case AggFunc::kMin:
+        if (!st.saw_value) return Value::Null();
+        return cell_type == DataType::kInt64
+                   ? Value::Int64(static_cast<int64_t>(st.min))
+                   : Value::Float64(st.min);
+      case AggFunc::kMax:
+        if (!st.saw_value) return Value::Null();
+        return cell_type == DataType::kInt64
+                   ? Value::Int64(static_cast<int64_t>(st.max))
+                   : Value::Float64(st.max);
+    }
+    return Value::Null();
+  };
+
+  for (size_t g = 0; g < num_groups; ++g) {
+    std::vector<Value> row;
+    row.reserve(group_idx.size() + num_combos);
+    for (size_t gi : group_idx) {
+      row.push_back(input.column(gi).GetValue(group_rep_row[g]));
+    }
+    double total = group_total[g].sum;
+    bool total_ok = group_total[g].saw_value && total != 0.0;
+    for (size_t j = 0; j < num_combos; ++j) {
+      size_t c = combo_order[j];
+      CellState st = c < cells[g].size() ? cells[g][c] : CellState{};
+      bool cell_present = st.rows > 0;
+      Value v;
+      if (options.percent_of_group_total) {
+        // Matches the generated SQL sum(CASE .. THEN A ELSE 0 END)/sum(A):
+        // a combination with no rows (or only NULL measures) contributes 0%
+        // (the paper's store-4-Monday example); a zero/NULL group total makes
+        // every percentage NULL.
+        if (!total_ok) {
+          v = Value::Null();
+        } else {
+          v = Value::Float64(cell_present && st.saw_value ? st.sum / total
+                                                          : 0.0);
+        }
+      } else {
+        // A combination with no rows at all is NULL — even for counts — to
+        // stay consistent with the SPJ strategy's outer joins (DMKD §3.4).
+        v = cell_present ? cell_value(st) : Value::Null();
+        if (v.is_null() && options.default_zero) {
+          v = cell_type == DataType::kInt64 ? Value::Int64(0)
+                                            : Value::Float64(0.0);
+        }
+      }
+      row.push_back(v);
+    }
+    PCTAGG_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace pctagg

@@ -1,0 +1,49 @@
+#ifndef PCTAGG_ENGINE_PIVOT_H_
+#define PCTAGG_ENGINE_PIVOT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/aggregate.h"
+#include "engine/table.h"
+
+namespace pctagg {
+
+// The transposition primitive the paper says SQL lacks ("the SQL language
+// would need to provide a primitive to transpose and aggregate at the same
+// time"), implemented with the hash-based dispatch it proposes: instead of
+// evaluating N disjoint CASE conjunctions per row (O(N) comparisons), each
+// input row hashes its subgrouping key straight to its unique result column
+// in O(1).
+//
+// Output: one row per distinct `group_by` combination (first-seen order),
+// with one aggregate column per distinct `pivot_by` combination found in
+// `input` (first-seen order, named "name=value[,name=value...]"), holding
+// func(value_expr) over the matching rows. Cells with no qualifying rows are
+// NULL (the semantically correct default per the paper); `default_zero`
+// switches them to 0 for the DEFAULT 0 binary-coding idiom.
+struct PivotOptions {
+  AggFunc func = AggFunc::kSum;
+  bool default_zero = false;
+  // When true, each cell is divided by the group total of `value_expr`
+  // (NULL on zero/NULL total): the direct Hpct() computation.
+  bool percent_of_group_total = false;
+};
+
+Result<Table> HashDispatchPivot(const Table& input,
+                                const std::vector<std::string>& group_by,
+                                const std::vector<std::string>& pivot_by,
+                                const ExprPtr& value_expr,
+                                const PivotOptions& options);
+
+// Builds the result-column name for one pivot-key combination, e.g.
+// "dweek=2" or "dh=1,dk=5". `combos` is a table whose columns are the pivot
+// columns and whose rows are distinct combinations. Exposed so planners
+// generating CASE columns use identical names and result tables compare
+// equal across strategies.
+std::string PivotColumnName(const Table& combos, size_t row);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_PIVOT_H_

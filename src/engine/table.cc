@@ -1,0 +1,128 @@
+#include "engine/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pctagg {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.emplace_back(schema_.column(i).type);
+  }
+}
+
+Table::Table(Schema schema, std::vector<Column> columns)
+    : schema_(std::move(schema)), columns_(std::move(columns)) {
+  assert(schema_.num_columns() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    assert(columns_[i].type() == schema_.column(i).type);
+    assert(columns_[i].size() == columns_[0].size());
+  }
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  PCTAGG_ASSIGN_OR_RETURN(size_t idx, schema_.FindColumn(name));
+  return &columns_[idx];
+}
+
+void Table::Reserve(size_t n) {
+  for (Column& c : columns_) c.Reserve(n);
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch: expected " +
+                                   std::to_string(columns_.size()) + ", got " +
+                                   std::to_string(values.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    PCTAGG_RETURN_IF_ERROR(columns_[i].AppendValue(values[i]));
+  }
+  return Status::OK();
+}
+
+void Table::AppendRowFrom(const Table& src, size_t row) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendFrom(src.column(i), row);
+  }
+}
+
+std::vector<Value> Table::GetRow(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.GetValue(row));
+  return out;
+}
+
+void Table::AppendKeyBytes(size_t row, const std::vector<size_t>& column_indices,
+                           std::string* out) const {
+  for (size_t ci : column_indices) {
+    columns_[ci].AppendKeyBytes(row, out);
+  }
+}
+
+Status Table::ReplaceColumn(size_t i, Column column) {
+  if (i >= columns_.size()) {
+    return Status::InvalidArgument("ReplaceColumn index out of range");
+  }
+  if (column.size() != num_rows()) {
+    return Status::InvalidArgument("ReplaceColumn length mismatch");
+  }
+  columns_[i] = std::move(column);
+  return Status::OK();
+}
+
+Status Table::AddColumn(ColumnDef def, Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument("AddColumn length mismatch");
+  }
+  if (def.type != column.type()) {
+    return Status::TypeMismatch("AddColumn type mismatch for " + def.name);
+  }
+  schema_.AddColumn(std::move(def));
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  size_t rows = std::min(max_rows, num_rows());
+  // Compute widths.
+  std::vector<size_t> widths(num_columns());
+  std::vector<std::vector<std::string>> cells(rows);
+  for (size_t c = 0; c < num_columns(); ++c) {
+    widths[c] = schema_.column(c).name.size();
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    cells[r].resize(num_columns());
+    for (size_t c = 0; c < num_columns(); ++c) {
+      cells[r][c] = columns_[c].GetValue(r).ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  for (size_t c = 0; c < num_columns(); ++c) {
+    if (c > 0) out += " | ";
+    const std::string& name = schema_.column(c).name;
+    out += name + std::string(widths[c] - name.size(), ' ');
+  }
+  out += "\n";
+  for (size_t c = 0; c < num_columns(); ++c) {
+    if (c > 0) out += "-+-";
+    out += std::string(widths[c], '-');
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < num_columns(); ++c) {
+      if (c > 0) out += " | ";
+      out += cells[r][c] + std::string(widths[c] - cells[r][c].size(), ' ');
+    }
+    out += "\n";
+  }
+  if (rows < num_rows()) {
+    out += "... (" + std::to_string(num_rows() - rows) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace pctagg

@@ -1,0 +1,81 @@
+#ifndef PCTAGG_ENGINE_TABLE_H_
+#define PCTAGG_ENGINE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/column.h"
+#include "engine/data_type.h"
+#include "engine/value.h"
+
+namespace pctagg {
+
+// An in-memory columnar table: a Schema plus one Column per definition, all
+// the same length. Tables are the input and output of every physical
+// operator; temporary tables (the paper's Fk, Fj, FV, FH, F0..FN) are plain
+// Tables registered in a Catalog.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  // Adopts prebuilt columns; types must match the schema and all columns
+  // must have equal length. Terminates on violation (programming error).
+  Table(Schema schema, std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return schema_.num_columns(); }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& mutable_column(size_t i) { return columns_[i]; }
+
+  // Column by (case-insensitive) name.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  void Reserve(size_t n);
+
+  // Appends one row; `values` must match the schema arity and types.
+  Status AppendRow(const std::vector<Value>& values);
+
+  // Appends row `row` of `src` (same schema shape).
+  void AppendRowFrom(const Table& src, size_t row);
+
+  // One row as scalar values.
+  std::vector<Value> GetRow(size_t row) const;
+
+  // Appends the concatenated key bytes of `column_indices` at `row` to `out`.
+  void AppendKeyBytes(size_t row, const std::vector<size_t>& column_indices,
+                      std::string* out) const;
+
+  // Replaces the column at `i`; the new column must have num_rows() entries.
+  Status ReplaceColumn(size_t i, Column column);
+
+  // Renames column `i` in place (metadata only; the UPDATE result path uses
+  // this to expose internal sum columns under their SELECT-list names).
+  Status RenameColumn(size_t i, std::string name) {
+    if (i >= schema_.num_columns()) {
+      return Status::InvalidArgument("RenameColumn index out of range");
+    }
+    schema_.RenameColumn(i, std::move(name));
+    return Status::OK();
+  }
+
+  // Appends a new column (schema grows); must have num_rows() entries unless
+  // the table is empty.
+  Status AddColumn(ColumnDef def, Column column);
+
+  // Pretty-prints up to `max_rows` rows as an aligned text table; used by the
+  // examples to render the paper's result tables.
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_TABLE_H_

@@ -1,0 +1,34 @@
+#ifndef PCTAGG_ENGINE_UPDATE_H_
+#define PCTAGG_ENGINE_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/index.h"
+#include "engine/table.h"
+
+namespace pctagg {
+
+// Implements the paper's second Vpct strategy:
+//
+//   UPDATE Fk SET A = CASE WHEN Fj.A <> 0 THEN Fk.A / Fj.A ELSE NULL END
+//   WHERE Fk.D1 = Fj.D1 AND ... AND Fk.Dj = Fj.Dj;   /* FV = Fk */
+//
+// `target` (Fk) is modified in place: its `target_value` column is divided by
+// the `source_value` of the `source` (Fj) row with equal join keys. A zero or
+// NULL divisor — or a missing source row — stores NULL. Like a row-store
+// UPDATE, this runs row-at-a-time (read, probe, modify, write back), which is
+// exactly why the paper found UPDATE up to an order of magnitude slower than
+// INSERT when |FV| ~ |F|. Passing a prebuilt `source_index` models the
+// matching-subkey-index optimization.
+Status KeyedDivideUpdate(Table* target,
+                         const std::vector<std::string>& target_keys,
+                         const std::string& target_value, const Table& source,
+                         const std::vector<std::string>& source_keys,
+                         const std::string& source_value,
+                         const HashIndex* source_index = nullptr);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_UPDATE_H_

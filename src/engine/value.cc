@@ -1,0 +1,36 @@
+#include "engine/value.h"
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+bool Value::Matches(DataType type) const {
+  switch (type) {
+    case DataType::kInt64:
+      return is_int64();
+    case DataType::kFloat64:
+      return is_float64();
+    case DataType::kString:
+      return is_string();
+  }
+  return false;
+}
+
+bool Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (data_.index() == other.data_.index()) return data_ == other.data_;
+  // Numeric cross-type comparison.
+  if ((is_int64() || is_float64()) && (other.is_int64() || other.is_float64())) {
+    return AsDouble() == other.AsDouble();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_float64()) return StrFormat("%g", float64());
+  return "'" + string() + "'";
+}
+
+}  // namespace pctagg

@@ -1,0 +1,60 @@
+#ifndef PCTAGG_ENGINE_VALUE_H_
+#define PCTAGG_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "engine/data_type.h"
+
+namespace pctagg {
+
+// A single scalar value, possibly NULL. Values are the row-at-a-time
+// interchange format (row append, literals, group keys in error messages);
+// bulk computation happens on Columns.
+class Value {
+ public:
+  // NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Data(v)); }
+  static Value Float64(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_float64() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double float64() const { return std::get<double>(data_); }
+  const std::string& string() const { return std::get<std::string>(data_); }
+
+  // Numeric value widened to double; only valid for INT64/FLOAT64 values.
+  double AsDouble() const {
+    return is_int64() ? static_cast<double>(int64()) : float64();
+  }
+
+  // True when the value is non-null and its type matches `type`.
+  bool Matches(DataType type) const;
+
+  // SQL-style equality on same-typed values; NULL equals nothing.
+  bool SqlEquals(const Value& other) const;
+
+  // Rendering used by examples, tests and plan output ("NULL", 12, 3.5, 'x').
+  std::string ToString() const;
+
+  // Deep equality including NULL == NULL (container semantics, not SQL).
+  bool operator==(const Value& other) const = default;
+
+ private:
+  using Data = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_VALUE_H_

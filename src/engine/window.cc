@@ -1,0 +1,133 @@
+#include "engine/window.h"
+
+#include <limits>
+#include <unordered_map>
+
+namespace pctagg {
+
+Result<Column> WindowAggregate(const Table& input,
+                               const std::vector<std::string>& partition_by,
+                               AggFunc func, const ExprPtr& arg) {
+  std::vector<size_t> part_idx;
+  for (const std::string& name : partition_by) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx, input.schema().FindColumn(name));
+    part_idx.push_back(idx);
+  }
+  if (func != AggFunc::kCountStar && arg == nullptr) {
+    return Status::InvalidArgument("window aggregate requires an argument");
+  }
+
+  Column in(DataType::kFloat64);
+  DataType in_type = DataType::kFloat64;
+  if (func != AggFunc::kCountStar) {
+    PCTAGG_ASSIGN_OR_RETURN(in_type, arg->ResultType(input.schema()));
+    if (in_type == DataType::kString && func != AggFunc::kCount) {
+      return Status::TypeMismatch(
+          "window aggregates over string columns support only count()");
+    }
+    PCTAGG_ASSIGN_OR_RETURN(in, arg->Evaluate(input));
+  }
+
+  struct PartState {
+    double sum = 0.0;
+    int64_t isum = 0;
+    int64_t count = 0;
+    int64_t rows = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    bool saw_value = false;
+  };
+
+  // Pass 1: accumulate per-partition state keyed by the partition columns.
+  const size_t n = input.num_rows();
+  std::unordered_map<std::string, PartState> parts;
+  std::vector<const PartState*> row_part(n, nullptr);
+  // Store keys to re-probe cheaply in pass 2 without re-encoding: keep the
+  // map stable by reserving, then look up pointers after all inserts.
+  std::vector<std::string> keys(n);
+  std::string key;
+  for (size_t row = 0; row < n; ++row) {
+    key.clear();
+    input.AppendKeyBytes(row, part_idx, &key);
+    keys[row] = key;
+    PartState& st = parts[key];
+    st.rows++;
+    if (func == AggFunc::kCountStar) continue;
+    if (in.IsNull(row)) continue;
+    st.count++;
+    st.saw_value = true;
+    if (in.type() != DataType::kString) {
+      double v = in.NumericAt(row);
+      st.sum += v;
+      if (in.type() == DataType::kInt64) st.isum += in.Int64At(row);
+      if (v < st.min) st.min = v;
+      if (v > st.max) st.max = v;
+    }
+  }
+  for (size_t row = 0; row < n; ++row) {
+    row_part[row] = &parts[keys[row]];
+  }
+
+  // Output type mirrors HashAggregate.
+  DataType out_type = DataType::kFloat64;
+  if (func == AggFunc::kCount || func == AggFunc::kCountStar) {
+    out_type = DataType::kInt64;
+  } else if (func == AggFunc::kSum && in_type == DataType::kInt64) {
+    out_type = DataType::kInt64;
+  } else if ((func == AggFunc::kMin || func == AggFunc::kMax) &&
+             in_type == DataType::kInt64) {
+    out_type = DataType::kInt64;
+  }
+
+  // Pass 2: emit one value per input row.
+  Column out(out_type);
+  out.Reserve(n);
+  for (size_t row = 0; row < n; ++row) {
+    const PartState& st = *row_part[row];
+    switch (func) {
+      case AggFunc::kCountStar:
+        out.AppendInt64(st.rows);
+        break;
+      case AggFunc::kCount:
+        out.AppendInt64(st.count);
+        break;
+      case AggFunc::kSum:
+        if (!st.saw_value) {
+          out.AppendNull();
+        } else if (out_type == DataType::kInt64) {
+          out.AppendInt64(st.isum);
+        } else {
+          out.AppendFloat64(st.sum);
+        }
+        break;
+      case AggFunc::kAvg:
+        if (!st.saw_value) {
+          out.AppendNull();
+        } else {
+          out.AppendFloat64(st.sum / static_cast<double>(st.count));
+        }
+        break;
+      case AggFunc::kMin:
+        if (!st.saw_value) {
+          out.AppendNull();
+        } else if (out_type == DataType::kInt64) {
+          out.AppendInt64(static_cast<int64_t>(st.min));
+        } else {
+          out.AppendFloat64(st.min);
+        }
+        break;
+      case AggFunc::kMax:
+        if (!st.saw_value) {
+          out.AppendNull();
+        } else if (out_type == DataType::kInt64) {
+          out.AppendInt64(static_cast<int64_t>(st.max));
+        } else {
+          out.AppendFloat64(st.max);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pctagg

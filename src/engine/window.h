@@ -1,0 +1,28 @@
+#ifndef PCTAGG_ENGINE_WINDOW_H_
+#define PCTAGG_ENGINE_WINDOW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/aggregate.h"
+#include "engine/table.h"
+
+namespace pctagg {
+
+// ANSI SQL/OLAP window aggregate: func(input) OVER (PARTITION BY partition).
+// Returns a column with one entry per *input row* (not per group) — this is
+// the baseline the paper compares against. Carrying the aggregate on every
+// one of the n fact rows (and needing a DISTINCT afterwards to shrink the
+// result) is precisely where the OLAP-extension approach loses its order of
+// magnitude. An empty partition list aggregates over all rows.
+//
+// NULL handling matches the vertical aggregate: NULL inputs are skipped; an
+// all-NULL partition yields NULL (count: 0).
+Result<Column> WindowAggregate(const Table& input,
+                               const std::vector<std::string>& partition_by,
+                               AggFunc func, const ExprPtr& arg);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_WINDOW_H_

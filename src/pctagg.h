@@ -1,0 +1,50 @@
+// Umbrella header for the pctagg library: SQL percentage aggregations
+// (Vpct/Hpct) and horizontal aggregations with the query-optimization
+// framework of Ordonez, "Vertical and Horizontal Percentage Aggregations"
+// (SIGMOD 2004) and "Horizontal Aggregations for Building Tabular Data Sets"
+// (DMKD 2004).
+//
+// Typical use:
+//
+//   #include "pctagg.h"
+//
+//   pctagg::PctDatabase db;
+//   db.CreateTable("sales", BuildSalesTable());
+//   pctagg::Result<pctagg::Table> result = db.Query(
+//       "SELECT state, city, Vpct(salesAmt BY city) "
+//       "FROM sales GROUP BY state, city");
+
+#ifndef PCTAGG_PCTAGG_H_
+#define PCTAGG_PCTAGG_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/advisor.h"
+#include "core/cost_model.h"
+#include "core/database.h"
+#include "core/horizontal_planner.h"
+#include "core/missing_rows.h"
+#include "core/olap_planner.h"
+#include "core/partition.h"
+#include "core/plan.h"
+#include "core/vpct_planner.h"
+#include "engine/aggregate.h"
+#include "engine/catalog.h"
+#include "engine/column.h"
+#include "engine/csv.h"
+#include "engine/data_type.h"
+#include "engine/expression.h"
+#include "engine/index.h"
+#include "engine/join.h"
+#include "engine/pivot.h"
+#include "engine/table.h"
+#include "engine/table_ops.h"
+#include "engine/update.h"
+#include "engine/value.h"
+#include "engine/window.h"
+#include "sql/analyzer.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+#endif  // PCTAGG_PCTAGG_H_

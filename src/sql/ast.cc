@@ -1,0 +1,72 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+const char* TermFuncName(TermFunc func) {
+  switch (func) {
+    case TermFunc::kScalar:
+      return "";
+    case TermFunc::kSum:
+      return "sum";
+    case TermFunc::kCount:
+    case TermFunc::kCountStar:
+      return "count";
+    case TermFunc::kAvg:
+      return "avg";
+    case TermFunc::kMin:
+      return "min";
+    case TermFunc::kMax:
+      return "max";
+    case TermFunc::kVpct:
+      return "Vpct";
+    case TermFunc::kHpct:
+      return "Hpct";
+  }
+  return "?";
+}
+
+std::string SelectTerm::ToString() const {
+  std::string out;
+  if (func == TermFunc::kScalar) {
+    out = argument != nullptr ? argument->ToString() : "?";
+  } else {
+    out = TermFuncName(func);
+    out += "(";
+    if (distinct) out += "DISTINCT ";
+    out += func == TermFunc::kCountStar ? "*" : argument->ToString();
+    if (has_by) out += " BY " + Join(by_columns, ", ");
+    if (has_default) out += StrFormat(" DEFAULT %g", default_value);
+    out += ")";
+    if (has_over) {
+      out += " OVER (";
+      if (!partition_by.empty()) out += "PARTITION BY " + Join(partition_by, ", ");
+      out += ")";
+    }
+  }
+  if (!alias.empty()) out += " AS " + alias;
+  return out;
+}
+
+std::string SelectStatement::ToString() const {
+  std::vector<std::string> rendered;
+  rendered.reserve(terms.size());
+  for (const SelectTerm& t : terms) rendered.push_back(t.ToString());
+  std::string out = "SELECT " + Join(rendered, ", ") + " FROM " + from_table;
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (has_group_by) out += " GROUP BY " + Join(group_by, ", ");
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    std::vector<std::string> keys;
+    keys.reserve(order_by.size());
+    for (const OrderItem& o : order_by) {
+      keys.push_back(o.column + (o.descending ? " DESC" : ""));
+    }
+    out += " ORDER BY " + Join(keys, ", ");
+  }
+  if (has_limit) out += " LIMIT " + std::to_string(limit);
+  return out + ";";
+}
+
+}  // namespace pctagg

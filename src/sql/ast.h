@@ -1,0 +1,75 @@
+#ifndef PCTAGG_SQL_AST_H_
+#define PCTAGG_SQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/expression.h"
+
+namespace pctagg {
+
+// Which function heads a SELECT term. kScalar means a plain expression
+// (typically a grouping column). Vpct/Hpct are the paper's new aggregates;
+// the standard functions become horizontal aggregations (the DMKD extension)
+// when a BY list is attached, and OLAP window aggregates when OVER is used.
+enum class TermFunc {
+  kScalar,
+  kSum,
+  kCount,
+  kCountStar,
+  kAvg,
+  kMin,
+  kMax,
+  kVpct,
+  kHpct,
+};
+
+const char* TermFuncName(TermFunc func);
+
+// One item of the SELECT list as parsed.
+struct SelectTerm {
+  TermFunc func = TermFunc::kScalar;
+  ExprPtr argument;                      // aggregate argument / scalar expr
+  bool distinct = false;                 // count(DISTINCT ...)
+  std::vector<std::string> by_columns;   // BY D_{j+1},..,D_k inside the call
+  bool has_by = false;
+  bool has_default = false;              // ... DEFAULT 0 (binary coding)
+  double default_value = 0.0;
+  bool has_over = false;                 // OVER (PARTITION BY ...)
+  std::vector<std::string> partition_by;
+  std::string alias;                     // AS name (may be empty)
+
+  // SQL rendering of this term, used in error messages and plan output.
+  std::string ToString() const;
+};
+
+// One ORDER BY entry.
+struct OrderItem {
+  std::string column;
+  bool descending = false;
+
+  bool operator==(const OrderItem& other) const = default;
+};
+
+// SELECT <terms> FROM <table> [WHERE <expr>] [GROUP BY <cols>]
+// [HAVING <expr>] [ORDER BY <cols> [DESC]] [LIMIT <n>] — the query shape
+// the paper's framework accepts.
+struct SelectStatement {
+  std::vector<SelectTerm> terms;
+  std::string from_table;
+  ExprPtr where;  // may be null
+  bool has_group_by = false;
+  // Entries are column names, or 1-based positions as written ("GROUP BY 1,2").
+  std::vector<std::string> group_by;
+  // Evaluated over the result columns (aliases included); may be null.
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  bool has_limit = false;
+  size_t limit = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_SQL_AST_H_

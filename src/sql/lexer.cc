@@ -1,0 +1,117 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+namespace {
+
+bool IsKeywordWord(const std::string& upper) {
+  static const char* kKeywords[] = {
+      "SELECT", "FROM",  "WHERE",    "GROUP",     "BY",     "AS",
+      "AND",    "OR",    "NOT",      "NULL",      "IS",     "CASE",
+      "WHEN",   "THEN",  "ELSE",     "END",       "OVER",   "PARTITION",
+      "ORDER",  "ASC",   "DESC",     "DISTINCT",  "DEFAULT", "HAVING",
+      "LIMIT"};
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsKeywordWord(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, text, start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tokens.push_back(
+            {TokenType::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingle = "(),*+-/=<>.;";
+    if (kSingle.find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(StrFormat("unexpected character '%c' at offset %zu",
+                                        c, start));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace pctagg

@@ -1,0 +1,42 @@
+#ifndef PCTAGG_SQL_LEXER_H_
+#define PCTAGG_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pctagg {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,     // normalized upper-case SQL keyword
+  kInteger,
+  kFloat,
+  kString,      // 'quoted'
+  kSymbol,      // ( ) , * + - / = < > <= >= <>
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  // keywords upper-cased; identifiers as written
+  size_t position;   // byte offset in the input, for error messages
+
+  bool IsKeyword(const std::string& kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const std::string& s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+// Tokenizes `sql`. Keywords are recognized case-insensitively from a fixed
+// list (SELECT, FROM, WHERE, GROUP, BY, ...); everything else alphanumeric is
+// an identifier. The token stream always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_SQL_LEXER_H_

@@ -1,0 +1,30 @@
+#ifndef PCTAGG_SQL_PARSER_H_
+#define PCTAGG_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace pctagg {
+
+// Parses one SELECT statement in the extended SQL dialect:
+//
+//   SELECT state, city, Vpct(salesAmt BY city)
+//   FROM sales GROUP BY state, city;
+//
+//   SELECT store, Hpct(salesAmt BY dweek), sum(salesAmt)
+//   FROM sales GROUP BY store;
+//
+//   SELECT transactionId, max(1 BY deptId DEFAULT 0)
+//   FROM transactionLine GROUP BY transactionId;
+//
+//   SELECT D1, sum(A) OVER (PARTITION BY D1) FROM F;   -- OLAP baseline
+//
+// Scalar expressions support literals, column references, arithmetic,
+// comparisons, AND/OR/NOT, IS [NOT] NULL and CASE WHEN.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_SQL_PARSER_H_

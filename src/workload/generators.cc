@@ -1,0 +1,204 @@
+#include "workload/generators.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pctagg {
+
+namespace {
+
+Schema EmployeeSchema() {
+  return Schema({{"rid", DataType::kInt64},
+                 {"gender", DataType::kInt64},
+                 {"marstatus", DataType::kInt64},
+                 {"educat", DataType::kInt64},
+                 {"age", DataType::kInt64},
+                 {"salary", DataType::kFloat64}});
+}
+
+Schema SalesSchema() {
+  return Schema({{"rid", DataType::kInt64},
+                 {"transactionId", DataType::kInt64},
+                 {"itemId", DataType::kInt64},
+                 {"dweek", DataType::kInt64},
+                 {"monthNo", DataType::kInt64},
+                 {"store", DataType::kInt64},
+                 {"city", DataType::kInt64},
+                 {"state", DataType::kInt64},
+                 {"dept", DataType::kInt64},
+                 {"salesAmt", DataType::kFloat64}});
+}
+
+Schema TransactionLineSchema() {
+  return Schema({{"rid", DataType::kInt64},
+                 {"deptId", DataType::kInt64},
+                 {"subdeptId", DataType::kInt64},
+                 {"itemId", DataType::kInt64},
+                 {"yearNo", DataType::kInt64},
+                 {"monthNo", DataType::kInt64},
+                 {"dayOfWeekNo", DataType::kInt64},
+                 {"regionId", DataType::kInt64},
+                 {"stateId", DataType::kInt64},
+                 {"cityId", DataType::kInt64},
+                 {"storeId", DataType::kInt64},
+                 {"itemQty", DataType::kInt64},
+                 {"costAmt", DataType::kFloat64},
+                 {"salesAmt", DataType::kFloat64}});
+}
+
+Schema CensusSchema() {
+  return Schema({{"rid", DataType::kInt64},
+                 {"iSchool", DataType::kInt64},
+                 {"iClass", DataType::kInt64},
+                 {"iMarital", DataType::kInt64},
+                 {"iSex", DataType::kInt64},
+                 {"dAge", DataType::kInt64},
+                 {"dIncome", DataType::kFloat64}});
+}
+
+}  // namespace
+
+Table GenerateEmployee(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table t(EmployeeSchema());
+  t.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Value> row;
+    row.reserve(6);
+    row.push_back(Value::Int64(static_cast<int64_t>(i + 1)));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(2))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(4))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(5))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(100))));
+    row.push_back(Value::Float64(20000.0 + rng.NextDouble() * 80000.0));
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+Table GenerateSales(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table t(SalesSchema());
+  t.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Value> row;
+    row.reserve(10);
+    row.push_back(Value::Int64(static_cast<int64_t>(i + 1)));
+    row.push_back(Value::Int64(static_cast<int64_t>(i + 1)));  // transactionId
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(1000))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(7) + 1)));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(12) + 1)));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(100))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(20))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(5))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(100))));
+    row.push_back(Value::Float64(1.0 + rng.NextDouble() * 99.0));
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+Table GenerateTransactionLine(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table t(TransactionLineSchema());
+  t.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t qty = static_cast<int64_t>(rng.Uniform(9) + 1);
+    double cost = 0.5 + rng.NextDouble() * 49.5;
+    std::vector<Value> row;
+    row.reserve(14);
+    row.push_back(Value::Int64(static_cast<int64_t>(i + 1)));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(10))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(100))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(1000))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(4) + 2000)));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(12) + 1)));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(7) + 1)));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(4))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(10))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(20))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(30))));
+    row.push_back(Value::Int64(qty));
+    row.push_back(Value::Float64(cost * static_cast<double>(qty)));
+    row.push_back(Value::Float64(cost * 1.4 * static_cast<double>(qty)));
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+Table GenerateCensusLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table t(CensusSchema());
+  t.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Value> row;
+    row.reserve(7);
+    row.push_back(Value::Int64(static_cast<int64_t>(i + 1)));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Zipf(17, 0.8))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Zipf(9, 0.9))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Zipf(5, 0.7))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(2))));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Zipf(91, 0.4))));
+    row.push_back(Value::Float64(5000.0 + rng.NextDouble() * 95000.0));
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+Table PaperExampleSales() {
+  Table t(Schema({{"rid", DataType::kInt64},
+                  {"state", DataType::kString},
+                  {"city", DataType::kString},
+                  {"salesAmt", DataType::kFloat64}}));
+  struct RowSpec {
+    int64_t rid;
+    const char* state;
+    const char* city;
+    double amount;
+  };
+  // Table 1 of the paper, verbatim.
+  const RowSpec rows[] = {
+      {1, "CA", "San Francisco", 13},  {2, "CA", "San Francisco", 3},
+      {3, "CA", "San Francisco", 67},  {4, "CA", "Los Angeles", 23},
+      {5, "TX", "Houston", 5},         {6, "TX", "Houston", 35},
+      {7, "TX", "Houston", 10},        {8, "TX", "Houston", 14},
+      {9, "TX", "Dallas", 53},         {10, "TX", "Dallas", 32},
+  };
+  for (const RowSpec& r : rows) {
+    t.AppendRow({Value::Int64(r.rid), Value::String(r.state),
+                 Value::String(r.city), Value::Float64(r.amount)});
+  }
+  return t;
+}
+
+Table PaperExampleStoreSales() {
+  Table t(Schema({{"rid", DataType::kInt64},
+                  {"store", DataType::kInt64},
+                  {"dweek", DataType::kInt64},
+                  {"salesAmt", DataType::kFloat64}}));
+  // Per-store weekly profiles echoing Table 3: store 4 sells nothing on
+  // Monday (dweek = 1), weekend shares dominate.
+  struct RowSpec {
+    int64_t store;
+    int64_t dweek;
+    double amount;
+  };
+  const RowSpec rows[] = {
+      {2, 1, 175},  {2, 2, 150},  {2, 3, 200},  {2, 4, 225}, {2, 5, 400},
+      {2, 6, 600},  {2, 7, 750},
+      {4, 2, 360},  {4, 3, 360},  {4, 4, 360},  {4, 5, 720}, {4, 6, 800},
+      {4, 7, 1400},
+      {7, 1, 128},  {7, 2, 128},  {7, 3, 64},   {7, 4, 64},  {7, 5, 128},
+      {7, 6, 560},  {7, 7, 528},
+  };
+  int64_t rid = 0;
+  for (const RowSpec& r : rows) {
+    t.AppendRow({Value::Int64(++rid), Value::Int64(r.store),
+                 Value::Int64(r.dweek), Value::Float64(r.amount)});
+  }
+  return t;
+}
+
+}  // namespace pctagg

@@ -1,0 +1,46 @@
+#ifndef PCTAGG_WORKLOAD_GENERATORS_H_
+#define PCTAGG_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "engine/table.h"
+
+namespace pctagg {
+
+// Deterministic synthetic data sets mirroring the paper's experimental
+// tables. Dimension cardinalities match the paper exactly; row counts scale.
+//
+// SIGMOD Section 4: "Each dimension was uniformly distributed."
+
+// employee(RID, gender(2), marstatus(4), educat(5), age(100), salary).
+// Paper size: n = 1,000,000.
+Table GenerateEmployee(size_t n, uint64_t seed = 20040613);
+
+// sales(RID, transactionId(n), itemId(1000), dweek(7), monthNo(12),
+//       store(100), city(20), state(5), dept(100), salesAmt).
+// Paper size: n = 10,000,000.
+Table GenerateSales(size_t n, uint64_t seed = 20040618);
+
+// transactionLine(RID, deptId(10), subdeptId(100), itemId(1000), yearNo(4),
+//                 monthNo(12), dayOfWeekNo(7), regionId(4), stateId(10),
+//                 cityId(20), storeId(30), itemQty, costAmt, salesAmt).
+// DMKD Section 4 sizes: n = 1,000,000 and 2,000,000.
+Table GenerateTransactionLine(size_t n, uint64_t seed = 20040613);
+
+// A census-like table standing in for the UCI US-Census data set the DMKD
+// paper used (n = 200,000): mixed-cardinality categorical columns with
+// skewed (Zipf) value distributions plus a numeric measure.
+// Columns: RID, iSchool(17), iClass(9), iMarital(5), iSex(2), dAge(91),
+//          dIncome.
+Table GenerateCensusLike(size_t n, uint64_t seed = 19940401);
+
+// The 10-row sales table of the paper's Table 1 (states/cities example).
+Table PaperExampleSales();
+
+// A small per-store, per-day-of-week sales table shaped like the data behind
+// the paper's Table 3 (stores 2, 4, 7; store 4 has no Monday rows).
+Table PaperExampleStoreSales();
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_WORKLOAD_GENERATORS_H_

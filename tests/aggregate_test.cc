@@ -1,0 +1,180 @@
+// Unit tests for the hash GROUP BY operator: every aggregate function,
+// NULL-skipping semantics, empty inputs, global groups and expression inputs.
+
+#include "engine/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/table.h"
+
+namespace pctagg {
+namespace {
+
+// d | a
+// 1 | 10
+// 1 | NULL
+// 2 | 4
+// 2 | 6
+// NULL | 5
+Table TestTable() {
+  Table t(Schema({{"d", DataType::kInt64}, {"a", DataType::kFloat64}}));
+  t.AppendRow({Value::Int64(1), Value::Float64(10.0)});
+  t.AppendRow({Value::Int64(1), Value::Null()});
+  t.AppendRow({Value::Int64(2), Value::Float64(4.0)});
+  t.AppendRow({Value::Int64(2), Value::Float64(6.0)});
+  t.AppendRow({Value::Null(), Value::Float64(5.0)});
+  return t;
+}
+
+// Keyed by the first column's int value; NULL maps to the sentinel -999.
+std::map<int64_t, std::vector<Value>> RowsByKey(const Table& t) {
+  std::map<int64_t, std::vector<Value>> out;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    std::vector<Value> row = t.GetRow(i);
+    out[row[0].is_null() ? -999 : row[0].int64()] = row;
+  }
+  return out;
+}
+
+TEST(AggregateTest, SumCountAvgMinMaxPerGroup) {
+  Table t = TestTable();
+  Result<Table> r = HashAggregate(
+      t, {"d"},
+      {{AggFunc::kSum, Col("a"), "s"},
+       {AggFunc::kCount, Col("a"), "c"},
+       {AggFunc::kCountStar, nullptr, "n"},
+       {AggFunc::kAvg, Col("a"), "avg"},
+       {AggFunc::kMin, Col("a"), "lo"},
+       {AggFunc::kMax, Col("a"), "hi"}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Table& out = r.value();
+  EXPECT_EQ(out.num_rows(), 3u);  // groups: 1, 2, NULL
+  auto rows = RowsByKey(out);
+  // Group 1: one NULL input skipped by sum/count/avg, counted by count(*).
+  const std::vector<Value>& g1 = rows.at(1);
+  EXPECT_DOUBLE_EQ(g1[1].float64(), 10.0);
+  EXPECT_EQ(g1[2].int64(), 1);
+  EXPECT_EQ(g1[3].int64(), 2);
+  EXPECT_DOUBLE_EQ(g1[4].float64(), 10.0);
+  // Group 2.
+  const std::vector<Value>& g2 = rows.at(2);
+  EXPECT_DOUBLE_EQ(g2[1].float64(), 10.0);
+  EXPECT_DOUBLE_EQ(g2[4].float64(), 5.0);
+  EXPECT_DOUBLE_EQ(g2[5].float64(), 4.0);
+  EXPECT_DOUBLE_EQ(g2[6].float64(), 6.0);
+  // NULL is a group of its own (SQL GROUP BY semantics).
+  const std::vector<Value>& gn = rows.at(-999);
+  EXPECT_DOUBLE_EQ(gn[1].float64(), 5.0);
+}
+
+TEST(AggregateTest, AllNullGroupSumsToNull) {
+  Table t(Schema({{"d", DataType::kInt64}, {"a", DataType::kFloat64}}));
+  t.AppendRow({Value::Int64(1), Value::Null()});
+  t.AppendRow({Value::Int64(1), Value::Null()});
+  Table out = HashAggregate(t, {"d"},
+                            {{AggFunc::kSum, Col("a"), "s"},
+                             {AggFunc::kAvg, Col("a"), "avg"},
+                             {AggFunc::kMin, Col("a"), "lo"},
+                             {AggFunc::kCount, Col("a"), "c"}})
+                  .value();
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_TRUE(out.column(1).IsNull(0));
+  EXPECT_TRUE(out.column(2).IsNull(0));
+  EXPECT_TRUE(out.column(3).IsNull(0));
+  EXPECT_EQ(out.column(4).Int64At(0), 0);  // count of non-null is 0, not NULL
+}
+
+TEST(AggregateTest, IntSumStaysInt) {
+  Table t(Schema({{"d", DataType::kInt64}, {"q", DataType::kInt64}}));
+  t.AppendRow({Value::Int64(1), Value::Int64(3)});
+  t.AppendRow({Value::Int64(1), Value::Int64(4)});
+  Table out =
+      HashAggregate(t, {"d"}, {{AggFunc::kSum, Col("q"), "s"}}).value();
+  EXPECT_EQ(out.schema().column(1).type, DataType::kInt64);
+  EXPECT_EQ(out.column(1).Int64At(0), 7);
+}
+
+TEST(AggregateTest, GlobalGroupOnEmptyInput) {
+  Table t(Schema({{"a", DataType::kFloat64}}));
+  Table out = HashAggregate(t, {},
+                            {{AggFunc::kSum, Col("a"), "s"},
+                             {AggFunc::kCountStar, nullptr, "n"}})
+                  .value();
+  ASSERT_EQ(out.num_rows(), 1u);  // SQL: global aggregate of empty set
+  EXPECT_TRUE(out.column(0).IsNull(0));
+  EXPECT_EQ(out.column(1).Int64At(0), 0);
+}
+
+TEST(AggregateTest, GroupedAggregateOnEmptyInputIsEmpty) {
+  Table t(Schema({{"d", DataType::kInt64}, {"a", DataType::kFloat64}}));
+  Table out =
+      HashAggregate(t, {"d"}, {{AggFunc::kSum, Col("a"), "s"}}).value();
+  EXPECT_EQ(out.num_rows(), 0u);
+}
+
+TEST(AggregateTest, ExpressionInput) {
+  Table t = TestTable();
+  // sum(CASE WHEN d = 1 THEN a ELSE 0 END) over all rows.
+  ExprPtr cse = CaseWhen({{Eq(Col("d"), Lit(Value::Int64(1))), Col("a")}},
+                         Lit(Value::Int64(0)));
+  Table out = HashAggregate(t, {}, {{AggFunc::kSum, cse, "s"}}).value();
+  EXPECT_DOUBLE_EQ(out.column(0).Float64At(0), 10.0);
+}
+
+TEST(AggregateTest, StringMinMax) {
+  Table t(Schema({{"d", DataType::kInt64}, {"s", DataType::kString}}));
+  t.AppendRow({Value::Int64(1), Value::String("pear")});
+  t.AppendRow({Value::Int64(1), Value::String("apple")});
+  t.AppendRow({Value::Int64(1), Value::Null()});
+  Table out = HashAggregate(t, {"d"},
+                            {{AggFunc::kMin, Col("s"), "lo"},
+                             {AggFunc::kMax, Col("s"), "hi"}})
+                  .value();
+  EXPECT_EQ(out.column(1).StringAt(0), "apple");
+  EXPECT_EQ(out.column(2).StringAt(0), "pear");
+}
+
+TEST(AggregateTest, SumOverStringRejected) {
+  Table t(Schema({{"s", DataType::kString}}));
+  EXPECT_EQ(HashAggregate(t, {}, {{AggFunc::kSum, Col("s"), "x"}})
+                .status()
+                .code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(AggregateTest, MissingInputExpressionRejected) {
+  Table t = TestTable();
+  EXPECT_FALSE(HashAggregate(t, {}, {{AggFunc::kSum, nullptr, "x"}}).ok());
+}
+
+TEST(AggregateTest, UnknownGroupColumnRejected) {
+  Table t = TestTable();
+  EXPECT_EQ(HashAggregate(t, {"zzz"}, {{AggFunc::kCountStar, nullptr, "n"}})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AggregateTest, MultipleGroupColumns) {
+  Table t(Schema({{"x", DataType::kInt64},
+                  {"y", DataType::kInt64},
+                  {"a", DataType::kFloat64}}));
+  t.AppendRow({Value::Int64(1), Value::Int64(1), Value::Float64(1)});
+  t.AppendRow({Value::Int64(1), Value::Int64(2), Value::Float64(2)});
+  t.AppendRow({Value::Int64(1), Value::Int64(1), Value::Float64(3)});
+  Table out =
+      HashAggregate(t, {"x", "y"}, {{AggFunc::kSum, Col("a"), "s"}}).value();
+  EXPECT_EQ(out.num_rows(), 2u);
+}
+
+TEST(AggregateTest, AvgIsSumOverCount) {
+  Table t = TestTable();
+  Table out =
+      HashAggregate(t, {}, {{AggFunc::kAvg, Col("a"), "m"}}).value();
+  EXPECT_DOUBLE_EQ(out.column(0).Float64At(0), 25.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace pctagg

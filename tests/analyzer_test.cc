@@ -1,0 +1,251 @@
+// Unit tests for the semantic analyzer: the paper's usage rules for Vpct
+// (Section 3.1), Hpct (Section 3.2) and horizontal aggregations (DMKD
+// Section 3.1), plus query classification.
+
+#include "sql/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace pctagg {
+namespace {
+
+Schema SalesSchema() {
+  return Schema({{"state", DataType::kString},
+                 {"city", DataType::kString},
+                 {"dweek", DataType::kInt64},
+                 {"store", DataType::kInt64},
+                 {"salesAmt", DataType::kFloat64}});
+}
+
+Result<AnalyzedQuery> AnalyzeSql(const std::string& sql) {
+  PCTAGG_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  return Analyze(stmt, SalesSchema());
+}
+
+TEST(AnalyzerTest, ClassifiesQueryShapes) {
+  EXPECT_EQ(AnalyzeSql("SELECT state, salesAmt FROM sales").value().query_class,
+            QueryClass::kProjection);
+  EXPECT_EQ(AnalyzeSql("SELECT state, sum(salesAmt) FROM sales GROUP BY state")
+                .value()
+                .query_class,
+            QueryClass::kVertical);
+  EXPECT_EQ(AnalyzeSql("SELECT state, Vpct(salesAmt BY city) FROM sales "
+                "GROUP BY state, city")
+                .value()
+                .query_class,
+            QueryClass::kVpct);
+  EXPECT_EQ(AnalyzeSql("SELECT store, Hpct(salesAmt BY dweek) FROM sales "
+                "GROUP BY store")
+                .value()
+                .query_class,
+            QueryClass::kHorizontal);
+  EXPECT_EQ(AnalyzeSql("SELECT store, sum(salesAmt BY dweek) FROM sales "
+                "GROUP BY store")
+                .value()
+                .query_class,
+            QueryClass::kHorizontal);
+  EXPECT_EQ(AnalyzeSql("SELECT state, sum(salesAmt) OVER (PARTITION BY state) "
+                "FROM sales")
+                .value()
+                .query_class,
+            QueryClass::kWindow);
+}
+
+TEST(AnalyzerTest, VpctRule1GroupByRequired) {
+  EXPECT_EQ(AnalyzeSql("SELECT Vpct(salesAmt BY city) FROM sales").status().code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, VpctRule2ByMustComeFromGroupBy) {
+  EXPECT_EQ(AnalyzeSql("SELECT state, Vpct(salesAmt BY dweek) FROM sales "
+                "GROUP BY state, city")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, VpctTotalsByIsGroupByMinusBy) {
+  AnalyzedQuery q = AnalyzeSql("SELECT state, city, Vpct(salesAmt BY city) "
+                        "FROM sales GROUP BY state, city")
+                        .value();
+  const AnalyzedTerm* vpct = nullptr;
+  for (const AnalyzedTerm& t : q.terms) {
+    if (t.func == TermFunc::kVpct) vpct = &t;
+  }
+  ASSERT_NE(vpct, nullptr);
+  EXPECT_EQ(vpct->totals_by, (std::vector<std::string>{"state"}));
+}
+
+TEST(AnalyzerTest, VpctNoByMeansGrandTotal) {
+  AnalyzedQuery q =
+      AnalyzeSql("SELECT state, Vpct(salesAmt) FROM sales GROUP BY state").value();
+  EXPECT_TRUE(q.terms[1].totals_by.empty());
+}
+
+TEST(AnalyzerTest, VpctRule4MultipleTermsDifferentBy) {
+  AnalyzedQuery q = AnalyzeSql("SELECT state, city, Vpct(salesAmt BY city), "
+                        "Vpct(salesAmt BY state, city), sum(salesAmt) "
+                        "FROM sales GROUP BY state, city")
+                        .value();
+  EXPECT_EQ(q.query_class, QueryClass::kVpct);
+}
+
+TEST(AnalyzerTest, HpctRule2ByRequired) {
+  EXPECT_EQ(AnalyzeSql("SELECT store, Hpct(salesAmt) FROM sales GROUP BY store")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, HpctRule2ByDisjointFromGroupBy) {
+  EXPECT_EQ(AnalyzeSql("SELECT store, Hpct(salesAmt BY store) FROM sales "
+                "GROUP BY store")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, HpctRule1GroupByOptional) {
+  AnalyzedQuery q = AnalyzeSql("SELECT Hpct(salesAmt BY dweek) FROM sales").value();
+  EXPECT_EQ(q.query_class, QueryClass::kHorizontal);
+  EXPECT_TRUE(q.group_by.empty());
+}
+
+TEST(AnalyzerTest, MixingVpctAndHorizontalRejected) {
+  EXPECT_EQ(AnalyzeSql("SELECT state, Vpct(salesAmt BY city), "
+                "Hpct(salesAmt BY dweek) FROM sales GROUP BY state, city")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, ScalarTermsMustBeGroupingColumns) {
+  EXPECT_EQ(AnalyzeSql("SELECT salesAmt, sum(salesAmt) FROM sales GROUP BY state")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+  EXPECT_EQ(AnalyzeSql("SELECT state, sum(salesAmt) FROM sales").status().code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, PositionalGroupByResolvesToColumn) {
+  AnalyzedQuery q =
+      AnalyzeSql("SELECT state, city, count(*) FROM sales GROUP BY 1, 2").value();
+  EXPECT_EQ(q.group_by, (std::vector<std::string>{"state", "city"}));
+  // Out of range / pointing at an aggregate.
+  EXPECT_EQ(AnalyzeSql("SELECT state, count(*) FROM sales GROUP BY 5")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+  EXPECT_EQ(AnalyzeSql("SELECT state, count(*) FROM sales GROUP BY 2")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, ColumnNamesNormalizedToSchemaSpelling) {
+  AnalyzedQuery q =
+      AnalyzeSql("SELECT STATE, sum(SALESAMT) FROM sales GROUP BY STATE").value();
+  EXPECT_EQ(q.group_by[0], "state");
+}
+
+TEST(AnalyzerTest, DistinctOnlyOnCount) {
+  EXPECT_EQ(AnalyzeSql("SELECT store, sum(distinct salesAmt BY dweek) FROM sales "
+                "GROUP BY store")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, DefaultRequiresBy) {
+  EXPECT_EQ(
+      AnalyzeSql("SELECT store, sum(salesAmt DEFAULT 0) FROM sales GROUP BY store")
+          .status()
+          .code(),
+      StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, NumericArgumentRequiredForSumAvgVpctHpct) {
+  EXPECT_EQ(AnalyzeSql("SELECT state, Vpct(city BY city) FROM sales "
+                "GROUP BY state, city")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+  EXPECT_EQ(AnalyzeSql("SELECT store, sum(city) FROM sales GROUP BY store")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, WindowCannotMixWithGrouping) {
+  EXPECT_EQ(AnalyzeSql("SELECT state, sum(salesAmt) OVER (PARTITION BY state) "
+                "FROM sales GROUP BY state")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+  EXPECT_EQ(AnalyzeSql("SELECT sum(salesAmt) OVER (PARTITION BY state), "
+                "sum(salesAmt) FROM sales")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, VpctDoesNotAcceptOver) {
+  EXPECT_EQ(AnalyzeSql("SELECT state, Vpct(salesAmt BY city) OVER (PARTITION BY x) "
+                "FROM sales GROUP BY state, city")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, DuplicateGroupByOrByColumnsRejected) {
+  EXPECT_EQ(AnalyzeSql("SELECT state, count(*) FROM sales GROUP BY state, state")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+  EXPECT_EQ(AnalyzeSql("SELECT store, Hpct(salesAmt BY dweek, dweek) FROM sales "
+                "GROUP BY store")
+                .status()
+                .code(),
+            StatusCode::kAnalysisError);
+}
+
+TEST(AnalyzerTest, UnknownColumnsRejected) {
+  EXPECT_EQ(AnalyzeSql("SELECT nope FROM sales").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(AnalyzeSql("SELECT state, sum(nope) FROM sales GROUP BY state")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(AnalyzeSql("SELECT state, count(*) FROM sales GROUP BY nope")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AnalyzerTest, OutputNamesSynthesized) {
+  AnalyzedQuery q = AnalyzeSql("SELECT state, Vpct(salesAmt BY city) "
+                        "FROM sales GROUP BY state, city")
+                        .value();
+  EXPECT_EQ(q.terms[1].output_name, "vpct_salesAmt");
+  AnalyzedQuery q2 =
+      AnalyzeSql("SELECT state, sum(salesAmt) AS total FROM sales GROUP BY state")
+          .value();
+  EXPECT_EQ(q2.terms[1].output_name, "total");
+}
+
+TEST(AnalyzerTest, WhereClauseTypeChecked) {
+  EXPECT_TRUE(AnalyzeSql("SELECT state, count(*) FROM sales WHERE salesAmt > 0 "
+                  "GROUP BY state")
+                  .ok());
+  EXPECT_EQ(AnalyzeSql("SELECT state, count(*) FROM sales WHERE state + 1 > 0 "
+                "GROUP BY state")
+                .status()
+                .code(),
+            StatusCode::kTypeMismatch);
+}
+
+}  // namespace
+}  // namespace pctagg

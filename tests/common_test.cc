@@ -1,0 +1,162 @@
+// Unit tests for the common substrate: Status/Result, string utilities and
+// the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace pctagg {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table sales");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table sales");
+  EXPECT_EQ(s.ToString(), "NotFound: table sales");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kAnalysisError, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kTypeMismatch,
+        StatusCode::kLimitExceeded, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = Half(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 4);
+  EXPECT_EQ(*r, 4);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Half(7);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Chain(int x) {
+  PCTAGG_ASSIGN_OR_RETURN(int h, Half(x));
+  PCTAGG_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Chain(8).value(), 2);
+  EXPECT_FALSE(Chain(6).ok());  // 6/2 = 3, odd
+  EXPECT_FALSE(Chain(7).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(42);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " AND "), "a AND b AND c");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SalesAmt", "salesamt"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, IsInteger) {
+  EXPECT_TRUE(IsInteger("42"));
+  EXPECT_TRUE(IsInteger("-7"));
+  EXPECT_TRUE(IsInteger("+7"));
+  EXPECT_FALSE(IsInteger(""));
+  EXPECT_FALSE(IsInteger("-"));
+  EXPECT_FALSE(IsInteger("3.5"));
+  EXPECT_FALSE(IsInteger("abc"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%g", 0.5), "0.5");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversDomain) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(5);
+  size_t lows = 0;
+  const size_t trials = 10000;
+  for (size_t i = 0; i < trials; ++i) {
+    uint64_t v = rng.Zipf(100, 1.0);
+    EXPECT_LT(v, 100u);
+    if (v < 10) ++lows;
+  }
+  // With theta=1 the first 10 ranks carry well over a third of the mass.
+  EXPECT_GT(lows, trials / 3);
+}
+
+TEST(RngTest, ZipfDegenerateCases) {
+  Rng rng(5);
+  EXPECT_EQ(rng.Zipf(1, 1.0), 0u);
+  uint64_t v = rng.Zipf(2, 0.5);
+  EXPECT_LT(v, 2u);
+}
+
+}  // namespace
+}  // namespace pctagg

@@ -1,0 +1,123 @@
+// Concurrency tests for the paper's last future-work item ("an intensive
+// database environment where users concurrently submit percentage queries"):
+// many threads run mixed percentage queries against one shared PctDatabase.
+// Each plan materializes only its own (process-uniquely named) temporary
+// tables, the catalog is internally synchronized, and the summary cache is
+// safe to share.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/database.h"
+
+namespace pctagg {
+namespace {
+
+Table RandomFact(uint64_t seed, size_t n = 2000) {
+  Rng rng(seed);
+  Table t(Schema({{"d1", DataType::kInt64},
+                  {"d2", DataType::kInt64},
+                  {"a", DataType::kFloat64}}));
+  t.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    t.AppendRow({Value::Int64(static_cast<int64_t>(rng.Uniform(5))),
+                 Value::Int64(static_cast<int64_t>(rng.Uniform(6))),
+                 Value::Float64(1.0 + rng.NextDouble() * 9.0)});
+  }
+  return t;
+}
+
+TEST(ConcurrencyTest, ParallelMixedQueriesProduceCorrectResults) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(99)).ok());
+  // Reference answers computed serially.
+  Table vref = db.Query("SELECT d1, d2, Vpct(a BY d2) AS pct FROM f "
+                        "GROUP BY d1, d2 ORDER BY d1, d2")
+                   .value();
+  Table href =
+      db.Query("SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1 ORDER BY d1")
+          .value();
+
+  std::atomic<int> failures{0};
+  auto worker = [&db, &vref, &href, &failures](int id) {
+    for (int iter = 0; iter < 10; ++iter) {
+      if ((id + iter) % 2 == 0) {
+        Result<Table> r = db.Query(
+            "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2 "
+            "ORDER BY d1, d2");
+        if (!r.ok() || r.value().num_rows() != vref.num_rows()) {
+          ++failures;
+          continue;
+        }
+        for (size_t i = 0; i < vref.num_rows(); ++i) {
+          if (!(r.value().GetRow(i) == vref.GetRow(i))) {
+            ++failures;
+            break;
+          }
+        }
+      } else {
+        Result<Table> r = db.Query(
+            "SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1 ORDER BY d1");
+        if (!r.ok() || r.value().num_rows() != href.num_rows() ||
+            r.value().num_columns() != href.num_columns()) {
+          ++failures;
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int id = 0; id < 8; ++id) threads.emplace_back(worker, id);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // No leaked temporary tables.
+  EXPECT_EQ(db.catalog().TableNames().size(), 1u);
+}
+
+TEST(ConcurrencyTest, SharedSummaryCacheUnderContention) {
+  PctDatabase db;
+  db.EnableSummaryCache(true);
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(7)).ok());
+  std::atomic<int> failures{0};
+  auto worker = [&db, &failures]() {
+    for (int iter = 0; iter < 10; ++iter) {
+      Result<Table> r = db.Query(
+          "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2");
+      if (!r.ok()) ++failures;
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int id = 0; id < 8; ++id) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(db.summaries().size(), 1u);
+  EXPECT_GT(db.summaries().hits(), 0u);
+}
+
+TEST(ConcurrencyTest, CatalogOperationsAreSynchronized) {
+  Catalog catalog;
+  std::atomic<int> failures{0};
+  auto worker = [&catalog, &failures](int id) {
+    for (int iter = 0; iter < 50; ++iter) {
+      std::string name =
+          "t_" + std::to_string(id) + "_" + std::to_string(iter);
+      Table t(Schema({{"x", DataType::kInt64}}));
+      t.AppendRow({Value::Int64(id)}).ok();
+      if (!catalog.CreateTable(name, std::move(t)).ok()) ++failures;
+      Result<Table*> got = catalog.GetTable(name);
+      if (!got.ok() || got.value()->column(0).Int64At(0) != id) ++failures;
+      if (!catalog.DropTable(name).ok()) ++failures;
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int id = 0; id < 8; ++id) threads.emplace_back(worker, id);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(catalog.TableNames().empty());
+}
+
+}  // namespace
+}  // namespace pctagg

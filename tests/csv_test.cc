@@ -1,0 +1,126 @@
+// Tests for CSV import/export: quoting, NULLs, schema inference, file I/O
+// and round-trips.
+
+#include "engine/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace pctagg {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"d", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"a", DataType::kFloat64}});
+}
+
+TEST(CsvTest, ParsesTypedRows) {
+  Table t = ParseCsv("d,name,a\n1,alpha,1.5\n2,beta,2\n", TestSchema())
+                .value();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column(0).Int64At(0), 1);
+  EXPECT_EQ(t.column(1).StringAt(1), "beta");
+  EXPECT_DOUBLE_EQ(t.column(2).Float64At(1), 2.0);
+}
+
+TEST(CsvTest, EmptyFieldIsNullQuotedEmptyIsEmptyString) {
+  Table t = ParseCsv("d,name,a\n1,,\n2,\"\",3\n", TestSchema()).value();
+  EXPECT_TRUE(t.column(1).IsNull(0));
+  EXPECT_TRUE(t.column(2).IsNull(0));
+  EXPECT_FALSE(t.column(1).IsNull(1));
+  EXPECT_EQ(t.column(1).StringAt(1), "");
+}
+
+TEST(CsvTest, QuotingEmbeddedDelimitersAndQuotes) {
+  Table t = ParseCsv("d,name,a\n1,\"a,b\",1\n2,\"say \"\"hi\"\"\",2\n"
+                     "3,\"line\nbreak\",3\n",
+                     TestSchema())
+                .value();
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.column(1).StringAt(0), "a,b");
+  EXPECT_EQ(t.column(1).StringAt(1), "say \"hi\"");
+  EXPECT_EQ(t.column(1).StringAt(2), "line\nbreak");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  Table t = ParseCsv("d,name,a\r\n1,x,1\r\n", TestSchema()).value();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.column(1).StringAt(0), "x");
+}
+
+TEST(CsvTest, HeaderValidation) {
+  EXPECT_FALSE(ParseCsv("wrong,name,a\n1,x,1\n", TestSchema()).ok());
+  EXPECT_FALSE(ParseCsv("d,name\n1,x\n", TestSchema()).ok());
+  // Case-insensitive header match is fine.
+  EXPECT_TRUE(ParseCsv("D,NAME,A\n1,x,1\n", TestSchema()).ok());
+  // No header mode.
+  EXPECT_EQ(ParseCsv("1,x,1\n", TestSchema(), /*has_header=*/false)
+                .value()
+                .num_rows(),
+            1u);
+}
+
+TEST(CsvTest, TypeErrorsArePositioned) {
+  Result<Table> r = ParseCsv("d,name,a\nnope,x,1\n", TestSchema());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("row 1"), std::string::npos);
+  EXPECT_NE(r.status().message().find("column d"), std::string::npos);
+}
+
+TEST(CsvTest, MalformedInputs) {
+  EXPECT_FALSE(ParseCsv("d,name,a\n1,\"unterminated,2\n", TestSchema()).ok());
+  EXPECT_FALSE(ParseCsv("d,name,a\n1,x\"y,1\n", TestSchema()).ok());
+  EXPECT_FALSE(ParseCsv("d,name,a\n1,x,1,extra\n", TestSchema()).ok());
+}
+
+TEST(CsvTest, AutoSchemaInference) {
+  Table t = ParseCsvAuto("id,score,label\n1,2.5,x\n2,3,y\n,4.5,\n").value();
+  EXPECT_EQ(t.schema().column(0).type, DataType::kInt64);
+  EXPECT_EQ(t.schema().column(1).type, DataType::kFloat64);
+  EXPECT_EQ(t.schema().column(2).type, DataType::kString);
+  EXPECT_TRUE(t.column(0).IsNull(2));  // empty -> NULL, type still inferred
+}
+
+TEST(CsvTest, AutoInferencePrefersIntOverFloat) {
+  Table t = ParseCsvAuto("x\n1\n2\n3\n").value();
+  EXPECT_EQ(t.schema().column(0).type, DataType::kInt64);
+  Table f = ParseCsvAuto("x\n1\n2.5\n").value();
+  EXPECT_EQ(f.schema().column(0).type, DataType::kFloat64);
+}
+
+TEST(CsvTest, QuotedNumbersStayStrings) {
+  Table t = ParseCsvAuto("zip\n\"02134\"\n\"10001\"\n").value();
+  EXPECT_EQ(t.schema().column(0).type, DataType::kString);
+  EXPECT_EQ(t.column(0).StringAt(0), "02134");
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t(TestSchema());
+  t.AppendRow({Value::Int64(1), Value::String("a,b"), Value::Float64(0.25)});
+  t.AppendRow({Value::Null(), Value::String(""), Value::Null()});
+  t.AppendRow({Value::Int64(3), Value::Null(), Value::Float64(-1.5)});
+  std::string csv = FormatCsv(t);
+  Table back = ParseCsv(csv, TestSchema()).value();
+  ASSERT_EQ(back.num_rows(), t.num_rows());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(back.GetRow(i), t.GetRow(i)) << "row " << i;
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t(TestSchema());
+  t.AppendRow({Value::Int64(7), Value::String("x"), Value::Float64(1)});
+  std::string path = ::testing::TempDir() + "/pctagg_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  Table back = ReadCsvFile(path, TestSchema()).value();
+  EXPECT_EQ(back.num_rows(), 1u);
+  Table autod = ReadCsvFileAuto(path).value();
+  EXPECT_EQ(autod.schema().column(0).type, DataType::kInt64);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/nope.csv", TestSchema()).ok());
+}
+
+}  // namespace
+}  // namespace pctagg

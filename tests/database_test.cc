@@ -1,0 +1,167 @@
+// End-to-end tests of the PctDatabase facade: the paper's worked examples
+// (Tables 1-3) plus strategy overrides, EXPLAIN output, and error paths.
+
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "workload/generators.h"
+
+namespace pctagg {
+namespace {
+
+// Fetches (state, city) -> percentage from a Vpct result table.
+std::map<std::pair<std::string, std::string>, double> VpctByCity(
+    const Table& t) {
+  std::map<std::pair<std::string, std::string>, double> out;
+  const Column* state = t.ColumnByName("state").value();
+  const Column* city = t.ColumnByName("city").value();
+  const Column* pct = t.ColumnByName("pct").value();
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    out[{state->StringAt(i), city->StringAt(i)}] = pct->Float64At(i);
+  }
+  return out;
+}
+
+TEST(DatabaseTest, PaperTable2VerticalPercentages) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("sales", PaperExampleSales()).ok());
+  Result<Table> r = db.Query(
+      "SELECT state, city, Vpct(salesAmt BY city) AS pct "
+      "FROM sales GROUP BY state, city ORDER BY state, city");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Table& t = r.value();
+  EXPECT_EQ(t.num_rows(), 4u);
+  auto pct = VpctByCity(t);
+  // Paper Table 2: CA LA 22%, CA SF 78%, TX Dallas 57%, TX Houston 43%.
+  EXPECT_NEAR((pct[{"CA", "Los Angeles"}]), 23.0 / 106.0, 1e-9);
+  EXPECT_NEAR((pct[{"CA", "San Francisco"}]), 83.0 / 106.0, 1e-9);
+  EXPECT_NEAR((pct[{"TX", "Dallas"}]), 85.0 / 149.0, 1e-9);
+  EXPECT_NEAR((pct[{"TX", "Houston"}]), 64.0 / 149.0, 1e-9);
+  // Row order follows ORDER BY state, city.
+  EXPECT_EQ(t.column(0).StringAt(0), "CA");
+  EXPECT_EQ(t.column(1).StringAt(0), "Los Angeles");
+}
+
+TEST(DatabaseTest, PaperTable3HorizontalPercentages) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("sales", PaperExampleStoreSales()).ok());
+  Result<Table> r = db.Query(
+      "SELECT store, Hpct(salesAmt BY dweek), sum(salesAmt) AS total "
+      "FROM sales GROUP BY store ORDER BY store");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Table& t = r.value();
+  EXPECT_EQ(t.num_rows(), 3u);
+  // store | 7 dweek percentage columns | total sales.
+  ASSERT_EQ(t.num_columns(), 9u);
+  // Store 4 (row 1) has no Monday sales: 0%, like the paper's Table 3.
+  Result<const Column*> monday = t.ColumnByName("dweek=1");
+  ASSERT_TRUE(monday.ok()) << monday.status().ToString();
+  EXPECT_FALSE(monday.value()->IsNull(1));
+  EXPECT_DOUBLE_EQ(monday.value()->Float64At(1), 0.0);
+  // Every store's percentages add to 100%.
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    double sum = 0;
+    for (int d = 1; d <= 7; ++d) {
+      const Column* c = t.ColumnByName("dweek=" + std::to_string(d)).value();
+      if (!c->IsNull(row)) sum += c->Float64At(row);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Store 4 total = 4000.
+  const Column* total = t.ColumnByName("total").value();
+  EXPECT_DOUBLE_EQ(total->Float64At(1), 4000.0);
+}
+
+TEST(DatabaseTest, OlapBaselineMatchesVpct) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("sales", PaperExampleSales()).ok());
+  std::string sql =
+      "SELECT state, city, Vpct(salesAmt BY city) AS pct "
+      "FROM sales GROUP BY state, city ORDER BY state, city";
+  Result<Table> direct = db.Query(sql);
+  Result<Table> olap = db.QueryOlapBaseline(sql);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_TRUE(olap.ok()) << olap.status().ToString();
+  auto a = VpctByCity(direct.value());
+  auto b = VpctByCity(olap.value());
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, v] : a) {
+    EXPECT_NEAR(v, b.at(key), 1e-9);
+  }
+}
+
+TEST(DatabaseTest, ExplainRendersGeneratedScript) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("sales", PaperExampleSales()).ok());
+  Result<std::string> script = db.Explain(
+      "SELECT state, city, Vpct(salesAmt BY city) AS pct "
+      "FROM sales GROUP BY state, city");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_NE(script.value().find("INSERT INTO"), std::string::npos);
+  EXPECT_NE(script.value().find("GROUP BY state, city"), std::string::npos);
+  EXPECT_NE(script.value().find("CREATE INDEX"), std::string::npos);
+}
+
+TEST(DatabaseTest, AnalysisErrorsSurface) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("sales", PaperExampleSales()).ok());
+  // Vpct rule 1: GROUP BY required.
+  Result<Table> r1 = db.Query("SELECT Vpct(salesAmt BY city) FROM sales");
+  EXPECT_EQ(r1.status().code(), StatusCode::kAnalysisError);
+  // Hpct rule 2: BY disjoint from GROUP BY.
+  Result<Table> r2 = db.Query(
+      "SELECT city, Hpct(salesAmt BY city) FROM sales GROUP BY city");
+  EXPECT_EQ(r2.status().code(), StatusCode::kAnalysisError);
+  // Unknown table.
+  Result<Table> r3 = db.Query("SELECT x FROM nope");
+  EXPECT_EQ(r3.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, CreateTableAsMaterializesQueries) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("sales", PaperExampleSales()).ok());
+  // Materialize a filtered view and run a percentage query against it (the
+  // paper: "F can be a temporary table resulting from some query").
+  ASSERT_TRUE(db.CreateTableAs("tx",
+                               "SELECT state, city, salesAmt FROM sales "
+                               "WHERE state = 'TX'")
+                  .ok());
+  Table t = db.Query("SELECT city, Vpct(salesAmt BY city) AS pct FROM tx "
+                     "GROUP BY city ORDER BY city")
+                .value();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_NEAR(t.ColumnByName("pct").value()->Float64At(0), 85.0 / 149.0,
+              1e-9);
+  // Name collisions and broken queries are rejected without side effects.
+  EXPECT_EQ(db.CreateTableAs("tx", "SELECT city FROM sales").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(db.CreateTableAs("bad", "SELECT nope FROM sales").ok());
+  EXPECT_FALSE(db.catalog().HasTable("bad"));
+}
+
+TEST(DatabaseTest, StrategyOverridesAgree) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("sales", PaperExampleSales()).ok());
+  std::string sql =
+      "SELECT state, city, Vpct(salesAmt BY city) AS pct "
+      "FROM sales GROUP BY state, city";
+  VpctStrategy update_strategy;
+  update_strategy.insert_result = false;
+  Result<Table> ins = db.QueryVpct(sql, VpctStrategy{});
+  Result<Table> upd = db.QueryVpct(sql, update_strategy);
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  auto a = VpctByCity(ins.value());
+  auto b = VpctByCity(upd.value());
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, v] : a) {
+    EXPECT_NEAR(v, b.at(key), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pctagg

@@ -1,0 +1,205 @@
+// Unit tests for the vectorized expression evaluator: arithmetic with NULL
+// propagation, NULL-on-zero division (the Vpct safety net), three-valued
+// logic, comparisons and CASE WHEN.
+
+#include "engine/expression.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/table.h"
+
+namespace pctagg {
+namespace {
+
+// d: 1, 2, NULL; a: 10.0, 0.0, 4.0; s: "x", "y", "x"
+Table TestTable() {
+  Table t(Schema({{"d", DataType::kInt64},
+                  {"a", DataType::kFloat64},
+                  {"s", DataType::kString}}));
+  t.AppendRow({Value::Int64(1), Value::Float64(10.0), Value::String("x")});
+  t.AppendRow({Value::Int64(2), Value::Float64(0.0), Value::String("y")});
+  t.AppendRow({Value::Null(), Value::Float64(4.0), Value::String("x")});
+  return t;
+}
+
+TEST(ExpressionTest, LiteralBroadcasts) {
+  Table t = TestTable();
+  Column c = Lit(Value::Int64(7))->Evaluate(t).value();
+  ASSERT_EQ(c.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(c.Int64At(i), 7);
+}
+
+TEST(ExpressionTest, NullLiteralTyped) {
+  Table t = TestTable();
+  ExprPtr e = NullLit(DataType::kFloat64);
+  EXPECT_EQ(e->ResultType(t.schema()).value(), DataType::kFloat64);
+  Column c = e->Evaluate(t).value();
+  EXPECT_TRUE(c.IsNull(0));
+}
+
+TEST(ExpressionTest, ColumnRefCopies) {
+  Table t = TestTable();
+  Column c = Col("a")->Evaluate(t).value();
+  EXPECT_DOUBLE_EQ(c.Float64At(0), 10.0);
+  EXPECT_FALSE(Col("zzz")->Evaluate(t).ok());
+}
+
+TEST(ExpressionTest, ArithmeticTypesAndNulls) {
+  Table t = TestTable();
+  // int + int stays int.
+  Column ii = Add(Col("d"), Lit(Value::Int64(1)))->Evaluate(t).value();
+  EXPECT_EQ(ii.type(), DataType::kInt64);
+  EXPECT_EQ(ii.Int64At(0), 2);
+  EXPECT_TRUE(ii.IsNull(2));  // NULL propagates
+  // int * float widens.
+  Column f = Mul(Col("d"), Col("a"))->Evaluate(t).value();
+  EXPECT_EQ(f.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(f.Float64At(0), 10.0);
+  // Strings are rejected.
+  EXPECT_EQ(Add(Col("s"), Col("d"))->Evaluate(t).status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(ExpressionTest, DivisionByZeroYieldsNull) {
+  Table t = TestTable();
+  Column c = Div(Lit(Value::Float64(1.0)), Col("a"))->Evaluate(t).value();
+  EXPECT_EQ(c.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(c.Float64At(0), 0.1);
+  EXPECT_TRUE(c.IsNull(1));  // 1/0 -> NULL, matching Vpct() semantics
+  EXPECT_DOUBLE_EQ(c.Float64At(2), 0.25);
+}
+
+TEST(ExpressionTest, IntegerDivisionProducesFloat) {
+  Table t = TestTable();
+  Column c = Div(Lit(Value::Int64(1)), Lit(Value::Int64(2)))->Evaluate(t).value();
+  EXPECT_EQ(c.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(c.Float64At(0), 0.5);
+}
+
+TEST(ExpressionTest, ComparisonsWithNulls) {
+  Table t = TestTable();
+  Column eq = Eq(Col("d"), Lit(Value::Int64(1)))->Evaluate(t).value();
+  EXPECT_EQ(eq.Int64At(0), 1);
+  EXPECT_EQ(eq.Int64At(1), 0);
+  EXPECT_TRUE(eq.IsNull(2));  // NULL = 1 is UNKNOWN
+  Column lt = Lt(Col("a"), Lit(Value::Float64(5.0)))->Evaluate(t).value();
+  EXPECT_EQ(lt.Int64At(0), 0);
+  EXPECT_EQ(lt.Int64At(1), 1);
+  EXPECT_EQ(lt.Int64At(2), 1);
+}
+
+TEST(ExpressionTest, StringComparisons) {
+  Table t = TestTable();
+  Column eq = Eq(Col("s"), Lit(Value::String("x")))->Evaluate(t).value();
+  EXPECT_EQ(eq.Int64At(0), 1);
+  EXPECT_EQ(eq.Int64At(1), 0);
+  EXPECT_EQ(eq.Int64At(2), 1);
+  EXPECT_EQ(Eq(Col("s"), Col("d"))->Evaluate(t).status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(ExpressionTest, AllComparisonOps) {
+  Table t = TestTable();
+  EXPECT_EQ(Ne(Col("d"), Lit(Value::Int64(1)))->Evaluate(t).value().Int64At(1), 1);
+  EXPECT_EQ(Le(Col("d"), Lit(Value::Int64(1)))->Evaluate(t).value().Int64At(0), 1);
+  EXPECT_EQ(Gt(Col("d"), Lit(Value::Int64(1)))->Evaluate(t).value().Int64At(1), 1);
+  EXPECT_EQ(Ge(Col("d"), Lit(Value::Int64(2)))->Evaluate(t).value().Int64At(1), 1);
+}
+
+TEST(ExpressionTest, ThreeValuedLogic) {
+  Table t = TestTable();
+  ExprPtr unknown = Eq(Col("d"), Lit(Value::Int64(1)));  // UNKNOWN on row 2
+  ExprPtr truth = Lit(Value::Int64(1));
+  ExprPtr falsity = Lit(Value::Int64(0));
+  // UNKNOWN AND FALSE = FALSE.
+  Column c1 = And(unknown, falsity)->Evaluate(t).value();
+  EXPECT_EQ(c1.Int64At(2), 0);
+  // UNKNOWN AND TRUE = UNKNOWN.
+  Column c2 = And(unknown, truth)->Evaluate(t).value();
+  EXPECT_TRUE(c2.IsNull(2));
+  // UNKNOWN OR TRUE = TRUE.
+  Column c3 = Or(unknown, truth)->Evaluate(t).value();
+  EXPECT_EQ(c3.Int64At(2), 1);
+  // UNKNOWN OR FALSE = UNKNOWN.
+  Column c4 = Or(unknown, falsity)->Evaluate(t).value();
+  EXPECT_TRUE(c4.IsNull(2));
+  // NOT UNKNOWN = UNKNOWN.
+  Column c5 = Not(unknown)->Evaluate(t).value();
+  EXPECT_TRUE(c5.IsNull(2));
+  EXPECT_EQ(c5.Int64At(0), 0);
+}
+
+TEST(ExpressionTest, IsNull) {
+  Table t = TestTable();
+  Column c = IsNull(Col("d"))->Evaluate(t).value();
+  EXPECT_EQ(c.Int64At(0), 0);
+  EXPECT_EQ(c.Int64At(2), 1);
+  Column n = Not(IsNull(Col("d")))->Evaluate(t).value();
+  EXPECT_EQ(n.Int64At(2), 0);
+}
+
+TEST(ExpressionTest, AndAllEmptyIsTrue) {
+  Table t = TestTable();
+  Column c = AndAll({})->Evaluate(t).value();
+  EXPECT_EQ(c.Int64At(0), 1);
+}
+
+TEST(ExpressionTest, CaseWhenFirstMatchWins) {
+  Table t = TestTable();
+  ExprPtr e = CaseWhen(
+      {{Ge(Col("a"), Lit(Value::Float64(5.0))), Lit(Value::Int64(1))},
+       {Ge(Col("a"), Lit(Value::Float64(0.0))), Lit(Value::Int64(2))}},
+      Lit(Value::Int64(3)));
+  Column c = e->Evaluate(t).value();
+  EXPECT_EQ(c.Int64At(0), 1);  // 10 >= 5
+  EXPECT_EQ(c.Int64At(1), 2);  // 0 >= 0
+  EXPECT_EQ(c.Int64At(2), 2);  // 4 >= 0
+}
+
+TEST(ExpressionTest, CaseWhenElseNullDefault) {
+  Table t = TestTable();
+  ExprPtr e = CaseWhen({{Eq(Col("d"), Lit(Value::Int64(1))), Col("a")}},
+                       nullptr);
+  Column c = e->Evaluate(t).value();
+  EXPECT_DOUBLE_EQ(c.Float64At(0), 10.0);
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_TRUE(c.IsNull(2));  // UNKNOWN condition does not match
+}
+
+TEST(ExpressionTest, CaseWhenTypeWidening) {
+  Table t = TestTable();
+  ExprPtr e = CaseWhen({{Eq(Col("d"), Lit(Value::Int64(1))),
+                         Lit(Value::Int64(1))}},
+                       Lit(Value::Float64(0.5)));
+  EXPECT_EQ(e->ResultType(t.schema()).value(), DataType::kFloat64);
+  Column c = e->Evaluate(t).value();
+  EXPECT_DOUBLE_EQ(c.Float64At(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.Float64At(1), 0.5);
+}
+
+TEST(ExpressionTest, CaseWhenMixedStringNumericRejected) {
+  Table t = TestTable();
+  ExprPtr e = CaseWhen({{Eq(Col("d"), Lit(Value::Int64(1))), Col("s")}},
+                       Lit(Value::Int64(0)));
+  EXPECT_EQ(e->ResultType(t.schema()).status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(ExpressionTest, ToStringRendersSql) {
+  ExprPtr e = CaseWhen({{Ne(Col("tot"), Lit(Value::Int64(0))),
+                         Div(Col("a"), Col("tot"))}},
+                       nullptr);
+  EXPECT_EQ(e->ToString(),
+            "CASE WHEN tot <> 0 THEN (a / tot) END");
+  EXPECT_EQ(And(Eq(Col("x"), Lit(Value::Int64(1))), IsNull(Col("y")))->ToString(),
+            "(x = 1 AND y IS NULL)");
+}
+
+TEST(ExpressionTest, EvaluateOnEmptyTable) {
+  Table t(Schema({{"d", DataType::kInt64}}));
+  Column c = Add(Col("d"), Lit(Value::Int64(1)))->Evaluate(t).value();
+  EXPECT_EQ(c.size(), 0u);
+}
+
+}  // namespace
+}  // namespace pctagg

@@ -1,0 +1,366 @@
+// Tests for the horizontal planner: the CASE/SPJ x direct/from-FV strategy
+// grid of SIGMOD Table 5 and DMKD Table 3 must agree with each other and
+// with a brute-force reference, for Hpct and for every horizontal aggregate.
+
+#include "core/horizontal_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "sql/parser.h"
+
+namespace pctagg {
+namespace {
+
+// Positive measures (strategy equivalence holds unconditionally), plus NULL
+// measures and one (group, combo) hole: group d1=2 never sees d2=3.
+Table RandomFact(uint64_t seed, size_t n = 300) {
+  Rng rng(seed);
+  Table t(Schema({{"d1", DataType::kInt64},
+                  {"d2", DataType::kInt64},
+                  {"d3", DataType::kInt64},
+                  {"a", DataType::kFloat64}}));
+  for (size_t i = 0; i < n; ++i) {
+    int64_t d1 = static_cast<int64_t>(rng.Uniform(3));
+    int64_t d2 = static_cast<int64_t>(rng.Uniform(4));
+    if (d1 == 2 && d2 == 3) d2 = 0;  // the hole
+    int64_t d3 = static_cast<int64_t>(rng.Uniform(3));
+    Value a = rng.Uniform(12) == 0
+                  ? Value::Null()
+                  : Value::Float64(std::round(rng.NextDouble() * 50.0) + 1.0);
+    t.AppendRow(
+        {Value::Int64(d1), Value::Int64(d2), Value::Int64(d3), a});
+  }
+  return t;
+}
+
+using Cells = std::map<std::pair<int64_t, std::string>, Value>;
+
+// Flattens a horizontal result into (group, column-name) -> value.
+Cells Flatten(const Table& t) {
+  Cells out;
+  const Column& d1 = *t.ColumnByName("d1").value();
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    for (size_t c = 1; c < t.num_columns(); ++c) {
+      out[{d1.Int64At(i), t.schema().column(c).name}] =
+          t.column(c).GetValue(i);
+    }
+  }
+  return out;
+}
+
+void ExpectCellsEqual(const Cells& a, const Cells& b, const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (const auto& [key, v] : a) {
+    ASSERT_TRUE(b.count(key)) << label << ": missing " << key.first << "/"
+                              << key.second;
+    const Value& w = b.at(key);
+    ASSERT_EQ(v.is_null(), w.is_null())
+        << label << " at " << key.first << "/" << key.second << ": "
+        << v.ToString() << " vs " << w.ToString();
+    if (!v.is_null()) {
+      EXPECT_NEAR(v.AsDouble(), w.AsDouble(), 1e-9)
+          << label << " at " << key.first << "/" << key.second;
+    }
+  }
+}
+
+// Strategy grid: (method, hash_dispatch).
+class HorizontalStrategyGrid
+    : public ::testing::TestWithParam<std::tuple<HorizontalMethod, bool>> {};
+
+TEST_P(HorizontalStrategyGrid, HpctAgreesWithDefaultStrategy) {
+  auto [method, dispatch] = GetParam();
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(42)).ok());
+  std::string sql =
+      "SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1";
+  Table baseline = db.QueryHorizontal(sql, HorizontalStrategy{}).value();
+  HorizontalStrategy strategy;
+  strategy.method = method;
+  strategy.hash_dispatch = dispatch;
+  Result<Table> r = db.QueryHorizontal(sql, strategy);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectCellsEqual(Flatten(baseline), Flatten(r.value()),
+                   HorizontalMethodName(method));
+}
+
+TEST_P(HorizontalStrategyGrid, HaggSumAgrees) {
+  auto [method, dispatch] = GetParam();
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(43)).ok());
+  std::string sql = "SELECT d1, sum(a BY d2) FROM f GROUP BY d1";
+  Table baseline = db.QueryHorizontal(sql, HorizontalStrategy{}).value();
+  HorizontalStrategy strategy;
+  strategy.method = method;
+  strategy.hash_dispatch = dispatch;
+  Result<Table> r = db.QueryHorizontal(sql, strategy);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectCellsEqual(Flatten(baseline), Flatten(r.value()),
+                   HorizontalMethodName(method));
+}
+
+TEST_P(HorizontalStrategyGrid, HaggCountAndMinMaxAgree) {
+  auto [method, dispatch] = GetParam();
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(44)).ok());
+  for (const char* sql :
+       {"SELECT d1, count(a BY d2) FROM f GROUP BY d1",
+        "SELECT d1, count(* BY d2) FROM f GROUP BY d1",
+        "SELECT d1, min(a BY d2) FROM f GROUP BY d1",
+        "SELECT d1, max(a BY d2) FROM f GROUP BY d1"}) {
+    Table baseline = db.QueryHorizontal(sql, HorizontalStrategy{}).value();
+    HorizontalStrategy strategy;
+    strategy.method = method;
+    strategy.hash_dispatch = dispatch;
+    Result<Table> r = db.QueryHorizontal(sql, strategy);
+    ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    ExpectCellsEqual(Flatten(baseline), Flatten(r.value()), sql);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndDispatch, HorizontalStrategyGrid,
+    ::testing::Combine(::testing::Values(HorizontalMethod::kCaseDirect,
+                                         HorizontalMethod::kCaseFromFV,
+                                         HorizontalMethod::kSpjDirect,
+                                         HorizontalMethod::kSpjFromFV),
+                       ::testing::Bool()));
+
+TEST(HorizontalPlannerTest, HpctBruteForce) {
+  PctDatabase db;
+  Table f = RandomFact(7);
+  // Brute force: per (d1, d2) sum / per d1 total.
+  std::map<int64_t, double> totals;
+  std::map<std::pair<int64_t, int64_t>, double> sums;
+  const Column& d1 = *f.ColumnByName("d1").value();
+  const Column& d2 = *f.ColumnByName("d2").value();
+  const Column& a = *f.ColumnByName("a").value();
+  for (size_t i = 0; i < f.num_rows(); ++i) {
+    if (a.IsNull(i)) continue;
+    totals[d1.Int64At(i)] += a.Float64At(i);
+    sums[{d1.Int64At(i), d2.Int64At(i)}] += a.Float64At(i);
+  }
+  ASSERT_TRUE(db.CreateTable("f", std::move(f)).ok());
+  Table t = db.Query("SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1").value();
+  const Column& rd1 = *t.ColumnByName("d1").value();
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    int64_t g = rd1.Int64At(i);
+    for (size_t c = 1; c < t.num_columns(); ++c) {
+      const std::string& name = t.schema().column(c).name;  // "d2=K"
+      int64_t k = std::stoll(name.substr(name.find('=') + 1));
+      double expected = sums.count({g, k}) ? sums[{g, k}] / totals[g] : 0.0;
+      ASSERT_FALSE(t.column(c).IsNull(i)) << g << "/" << name;
+      EXPECT_NEAR(t.column(c).Float64At(i), expected, 1e-9) << g << "/" << name;
+    }
+  }
+}
+
+TEST(HorizontalPlannerTest, RowPercentagesSumToOne) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(11)).ok());
+  Table t = db.Query("SELECT d1, Hpct(a BY d2, d3) FROM f GROUP BY d1").value();
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    double sum = 0;
+    for (size_t c = 1; c < t.num_columns(); ++c) {
+      ASSERT_FALSE(t.column(c).IsNull(i));
+      sum += t.column(c).Float64At(i);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(HorizontalPlannerTest, MissingCellsNullForHaggZeroPctForHpct) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(13)).ok());
+  // The hole: group d1=2 has no d2=3 rows.
+  Table hagg = db.Query("SELECT d1, sum(a BY d2) FROM f GROUP BY d1 "
+                        "ORDER BY d1")
+                   .value();
+  Table hpct = db.Query("SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1 "
+                        "ORDER BY d1")
+                   .value();
+  const Column* hole_sum = hagg.ColumnByName("d2=3").value();
+  const Column* hole_pct = hpct.ColumnByName("d2=3").value();
+  EXPECT_TRUE(hole_sum->IsNull(2));
+  ASSERT_FALSE(hole_pct->IsNull(2));
+  EXPECT_DOUBLE_EQ(hole_pct->Float64At(2), 0.0);
+}
+
+TEST(HorizontalPlannerTest, DefaultZeroCoalesces) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(13)).ok());
+  Table t = db.Query("SELECT d1, sum(a BY d2 DEFAULT 0) FROM f GROUP BY d1 "
+                     "ORDER BY d1")
+                .value();
+  const Column* hole = t.ColumnByName("d2=3").value();
+  ASSERT_FALSE(hole->IsNull(2));
+  EXPECT_DOUBLE_EQ(hole->Float64At(2), 0.0);
+}
+
+TEST(HorizontalPlannerTest, BinaryCodingIdiom) {
+  // DMKD Section 3.2: max(1 BY gender, marstatus DEFAULT 0) codes
+  // categorical attributes as binary columns.
+  PctDatabase db;
+  Table f(Schema({{"empId", DataType::kInt64},
+                  {"gender", DataType::kInt64},
+                  {"marstatus", DataType::kInt64},
+                  {"salary", DataType::kFloat64}}));
+  f.AppendRow({Value::Int64(1), Value::Int64(0), Value::Int64(0),
+               Value::Float64(30)});
+  f.AppendRow({Value::Int64(2), Value::Int64(1), Value::Int64(0),
+               Value::Float64(50)});
+  f.AppendRow({Value::Int64(3), Value::Int64(1), Value::Int64(1),
+               Value::Float64(40)});
+  ASSERT_TRUE(db.CreateTable("employee", std::move(f)).ok());
+  Table t = db.Query(
+                  "SELECT empId, max(1 BY gender, marstatus DEFAULT 0), "
+                  "sum(salary) AS salary FROM employee GROUP BY empId "
+                  "ORDER BY empId")
+                .value();
+  // Each employee has exactly one 1 across the binary columns.
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    double ones = 0;
+    for (size_t c = 1; c + 1 < t.num_columns(); ++c) {
+      double v = t.column(c).NumericAt(i);
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+      ones += v;
+    }
+    EXPECT_DOUBLE_EQ(ones, 1.0);
+  }
+}
+
+TEST(HorizontalPlannerTest, CountDistinct) {
+  PctDatabase db;
+  Table f(Schema({{"d1", DataType::kInt64},
+                  {"d2", DataType::kInt64},
+                  {"tid", DataType::kInt64}}));
+  // d1=1, d2=1: transactions {10, 10, 20} -> 2 distinct.
+  f.AppendRow({Value::Int64(1), Value::Int64(1), Value::Int64(10)});
+  f.AppendRow({Value::Int64(1), Value::Int64(1), Value::Int64(10)});
+  f.AppendRow({Value::Int64(1), Value::Int64(1), Value::Int64(20)});
+  f.AppendRow({Value::Int64(1), Value::Int64(2), Value::Int64(30)});
+  ASSERT_TRUE(db.CreateTable("f", std::move(f)).ok());
+  Table t = db.Query("SELECT d1, count(DISTINCT tid BY d2) FROM f "
+                     "GROUP BY d1")
+                .value();
+  EXPECT_EQ(t.ColumnByName("d2=1").value()->Int64At(0), 2);
+  EXPECT_EQ(t.ColumnByName("d2=2").value()->Int64At(0), 1);
+  // Indirect strategies are rejected for DISTINCT.
+  HorizontalStrategy from_fv;
+  from_fv.method = HorizontalMethod::kCaseFromFV;
+  EXPECT_FALSE(db.QueryHorizontal("SELECT d1, count(DISTINCT tid BY d2) "
+                                  "FROM f GROUP BY d1",
+                                  from_fv)
+                   .ok());
+}
+
+TEST(HorizontalPlannerTest, AvgWorksDirectAndViaAlgebraicDecomposition) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(3)).ok());
+  std::string sql = "SELECT d1, avg(a BY d2) FROM f GROUP BY d1";
+  Result<Table> direct = db.QueryHorizontal(sql, HorizontalStrategy{});
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  // avg is algebraic: the indirect strategies carry (sum, count) through FV
+  // and divide at the end — identical results.
+  for (HorizontalMethod method :
+       {HorizontalMethod::kCaseFromFV, HorizontalMethod::kSpjFromFV}) {
+    HorizontalStrategy from_fv;
+    from_fv.method = method;
+    Result<Table> indirect = db.QueryHorizontal(sql, from_fv);
+    ASSERT_TRUE(indirect.ok()) << indirect.status().ToString();
+    ExpectCellsEqual(Flatten(direct.value()), Flatten(indirect.value()),
+                     HorizontalMethodName(method));
+  }
+  EXPECT_TRUE(db.Query(sql).ok());
+}
+
+TEST(HorizontalPlannerTest, MultipleHorizontalTermsArePrefixed) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(5)).ok());
+  Table t = db.Query(
+                  "SELECT d1, sum(a BY d2) AS s2, count(* BY d3) AS c3, "
+                  "sum(a) AS total FROM f GROUP BY d1")
+                .value();
+  EXPECT_TRUE(t.schema().HasColumn("s2.d2=0"));
+  EXPECT_TRUE(t.schema().HasColumn("c3.d3=0"));
+  EXPECT_TRUE(t.schema().HasColumn("total"));
+}
+
+TEST(HorizontalPlannerTest, NoGroupByGivesSingleRow) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(6)).ok());
+  for (HorizontalMethod method :
+       {HorizontalMethod::kCaseDirect, HorizontalMethod::kSpjDirect}) {
+    HorizontalStrategy strategy;
+    strategy.method = method;
+    Result<Table> r =
+        db.QueryHorizontal("SELECT Hpct(a BY d2) FROM f", strategy);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r.value().num_rows(), 1u);
+    double sum = 0;
+    for (size_t c = 0; c < r.value().num_columns(); ++c) {
+      sum += r.value().column(c).Float64At(0);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << HorizontalMethodName(method);
+  }
+}
+
+TEST(HorizontalPlannerTest, MultiColumnBy) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(8)).ok());
+  Table t =
+      db.Query("SELECT d1, sum(a BY d2, d3) FROM f GROUP BY d1").value();
+  // Cell names carry both columns.
+  bool found = false;
+  for (size_t c = 1; c < t.num_columns(); ++c) {
+    if (t.schema().column(c).name.find("d2=") != std::string::npos &&
+        t.schema().column(c).name.find("d3=") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HorizontalPlannerTest, GeneratedSqlMentionsStrategy) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(9)).ok());
+  SelectStatement stmt =
+      ParseSelect("SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1").value();
+  AnalyzedQuery q =
+      Analyze(stmt, db.catalog().GetTable("f").value()->schema()).value();
+  HorizontalStrategy spj;
+  spj.method = HorizontalMethod::kSpjDirect;
+  EXPECT_NE(PlanHorizontalQuery(q, spj).value().ToSql().find("SPJ"),
+            std::string::npos);
+  HorizontalStrategy cse;
+  cse.method = HorizontalMethod::kCaseDirect;
+  EXPECT_NE(PlanHorizontalQuery(q, cse).value().ToSql().find("CASE WHEN"),
+            std::string::npos);
+}
+
+TEST(HorizontalPlannerTest, CleanupDropsTemporaries) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(10)).ok());
+  size_t before = db.catalog().TableNames().size();
+  for (HorizontalMethod method :
+       {HorizontalMethod::kCaseDirect, HorizontalMethod::kCaseFromFV,
+        HorizontalMethod::kSpjDirect, HorizontalMethod::kSpjFromFV}) {
+    HorizontalStrategy strategy;
+    strategy.method = method;
+    ASSERT_TRUE(db.QueryHorizontal("SELECT d1, Hpct(a BY d2) FROM f "
+                                   "GROUP BY d1",
+                                   strategy)
+                    .ok());
+    EXPECT_EQ(db.catalog().TableNames().size(), before)
+        << HorizontalMethodName(method);
+  }
+}
+
+}  // namespace
+}  // namespace pctagg

@@ -1,0 +1,183 @@
+// Integration tests: the paper's experimental queries end-to-end on
+// scaled-down versions of the employee/sales/transactionLine workloads —
+// the same query shapes the benchmark harnesses time, here checked for
+// correctness and cross-strategy agreement.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/database.h"
+#include "core/partition.h"
+#include "workload/generators.h"
+
+namespace pctagg {
+namespace {
+
+class PaperWorkloads : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("employee", GenerateEmployee(20000)).ok());
+    ASSERT_TRUE(db_.CreateTable("sales", GenerateSales(30000)).ok());
+    ASSERT_TRUE(
+        db_.CreateTable("transactionLine", GenerateTransactionLine(20000))
+            .ok());
+  }
+  PctDatabase db_;
+};
+
+// The eight Vpct query shapes of SIGMOD Table 4 (scaled down).
+const char* const kTable4Queries[] = {
+    "SELECT gender, Vpct(salary) AS pct FROM employee GROUP BY gender",
+    "SELECT gender, marstatus, Vpct(salary BY marstatus) AS pct "
+    "FROM employee GROUP BY gender, marstatus",
+    "SELECT gender, educat, marstatus, Vpct(salary BY educat, marstatus) AS "
+    "pct FROM employee GROUP BY gender, educat, marstatus",
+    "SELECT gender, educat, age, marstatus, Vpct(salary BY age, marstatus) "
+    "AS pct FROM employee GROUP BY gender, educat, age, marstatus",
+    "SELECT dweek, Vpct(salesAmt) AS pct FROM sales GROUP BY dweek",
+    "SELECT monthNo, dweek, Vpct(salesAmt BY dweek) AS pct FROM sales "
+    "GROUP BY monthNo, dweek",
+    "SELECT dept, dweek, monthNo, Vpct(salesAmt BY dweek, monthNo) AS pct "
+    "FROM sales GROUP BY dept, dweek, monthNo",
+    "SELECT dept, store, dweek, monthNo, Vpct(salesAmt BY dweek, monthNo) "
+    "AS pct FROM sales GROUP BY dept, store, dweek, monthNo",
+};
+
+TEST_F(PaperWorkloads, Table4QueriesRunUnderEveryStrategy) {
+  for (const char* sql : kTable4Queries) {
+    Result<Table> best = db_.QueryVpct(sql, VpctStrategy{});
+    ASSERT_TRUE(best.ok()) << sql << ": " << best.status().ToString();
+    EXPECT_GT(best.value().num_rows(), 0u) << sql;
+    for (int knob = 0; knob < 3; ++knob) {
+      VpctStrategy s;
+      if (knob == 0) s.matching_indexes = false;
+      if (knob == 1) s.insert_result = false;
+      if (knob == 2) s.fj_from_fk = false;
+      Result<Table> alt = db_.QueryVpct(sql, s);
+      ASSERT_TRUE(alt.ok()) << sql;
+      EXPECT_EQ(alt.value().num_rows(), best.value().num_rows()) << sql;
+    }
+  }
+}
+
+// The Hpct shapes of SIGMOD Table 5.
+const char* const kTable5Queries[] = {
+    "SELECT Hpct(salary BY gender) FROM employee",
+    "SELECT gender, Hpct(salary BY marstatus) FROM employee GROUP BY gender",
+    "SELECT gender, Hpct(salary BY educat, marstatus) FROM employee "
+    "GROUP BY gender",
+    "SELECT dweek, Hpct(salesAmt BY monthNo) FROM sales GROUP BY dweek",
+    "SELECT dept, Hpct(salesAmt BY dweek, monthNo) FROM sales GROUP BY dept",
+};
+
+TEST_F(PaperWorkloads, Table5StrategiesAgree) {
+  for (const char* sql : kTable5Queries) {
+    HorizontalStrategy direct;
+    direct.method = HorizontalMethod::kCaseDirect;
+    HorizontalStrategy via_fv;
+    via_fv.method = HorizontalMethod::kCaseFromFV;
+    Result<Table> a = db_.QueryHorizontal(sql, direct);
+    Result<Table> b = db_.QueryHorizontal(sql, via_fv);
+    ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
+    EXPECT_EQ(a.value().num_rows(), b.value().num_rows()) << sql;
+    EXPECT_EQ(a.value().num_columns(), b.value().num_columns()) << sql;
+  }
+}
+
+TEST_F(PaperWorkloads, Table6OlapBaselineMatches) {
+  const char* sql =
+      "SELECT monthNo, dweek, Vpct(salesAmt BY dweek) AS pct FROM sales "
+      "GROUP BY monthNo, dweek ORDER BY monthNo, dweek";
+  Table direct = db_.Query(sql).value();
+  Table olap = db_.QueryOlapBaseline(sql).value();
+  ASSERT_EQ(direct.num_rows(), olap.num_rows());
+  for (size_t i = 0; i < direct.num_rows(); ++i) {
+    EXPECT_NEAR(direct.ColumnByName("pct").value()->Float64At(i),
+                olap.ColumnByName("pct").value()->Float64At(i), 1e-9);
+  }
+}
+
+// DMKD Table 3 shapes on transactionLine.
+TEST_F(PaperWorkloads, DmkdSpjAndCaseAgree) {
+  const char* const queries[] = {
+      "SELECT sum(salesAmt BY regionId) FROM transactionLine",
+      "SELECT sum(salesAmt BY monthNo) FROM transactionLine",
+      "SELECT monthNo, sum(salesAmt BY dayOfWeekNo) FROM transactionLine "
+      "GROUP BY monthNo",
+      "SELECT deptId, sum(salesAmt BY dayOfWeekNo, monthNo) "
+      "FROM transactionLine GROUP BY deptId",
+  };
+  for (const char* sql : queries) {
+    std::map<std::string, Result<Table>> results;
+    for (HorizontalMethod method :
+         {HorizontalMethod::kSpjDirect, HorizontalMethod::kSpjFromFV,
+          HorizontalMethod::kCaseDirect, HorizontalMethod::kCaseFromFV}) {
+      HorizontalStrategy s;
+      s.method = method;
+      Result<Table> r = db_.QueryHorizontal(sql, s);
+      ASSERT_TRUE(r.ok()) << sql << " [" << HorizontalMethodName(method)
+                          << "]: " << r.status().ToString();
+      results.emplace(HorizontalMethodName(method), std::move(r));
+    }
+    const Table& ref = results.begin()->second.value();
+    for (const auto& [name, r] : results) {
+      EXPECT_EQ(r.value().num_rows(), ref.num_rows()) << sql << " " << name;
+      EXPECT_EQ(r.value().num_columns(), ref.num_columns())
+          << sql << " " << name;
+    }
+  }
+}
+
+TEST_F(PaperWorkloads, DmkdTabularDataSetExample) {
+  // DMKD Section 3.2's flagship query: one store per row with day-of-week
+  // sales, day-of-week transaction counts and total sales.
+  Result<Table> r = db_.Query(
+      "SELECT storeId, sum(salesAmt BY dayOfWeekNo) AS amt, "
+      "count(DISTINCT rid BY dayOfWeekNo) AS txn, "
+      "sum(salesAmt) AS total FROM transactionLine GROUP BY storeId "
+      "ORDER BY storeId");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Table& t = r.value();
+  EXPECT_EQ(t.num_rows(), 30u);  // storeId(30)
+  // storeId + 7 amt cells + 7 txn cells + total.
+  EXPECT_EQ(t.num_columns(), 16u);
+  // Row consistency: total = sum of the seven day cells.
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    double day_sum = 0;
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      const std::string& name = t.schema().column(c).name;
+      if (name.rfind("amt.", 0) == 0 && !t.column(c).IsNull(i)) {
+        day_sum += t.column(c).Float64At(i);
+      }
+    }
+    EXPECT_NEAR(day_sum, t.ColumnByName("total").value()->Float64At(i), 1e-6);
+  }
+}
+
+TEST_F(PaperWorkloads, EmployeeGenderSharesAreUniformish) {
+  Table t = db_.Query("SELECT gender, Vpct(salary) AS pct FROM employee "
+                      "GROUP BY gender")
+                .value();
+  ASSERT_EQ(t.num_rows(), 2u);
+  // Uniform gender, uniform salary: each share near 50%.
+  EXPECT_NEAR(t.ColumnByName("pct").value()->Float64At(0), 0.5, 0.05);
+}
+
+TEST_F(PaperWorkloads, WideHpctHitsManyColumnsAndPartitions) {
+  // dept(100) x dweek(7) would be 700 columns; partition at 64.
+  Table t = db_.Query("SELECT store, Hpct(salesAmt BY dept) FROM sales "
+                      "GROUP BY store")
+                .value();
+  EXPECT_GT(t.num_columns(), 90u);
+  std::vector<Table> parts = VerticallyPartition(t, {"store"}, 64).value();
+  EXPECT_GT(parts.size(), 1u);
+  for (const Table& p : parts) {
+    EXPECT_LE(p.num_columns(), 64u);
+    EXPECT_TRUE(p.schema().HasColumn("store"));
+  }
+}
+
+}  // namespace
+}  // namespace pctagg

@@ -1,0 +1,205 @@
+// Unit tests for HashJoin (inner and left outer), NULL-key semantics,
+// multi-match fan-out, prebuilt-index probing and the HashIndex itself.
+
+#include "engine/join.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/index.h"
+#include "engine/table.h"
+
+namespace pctagg {
+namespace {
+
+Table LeftTable() {
+  Table t(Schema({{"k", DataType::kInt64}, {"v", DataType::kFloat64}}));
+  t.AppendRow({Value::Int64(1), Value::Float64(10)});
+  t.AppendRow({Value::Int64(2), Value::Float64(20)});
+  t.AppendRow({Value::Int64(3), Value::Float64(30)});
+  t.AppendRow({Value::Null(), Value::Float64(40)});
+  return t;
+}
+
+Table RightTable() {
+  Table t(Schema({{"k", DataType::kInt64}, {"tot", DataType::kFloat64}}));
+  t.AppendRow({Value::Int64(1), Value::Float64(100)});
+  t.AppendRow({Value::Int64(2), Value::Float64(200)});
+  t.AppendRow({Value::Null(), Value::Float64(999)});
+  return t;
+}
+
+std::vector<JoinOutput> AllOutputs() {
+  return {JoinOutput::Left("k"), JoinOutput::Left("v"),
+          JoinOutput::Right("tot")};
+}
+
+TEST(JoinTest, InnerJoinDropsUnmatched) {
+  Table out = HashJoin(LeftTable(), RightTable(), {"k"}, {"k"},
+                       JoinKind::kInner, AllOutputs())
+                  .value();
+  EXPECT_EQ(out.num_rows(), 2u);  // k=3 and NULL keys drop
+  EXPECT_EQ(out.column(0).Int64At(0), 1);
+  EXPECT_DOUBLE_EQ(out.column(2).Float64At(0), 100.0);
+}
+
+TEST(JoinTest, LeftOuterKeepsUnmatchedWithNulls) {
+  Table out = HashJoin(LeftTable(), RightTable(), {"k"}, {"k"},
+                       JoinKind::kLeftOuter, AllOutputs())
+                  .value();
+  EXPECT_EQ(out.num_rows(), 4u);
+  // Row with k=3: right side NULL.
+  EXPECT_EQ(out.column(0).Int64At(2), 3);
+  EXPECT_TRUE(out.column(2).IsNull(2));
+  // NULL left key never matches (even though right has a NULL key row).
+  EXPECT_TRUE(out.column(0).IsNull(3));
+  EXPECT_TRUE(out.column(2).IsNull(3));
+}
+
+TEST(JoinTest, NullKeysNeverEqual) {
+  Table out = HashJoin(LeftTable(), RightTable(), {"k"}, {"k"},
+                       JoinKind::kInner, AllOutputs())
+                  .value();
+  for (size_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_FALSE(out.column(0).IsNull(i));
+  }
+}
+
+TEST(JoinTest, NullSafeModeMatchesNullKeys) {
+  // IS NOT DISTINCT FROM semantics: the NULL left key finds the NULL right
+  // key (used when joining on GROUP BY outputs where NULL is a group).
+  Table out = HashJoin(LeftTable(), RightTable(), {"k"}, {"k"},
+                       JoinKind::kLeftOuter, AllOutputs(), nullptr,
+                       /*null_safe=*/true)
+                  .value();
+  ASSERT_EQ(out.num_rows(), 4u);
+  EXPECT_TRUE(out.column(0).IsNull(3));
+  ASSERT_FALSE(out.column(2).IsNull(3));
+  EXPECT_DOUBLE_EQ(out.column(2).Float64At(3), 999.0);
+}
+
+TEST(JoinTest, MultiMatchFansOut) {
+  Table right(Schema({{"k", DataType::kInt64}, {"tot", DataType::kFloat64}}));
+  right.AppendRow({Value::Int64(1), Value::Float64(7)});
+  right.AppendRow({Value::Int64(1), Value::Float64(8)});
+  Table out = HashJoin(LeftTable(), right, {"k"}, {"k"}, JoinKind::kInner,
+                       AllOutputs())
+                  .value();
+  EXPECT_EQ(out.num_rows(), 2u);  // left k=1 matches twice
+}
+
+TEST(JoinTest, RenamedOutputs) {
+  Table out =
+      HashJoin(LeftTable(), RightTable(), {"k"}, {"k"}, JoinKind::kInner,
+               {JoinOutput::Left("k", "key"), JoinOutput::Right("tot", "t")})
+          .value();
+  EXPECT_TRUE(out.schema().HasColumn("key"));
+  EXPECT_TRUE(out.schema().HasColumn("t"));
+}
+
+TEST(JoinTest, DifferentKeyNamesAcrossSides) {
+  Table right(Schema({{"kk", DataType::kInt64}, {"tot", DataType::kFloat64}}));
+  right.AppendRow({Value::Int64(2), Value::Float64(5)});
+  Table out = HashJoin(LeftTable(), right, {"k"}, {"kk"}, JoinKind::kInner,
+                       {JoinOutput::Left("v"), JoinOutput::Right("tot")})
+                  .value();
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(out.column(0).Float64At(0), 20.0);
+}
+
+TEST(JoinTest, EmptyKeyListsRejected) {
+  EXPECT_FALSE(HashJoin(LeftTable(), RightTable(), {}, {}, JoinKind::kInner,
+                        AllOutputs())
+                   .ok());
+  EXPECT_FALSE(HashJoin(LeftTable(), RightTable(), {"k"}, {}, JoinKind::kInner,
+                        AllOutputs())
+                   .ok());
+}
+
+TEST(JoinTest, MatchingIndexProducesSameResult) {
+  Table right = RightTable();
+  HashIndex index = HashIndex::Build(right, {"k"}).value();
+  Table with = HashJoin(LeftTable(), right, {"k"}, {"k"}, JoinKind::kLeftOuter,
+                        AllOutputs(), &index)
+                   .value();
+  Table without = HashJoin(LeftTable(), right, {"k"}, {"k"},
+                           JoinKind::kLeftOuter, AllOutputs())
+                      .value();
+  ASSERT_EQ(with.num_rows(), without.num_rows());
+  for (size_t i = 0; i < with.num_rows(); ++i) {
+    EXPECT_EQ(with.GetRow(i), without.GetRow(i));
+  }
+}
+
+TEST(JoinTest, MismatchedIndexIsIgnoredNotMisused) {
+  Table right = RightTable();
+  // Index on the wrong column: the join must fall back to its own hash
+  // table, not probe garbage.
+  HashIndex index = HashIndex::Build(right, {"tot"}).value();
+  EXPECT_FALSE(IndexMatchesKeys(index, {"k"}));
+  Table out = HashJoin(LeftTable(), right, {"k"}, {"k"}, JoinKind::kInner,
+                       AllOutputs(), &index)
+                  .value();
+  EXPECT_EQ(out.num_rows(), 2u);
+}
+
+TEST(JoinTest, IndexMatchesKeysChecksNamesCaseInsensitively) {
+  Table right = RightTable();
+  HashIndex index = HashIndex::Build(right, {"k"}).value();
+  EXPECT_TRUE(IndexMatchesKeys(index, {"K"}));
+  EXPECT_FALSE(IndexMatchesKeys(index, {"k", "tot"}));
+}
+
+TEST(LookupColumnTest, FetchesTotalsPerRow) {
+  Column c = LookupColumn(LeftTable(), RightTable(), {"k"}, {"k"}, "tot")
+                 .value();
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c.Float64At(0), 100.0);
+  EXPECT_DOUBLE_EQ(c.Float64At(1), 200.0);
+  EXPECT_TRUE(c.IsNull(2));  // unmatched key
+  // NULL keys in the build side do match NULL probe keys byte-wise here;
+  // percentage plans never produce NULL subkeys in Fj, but the behaviour is
+  // defined: the NULL-keyed right row is found.
+  EXPECT_FALSE(c.IsNull(3));
+}
+
+TEST(LookupColumnTest, UsesMatchingIndex) {
+  Table right = RightTable();
+  HashIndex index = HashIndex::Build(right, {"k"}).value();
+  Column with =
+      LookupColumn(LeftTable(), right, {"k"}, {"k"}, "tot", &index).value();
+  Column without =
+      LookupColumn(LeftTable(), right, {"k"}, {"k"}, "tot").value();
+  ASSERT_EQ(with.size(), without.size());
+  for (size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with.GetValue(i), without.GetValue(i));
+  }
+}
+
+TEST(LookupColumnTest, RejectsBadArguments) {
+  EXPECT_FALSE(LookupColumn(LeftTable(), RightTable(), {}, {}, "tot").ok());
+  EXPECT_FALSE(
+      LookupColumn(LeftTable(), RightTable(), {"k"}, {"k"}, "zzz").ok());
+}
+
+TEST(HashIndexTest, LookupFindsAllRows) {
+  Table t(Schema({{"k", DataType::kInt64}}));
+  t.AppendRow({Value::Int64(5)});
+  t.AppendRow({Value::Int64(5)});
+  t.AppendRow({Value::Int64(6)});
+  HashIndex index = HashIndex::Build(t, {"k"}).value();
+  EXPECT_EQ(index.num_keys(), 2u);
+  std::string key;
+  t.AppendKeyBytes(0, {0}, &key);
+  const std::vector<size_t>* rows = index.Lookup(key);
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_EQ(index.Lookup("garbage"), nullptr);
+}
+
+TEST(HashIndexTest, UnknownColumnRejected) {
+  Table t(Schema({{"k", DataType::kInt64}}));
+  EXPECT_FALSE(HashIndex::Build(t, {"zzz"}).ok());
+}
+
+}  // namespace
+}  // namespace pctagg

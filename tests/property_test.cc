@@ -1,0 +1,225 @@
+// Property-based tests: randomized fact tables swept over seeds via
+// parameterized gtest. Invariants checked on every instance:
+//   P1  Vpct percentages within a totals group sum to 1 (when defined).
+//   P2  All Table-4 Vpct strategies produce identical result sets.
+//   P3  The OLAP window baseline produces the same answer set as Vpct.
+//   P4  All Table-5 / DMKD-Table-3 horizontal strategies agree.
+//   P5  Hpct rows sum to 1; Hpct cell (g, v) equals Vpct row (g, v).
+//   P6  Hagg cells reassemble the vertical aggregate (pivot is lossless).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "core/database.h"
+
+namespace pctagg {
+namespace {
+
+// Dimensions d1(4) x d2(5) x d3(3); ~8% NULL measures; positive amounts.
+Table RandomFact(uint64_t seed) {
+  Rng rng(seed);
+  size_t n = 200 + rng.Uniform(400);
+  Table t(Schema({{"d1", DataType::kInt64},
+                  {"d2", DataType::kInt64},
+                  {"d3", DataType::kInt64},
+                  {"a", DataType::kFloat64}}));
+  for (size_t i = 0; i < n; ++i) {
+    Value a = rng.Uniform(12) == 0
+                  ? Value::Null()
+                  : Value::Float64(std::round(rng.NextDouble() * 90.0) + 1.0);
+    t.AppendRow({Value::Int64(static_cast<int64_t>(rng.Uniform(4))),
+                 Value::Int64(static_cast<int64_t>(rng.Uniform(5))),
+                 Value::Int64(static_cast<int64_t>(rng.Uniform(3))), a});
+  }
+  return t;
+}
+
+using CellKey = std::pair<std::string, std::string>;
+
+// Flattens any result table to (row-key over leading int columns, column
+// name) -> value for order-insensitive comparison.
+std::map<CellKey, std::string> Fingerprint(const Table& t, size_t key_cols) {
+  std::map<CellKey, std::string> out;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    std::string rk;
+    for (size_t c = 0; c < key_cols; ++c) {
+      rk += t.column(c).GetValue(i).ToString() + "|";
+    }
+    for (size_t c = key_cols; c < t.num_columns(); ++c) {
+      Value v = t.column(c).GetValue(i);
+      std::string rendered;
+      if (v.is_null()) {
+        rendered = "NULL";
+      } else if (v.is_float64() || v.is_int64()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9f", v.AsDouble());
+        rendered = buf;
+      } else {
+        rendered = v.ToString();
+      }
+      out[{rk, t.schema().column(c).name}] = rendered;
+    }
+  }
+  return out;
+}
+
+class RandomizedSweep : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("f", RandomFact(GetParam())).ok());
+  }
+  PctDatabase db_;
+};
+
+TEST_P(RandomizedSweep, P1VpctGroupsSumToOne) {
+  Table t = db_.Query("SELECT d1, d2, Vpct(a BY d2) AS pct FROM f "
+                      "GROUP BY d1, d2")
+                .value();
+  std::map<int64_t, double> sums;
+  const Column& d1 = *t.ColumnByName("d1").value();
+  const Column& pct = *t.ColumnByName("pct").value();
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    ASSERT_FALSE(pct.IsNull(i));  // positive measures: always defined
+    EXPECT_GE(pct.Float64At(i), 0.0);
+    EXPECT_LE(pct.Float64At(i), 1.0 + 1e-12);
+    sums[d1.Int64At(i)] += pct.Float64At(i);
+  }
+  for (const auto& [g, s] : sums) EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST_P(RandomizedSweep, P2VpctStrategiesIdentical) {
+  const std::string sql =
+      "SELECT d1, d2, d3, Vpct(a BY d2, d3) AS pct FROM f "
+      "GROUP BY d1, d2, d3";
+  std::map<CellKey, std::string> reference;
+  bool first = true;
+  for (bool idx : {true, false}) {
+    for (bool ins : {true, false}) {
+      for (bool fjfk : {true, false}) {
+        VpctStrategy s;
+        s.matching_indexes = idx;
+        s.insert_result = ins;
+        s.fj_from_fk = fjfk;
+        Result<Table> r = db_.QueryVpct(sql, s);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        auto fp = Fingerprint(r.value(), 3);
+        if (first) {
+          reference = fp;
+          first = false;
+        } else {
+          EXPECT_EQ(fp, reference);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RandomizedSweep, P3OlapBaselineSameAnswerSet) {
+  const std::string sql =
+      "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2";
+  Table direct = db_.Query(sql).value();
+  Table olap = db_.QueryOlapBaseline(sql).value();
+  EXPECT_EQ(Fingerprint(direct, 2), Fingerprint(olap, 2));
+}
+
+TEST_P(RandomizedSweep, P4HorizontalStrategiesIdentical) {
+  const std::string sql = "SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1";
+  std::map<CellKey, std::string> reference;
+  bool first = true;
+  for (HorizontalMethod method :
+       {HorizontalMethod::kCaseDirect, HorizontalMethod::kCaseFromFV,
+        HorizontalMethod::kSpjDirect, HorizontalMethod::kSpjFromFV}) {
+    for (bool dispatch : {true, false}) {
+      HorizontalStrategy s;
+      s.method = method;
+      s.hash_dispatch = dispatch;
+      Result<Table> r = db_.QueryHorizontal(sql, s);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      auto fp = Fingerprint(r.value(), 1);
+      if (first) {
+        reference = fp;
+        first = false;
+      } else {
+        EXPECT_EQ(fp, reference) << HorizontalMethodName(method);
+      }
+    }
+  }
+}
+
+TEST_P(RandomizedSweep, P5HpctCellsMatchVpctRows) {
+  Table h = db_.Query("SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1").value();
+  Table v = db_.Query("SELECT d1, d2, Vpct(a BY d2) AS pct FROM f "
+                      "GROUP BY d1, d2")
+                .value();
+  std::map<std::pair<int64_t, int64_t>, double> vmap;
+  {
+    const Column& d1 = *v.ColumnByName("d1").value();
+    const Column& d2 = *v.ColumnByName("d2").value();
+    const Column& p = *v.ColumnByName("pct").value();
+    for (size_t i = 0; i < v.num_rows(); ++i) {
+      vmap[{d1.Int64At(i), d2.Int64At(i)}] = p.Float64At(i);
+    }
+  }
+  const Column& d1 = *h.ColumnByName("d1").value();
+  for (size_t i = 0; i < h.num_rows(); ++i) {
+    double row_sum = 0;
+    for (size_t c = 1; c < h.num_columns(); ++c) {
+      const std::string& name = h.schema().column(c).name;  // "d2=K"
+      int64_t k = std::stoll(name.substr(name.find('=') + 1));
+      double cell = h.column(c).Float64At(i);
+      row_sum += cell;
+      auto it = vmap.find({d1.Int64At(i), k});
+      if (it != vmap.end()) {
+        EXPECT_NEAR(cell, it->second, 1e-9);
+      } else {
+        EXPECT_DOUBLE_EQ(cell, 0.0);  // missing row <-> 0% cell
+      }
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-9);
+  }
+}
+
+TEST_P(RandomizedSweep, P6PivotIsLossless) {
+  Table h = db_.Query("SELECT d1, sum(a BY d2) FROM f GROUP BY d1").value();
+  Table v = db_.Query("SELECT d1, d2, sum(a) AS s FROM f GROUP BY d1, d2")
+                .value();
+  std::map<std::pair<int64_t, int64_t>, Value> vmap;
+  {
+    const Column& d1 = *v.ColumnByName("d1").value();
+    const Column& d2 = *v.ColumnByName("d2").value();
+    const Column& s = *v.ColumnByName("s").value();
+    for (size_t i = 0; i < v.num_rows(); ++i) {
+      vmap[{d1.Int64At(i), d2.Int64At(i)}] = s.GetValue(i);
+    }
+  }
+  size_t matched = 0;
+  const Column& d1 = *h.ColumnByName("d1").value();
+  for (size_t i = 0; i < h.num_rows(); ++i) {
+    for (size_t c = 1; c < h.num_columns(); ++c) {
+      const std::string& name = h.schema().column(c).name;
+      int64_t k = std::stoll(name.substr(name.find('=') + 1));
+      auto it = vmap.find({d1.Int64At(i), k});
+      if (it == vmap.end()) {
+        EXPECT_TRUE(h.column(c).IsNull(i));
+        continue;
+      }
+      ++matched;
+      if (it->second.is_null()) {
+        EXPECT_TRUE(h.column(c).IsNull(i));
+      } else {
+        ASSERT_FALSE(h.column(c).IsNull(i));
+        EXPECT_NEAR(h.column(c).Float64At(i), it->second.AsDouble(), 1e-9);
+      }
+    }
+  }
+  EXPECT_EQ(matched, vmap.size());  // every vertical row appears as a cell
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace pctagg

@@ -1,0 +1,123 @@
+// Tests for the cross-query shared-summary cache (the paper's future-work
+// "shared summaries" idea): repeated percentage queries on the same table
+// reuse the Fk aggregate; results are identical; invalidation works.
+
+#include "core/summary_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/database.h"
+
+namespace pctagg {
+namespace {
+
+Table RandomFact(uint64_t seed, size_t n = 500) {
+  Rng rng(seed);
+  Table t(Schema({{"d1", DataType::kInt64},
+                  {"d2", DataType::kInt64},
+                  {"a", DataType::kFloat64}}));
+  for (size_t i = 0; i < n; ++i) {
+    t.AppendRow({Value::Int64(static_cast<int64_t>(rng.Uniform(4))),
+                 Value::Int64(static_cast<int64_t>(rng.Uniform(5))),
+                 Value::Float64(1.0 + rng.NextDouble() * 9.0)});
+  }
+  return t;
+}
+
+constexpr char kSql[] =
+    "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2 "
+    "ORDER BY d1, d2";
+
+TEST(SummaryCacheTest, KeyNormalizesCase) {
+  EXPECT_EQ(SummaryCache::KeyFor("Sales", {"State", "City"}, "sum(a)"),
+            SummaryCache::KeyFor("sales", {"state", "city"}, "sum(a)"));
+  EXPECT_NE(SummaryCache::KeyFor("sales", {"state"}, "sum(a)"),
+            SummaryCache::KeyFor("sales", {"state"}, "sum(b)"));
+}
+
+TEST(SummaryCacheTest, LookupInsertInvalidate) {
+  SummaryCache cache;
+  std::string key = SummaryCache::KeyFor("f", {"d1"}, "sum(a)");
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  Table t(Schema({{"d1", DataType::kInt64}}));
+  t.AppendRow({Value::Int64(1)});
+  cache.Insert(key, t);
+  std::shared_ptr<const Table> hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->num_rows(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  // Unrelated table invalidation keeps the entry.
+  cache.InvalidateTable("other");
+  EXPECT_EQ(cache.size(), 1u);
+  cache.InvalidateTable("F");
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SummaryCacheTest, RepeatedQueriesHitTheCache) {
+  PctDatabase db;
+  db.EnableSummaryCache(true);
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(1)).ok());
+  Table first = db.Query(kSql).value();
+  EXPECT_EQ(db.summaries().hits(), 0u);
+  EXPECT_EQ(db.summaries().size(), 1u);
+  Table second = db.Query(kSql).value();
+  EXPECT_GE(db.summaries().hits(), 1u);
+  // Identical answers.
+  ASSERT_EQ(first.num_rows(), second.num_rows());
+  for (size_t i = 0; i < first.num_rows(); ++i) {
+    EXPECT_EQ(first.GetRow(i), second.GetRow(i));
+  }
+}
+
+TEST(SummaryCacheTest, DifferentStrategiesShareTheSummary) {
+  PctDatabase db;
+  db.EnableSummaryCache(true);
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(2)).ok());
+  ASSERT_TRUE(db.QueryVpct(kSql, VpctStrategy{}).ok());
+  VpctStrategy update_strategy;
+  update_strategy.insert_result = false;
+  Result<Table> r = db.QueryVpct(kSql, update_strategy);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(db.summaries().hits(), 1u);  // the UPDATE plan reused Fk
+}
+
+TEST(SummaryCacheTest, WhereClauseQueriesAreNotCached) {
+  PctDatabase db;
+  db.EnableSummaryCache(true);
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(3)).ok());
+  std::string sql =
+      "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f WHERE d1 <> 3 "
+      "GROUP BY d1, d2";
+  ASSERT_TRUE(db.Query(sql).ok());
+  EXPECT_EQ(db.summaries().size(), 0u);  // filtered scans are not shared
+}
+
+TEST(SummaryCacheTest, ReplaceTableInvalidates) {
+  PctDatabase db;
+  db.EnableSummaryCache(true);
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(4)).ok());
+  Table before = db.Query(kSql).value();
+  EXPECT_EQ(db.summaries().size(), 1u);
+  // Replace the base table with different content: the summary must go.
+  db.ReplaceTable("f", RandomFact(5));
+  EXPECT_EQ(db.summaries().size(), 0u);
+  Table after = db.Query(kSql).value();
+  // Different data, so at least one percentage differs.
+  bool any_diff = before.num_rows() != after.num_rows();
+  for (size_t i = 0; !any_diff && i < before.num_rows(); ++i) {
+    any_diff = !(before.GetRow(i) == after.GetRow(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SummaryCacheTest, DisabledByDefault) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(6)).ok());
+  ASSERT_TRUE(db.Query(kSql).ok());
+  EXPECT_EQ(db.summaries().size(), 0u);
+}
+
+}  // namespace
+}  // namespace pctagg

@@ -1,0 +1,169 @@
+// Unit tests for Schema, Table and Catalog.
+
+#include <gtest/gtest.h>
+
+#include "engine/catalog.h"
+#include "engine/table.h"
+
+namespace pctagg {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"d", DataType::kInt64}, {"a", DataType::kFloat64}});
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(s.FindColumn("D").value(), 0u);
+  EXPECT_EQ(s.FindColumn("a").value(), 1u);
+  EXPECT_EQ(s.FindColumn("x").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(s.HasColumn("A"));
+  EXPECT_FALSE(s.HasColumn("x"));
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(TwoColSchema().ToString(), "d INT64, a FLOAT64");
+}
+
+TEST(SchemaTest, RenameColumn) {
+  Schema s = TwoColSchema();
+  s.RenameColumn(1, "pct");
+  EXPECT_TRUE(s.HasColumn("pct"));
+  EXPECT_FALSE(s.HasColumn("a"));
+}
+
+TEST(TableTest, AppendRowTypeChecked) {
+  Table t(TwoColSchema());
+  EXPECT_TRUE(t.AppendRow({Value::Int64(1), Value::Float64(0.5)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value::Null()}).ok());
+  EXPECT_FALSE(t.AppendRow({Value::Int64(1)}).ok());  // arity
+  EXPECT_EQ(t.AppendRow({Value::String("x"), Value::Float64(0)}).code(),
+            StatusCode::kTypeMismatch);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, GetRowRoundTrips) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(7), Value::Null()}).ok());
+  std::vector<Value> row = t.GetRow(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], Value::Int64(7));
+  EXPECT_TRUE(row[1].is_null());
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(1), Value::Float64(2.0)}).ok());
+  EXPECT_DOUBLE_EQ(t.ColumnByName("A").value()->Float64At(0), 2.0);
+  EXPECT_FALSE(t.ColumnByName("zzz").ok());
+}
+
+TEST(TableTest, AppendRowFrom) {
+  Table src(TwoColSchema());
+  ASSERT_TRUE(src.AppendRow({Value::Int64(1), Value::Float64(2.0)}).ok());
+  Table dst(TwoColSchema());
+  dst.AppendRowFrom(src, 0);
+  EXPECT_EQ(dst.num_rows(), 1u);
+  EXPECT_EQ(dst.column(0).Int64At(0), 1);
+}
+
+TEST(TableTest, AddAndReplaceColumn) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(1), Value::Float64(2.0)}).ok());
+  Column extra(DataType::kInt64);
+  extra.AppendInt64(9);
+  EXPECT_TRUE(t.AddColumn({"x", DataType::kInt64}, extra).ok());
+  EXPECT_EQ(t.num_columns(), 3u);
+  // Length mismatch rejected.
+  Column wrong(DataType::kInt64);
+  EXPECT_FALSE(t.AddColumn({"y", DataType::kInt64}, wrong).ok());
+  // Replace keeps arity and length.
+  Column repl(DataType::kInt64);
+  repl.AppendInt64(5);
+  EXPECT_TRUE(t.ReplaceColumn(0, repl).ok());
+  EXPECT_EQ(t.column(0).Int64At(0), 5);
+  EXPECT_FALSE(t.ReplaceColumn(9, repl).ok());
+}
+
+TEST(TableTest, RenameColumn) {
+  Table t(TwoColSchema());
+  EXPECT_TRUE(t.RenameColumn(1, "pct").ok());
+  EXPECT_TRUE(t.schema().HasColumn("pct"));
+  EXPECT_FALSE(t.RenameColumn(7, "x").ok());
+}
+
+TEST(TableTest, KeyBytesOverColumnSubset) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(1), Value::Float64(2.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(1), Value::Float64(3.0)}).ok());
+  std::string k0, k1;
+  t.AppendKeyBytes(0, {0}, &k0);
+  t.AppendKeyBytes(1, {0}, &k1);
+  EXPECT_EQ(k0, k1);
+  k0.clear();
+  k1.clear();
+  t.AppendKeyBytes(0, {0, 1}, &k0);
+  t.AppendKeyBytes(1, {0, 1}, &k1);
+  EXPECT_NE(k0, k1);
+}
+
+TEST(TableTest, ToStringRendersHeaderAndRows) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(1), Value::Float64(0.5)}).ok());
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("d"), std::string::npos);
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t(TwoColSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int64(i), Value::Float64(i)}).ok());
+  }
+  std::string s = t.ToString(3);
+  EXPECT_NE(s.find("7 more rows"), std::string::npos);
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog c;
+  EXPECT_TRUE(c.CreateTable("t", Table(TwoColSchema())).ok());
+  EXPECT_TRUE(c.HasTable("T"));  // case-insensitive
+  EXPECT_TRUE(c.GetTable("t").ok());
+  EXPECT_EQ(c.CreateTable("T", Table(TwoColSchema())).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(c.DropTable("t").ok());
+  EXPECT_FALSE(c.HasTable("t"));
+  EXPECT_EQ(c.DropTable("t").code(), StatusCode::kNotFound);
+  EXPECT_EQ(c.GetTable("t").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, CreateOrReplace) {
+  Catalog c;
+  Table t1(TwoColSchema());
+  ASSERT_TRUE(t1.AppendRow({Value::Int64(1), Value::Float64(1)}).ok());
+  c.CreateOrReplaceTable("t", std::move(t1));
+  EXPECT_EQ(c.GetTable("t").value()->num_rows(), 1u);
+  c.CreateOrReplaceTable("t", Table(TwoColSchema()));
+  EXPECT_EQ(c.GetTable("t").value()->num_rows(), 0u);
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("b", Table(TwoColSchema())).ok());
+  ASSERT_TRUE(c.CreateTable("A", Table(TwoColSchema())).ok());
+  std::vector<std::string> names = c.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(CatalogTest, TempNamesUnique) {
+  Catalog c;
+  std::string n1 = c.TempName("Fk");
+  ASSERT_TRUE(c.CreateTable(n1, Table(TwoColSchema())).ok());
+  std::string n2 = c.TempName("Fk");
+  EXPECT_NE(n1, n2);
+}
+
+}  // namespace
+}  // namespace pctagg

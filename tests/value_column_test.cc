@@ -1,0 +1,163 @@
+// Unit tests for the Value scalar type and the typed nullable Column.
+
+#include <gtest/gtest.h>
+
+#include "engine/column.h"
+#include "engine/value.h"
+
+namespace pctagg {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int64());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value::Int64(42).int64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Float64(2.5).float64(), 2.5);
+  EXPECT_EQ(Value::String("x").string(), "x");
+}
+
+TEST(ValueTest, AsDoubleWidens) {
+  EXPECT_DOUBLE_EQ(Value::Int64(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Float64(3.5).AsDouble(), 3.5);
+}
+
+TEST(ValueTest, Matches) {
+  EXPECT_TRUE(Value::Int64(1).Matches(DataType::kInt64));
+  EXPECT_FALSE(Value::Int64(1).Matches(DataType::kString));
+  EXPECT_TRUE(Value::String("a").Matches(DataType::kString));
+  EXPECT_FALSE(Value::Null().Matches(DataType::kInt64));
+}
+
+TEST(ValueTest, SqlEqualsNullNeverEqual) {
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Null()));
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Int64(0)));
+}
+
+TEST(ValueTest, SqlEqualsCrossNumeric) {
+  EXPECT_TRUE(Value::Int64(2).SqlEquals(Value::Float64(2.0)));
+  EXPECT_FALSE(Value::Int64(2).SqlEquals(Value::Float64(2.5)));
+  EXPECT_FALSE(Value::Int64(2).SqlEquals(Value::String("2")));
+}
+
+TEST(ValueTest, ToStringQuotesStrings) {
+  EXPECT_EQ(Value::String("ab").ToString(), "'ab'");
+  EXPECT_EQ(Value::Int64(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Float64(0.25).ToString(), "0.25");
+}
+
+TEST(ColumnTest, AppendAndRead) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(1);
+  c.AppendNull();
+  c.AppendInt64(3);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_EQ(c.Int64At(0), 1);
+  EXPECT_EQ(c.Int64At(2), 3);
+  EXPECT_EQ(c.GetValue(1), Value::Null());
+  EXPECT_EQ(c.GetValue(2), Value::Int64(3));
+}
+
+TEST(ColumnTest, AppendValueTypeChecked) {
+  Column c(DataType::kString);
+  EXPECT_TRUE(c.AppendValue(Value::String("a")).ok());
+  EXPECT_TRUE(c.AppendValue(Value::Null()).ok());
+  Status bad = c.AppendValue(Value::Int64(1));
+  EXPECT_EQ(bad.code(), StatusCode::kTypeMismatch);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(ColumnTest, Float64AcceptsIntWidening) {
+  Column c(DataType::kFloat64);
+  EXPECT_TRUE(c.AppendValue(Value::Int64(2)).ok());
+  EXPECT_DOUBLE_EQ(c.Float64At(0), 2.0);
+}
+
+TEST(ColumnTest, NumericAt) {
+  Column i(DataType::kInt64);
+  i.AppendInt64(4);
+  EXPECT_DOUBLE_EQ(i.NumericAt(0), 4.0);
+  Column f(DataType::kFloat64);
+  f.AppendFloat64(1.5);
+  EXPECT_DOUBLE_EQ(f.NumericAt(0), 1.5);
+}
+
+TEST(ColumnTest, AppendFromCopiesAndWidens) {
+  Column src(DataType::kInt64);
+  src.AppendInt64(7);
+  src.AppendNull();
+  Column dst(DataType::kFloat64);
+  dst.AppendFrom(src, 0);
+  dst.AppendFrom(src, 1);
+  EXPECT_DOUBLE_EQ(dst.Float64At(0), 7.0);
+  EXPECT_TRUE(dst.IsNull(1));
+}
+
+TEST(ColumnTest, SetValue) {
+  Column c(DataType::kFloat64);
+  c.AppendFloat64(1.0);
+  c.AppendFloat64(2.0);
+  EXPECT_TRUE(c.SetValue(0, Value::Float64(9.0)).ok());
+  EXPECT_TRUE(c.SetValue(1, Value::Null()).ok());
+  EXPECT_DOUBLE_EQ(c.Float64At(0), 9.0);
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_FALSE(c.SetValue(5, Value::Float64(0)).ok());
+  EXPECT_EQ(c.SetValue(0, Value::String("x")).code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(ColumnTest, KeyBytesDistinguishValues) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(1);
+  c.AppendInt64(2);
+  c.AppendNull();
+  c.AppendInt64(1);
+  std::string k0, k1, k2, k3;
+  c.AppendKeyBytes(0, &k0);
+  c.AppendKeyBytes(1, &k1);
+  c.AppendKeyBytes(2, &k2);
+  c.AppendKeyBytes(3, &k3);
+  EXPECT_NE(k0, k1);
+  EXPECT_NE(k0, k2);
+  EXPECT_EQ(k0, k3);
+}
+
+TEST(ColumnTest, KeyBytesNullDistinctFromZero) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(0);
+  c.AppendNull();
+  std::string zero, null;
+  c.AppendKeyBytes(0, &zero);
+  c.AppendKeyBytes(1, &null);
+  EXPECT_NE(zero, null);
+}
+
+TEST(ColumnTest, KeyBytesStringsWithEmbeddedData) {
+  Column c(DataType::kString);
+  c.AppendString("ab");
+  c.AppendString("a");
+  c.AppendString("b");
+  std::string ka, kb, kc;
+  c.AppendKeyBytes(0, &ka);
+  c.AppendKeyBytes(1, &kb);
+  c.AppendKeyBytes(2, &kc);
+  EXPECT_NE(ka, kb);
+  EXPECT_NE(kb, kc);
+  // Length prefix prevents "ab"+"c" colliding with "a"+"bc" across columns.
+  std::string two_cols_1 = ka;
+  c.AppendKeyBytes(2, &two_cols_1);  // "ab","b"
+  std::string two_cols_2 = kb;
+  Column d(DataType::kString);
+  d.AppendString("bb");
+  d.AppendKeyBytes(0, &two_cols_2);  // "a","bb"
+  EXPECT_NE(two_cols_1, two_cols_2);
+}
+
+}  // namespace
+}  // namespace pctagg

@@ -1,0 +1,119 @@
+// Tests for the synthetic workload generators: schema shape, cardinalities
+// matching the paper, determinism and value ranges.
+
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+namespace pctagg {
+namespace {
+
+size_t DistinctCount(const Table& t, const std::string& column) {
+  size_t idx = t.schema().FindColumn(column).value();
+  std::unordered_set<std::string> seen;
+  std::string key;
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    key.clear();
+    t.column(idx).AppendKeyBytes(row, &key);
+    seen.insert(key);
+  }
+  return seen.size();
+}
+
+TEST(WorkloadTest, EmployeeCardinalitiesMatchPaper) {
+  Table t = GenerateEmployee(20000);
+  EXPECT_EQ(t.num_rows(), 20000u);
+  EXPECT_EQ(DistinctCount(t, "gender"), 2u);
+  EXPECT_EQ(DistinctCount(t, "marstatus"), 4u);
+  EXPECT_EQ(DistinctCount(t, "educat"), 5u);
+  EXPECT_EQ(DistinctCount(t, "age"), 100u);
+}
+
+TEST(WorkloadTest, SalesCardinalitiesMatchPaper) {
+  Table t = GenerateSales(30000);
+  EXPECT_EQ(DistinctCount(t, "dweek"), 7u);
+  EXPECT_EQ(DistinctCount(t, "monthNo"), 12u);
+  EXPECT_EQ(DistinctCount(t, "store"), 100u);
+  EXPECT_EQ(DistinctCount(t, "city"), 20u);
+  EXPECT_EQ(DistinctCount(t, "state"), 5u);
+  EXPECT_EQ(DistinctCount(t, "dept"), 100u);
+  // transactionId is unique per row.
+  EXPECT_EQ(DistinctCount(t, "transactionId"), 30000u);
+}
+
+TEST(WorkloadTest, TransactionLineCardinalitiesMatchDmkd) {
+  Table t = GenerateTransactionLine(30000);
+  EXPECT_EQ(DistinctCount(t, "deptId"), 10u);
+  EXPECT_EQ(DistinctCount(t, "subdeptId"), 100u);
+  EXPECT_EQ(DistinctCount(t, "yearNo"), 4u);
+  EXPECT_EQ(DistinctCount(t, "monthNo"), 12u);
+  EXPECT_EQ(DistinctCount(t, "dayOfWeekNo"), 7u);
+  EXPECT_EQ(DistinctCount(t, "regionId"), 4u);
+  EXPECT_EQ(DistinctCount(t, "stateId"), 10u);
+  EXPECT_EQ(DistinctCount(t, "cityId"), 20u);
+  EXPECT_EQ(DistinctCount(t, "storeId"), 30u);
+}
+
+TEST(WorkloadTest, CensusLikeIsSkewed) {
+  Table t = GenerateCensusLike(20000);
+  EXPECT_EQ(DistinctCount(t, "iSex"), 2u);
+  EXPECT_LE(DistinctCount(t, "iSchool"), 17u);
+  EXPECT_LE(DistinctCount(t, "dAge"), 91u);
+  // Skew: the most common iClass value dominates a uniform share.
+  size_t idx = t.schema().FindColumn("iClass").value();
+  std::map<int64_t, size_t> counts;
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    counts[t.column(idx).Int64At(row)]++;
+  }
+  size_t max_count = 0;
+  for (const auto& [v, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, t.num_rows() / 9 * 2);
+}
+
+TEST(WorkloadTest, GeneratorsAreDeterministic) {
+  Table a = GenerateSales(1000);
+  Table b = GenerateSales(1000);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); i += 97) {
+    EXPECT_EQ(a.GetRow(i), b.GetRow(i));
+  }
+  Table c = GenerateSales(1000, /*seed=*/999);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.num_rows() && !any_diff; ++i) {
+    any_diff = !(a.GetRow(i) == c.GetRow(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, MeasuresArePositive) {
+  Table t = GenerateSales(2000);
+  const Column& amt = *t.ColumnByName("salesAmt").value();
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    ASSERT_FALSE(amt.IsNull(i));
+    EXPECT_GT(amt.Float64At(i), 0.0);
+  }
+}
+
+TEST(WorkloadTest, PaperExampleSalesMatchesTable1) {
+  Table t = PaperExampleSales();
+  ASSERT_EQ(t.num_rows(), 10u);
+  EXPECT_EQ(t.column(1).StringAt(0), "CA");
+  EXPECT_EQ(t.column(2).StringAt(8), "Dallas");
+  EXPECT_DOUBLE_EQ(t.column(3).Float64At(2), 67.0);
+}
+
+TEST(WorkloadTest, PaperExampleStoreSalesHasMondayHole) {
+  Table t = PaperExampleStoreSales();
+  const Column& store = *t.ColumnByName("store").value();
+  const Column& dweek = *t.ColumnByName("dweek").value();
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_FALSE(store.Int64At(i) == 4 && dweek.Int64At(i) == 1)
+        << "store 4 must have no Monday rows";
+  }
+}
+
+}  // namespace
+}  // namespace pctagg

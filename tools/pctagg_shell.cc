@@ -1,0 +1,196 @@
+// pctagg_shell — an interactive (or piped) SQL shell for the percentage
+// aggregation library.
+//
+//   $ ./build/tools/pctagg_shell
+//   pctagg> .load sales data/sales.csv
+//   pctagg> SELECT state, city, Vpct(salesAmt BY city)
+//      ...> FROM sales GROUP BY state, city;
+//   pctagg> .explain SELECT store, Hpct(salesAmt BY dweek) FROM sales
+//                    GROUP BY store;
+//
+// Statements may span lines and end with ';'. Dot-commands are single-line:
+//   .help                      this text
+//   .tables                    list tables
+//   .schema <table>            show a table's columns
+//   .load <table> <file.csv>   load a CSV file (schema inferred)
+//   .save <table> <file.csv>   write a table to CSV
+//   .gen <employee|sales|transactionline|census> <name> <rows>
+//                              create a synthetic paper workload table
+//   .explain <sql>             print the generated evaluation script
+//   .olap <sql>                run a Vpct query via the OLAP window baseline
+//   .cache <on|off>            toggle the shared-summary cache
+//   .quit                      exit
+
+#include <cstdio>
+#include <unistd.h>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/csv.h"
+#include "pctagg.h"
+#include "workload/generators.h"
+
+namespace {
+
+using pctagg::PctDatabase;
+using pctagg::Result;
+using pctagg::Status;
+using pctagg::Table;
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> words;
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+void PrintStatus(const Status& status) {
+  std::printf("error: %s\n", status.ToString().c_str());
+}
+
+void RunDotCommand(PctDatabase* db, const std::string& line) {
+  std::vector<std::string> words = SplitWords(line);
+  const std::string& cmd = words[0];
+  if (cmd == ".help") {
+    std::printf(
+        ".tables | .schema <t> | .load <t> <csv> | .save <t> <csv> |\n"
+        ".gen <kind> <name> <rows> | .explain <sql> | .olap <sql> |\n"
+        ".cache on|off | .quit — SQL statements end with ';'\n");
+    return;
+  }
+  if (cmd == ".tables") {
+    for (const std::string& name : db->catalog().TableNames()) {
+      Result<Table*> t = db->catalog().GetTable(name);
+      std::printf("%s (%zu rows, %zu columns)\n", name.c_str(),
+                  t.ok() ? (*t)->num_rows() : 0,
+                  t.ok() ? (*t)->num_columns() : 0);
+    }
+    return;
+  }
+  if (cmd == ".schema" && words.size() == 2) {
+    Result<Table*> t = db->catalog().GetTable(words[1]);
+    if (!t.ok()) {
+      PrintStatus(t.status());
+      return;
+    }
+    std::printf("%s(%s)\n", words[1].c_str(),
+                (*t)->schema().ToString().c_str());
+    return;
+  }
+  if (cmd == ".load" && words.size() == 3) {
+    Result<Table> t = pctagg::ReadCsvFileAuto(words[2]);
+    if (!t.ok()) {
+      PrintStatus(t.status());
+      return;
+    }
+    size_t rows = t.value().num_rows();
+    db->ReplaceTable(words[1], std::move(t).value());
+    std::printf("loaded %zu rows into %s\n", rows, words[1].c_str());
+    return;
+  }
+  if (cmd == ".save" && words.size() == 3) {
+    Result<Table*> t = db->catalog().GetTable(words[1]);
+    if (!t.ok()) {
+      PrintStatus(t.status());
+      return;
+    }
+    Status s = pctagg::WriteCsvFile(**t, words[2]);
+    if (!s.ok()) {
+      PrintStatus(s);
+      return;
+    }
+    std::printf("wrote %zu rows to %s\n", (*t)->num_rows(), words[2].c_str());
+    return;
+  }
+  if (cmd == ".gen" && words.size() == 4) {
+    size_t n = static_cast<size_t>(std::atoll(words[3].c_str()));
+    std::string kind = pctagg::ToLower(words[1]);
+    Table t;
+    if (kind == "employee") {
+      t = pctagg::GenerateEmployee(n);
+    } else if (kind == "sales") {
+      t = pctagg::GenerateSales(n);
+    } else if (kind == "transactionline") {
+      t = pctagg::GenerateTransactionLine(n);
+    } else if (kind == "census") {
+      t = pctagg::GenerateCensusLike(n);
+    } else {
+      std::printf("unknown workload kind: %s\n", words[1].c_str());
+      return;
+    }
+    db->ReplaceTable(words[2], std::move(t));
+    std::printf("generated %zu %s rows into %s\n", n, kind.c_str(),
+                words[2].c_str());
+    return;
+  }
+  if (cmd == ".explain") {
+    std::string sql = line.substr(cmd.size());
+    Result<std::string> script = db->Explain(sql);
+    if (!script.ok()) {
+      PrintStatus(script.status());
+      return;
+    }
+    std::fputs(script->c_str(), stdout);
+    return;
+  }
+  if (cmd == ".olap") {
+    std::string sql = line.substr(cmd.size());
+    Result<Table> t = db->QueryOlapBaseline(sql);
+    if (!t.ok()) {
+      PrintStatus(t.status());
+      return;
+    }
+    std::fputs(t->ToString().c_str(), stdout);
+    return;
+  }
+  if (cmd == ".cache" && words.size() == 2) {
+    db->EnableSummaryCache(words[1] == "on");
+    std::printf("summary cache %s\n", words[1] == "on" ? "enabled" : "disabled");
+    return;
+  }
+  std::printf("unrecognized command (try .help): %s\n", line.c_str());
+}
+
+}  // namespace
+
+int main() {
+  PctDatabase db;
+  std::string pending;
+  std::string line;
+  bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf("pctagg shell — Vpct/Hpct percentage aggregations. "
+                ".help for commands.\n");
+  }
+  while (true) {
+    if (interactive) {
+      std::fputs(pending.empty() ? "pctagg> " : "   ...> ", stdout);
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    // Dot commands are single-line and only valid with no pending SQL.
+    if (pending.empty() && !line.empty() && line[0] == '.') {
+      if (line == ".quit" || line == ".exit") break;
+      RunDotCommand(&db, line);
+      continue;
+    }
+    pending += line;
+    pending.push_back('\n');
+    if (line.find(';') == std::string::npos) continue;
+    std::string sql;
+    sql.swap(pending);
+    if (sql.find_first_not_of(" \t\n;") == std::string::npos) continue;
+    Result<Table> result = db.Query(sql);
+    if (!result.ok()) {
+      PrintStatus(result.status());
+      continue;
+    }
+    std::fputs(result->ToString().c_str(), stdout);
+    std::printf("(%zu rows)\n", result->num_rows());
+  }
+  return 0;
+}
