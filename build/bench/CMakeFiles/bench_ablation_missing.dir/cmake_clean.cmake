@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_missing.dir/bench_ablation_missing.cc.o"
+  "CMakeFiles/bench_ablation_missing.dir/bench_ablation_missing.cc.o.d"
+  "bench_ablation_missing"
+  "bench_ablation_missing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_missing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

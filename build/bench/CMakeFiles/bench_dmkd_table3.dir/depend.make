@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dmkd_table3.
+# This may be replaced when dependencies are built.

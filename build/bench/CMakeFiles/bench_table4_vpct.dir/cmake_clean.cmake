@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_vpct.dir/bench_table4_vpct.cc.o"
+  "CMakeFiles/bench_table4_vpct.dir/bench_table4_vpct.cc.o.d"
+  "bench_table4_vpct"
+  "bench_table4_vpct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_vpct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_hpct.dir/bench_table5_hpct.cc.o"
+  "CMakeFiles/bench_table5_hpct.dir/bench_table5_hpct.cc.o.d"
+  "bench_table5_hpct"
+  "bench_table5_hpct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_hpct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_olap.dir/bench_table6_olap.cc.o"
+  "CMakeFiles/bench_table6_olap.dir/bench_table6_olap.cc.o.d"
+  "bench_table6_olap"
+  "bench_table6_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datamining_prep.dir/datamining_prep.cpp.o"
+  "CMakeFiles/datamining_prep.dir/datamining_prep.cpp.o.d"
+  "datamining_prep"
+  "datamining_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datamining_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

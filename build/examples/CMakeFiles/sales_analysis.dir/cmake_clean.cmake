@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sales_analysis.dir/sales_analysis.cpp.o"
+  "CMakeFiles/sales_analysis.dir/sales_analysis.cpp.o.d"
+  "sales_analysis"
+  "sales_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sales_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

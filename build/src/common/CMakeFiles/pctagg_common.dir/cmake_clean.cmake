@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pctagg_common.dir/rng.cc.o"
+  "CMakeFiles/pctagg_common.dir/rng.cc.o.d"
+  "CMakeFiles/pctagg_common.dir/status.cc.o"
+  "CMakeFiles/pctagg_common.dir/status.cc.o.d"
+  "CMakeFiles/pctagg_common.dir/string_util.cc.o"
+  "CMakeFiles/pctagg_common.dir/string_util.cc.o.d"
+  "libpctagg_common.a"
+  "libpctagg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pctagg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

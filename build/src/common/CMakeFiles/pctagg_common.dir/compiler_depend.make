@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pctagg_common.
+# This may be replaced when dependencies are built.

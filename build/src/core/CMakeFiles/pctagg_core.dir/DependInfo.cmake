@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/pctagg_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/pctagg_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/pctagg_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/pctagg_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/pctagg_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/pctagg_core.dir/database.cc.o.d"
+  "/root/repo/src/core/horizontal_planner.cc" "src/core/CMakeFiles/pctagg_core.dir/horizontal_planner.cc.o" "gcc" "src/core/CMakeFiles/pctagg_core.dir/horizontal_planner.cc.o.d"
+  "/root/repo/src/core/missing_rows.cc" "src/core/CMakeFiles/pctagg_core.dir/missing_rows.cc.o" "gcc" "src/core/CMakeFiles/pctagg_core.dir/missing_rows.cc.o.d"
+  "/root/repo/src/core/olap_planner.cc" "src/core/CMakeFiles/pctagg_core.dir/olap_planner.cc.o" "gcc" "src/core/CMakeFiles/pctagg_core.dir/olap_planner.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/pctagg_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/pctagg_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/pctagg_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/pctagg_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/summary_cache.cc" "src/core/CMakeFiles/pctagg_core.dir/summary_cache.cc.o" "gcc" "src/core/CMakeFiles/pctagg_core.dir/summary_cache.cc.o.d"
+  "/root/repo/src/core/vpct_planner.cc" "src/core/CMakeFiles/pctagg_core.dir/vpct_planner.cc.o" "gcc" "src/core/CMakeFiles/pctagg_core.dir/vpct_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pctagg_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/pctagg_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pctagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

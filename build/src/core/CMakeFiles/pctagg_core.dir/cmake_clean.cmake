@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pctagg_core.dir/advisor.cc.o"
+  "CMakeFiles/pctagg_core.dir/advisor.cc.o.d"
+  "CMakeFiles/pctagg_core.dir/cost_model.cc.o"
+  "CMakeFiles/pctagg_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/pctagg_core.dir/database.cc.o"
+  "CMakeFiles/pctagg_core.dir/database.cc.o.d"
+  "CMakeFiles/pctagg_core.dir/horizontal_planner.cc.o"
+  "CMakeFiles/pctagg_core.dir/horizontal_planner.cc.o.d"
+  "CMakeFiles/pctagg_core.dir/missing_rows.cc.o"
+  "CMakeFiles/pctagg_core.dir/missing_rows.cc.o.d"
+  "CMakeFiles/pctagg_core.dir/olap_planner.cc.o"
+  "CMakeFiles/pctagg_core.dir/olap_planner.cc.o.d"
+  "CMakeFiles/pctagg_core.dir/partition.cc.o"
+  "CMakeFiles/pctagg_core.dir/partition.cc.o.d"
+  "CMakeFiles/pctagg_core.dir/plan.cc.o"
+  "CMakeFiles/pctagg_core.dir/plan.cc.o.d"
+  "CMakeFiles/pctagg_core.dir/summary_cache.cc.o"
+  "CMakeFiles/pctagg_core.dir/summary_cache.cc.o.d"
+  "CMakeFiles/pctagg_core.dir/vpct_planner.cc.o"
+  "CMakeFiles/pctagg_core.dir/vpct_planner.cc.o.d"
+  "libpctagg_core.a"
+  "libpctagg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pctagg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

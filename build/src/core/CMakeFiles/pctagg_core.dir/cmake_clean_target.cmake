@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpctagg_core.a"
+)

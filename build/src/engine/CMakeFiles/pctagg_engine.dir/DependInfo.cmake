@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/aggregate.cc" "src/engine/CMakeFiles/pctagg_engine.dir/aggregate.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/aggregate.cc.o.d"
+  "/root/repo/src/engine/catalog.cc" "src/engine/CMakeFiles/pctagg_engine.dir/catalog.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/catalog.cc.o.d"
+  "/root/repo/src/engine/column.cc" "src/engine/CMakeFiles/pctagg_engine.dir/column.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/column.cc.o.d"
+  "/root/repo/src/engine/csv.cc" "src/engine/CMakeFiles/pctagg_engine.dir/csv.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/csv.cc.o.d"
+  "/root/repo/src/engine/data_type.cc" "src/engine/CMakeFiles/pctagg_engine.dir/data_type.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/data_type.cc.o.d"
+  "/root/repo/src/engine/expression.cc" "src/engine/CMakeFiles/pctagg_engine.dir/expression.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/expression.cc.o.d"
+  "/root/repo/src/engine/index.cc" "src/engine/CMakeFiles/pctagg_engine.dir/index.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/index.cc.o.d"
+  "/root/repo/src/engine/join.cc" "src/engine/CMakeFiles/pctagg_engine.dir/join.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/join.cc.o.d"
+  "/root/repo/src/engine/pivot.cc" "src/engine/CMakeFiles/pctagg_engine.dir/pivot.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/pivot.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/pctagg_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/table.cc.o.d"
+  "/root/repo/src/engine/table_ops.cc" "src/engine/CMakeFiles/pctagg_engine.dir/table_ops.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/table_ops.cc.o.d"
+  "/root/repo/src/engine/update.cc" "src/engine/CMakeFiles/pctagg_engine.dir/update.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/update.cc.o.d"
+  "/root/repo/src/engine/value.cc" "src/engine/CMakeFiles/pctagg_engine.dir/value.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/value.cc.o.d"
+  "/root/repo/src/engine/window.cc" "src/engine/CMakeFiles/pctagg_engine.dir/window.cc.o" "gcc" "src/engine/CMakeFiles/pctagg_engine.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pctagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pctagg_engine.dir/aggregate.cc.o"
+  "CMakeFiles/pctagg_engine.dir/aggregate.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/catalog.cc.o"
+  "CMakeFiles/pctagg_engine.dir/catalog.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/column.cc.o"
+  "CMakeFiles/pctagg_engine.dir/column.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/csv.cc.o"
+  "CMakeFiles/pctagg_engine.dir/csv.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/data_type.cc.o"
+  "CMakeFiles/pctagg_engine.dir/data_type.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/expression.cc.o"
+  "CMakeFiles/pctagg_engine.dir/expression.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/index.cc.o"
+  "CMakeFiles/pctagg_engine.dir/index.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/join.cc.o"
+  "CMakeFiles/pctagg_engine.dir/join.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/pivot.cc.o"
+  "CMakeFiles/pctagg_engine.dir/pivot.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/table.cc.o"
+  "CMakeFiles/pctagg_engine.dir/table.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/table_ops.cc.o"
+  "CMakeFiles/pctagg_engine.dir/table_ops.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/update.cc.o"
+  "CMakeFiles/pctagg_engine.dir/update.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/value.cc.o"
+  "CMakeFiles/pctagg_engine.dir/value.cc.o.d"
+  "CMakeFiles/pctagg_engine.dir/window.cc.o"
+  "CMakeFiles/pctagg_engine.dir/window.cc.o.d"
+  "libpctagg_engine.a"
+  "libpctagg_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pctagg_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pctagg_sql.dir/analyzer.cc.o"
+  "CMakeFiles/pctagg_sql.dir/analyzer.cc.o.d"
+  "CMakeFiles/pctagg_sql.dir/ast.cc.o"
+  "CMakeFiles/pctagg_sql.dir/ast.cc.o.d"
+  "CMakeFiles/pctagg_sql.dir/lexer.cc.o"
+  "CMakeFiles/pctagg_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/pctagg_sql.dir/parser.cc.o"
+  "CMakeFiles/pctagg_sql.dir/parser.cc.o.d"
+  "libpctagg_sql.a"
+  "libpctagg_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pctagg_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

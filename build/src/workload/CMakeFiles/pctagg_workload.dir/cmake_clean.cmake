@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pctagg_workload.dir/generators.cc.o"
+  "CMakeFiles/pctagg_workload.dir/generators.cc.o.d"
+  "libpctagg_workload.a"
+  "libpctagg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pctagg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

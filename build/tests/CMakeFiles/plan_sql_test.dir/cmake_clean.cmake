@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_sql_test.dir/plan_sql_test.cc.o"
+  "CMakeFiles/plan_sql_test.dir/plan_sql_test.cc.o.d"
+  "plan_sql_test"
+  "plan_sql_test.pdb"
+  "plan_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

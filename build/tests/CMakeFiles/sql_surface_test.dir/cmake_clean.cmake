@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_surface_test.dir/sql_surface_test.cc.o"
+  "CMakeFiles/sql_surface_test.dir/sql_surface_test.cc.o.d"
+  "sql_surface_test"
+  "sql_surface_test.pdb"
+  "sql_surface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_surface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_cache_test.dir/summary_cache_test.cc.o"
+  "CMakeFiles/summary_cache_test.dir/summary_cache_test.cc.o.d"
+  "summary_cache_test"
+  "summary_cache_test.pdb"
+  "summary_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

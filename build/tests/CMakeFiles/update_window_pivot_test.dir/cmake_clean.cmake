@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_window_pivot_test.dir/update_window_pivot_test.cc.o"
+  "CMakeFiles/update_window_pivot_test.dir/update_window_pivot_test.cc.o.d"
+  "update_window_pivot_test"
+  "update_window_pivot_test.pdb"
+  "update_window_pivot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_window_pivot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpct_planner_test.dir/vpct_planner_test.cc.o"
+  "CMakeFiles/vpct_planner_test.dir/vpct_planner_test.cc.o.d"
+  "vpct_planner_test"
+  "vpct_planner_test.pdb"
+  "vpct_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpct_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

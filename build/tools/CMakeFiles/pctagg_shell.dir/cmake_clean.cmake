@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pctagg_shell.dir/pctagg_shell.cc.o"
+  "CMakeFiles/pctagg_shell.dir/pctagg_shell.cc.o.d"
+  "pctagg_shell"
+  "pctagg_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pctagg_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
