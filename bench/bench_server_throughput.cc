@@ -1,0 +1,174 @@
+// bench_server_throughput — drives the pctagg query service with N client
+// threads of mixed Vpct / Hpct / OLAP-baseline traffic over real loopback
+// TCP and reports queries/sec plus latency percentiles as JSON
+// (BENCH_server.json, also echoed to stdout).
+//
+// Environment knobs:
+//   PCTAGG_SERVER_BENCH_CLIENTS  concurrent client threads (default 8)
+//   PCTAGG_SERVER_BENCH_QUERIES  queries per client        (default 25)
+//   PCTAGG_SERVER_BENCH_ROWS     fact-table rows           (default 50000)
+//   PCTAGG_SERVER_BENCH_CACHE    1 = enable the summary cache (default 0)
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/generators.h"
+
+namespace {
+
+using pctagg::PctClient;
+using pctagg::PctDatabase;
+using pctagg::RequestVerb;
+using pctagg::Result;
+using pctagg::ServerConfig;
+using pctagg::WireResponse;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  long long n = std::atoll(v);
+  return n > 0 ? static_cast<size_t>(n) : fallback;
+}
+
+// The mixed workload: two verticals, one horizontal, one OLAP baseline.
+struct BenchQuery {
+  RequestVerb verb;
+  const char* sql;
+};
+
+constexpr BenchQuery kQueries[] = {
+    {RequestVerb::kQuery,
+     "SELECT state, city, Vpct(salesAmt BY city) AS pct FROM sales "
+     "GROUP BY state, city"},
+    {RequestVerb::kQuery,
+     "SELECT dweek, Vpct(salesAmt BY dweek) AS pct FROM sales "
+     "GROUP BY dweek"},
+    {RequestVerb::kQuery,
+     "SELECT state, Hpct(salesAmt BY dweek) FROM sales GROUP BY state"},
+    {RequestVerb::kOlap,
+     "SELECT monthNo, Vpct(salesAmt BY monthNo) AS pct FROM sales "
+     "GROUP BY monthNo"},
+};
+
+double Percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  double idx = p * static_cast<double>(sorted_ms.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+}  // namespace
+
+int main() {
+  size_t clients = EnvSize("PCTAGG_SERVER_BENCH_CLIENTS", 8);
+  size_t queries_per_client = EnvSize("PCTAGG_SERVER_BENCH_QUERIES", 25);
+  size_t rows = EnvSize("PCTAGG_SERVER_BENCH_ROWS", 50000);
+  bool cache = EnvSize("PCTAGG_SERVER_BENCH_CACHE", 0) == 1;
+
+  std::fprintf(stderr, "[setup] generating sales n=%zu...\n", rows);
+  PctDatabase db;
+  db.EnableSummaryCache(cache);
+  if (!db.CreateTable("sales", pctagg::GenerateSales(rows)).ok()) {
+    std::fprintf(stderr, "table setup failed\n");
+    return 1;
+  }
+
+  ServerConfig config;
+  config.port = 0;  // ephemeral
+  config.max_in_flight = clients * 4;
+  config.default_timeout_ms = 0;  // benchmark measures, it does not cancel
+  pctagg::PctServer server(&db, config);
+  pctagg::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[bench] %zu clients x %zu queries against 127.0.0.1:%d "
+               "(%zu workers)\n",
+               clients, queries_per_client, server.port(),
+               server.executor().worker_threads());
+
+  std::atomic<size_t> failures{0};
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  pctagg::Stopwatch wall;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([c, queries_per_client, &failures, &latencies,
+                          &server] {
+      Result<PctClient> client =
+          PctClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failures.fetch_add(queries_per_client);
+        return;
+      }
+      latencies[c].reserve(queries_per_client);
+      for (size_t q = 0; q < queries_per_client; ++q) {
+        const BenchQuery& bq =
+            kQueries[(c + q) % (sizeof(kQueries) / sizeof(kQueries[0]))];
+        pctagg::Stopwatch timer;
+        Result<WireResponse> reply = client->Call(bq.verb, bq.sql);
+        double ms = timer.ElapsedMillis();
+        if (!reply.ok() || !reply->status.ok() || reply->rows == 0) {
+          failures.fetch_add(1);
+          continue;
+        }
+        latencies[c].push_back(ms);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double wall_seconds = wall.ElapsedSeconds();
+  server.Stop();
+
+  std::vector<double> all;
+  for (const std::vector<double>& v : latencies) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  size_t total = clients * queries_per_client;
+  double qps = wall_seconds > 0
+                   ? static_cast<double>(all.size()) / wall_seconds
+                   : 0.0;
+
+  std::string json = pctagg::StrFormat(
+      "{\n"
+      "  \"benchmark\": \"server_throughput\",\n"
+      "  \"rows\": %zu,\n"
+      "  \"clients\": %zu,\n"
+      "  \"queries_per_client\": %zu,\n"
+      "  \"total_queries\": %zu,\n"
+      "  \"failures\": %zu,\n"
+      "  \"summary_cache\": %s,\n"
+      "  \"wall_seconds\": %.3f,\n"
+      "  \"qps\": %.2f,\n"
+      "  \"p50_ms\": %.3f,\n"
+      "  \"p95_ms\": %.3f,\n"
+      "  \"p99_ms\": %.3f,\n"
+      "  \"max_ms\": %.3f\n"
+      "}\n",
+      rows, clients, queries_per_client, total, failures.load(),
+      cache ? "true" : "false", wall_seconds, qps, Percentile(all, 0.50),
+      Percentile(all, 0.95), Percentile(all, 0.99),
+      all.empty() ? 0.0 : all.back());
+
+  std::fputs(json.c_str(), stdout);
+  FILE* f = std::fopen("BENCH_server.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote BENCH_server.json\n");
+  }
+  return failures.load() == 0 ? 0 : 1;
+}

@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "TypeMismatch";
     case StatusCode::kLimitExceeded:
       return "LimitExceeded";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -18,6 +18,8 @@ enum class StatusCode {
   kAlreadyExists,     // catalog name collision
   kTypeMismatch,      // expression/value typing error
   kLimitExceeded,     // e.g. DBMS max-column limit reached
+  kTimeout,           // query exceeded its wall-clock deadline
+  kUnavailable,       // server overloaded; retry later
   kInternal,          // invariant violation inside the engine
 };
 
@@ -56,6 +58,12 @@ class Status {
   }
   static Status LimitExceeded(std::string msg) {
     return Status(StatusCode::kLimitExceeded, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -102,17 +102,16 @@ Result<Table> ApplyTail(Table table, const AnalyzedQuery& query) {
 
 }  // namespace
 
-Result<AnalyzedQuery> PctDatabase::Prepare(const std::string& sql) {
+Result<AnalyzedQuery> PctDatabase::Prepare(const std::string& sql) const {
   PCTAGG_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
   PCTAGG_ASSIGN_OR_RETURN(const Table* table,
                           catalog_.GetTable(stmt.from_table));
   return Analyze(stmt, table->schema());
 }
 
-Result<Table> PctDatabase::RunPlan(const Plan& plan,
-                                   const AnalyzedQuery& query) {
-  Status st = plan.Execute(&catalog_,
-                           summary_cache_enabled_ ? &summaries_ : nullptr);
+Result<Table> PctDatabase::RunPlan(const Plan& plan, const AnalyzedQuery& query,
+                                   bool use_cache) const {
+  Status st = plan.Execute(&catalog_, use_cache ? &summaries_ : nullptr);
   if (!st.ok()) {
     plan.Cleanup(&catalog_);
     return st;
@@ -127,8 +126,10 @@ Result<Table> PctDatabase::RunPlan(const Plan& plan,
   return ApplyTail(std::move(out), query);
 }
 
-Result<Table> PctDatabase::Query(const std::string& sql) {
+Result<Table> PctDatabase::Query(const std::string& sql,
+                                 const QueryOptions& options) const {
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
+  bool use_cache = options.use_summary_cache.value_or(summary_cache_enabled_);
   switch (query.query_class) {
     case QueryClass::kProjection:
     case QueryClass::kVertical: {
@@ -136,45 +137,60 @@ Result<Table> PctDatabase::Query(const std::string& sql) {
       return ApplyTail(std::move(out), query);
     }
     case QueryClass::kVpct: {
-      PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
-                              catalog_.GetTable(query.table_name));
-      VpctStrategy strategy = advisor_.AdviseVpct(*fact, query);
-      PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanVpctQuery(query, strategy));
-      return RunPlan(plan, query);
+      Plan plan;
+      if (options.olap_baseline) {
+        PCTAGG_ASSIGN_OR_RETURN(plan, PlanOlapPercentageQuery(query));
+      } else {
+        VpctStrategy strategy;
+        if (options.vpct_strategy.has_value()) {
+          strategy = *options.vpct_strategy;
+        } else {
+          PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
+                                  catalog_.GetTable(query.table_name));
+          strategy = advisor_.AdviseVpct(*fact, query);
+        }
+        PCTAGG_ASSIGN_OR_RETURN(plan, PlanVpctQuery(query, strategy));
+      }
+      return RunPlan(plan, query, use_cache);
     }
     case QueryClass::kHorizontal: {
-      PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
-                              catalog_.GetTable(query.table_name));
-      HorizontalStrategy strategy = advisor_.AdviseHorizontal(*fact, query);
+      HorizontalStrategy strategy;
+      if (options.horizontal_strategy.has_value()) {
+        strategy = *options.horizontal_strategy;
+      } else {
+        PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
+                                catalog_.GetTable(query.table_name));
+        strategy = advisor_.AdviseHorizontal(*fact, query);
+      }
       PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanHorizontalQuery(query, strategy));
-      return RunPlan(plan, query);
+      return RunPlan(plan, query, use_cache);
     }
     case QueryClass::kWindow: {
       PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanWindowQuery(query));
-      return RunPlan(plan, query);
+      return RunPlan(plan, query, use_cache);
     }
   }
   return Status::Internal("unhandled query class");
 }
 
 Result<Table> PctDatabase::QueryVpct(const std::string& sql,
-                                     const VpctStrategy& strategy) {
+                                     const VpctStrategy& strategy) const {
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
   PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanVpctQuery(query, strategy));
-  return RunPlan(plan, query);
+  return RunPlan(plan, query, summary_cache_enabled_);
 }
 
-Result<Table> PctDatabase::QueryHorizontal(const std::string& sql,
-                                           const HorizontalStrategy& strategy) {
+Result<Table> PctDatabase::QueryHorizontal(
+    const std::string& sql, const HorizontalStrategy& strategy) const {
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
   PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanHorizontalQuery(query, strategy));
-  return RunPlan(plan, query);
+  return RunPlan(plan, query, summary_cache_enabled_);
 }
 
-Result<Table> PctDatabase::QueryOlapBaseline(const std::string& sql) {
+Result<Table> PctDatabase::QueryOlapBaseline(const std::string& sql) const {
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
   PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanOlapPercentageQuery(query));
-  return RunPlan(plan, query);
+  return RunPlan(plan, query, summary_cache_enabled_);
 }
 
 Status PctDatabase::CreateTableAs(const std::string& name,
@@ -187,7 +203,7 @@ Status PctDatabase::CreateTableAs(const std::string& name,
   return catalog_.CreateTable(name, std::move(result));
 }
 
-Result<std::string> PctDatabase::Explain(const std::string& sql) {
+Result<std::string> PctDatabase::Explain(const std::string& sql) const {
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
   PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
                           catalog_.GetTable(query.table_name));

@@ -1,6 +1,7 @@
 #ifndef PCTAGG_CORE_DATABASE_H_
 #define PCTAGG_CORE_DATABASE_H_
 
+#include <optional>
 #include <string>
 
 #include "common/result.h"
@@ -11,6 +12,20 @@
 #include "engine/table.h"
 
 namespace pctagg {
+
+// Per-call overrides for PctDatabase::Query. Server sessions carry one of
+// these so concurrent callers can force strategies or toggle the summary
+// cache without mutating shared database state.
+struct QueryOptions {
+  // Force the Vpct / horizontal evaluation strategy instead of asking the
+  // StrategyAdvisor.
+  std::optional<VpctStrategy> vpct_strategy;
+  std::optional<HorizontalStrategy> horizontal_strategy;
+  // Overrides EnableSummaryCache() for this call only.
+  std::optional<bool> use_summary_cache;
+  // Evaluate a Vpct query through the ANSI OLAP window-function baseline.
+  bool olap_baseline = false;
+};
 
 // The top-level facade: a catalog of tables plus the percentage-query
 // framework. This is the piece the paper's Java program played — take a
@@ -58,29 +73,46 @@ class PctDatabase {
 
   // Parses, analyzes, plans (strategies picked by the StrategyAdvisor),
   // executes and returns the result. Temporary tables are cleaned up.
-  Result<Table> Query(const std::string& sql);
+  //
+  // Query is *logically* const and safe to call from many threads at once:
+  // every table it materializes has a process-unique temporary name, the
+  // catalog and summary cache are internally synchronized, and all temps are
+  // dropped before returning. What it does NOT protect against is a
+  // concurrent CreateTable/ReplaceTable/.load of a table some query is
+  // reading — callers that mix queries with DDL must impose reader/writer
+  // discipline themselves (the server's QueryExecutor does exactly that).
+  Result<Table> Query(const std::string& sql) const {
+    return Query(sql, QueryOptions{});
+  }
+  Result<Table> Query(const std::string& sql, const QueryOptions& options) const;
 
-  // Same, but forces the given strategy (the benchmark harness drives these).
-  Result<Table> QueryVpct(const std::string& sql, const VpctStrategy& strategy);
+  // Shorthands for forced-strategy evaluation (the benchmark harness drives
+  // these); equivalent to Query with the strategy set in QueryOptions.
+  Result<Table> QueryVpct(const std::string& sql,
+                          const VpctStrategy& strategy) const;
   Result<Table> QueryHorizontal(const std::string& sql,
-                                const HorizontalStrategy& strategy);
+                                const HorizontalStrategy& strategy) const;
 
   // Evaluates a Vpct query through the ANSI OLAP window-function baseline.
-  Result<Table> QueryOlapBaseline(const std::string& sql);
+  Result<Table> QueryOlapBaseline(const std::string& sql) const;
 
   // The generated multi-statement SQL script for `sql` under the advised (or
   // given) strategy, without executing it.
-  Result<std::string> Explain(const std::string& sql);
+  Result<std::string> Explain(const std::string& sql) const;
 
  private:
   // Shared tail: execute `plan`, pull out the result, drop temps.
-  Result<Table> RunPlan(const Plan& plan, const AnalyzedQuery& query);
+  Result<Table> RunPlan(const Plan& plan, const AnalyzedQuery& query,
+                        bool use_cache) const;
 
-  Result<AnalyzedQuery> Prepare(const std::string& sql);
+  Result<AnalyzedQuery> Prepare(const std::string& sql) const;
 
-  Catalog catalog_;
+  // Mutable because Query() is logically const: it registers (and drops)
+  // process-uniquely-named temporaries in the internally synchronized
+  // catalog and fills the internally synchronized summary cache.
+  mutable Catalog catalog_;
   StrategyAdvisor advisor_;
-  SummaryCache summaries_;
+  mutable SummaryCache summaries_;
   bool summary_cache_enabled_ = false;
 };
 

@@ -24,16 +24,37 @@ std::shared_ptr<const Table> SummaryCache::Lookup(const std::string& key) {
   return it->second.summary;
 }
 
-void SummaryCache::Insert(const std::string& key, const Table& summary) {
+uint64_t SummaryCache::GenerationFor(const std::string& base_table) const {
+  std::string lowered = ToLower(base_table);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = generations_.find(lowered);
+  return it == generations_.end() ? 0 : it->second;
+}
+
+void SummaryCache::Insert(const std::string& key, const Table& summary,
+                          uint64_t generation) {
   std::string base = ToLower(key.substr(0, key.find('|')));
+  // Copying the table outside the lock keeps fills from serializing lookups.
   auto snapshot = std::make_shared<const Table>(summary);
   std::lock_guard<std::mutex> lock(mutex_);
+  auto it = generations_.find(base);
+  uint64_t current = it == generations_.end() ? 0 : it->second;
+  if (current != generation) {
+    ++stale_inserts_;  // base table invalidated while the fill was computing
+    return;
+  }
   entries_.insert_or_assign(key, Entry{std::move(base), std::move(snapshot)});
+}
+
+void SummaryCache::Insert(const std::string& key, const Table& summary) {
+  std::string base = ToLower(key.substr(0, key.find('|')));
+  Insert(key, summary, GenerationFor(base));
 }
 
 void SummaryCache::InvalidateTable(const std::string& base_table) {
   std::string lowered = ToLower(base_table);
   std::lock_guard<std::mutex> lock(mutex_);
+  ++generations_[lowered];
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.base_table == lowered) {
       it = entries_.erase(it);
@@ -45,6 +66,7 @@ void SummaryCache::InvalidateTable(const std::string& base_table) {
 
 void SummaryCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, entry] : entries_) ++generations_[entry.base_table];
   entries_.clear();
 }
 
@@ -61,6 +83,11 @@ size_t SummaryCache::hits() const {
 size_t SummaryCache::misses() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+size_t SummaryCache::stale_inserts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stale_inserts_;
 }
 
 }  // namespace pctagg

@@ -40,10 +40,24 @@ class SummaryCache {
   // (entries are immutable once stored).
   std::shared_ptr<const Table> Lookup(const std::string& key);
 
-  // Stores a copy of `summary` (replacing any previous entry).
+  // The current invalidation generation of `base_table` (starts at 0, bumped
+  // by InvalidateTable/Clear). A filler reads this *before* scanning the base
+  // table and hands it back to Insert, which rejects the entry if the table
+  // was invalidated in between — otherwise a slow fill racing a ReplaceTable
+  // would re-insert a summary of the old data after the invalidation ran
+  // (the check-then-insert race).
+  uint64_t GenerationFor(const std::string& base_table) const;
+
+  // Stores a copy of `summary` (replacing any previous entry) iff
+  // `base_table` of the key is still at `generation`. Counts a rejected
+  // stale insert in stale_inserts().
+  void Insert(const std::string& key, const Table& summary,
+              uint64_t generation);
+
+  // Unconditional insert: shorthand for Insert at the current generation.
   void Insert(const std::string& key, const Table& summary);
 
-  // Drops every entry derived from `base_table`.
+  // Drops every entry derived from `base_table` and bumps its generation.
   void InvalidateTable(const std::string& base_table);
 
   void Clear();
@@ -51,6 +65,7 @@ class SummaryCache {
   size_t size() const;
   size_t hits() const;
   size_t misses() const;
+  size_t stale_inserts() const;
 
  private:
   struct Entry {
@@ -59,8 +74,11 @@ class SummaryCache {
   };
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
+  // Invalidation generation per lower-cased base table; absent means 0.
+  std::map<std::string, uint64_t> generations_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t stale_inserts_ = 0;
 };
 
 }  // namespace pctagg

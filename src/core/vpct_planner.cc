@@ -52,17 +52,21 @@ void AddAggregateStep(Plan* plan, const std::string& src,
   plan->AddStep(sql, [src, dest, group_by = std::move(group_by),
                       aggs = std::move(aggs),
                       cache_key](ExecContext* ctx) -> Status {
+    uint64_t generation = 0;
     if (!cache_key.empty() && ctx->summaries != nullptr) {
       std::shared_ptr<const Table> cached = ctx->summaries->Lookup(cache_key);
       if (cached != nullptr) {
         ctx->catalog->CreateOrReplaceTable(dest, *cached);
         return Status::OK();
       }
+      // Snapshot the invalidation generation before scanning `src`; Insert
+      // below drops the fill if the base table was replaced meanwhile.
+      generation = ctx->summaries->GenerationFor(src);
     }
     PCTAGG_ASSIGN_OR_RETURN(const Table* input, ctx->catalog->GetTable(src));
     PCTAGG_ASSIGN_OR_RETURN(Table out, HashAggregate(*input, group_by, aggs));
     if (!cache_key.empty() && ctx->summaries != nullptr) {
-      ctx->summaries->Insert(cache_key, out);
+      ctx->summaries->Insert(cache_key, out, generation);
     }
     ctx->catalog->CreateOrReplaceTable(dest, std::move(out));
     return Status::OK();

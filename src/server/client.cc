@@ -1,0 +1,80 @@
+#include "server/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pctagg {
+
+PctClient& PctClient::operator=(PctClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void PctClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_.reset();
+}
+
+Result<PctClient> PctClient::Connect(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &found);
+  if (rc != 0) {
+    return Status::NotFound(std::string("resolve ") + host + ": " +
+                            gai_strerror(rc));
+  }
+  Status last = Status::NotFound("no addresses for " + host);
+  for (addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::Internal(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(found);
+      return PctClient(fd);
+    }
+    last = Status(StatusCode::kUnavailable,
+                  std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(found);
+  return last;
+}
+
+Result<WireResponse> PctClient::Call(RequestVerb verb,
+                                     const std::string& payload) {
+  if (!connected()) {
+    return Status::InvalidArgument("client not connected");
+  }
+  PCTAGG_RETURN_IF_ERROR(WriteAll(fd_, EncodeRequest({verb, payload})));
+  PCTAGG_ASSIGN_OR_RETURN(std::string header, reader_->ReadLine());
+  size_t body_bytes = 0;
+  PCTAGG_ASSIGN_OR_RETURN(WireResponse resp,
+                          DecodeResponseHeader(header, &body_bytes));
+  if (body_bytes > 0) {
+    PCTAGG_ASSIGN_OR_RETURN(resp.body, reader_->ReadBytes(body_bytes));
+  }
+  return resp;
+}
+
+}  // namespace pctagg

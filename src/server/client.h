@@ -1,0 +1,55 @@
+#ifndef PCTAGG_SERVER_CLIENT_H_
+#define PCTAGG_SERVER_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace pctagg {
+
+// Client side of PctProtocol: one blocking TCP connection, one outstanding
+// request at a time. Used by tools/pctagg_client, the shell's .remote mode
+// and the server-throughput benchmark.
+//
+// A Call() that returns ok() carries the *server's* answer, which may itself
+// be a typed error (response.status); a non-ok Result means the transport
+// failed and the connection should be abandoned.
+class PctClient {
+ public:
+  PctClient() = default;
+  ~PctClient() { Close(); }
+
+  PctClient(PctClient&& other) noexcept { *this = std::move(other); }
+  PctClient& operator=(PctClient&& other) noexcept;
+  PctClient(const PctClient&) = delete;
+  PctClient& operator=(const PctClient&) = delete;
+
+  // `host` is an IPv4 literal or name resolvable via getaddrinfo.
+  static Result<PctClient> Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  Result<WireResponse> Call(RequestVerb verb, const std::string& payload);
+
+  Result<WireResponse> Query(const std::string& sql) {
+    return Call(RequestVerb::kQuery, sql);
+  }
+  Result<WireResponse> Explain(const std::string& sql) {
+    return Call(RequestVerb::kExplain, sql);
+  }
+  Result<WireResponse> Ping() { return Call(RequestVerb::kPing, ""); }
+
+ private:
+  explicit PctClient(int fd)
+      : fd_(fd), reader_(std::make_unique<LineReader>(fd)) {}
+
+  int fd_ = -1;
+  std::unique_ptr<LineReader> reader_;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_SERVER_CLIENT_H_

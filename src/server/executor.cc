@@ -1,0 +1,125 @@
+#include "server/executor.h"
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+namespace {
+
+size_t ResolveWorkers(size_t requested) {
+  if (requested > 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 2 ? hw : 2;
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(PctDatabase* db, ExecutorConfig config)
+    : db_(db), config_(config), pool_(ResolveWorkers(config.worker_threads)) {}
+
+bool QueryExecutor::ParseCreateTableAs(const std::string& sql,
+                                       std::string* name,
+                                       std::string* select_sql) {
+  std::istringstream in(sql);
+  std::string w1, w2, ident, w4;
+  in >> w1 >> w2 >> ident >> w4;
+  if (!EqualsIgnoreCase(w1, "CREATE") || !EqualsIgnoreCase(w2, "TABLE") ||
+      ident.empty() || !EqualsIgnoreCase(w4, "AS")) {
+    return false;
+  }
+  std::string rest;
+  std::getline(in, rest);
+  size_t start = rest.find_first_not_of(" \t");
+  if (start == std::string::npos) return false;
+  *name = ident;
+  *select_sql = rest.substr(start);
+  return true;
+}
+
+Status QueryExecutor::Run(bool writer, std::function<Status()> fn,
+                          uint64_t timeout_ms) {
+  // Admission: count this statement in; if the service is already saturated,
+  // bounce it with a typed, retryable error.
+  if (in_flight_.fetch_add(1) >= config_.max_in_flight) {
+    in_flight_.fetch_sub(1);
+    ++rejected_;
+    return Status::Unavailable(
+        StrFormat("server overloaded: %zu statements in flight",
+                  config_.max_in_flight));
+  }
+  auto done = std::make_shared<std::promise<Status>>();
+  std::future<Status> future = done->get_future();
+  bool submitted = pool_.Submit([this, writer, fn = std::move(fn), done] {
+    Status st;
+    if (writer) {
+      std::unique_lock<std::shared_mutex> lock(table_lock_);
+      st = fn();
+    } else {
+      std::shared_lock<std::shared_mutex> lock(table_lock_);
+      st = fn();
+    }
+    ++executed_;
+    in_flight_.fetch_sub(1);
+    done->set_value(std::move(st));
+  });
+  if (!submitted) {
+    in_flight_.fetch_sub(1);
+    return Status::Unavailable("server shutting down");
+  }
+  if (timeout_ms == 0) return future.get();
+  if (future.wait_for(std::chrono::milliseconds(timeout_ms)) ==
+      std::future_status::timeout) {
+    ++timed_out_;
+    return Status::Timeout(
+        StrFormat("query exceeded %llu ms deadline",
+                  (unsigned long long)timeout_ms));
+  }
+  return future.get();
+}
+
+Result<Table> QueryExecutor::ExecuteStatement(const std::string& sql,
+                                              const QueryOptions& options,
+                                              uint64_t timeout_ms) {
+  std::string name, select_sql;
+  bool is_ctas = ParseCreateTableAs(sql, &name, &select_sql);
+  // The worker may outlive a timed-out caller, so the result slot is shared.
+  auto out = std::make_shared<Result<Table>>(Table());
+  Status st = Run(
+      is_ctas,
+      [this, out, options, name = std::move(name),
+       select_sql = std::move(select_sql), sql, is_ctas]() -> Status {
+        if (is_ctas) {
+          // Note: CreateTableAs runs its inner SELECT while we hold the
+          // exclusive lock — correct (the new table appears atomically to
+          // readers) at the cost of serializing with readers.
+          PCTAGG_RETURN_IF_ERROR(db_->CreateTableAs(name, select_sql));
+          *out = Table();  // empty result set
+          return Status::OK();
+        }
+        Result<Table> r = db_->Query(sql, options);
+        if (!r.ok()) return r.status();
+        *out = std::move(r);
+        return Status::OK();
+      },
+      timeout_ms);
+  if (!st.ok()) return st;
+  return std::move(*out);
+}
+
+Status QueryExecutor::ExecuteWrite(std::function<Status()> fn,
+                                   uint64_t timeout_ms) {
+  return Run(/*writer=*/true, std::move(fn), timeout_ms);
+}
+
+Status QueryExecutor::ExecuteRead(std::function<Status()> fn,
+                                  uint64_t timeout_ms) {
+  return Run(/*writer=*/false, std::move(fn), timeout_ms);
+}
+
+}  // namespace pctagg

@@ -1,0 +1,87 @@
+#ifndef PCTAGG_SERVER_EXECUTOR_H_
+#define PCTAGG_SERVER_EXECUTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <string>
+
+#include "core/database.h"
+#include "server/thread_pool.h"
+
+namespace pctagg {
+
+struct ExecutorConfig {
+  // Worker threads running queries; 0 = hardware_concurrency (min 2).
+  size_t worker_threads = 0;
+  // Admission limit: statements submitted but not yet finished (running or
+  // queued). Beyond this, new statements are rejected with kUnavailable so
+  // overload degrades into fast typed errors instead of an unbounded pile-up.
+  size_t max_in_flight = 64;
+};
+
+// Runs statements against one shared PctDatabase with reader/writer
+// discipline: queries (SELECT) run concurrently under a shared lock, DDL
+// (CREATE TABLE AS, GEN, DROP, .load) takes the lock exclusively, so a
+// writer can never swap a table out from under a running scan. Everything
+// below the lock — catalog registry, temp tables, summary cache — is already
+// internally synchronized (see PctDatabase::Query).
+//
+// Each statement is submitted to a ThreadPool and the calling (connection)
+// thread waits on the result with a wall-clock deadline. On timeout the
+// caller gets kTimeout immediately; the worker finishes in the background
+// and its result is discarded (the engine has no cancellation points), still
+// occupying an in-flight slot until it completes — which is exactly what the
+// admission limit should count.
+class QueryExecutor {
+ public:
+  QueryExecutor(PctDatabase* db, ExecutorConfig config);
+  ~QueryExecutor() = default;  // pool drains on destruction
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  // Classifies and runs one SQL statement: "CREATE TABLE <t> AS <select>"
+  // goes down the exclusive path, everything else is a read. `timeout_ms` of
+  // 0 means no deadline.
+  Result<Table> ExecuteStatement(const std::string& sql,
+                                 const QueryOptions& options,
+                                 uint64_t timeout_ms);
+
+  // Runs `fn` under the exclusive (writer) lock through the same
+  // admission/timeout machinery. For catalog mutations that are not SQL:
+  // GEN, DROP, .load.
+  Status ExecuteWrite(std::function<Status()> fn, uint64_t timeout_ms);
+
+  // Runs `fn` under the shared (reader) lock: EXPLAIN, TABLES, SCHEMA.
+  Status ExecuteRead(std::function<Status()> fn, uint64_t timeout_ms);
+
+  // True (and outputs the pieces) if `sql` is CREATE TABLE <name> AS <select>.
+  static bool ParseCreateTableAs(const std::string& sql, std::string* name,
+                                 std::string* select_sql);
+
+  const ExecutorConfig& config() const { return config_; }
+  size_t worker_threads() const { return pool_.num_threads(); }
+  size_t in_flight() const { return in_flight_.load(); }
+  uint64_t executed() const { return executed_.load(); }
+  uint64_t rejected() const { return rejected_.load(); }
+  uint64_t timed_out() const { return timed_out_.load(); }
+
+ private:
+  // The shared core: admission check, submit, bounded wait.
+  Status Run(bool writer, std::function<Status()> fn, uint64_t timeout_ms);
+
+  PctDatabase* db_;
+  ExecutorConfig config_;
+  std::shared_mutex table_lock_;
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> timed_out_{0};
+  ThreadPool pool_;  // last member: drains before the rest is destroyed
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_SERVER_EXECUTOR_H_

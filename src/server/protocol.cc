@@ -1,0 +1,273 @@
+#include "server/protocol.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace pctagg {
+
+namespace {
+
+struct VerbEntry {
+  const char* name;
+  RequestVerb verb;
+};
+
+constexpr std::array<VerbEntry, 11> kVerbs = {{
+    {"QUERY", RequestVerb::kQuery},
+    {"EXPLAIN", RequestVerb::kExplain},
+    {"OLAP", RequestVerb::kOlap},
+    {"SET", RequestVerb::kSet},
+    {"SHOW", RequestVerb::kShow},
+    {"TABLES", RequestVerb::kTables},
+    {"SCHEMA", RequestVerb::kSchema},
+    {"GEN", RequestVerb::kGen},
+    {"DROP", RequestVerb::kDrop},
+    {"PING", RequestVerb::kPing},
+    {"QUIT", RequestVerb::kQuit},
+}};
+
+}  // namespace
+
+const char* VerbName(RequestVerb verb) {
+  for (const VerbEntry& e : kVerbs) {
+    if (e.verb == verb) return e.name;
+  }
+  return "UNKNOWN";
+}
+
+std::string EscapeLine(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeLine(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    switch (s[++i]) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      default:
+        out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string EncodeRequest(const WireRequest& request) {
+  std::string line = VerbName(request.verb);
+  if (!request.payload.empty()) {
+    line.push_back(' ');
+    line += EscapeLine(request.payload);
+  }
+  line.push_back('\n');
+  return line;
+}
+
+Result<WireRequest> DecodeRequestLine(const std::string& line) {
+  if (line.size() > kMaxLineBytes) {
+    return Status::InvalidArgument("protocol: request frame too long");
+  }
+  size_t sp = line.find(' ');
+  std::string word = line.substr(0, sp);
+  if (word.empty()) {
+    return Status::InvalidArgument("protocol: empty request frame");
+  }
+  std::string upper;
+  for (char c : word) upper.push_back(static_cast<char>(std::toupper(c)));
+  for (const VerbEntry& e : kVerbs) {
+    if (upper == e.name) {
+      std::string payload =
+          sp == std::string::npos ? "" : line.substr(sp + 1);
+      return WireRequest{e.verb, UnescapeLine(payload)};
+    }
+  }
+  return Status::InvalidArgument("protocol: unknown verb: " + word);
+}
+
+std::string EncodeResponse(const WireResponse& response) {
+  if (!response.status.ok()) {
+    std::string line = "ERR ";
+    line += StatusCodeName(response.status.code());
+    line.push_back(' ');
+    line += EscapeLine(response.status.message());
+    line.push_back('\n');
+    return line;
+  }
+  std::string out = StrFormat("OK %zu %llu %llu %llu\n", response.body.size(),
+                              (unsigned long long)response.rows,
+                              (unsigned long long)response.cols,
+                              (unsigned long long)response.micros);
+  out += response.body;
+  return out;
+}
+
+StatusCode StatusCodeFromName(const std::string& name) {
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kAnalysisError, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kTypeMismatch,
+        StatusCode::kLimitExceeded, StatusCode::kTimeout,
+        StatusCode::kUnavailable, StatusCode::kInternal}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+Result<WireResponse> DecodeResponseHeader(const std::string& line,
+                                          size_t* body_bytes) {
+  *body_bytes = 0;
+  std::vector<std::string> words;
+  {
+    size_t start = 0;
+    // Split on the first 4 spaces only: the ERR message may contain spaces.
+    while (words.size() < 4 && start <= line.size()) {
+      size_t sp = line.find(' ', start);
+      if (sp == std::string::npos) {
+        words.push_back(line.substr(start));
+        start = line.size() + 1;
+      } else {
+        words.push_back(line.substr(start, sp - start));
+        start = sp + 1;
+      }
+    }
+    if (start <= line.size()) words.push_back(line.substr(start));
+  }
+  if (words.empty()) {
+    return Status::Internal("protocol: empty response header");
+  }
+  if (words[0] == "ERR") {
+    if (words.size() < 2) {
+      return Status::Internal("protocol: truncated error header");
+    }
+    std::string message;
+    for (size_t i = 2; i < words.size(); ++i) {
+      if (i > 2) message.push_back(' ');
+      message += words[i];
+    }
+    WireResponse resp;
+    resp.status = Status(StatusCodeFromName(words[1]), UnescapeLine(message));
+    return resp;
+  }
+  if (words[0] != "OK" || words.size() < 5) {
+    return Status::Internal("protocol: malformed response header: " + line);
+  }
+  for (size_t i = 1; i < 5; ++i) {
+    if (!IsInteger(words[i])) {
+      return Status::Internal("protocol: malformed response header: " + line);
+    }
+  }
+  size_t nbytes = static_cast<size_t>(std::strtoull(words[1].c_str(), nullptr, 10));
+  if (nbytes > kMaxBodyBytes) {
+    return Status::Internal("protocol: response body too large");
+  }
+  WireResponse resp;
+  resp.rows = std::strtoull(words[2].c_str(), nullptr, 10);
+  resp.cols = std::strtoull(words[3].c_str(), nullptr, 10);
+  resp.micros = std::strtoull(words[4].c_str(), nullptr, 10);
+  *body_bytes = nbytes;
+  return resp;
+}
+
+Status LineReader::Fill() {
+  char chunk[4096];
+  ssize_t n;
+  do {
+    n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    return Status::Internal(std::string("recv: ") + std::strerror(errno));
+  }
+  if (n == 0) {
+    return Status::NotFound("connection closed");
+  }
+  buf_.append(chunk, static_cast<size_t>(n));
+  return Status::OK();
+}
+
+Result<std::string> LineReader::ReadLine() {
+  for (;;) {
+    size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+      if (pos_ > (1 << 16)) {  // compact the consumed prefix
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (buf_.size() - pos_ > kMaxLineBytes) {
+      return Status::InvalidArgument("protocol: request frame too long");
+    }
+    PCTAGG_RETURN_IF_ERROR(Fill());
+  }
+}
+
+Result<std::string> LineReader::ReadBytes(size_t n) {
+  while (buf_.size() - pos_ < n) {
+    PCTAGG_RETURN_IF_ERROR(Fill());
+  }
+  std::string out = buf_.substr(pos_, n);
+  pos_ += n;
+  if (pos_ > (1 << 16)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return out;
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace pctagg

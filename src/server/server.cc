@@ -1,0 +1,330 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "engine/csv.h"
+#include "workload/generators.h"
+
+namespace pctagg {
+
+namespace {
+
+// Builds a synthetic workload table; kinds mirror the shell's .gen command.
+Result<Table> GenerateWorkload(const std::string& kind, size_t rows) {
+  std::string k = ToLower(kind);
+  if (k == "employee") return GenerateEmployee(rows);
+  if (k == "sales") return GenerateSales(rows);
+  if (k == "transactionline") return GenerateTransactionLine(rows);
+  if (k == "census") return GenerateCensusLike(rows);
+  return Status::InvalidArgument(
+      "GEN: unknown kind (employee|sales|transactionline|census): " + kind);
+}
+
+}  // namespace
+
+PctServer::PctServer(PctDatabase* db, ServerConfig config)
+    : db_(db),
+      config_(std::move(config)),
+      executor_(db, ExecutorConfig{config_.worker_threads,
+                                   config_.max_in_flight}) {}
+
+PctServer::~PctServer() { Stop(); }
+
+Status PctServer::Start() {
+  if (listen_fd_ >= 0) return Status::AlreadyExists("server already started");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address: " + config_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st(StatusCode::kUnavailable,
+              std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, config_.listen_backlog) < 0) {
+    Status st(StatusCode::kUnavailable,
+              std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void PctServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Joining outside the lock: handlers remove themselves from open_fds_.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  listen_fd_ = -1;
+}
+
+size_t PctServer::sessions_active() const {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  return open_fds_.size();
+}
+
+void PctServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Stop) or fatal error
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    open_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void PctServer::HandleConnection(int fd) {
+  ++sessions_opened_;
+  Session session(next_session_id_.fetch_add(1), config_.default_timeout_ms);
+  LineReader reader(fd);
+  bool quit = false;
+  while (!quit && !stopping_.load()) {
+    Result<std::string> line = reader.ReadLine();
+    if (!line.ok()) {
+      // Clean EOF ends the session silently; a malformed over-long frame
+      // gets a final typed error before hanging up.
+      if (line.status().code() == StatusCode::kInvalidArgument) {
+        WireResponse resp;
+        resp.status = line.status();
+        WriteAll(fd, EncodeResponse(resp)).ok();
+      }
+      break;
+    }
+    if (line->empty()) continue;  // ignore blank lines (keep-alive friendly)
+    WireResponse resp;
+    Result<WireRequest> request = DecodeRequestLine(*line);
+    if (!request.ok()) {
+      resp.status = request.status();
+    } else {
+      resp = HandleRequest(&session, *request, &quit);
+    }
+    if (!WriteAll(fd, EncodeResponse(resp)).ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    open_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+WireResponse PctServer::RunStatement(Session* session, const std::string& sql,
+                                     bool olap_baseline) {
+  WireResponse resp;
+  QueryOptions options = session->query_options();
+  options.olap_baseline = olap_baseline;
+  Stopwatch timer;
+  Result<Table> result =
+      executor_.ExecuteStatement(sql, options, session->timeout_ms());
+  resp.micros = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+  session->RecordQuery(resp.micros, result.ok());
+  if (!result.ok()) {
+    resp.status = result.status();
+    return resp;
+  }
+  resp.rows = result->num_rows();
+  resp.cols = result->num_columns();
+  if (result->num_columns() > 0) resp.body = FormatCsv(*result);
+  return resp;
+}
+
+WireResponse PctServer::HandleRequest(Session* session,
+                                      const WireRequest& request, bool* quit) {
+  WireResponse resp;
+  switch (request.verb) {
+    case RequestVerb::kQuery:
+      return RunStatement(session, request.payload, /*olap_baseline=*/false);
+    case RequestVerb::kOlap:
+      return RunStatement(session, request.payload, /*olap_baseline=*/true);
+    case RequestVerb::kExplain: {
+      // Outputs are shared with the worker: on timeout this frame returns
+      // while the lambda may still be running, so it must not hold
+      // references into our stack.
+      auto script = std::make_shared<std::string>();
+      Stopwatch timer;
+      Status st = executor_.ExecuteRead(
+          [this, script, sql = request.payload]() -> Status {
+            Result<std::string> r = db_->Explain(sql);
+            if (!r.ok()) return r.status();
+            *script = std::move(r).value();
+            return Status::OK();
+          },
+          session->timeout_ms());
+      resp.micros = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+      if (!st.ok()) {
+        resp.status = st;
+      } else {
+        resp.body = std::move(*script);
+      }
+      return resp;
+    }
+    case RequestVerb::kSet: {
+      Result<std::string> r = session->ApplySet(request.payload);
+      if (!r.ok()) {
+        resp.status = r.status();
+      } else {
+        resp.body = *r + "\n";
+      }
+      return resp;
+    }
+    case RequestVerb::kShow: {
+      resp.body = session->Describe();
+      resp.body += StrFormat(
+          "server: %zu workers, %zu in flight (max %zu), "
+          "%llu executed, %llu rejected, %llu timed out, %zu sessions\n",
+          executor_.worker_threads(), executor_.in_flight(),
+          executor_.config().max_in_flight,
+          (unsigned long long)executor_.executed(),
+          (unsigned long long)executor_.rejected(),
+          (unsigned long long)executor_.timed_out(), sessions_active());
+      return resp;
+    }
+    case RequestVerb::kTables: {
+      auto body = std::make_shared<std::string>("table,rows,columns\n");
+      Status st = executor_.ExecuteRead(
+          [this, body]() -> Status {
+            const Catalog& catalog =
+                static_cast<const PctDatabase*>(db_)->catalog();
+            for (const std::string& name : catalog.TableNames()) {
+              Result<const Table*> t = catalog.GetTable(name);
+              if (!t.ok()) continue;
+              *body += StrFormat("%s,%zu,%zu\n", name.c_str(),
+                                 (*t)->num_rows(), (*t)->num_columns());
+            }
+            return Status::OK();
+          },
+          session->timeout_ms());
+      if (!st.ok()) {
+        resp.status = st;
+      } else {
+        resp.body = std::move(*body);
+        resp.rows = static_cast<uint64_t>(
+            std::count(resp.body.begin(), resp.body.end(), '\n') - 1);
+        resp.cols = 3;
+      }
+      return resp;
+    }
+    case RequestVerb::kSchema: {
+      auto body = std::make_shared<std::string>();
+      Status st = executor_.ExecuteRead(
+          [this, body, table = request.payload]() -> Status {
+            Result<const Table*> t =
+                static_cast<const PctDatabase*>(db_)->catalog().GetTable(
+                    table);
+            if (!t.ok()) return t.status();
+            *body = table + "(" + (*t)->schema().ToString() + ")\n";
+            return Status::OK();
+          },
+          session->timeout_ms());
+      if (!st.ok()) {
+        resp.status = st;
+      } else {
+        resp.body = std::move(*body);
+      }
+      return resp;
+    }
+    case RequestVerb::kGen: {
+      std::istringstream in(request.payload);
+      std::string kind, name, rows_word;
+      in >> kind >> name >> rows_word;
+      if (kind.empty() || name.empty() || !IsInteger(rows_word)) {
+        resp.status = Status::InvalidArgument(
+            "GEN expects: GEN <kind> <name> <rows>");
+        return resp;
+      }
+      size_t rows = static_cast<size_t>(
+          std::strtoull(rows_word.c_str(), nullptr, 10));
+      Stopwatch timer;
+      Status st = executor_.ExecuteWrite(
+          [this, kind, name, rows]() -> Status {
+            PCTAGG_ASSIGN_OR_RETURN(Table t, GenerateWorkload(kind, rows));
+            db_->ReplaceTable(name, std::move(t));
+            return Status::OK();
+          },
+          session->timeout_ms());
+      resp.micros = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+      if (!st.ok()) {
+        resp.status = st;
+      } else {
+        resp.body = StrFormat("generated %zu %s rows into %s\n", rows,
+                              ToLower(kind).c_str(), name.c_str());
+      }
+      return resp;
+    }
+    case RequestVerb::kDrop: {
+      Status st = executor_.ExecuteWrite(
+          [this, table = request.payload]() -> Status {
+            db_->summaries().InvalidateTable(table);
+            return db_->catalog().DropTable(table);
+          },
+          session->timeout_ms());
+      if (!st.ok()) {
+        resp.status = st;
+      } else {
+        resp.body = "dropped " + request.payload + "\n";
+      }
+      return resp;
+    }
+    case RequestVerb::kPing:
+      resp.body = "pong\n";
+      return resp;
+    case RequestVerb::kQuit:
+      *quit = true;
+      resp.body = "bye\n";
+      return resp;
+  }
+  resp.status = Status::Internal("unhandled verb");
+  return resp;
+}
+
+}  // namespace pctagg

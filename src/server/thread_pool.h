@@ -1,0 +1,50 @@
+#ifndef PCTAGG_SERVER_THREAD_POOL_H_
+#define PCTAGG_SERVER_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pctagg {
+
+// A fixed-size worker pool with a FIFO task queue. The query service uses it
+// to decouple connection handling from query execution: connection threads
+// enqueue work and block on a future, worker threads run the engine.
+//
+// Shutdown() (also run by the destructor) stops accepting new tasks, drains
+// everything already queued, and joins the workers — so any future tied to a
+// submitted task is guaranteed to become ready.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task`; returns false (without queueing) after Shutdown began.
+  bool Submit(std::function<void()> task);
+
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Tasks currently waiting in the queue (excludes running ones).
+  size_t queued() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_SERVER_THREAD_POOL_H_

@@ -33,7 +33,8 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
         StatusCode::kAnalysisError, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kTypeMismatch,
-        StatusCode::kLimitExceeded, StatusCode::kInternal}) {
+        StatusCode::kLimitExceeded, StatusCode::kTimeout,
+        StatusCode::kUnavailable, StatusCode::kInternal}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
 }

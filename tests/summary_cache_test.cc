@@ -112,6 +112,41 @@ TEST(SummaryCacheTest, ReplaceTableInvalidates) {
   EXPECT_TRUE(any_diff);
 }
 
+// Regression test for the fill/invalidate race: a cache fill computed
+// against the OLD contents of a base table must not land after the table was
+// replaced. The planner snapshots the table's generation before scanning and
+// passes it back to Insert; an intervening InvalidateTable bumps the
+// generation so the stale insert is rejected. Without generations, this
+// sequence (slow fill finishing after ReplaceTable) would poison the cache
+// with pre-replacement percentages.
+TEST(SummaryCacheTest, StaleInsertAfterInvalidationIsRejected) {
+  SummaryCache cache;
+  std::string key = SummaryCache::KeyFor("f", {"d1"}, "sum(a)");
+  // A query thread starts a fill: snapshot the generation, then "scan".
+  uint64_t generation = cache.GenerationFor("f");
+  // Meanwhile a writer replaces the table.
+  cache.InvalidateTable("f");
+  // The fill finishes and tries to publish its (now stale) summary.
+  Table t(Schema({{"d1", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value::Int64(1)}).ok());
+  cache.Insert(key, t, generation);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stale_inserts(), 1u);
+  // A fill that re-snapshots after the invalidation publishes fine.
+  uint64_t fresh = cache.GenerationFor("f");
+  cache.Insert(key, t, fresh);
+  EXPECT_NE(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.stale_inserts(), 1u);
+  // Clear() also bumps generations for everything it evicts.
+  uint64_t before_clear = cache.GenerationFor("f");
+  cache.Clear();
+  EXPECT_NE(cache.GenerationFor("f"), before_clear);
+  cache.Insert(key, t, before_clear);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.stale_inserts(), 2u);
+}
+
 TEST(SummaryCacheTest, DisabledByDefault) {
   PctDatabase db;
   ASSERT_TRUE(db.CreateTable("f", RandomFact(6)).ok());

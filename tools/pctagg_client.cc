@@ -1,0 +1,170 @@
+// pctagg_client — command-line client for the pctagg query service.
+//
+// One-shot:
+//   $ ./build/tools/pctagg_client --connect 127.0.0.1:7477 \
+//         --query "SELECT d1, Vpct(a BY d1) FROM f GROUP BY d1"
+//
+// Interactive / piped (statements end with ';', dot-commands as in the
+// shell's remote mode):
+//   $ ./build/tools/pctagg_client --connect 127.0.0.1:7477
+//   remote> SELECT state, Vpct(salesAmt BY state) FROM sales GROUP BY state;
+//   remote> .tables
+//   remote> .set timeout_ms 500
+//   remote> .quit
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "server/client.h"
+
+namespace {
+
+using pctagg::PctClient;
+using pctagg::RequestVerb;
+using pctagg::Result;
+using pctagg::WireResponse;
+
+// Prints a server reply: errors to stderr, result CSV / text to stdout.
+// Returns false on transport failure (connection unusable).
+bool PrintReply(const Result<WireResponse>& reply, bool show_timing) {
+  if (!reply.ok()) {
+    std::fprintf(stderr, "transport error: %s\n",
+                 reply.status().ToString().c_str());
+    return false;
+  }
+  if (!reply->status.ok()) {
+    std::fprintf(stderr, "error: %s\n", reply->status.ToString().c_str());
+    return true;
+  }
+  if (!reply->body.empty()) std::fputs(reply->body.c_str(), stdout);
+  if (reply->rows > 0 || reply->cols > 0) {
+    std::printf("(%llu rows)\n", (unsigned long long)reply->rows);
+  }
+  if (show_timing) {
+    std::printf("server time: %.3f ms\n",
+                static_cast<double>(reply->micros) / 1000.0);
+  }
+  return true;
+}
+
+// Maps a client dot-command to a wire call; returns false to quit.
+bool RunDotCommand(PctClient* client, const std::string& line,
+                   bool* show_timing) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  std::string rest;
+  std::getline(in, rest);
+  size_t start = rest.find_first_not_of(" \t");
+  rest = start == std::string::npos ? "" : rest.substr(start);
+  if (cmd == ".quit" || cmd == ".exit") {
+    client->Call(RequestVerb::kQuit, "");
+    return false;
+  }
+  if (cmd == ".help") {
+    std::printf(
+        ".tables | .schema <t> | .explain <sql> | .olap <sql> |\n"
+        ".gen <kind> <name> <rows> | .drop <t> | .set <opt> <val> |\n"
+        ".show | .ping | .timer on|off | .quit — SQL ends with ';'\n");
+    return true;
+  }
+  if (cmd == ".timer") {
+    *show_timing = rest == "on";
+    std::printf("timer %s\n", *show_timing ? "on" : "off");
+    return true;
+  }
+  RequestVerb verb;
+  if (cmd == ".tables") {
+    verb = RequestVerb::kTables;
+  } else if (cmd == ".schema") {
+    verb = RequestVerb::kSchema;
+  } else if (cmd == ".explain") {
+    verb = RequestVerb::kExplain;
+  } else if (cmd == ".olap") {
+    verb = RequestVerb::kOlap;
+  } else if (cmd == ".gen") {
+    verb = RequestVerb::kGen;
+  } else if (cmd == ".drop") {
+    verb = RequestVerb::kDrop;
+  } else if (cmd == ".set") {
+    verb = RequestVerb::kSet;
+  } else if (cmd == ".show") {
+    verb = RequestVerb::kShow;
+  } else if (cmd == ".ping") {
+    verb = RequestVerb::kPing;
+  } else {
+    std::printf("unrecognized command (try .help): %s\n", line.c_str());
+    return true;
+  }
+  return PrintReply(client->Call(verb, rest), *show_timing);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7477;
+  std::string one_shot;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      std::string hp = argv[++i];
+      size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        host = hp;
+      } else {
+        host = hp.substr(0, colon);
+        port = std::atoi(hp.c_str() + colon + 1);
+      }
+    } else if (arg == "--query" && i + 1 < argc) {
+      one_shot = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--connect host:port] [--query \"sql\"]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Result<PctClient> client = PctClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect %s:%d: %s\n", host.c_str(), port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!one_shot.empty()) {
+    Result<WireResponse> reply = client->Query(one_shot);
+    if (!PrintReply(reply, /*show_timing=*/false)) return 1;
+    return reply->status.ok() ? 0 : 1;
+  }
+
+  bool interactive = isatty(fileno(stdin));
+  bool show_timing = false;
+  std::string pending, line;
+  while (true) {
+    if (interactive) {
+      std::fputs(pending.empty() ? "remote> " : "   ...> ", stdout);
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (pending.empty() && !line.empty() && line[0] == '.') {
+      if (!RunDotCommand(&*client, line, &show_timing)) break;
+      continue;
+    }
+    pending += line;
+    pending.push_back('\n');
+    if (line.find(';') == std::string::npos) continue;
+    std::string sql;
+    sql.swap(pending);
+    if (sql.find_first_not_of(" \t\n;") == std::string::npos) continue;
+    if (!PrintReply(client->Query(sql), show_timing)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,163 @@
+// pctagg_server — the standalone query service. Serves PctProtocol (see
+// docs/SERVER.md) over TCP against one shared PctDatabase.
+//
+//   $ ./build/tools/pctagg_server --port 7477 --gen sales:sales:100000
+//   pctagg_server listening on 127.0.0.1:7477 (8 workers, 64 in flight)
+//
+// Flags:
+//   --host <addr>          listen address        (default 127.0.0.1)
+//   --port <n>             listen port, 0 = ephemeral (default 7477)
+//   --threads <n>          query worker threads  (default: hardware)
+//   --max-inflight <n>     admission limit       (default 64)
+//   --timeout-ms <n>       default per-query deadline, 0 = none (default 30000)
+//   --load <table>:<csv>   preload a CSV file as a base table (repeatable)
+//   --gen <kind>:<name>:<rows>  preload a synthetic workload table
+//                          (kind: employee|sales|transactionline|census)
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/string_util.h"
+#include "engine/csv.h"
+#include "server/server.h"
+#include "workload/generators.h"
+
+namespace {
+
+using pctagg::PctDatabase;
+using pctagg::Result;
+using pctagg::ServerConfig;
+using pctagg::Status;
+using pctagg::Table;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+// Splits "a:b[:c]" on ':'.
+std::vector<std::string> SplitColons(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t colon = s.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host A] [--port N] [--threads N] "
+               "[--max-inflight N] [--timeout-ms N] [--load t:file.csv]... "
+               "[--gen kind:name:rows]...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PctDatabase db;
+  ServerConfig config;
+  config.port = 7477;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.port = std::atoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.worker_threads = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.max_in_flight = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.default_timeout_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--load") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      std::vector<std::string> parts = SplitColons(v);
+      if (parts.size() != 2) return Usage(argv[0]);
+      Result<Table> t = pctagg::ReadCsvFileAuto(parts[1]);
+      if (!t.ok()) {
+        std::fprintf(stderr, "--load %s: %s\n", v,
+                     t.status().ToString().c_str());
+        return 1;
+      }
+      db.ReplaceTable(parts[0], std::move(t).value());
+      std::fprintf(stderr, "loaded %s from %s\n", parts[0].c_str(),
+                   parts[1].c_str());
+    } else if (arg == "--gen") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      std::vector<std::string> parts = SplitColons(v);
+      if (parts.size() != 3) return Usage(argv[0]);
+      size_t rows = static_cast<size_t>(std::atoll(parts[2].c_str()));
+      std::string kind = pctagg::ToLower(parts[0]);
+      Table t;
+      if (kind == "employee") {
+        t = pctagg::GenerateEmployee(rows);
+      } else if (kind == "sales") {
+        t = pctagg::GenerateSales(rows);
+      } else if (kind == "transactionline") {
+        t = pctagg::GenerateTransactionLine(rows);
+      } else if (kind == "census") {
+        t = pctagg::GenerateCensusLike(rows);
+      } else {
+        std::fprintf(stderr, "--gen: unknown kind %s\n", parts[0].c_str());
+        return 1;
+      }
+      db.ReplaceTable(parts[1], std::move(t));
+      std::fprintf(stderr, "generated %zu %s rows into %s\n", rows,
+                   kind.c_str(), parts[1].c_str());
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  pctagg::PctServer server(&db, config);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "pctagg_server listening on %s:%d (%zu workers, %zu in "
+               "flight, %llu ms timeout)\n",
+               config.host.c_str(), server.port(),
+               server.executor().worker_threads(), config.max_in_flight,
+               (unsigned long long)config.default_timeout_ms);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    ::usleep(100 * 1000);
+  }
+  std::fprintf(stderr, "shutting down (%zu sessions served)\n",
+               server.sessions_opened());
+  server.Stop();
+  return 0;
+}

@@ -19,26 +19,45 @@
 //   .explain <sql>             print the generated evaluation script
 //   .olap <sql>                run a Vpct query via the OLAP window baseline
 //   .cache <on|off>            toggle the shared-summary cache
+//   .timer <on|off>            print per-statement wall-clock time
+//   .remote <host:port>        forward statements to a pctagg_server
+//   .local                     drop the remote connection, back to embedded
 //   .quit                      exit
+//
+// In remote mode every statement (and .tables/.schema/.gen/.explain/.olap/
+// .cache) is forwarded through the PctProtocol client — the same code path
+// pctagg_client uses — so the shell doubles as a protocol smoke test.
 
 #include <cstdio>
 #include <unistd.h>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "engine/csv.h"
 #include "pctagg.h"
+#include "server/client.h"
 #include "workload/generators.h"
 
 namespace {
 
+using pctagg::PctClient;
 using pctagg::PctDatabase;
+using pctagg::RequestVerb;
 using pctagg::Result;
 using pctagg::Status;
 using pctagg::Table;
+using pctagg::WireResponse;
+
+struct ShellState {
+  PctDatabase db;
+  bool timer = false;
+  std::optional<PctClient> remote;
+};
 
 std::vector<std::string> SplitWords(const std::string& line) {
   std::istringstream in(line);
@@ -52,17 +71,99 @@ void PrintStatus(const Status& status) {
   std::printf("error: %s\n", status.ToString().c_str());
 }
 
-void RunDotCommand(PctDatabase* db, const std::string& line) {
+void PrintElapsed(const ShellState& state, double millis) {
+  if (state.timer) std::printf("elapsed: %.3f ms\n", millis);
+}
+
+// Forwards one wire call in remote mode and prints the reply.
+void RunRemoteCall(ShellState* state, RequestVerb verb,
+                   const std::string& payload) {
+  pctagg::Stopwatch timer;
+  Result<WireResponse> reply = state->remote->Call(verb, payload);
+  double millis = timer.ElapsedMillis();
+  if (!reply.ok()) {
+    PrintStatus(reply.status());
+    std::printf("connection lost, back to embedded mode\n");
+    state->remote.reset();
+    return;
+  }
+  if (!reply->status.ok()) {
+    PrintStatus(reply->status);
+    return;
+  }
+  if (!reply->body.empty()) std::fputs(reply->body.c_str(), stdout);
+  if (verb == RequestVerb::kQuery || verb == RequestVerb::kOlap) {
+    std::printf("(%llu rows)\n", (unsigned long long)reply->rows);
+  }
+  PrintElapsed(*state, millis);
+}
+
+void RunStatement(ShellState* state, const std::string& sql) {
+  if (state->remote.has_value()) {
+    RunRemoteCall(state, RequestVerb::kQuery, sql);
+    return;
+  }
+  pctagg::Stopwatch timer;
+  Result<Table> result = state->db.Query(sql);
+  double millis = timer.ElapsedMillis();
+  if (!result.ok()) {
+    PrintStatus(result.status());
+    return;
+  }
+  std::fputs(result->ToString().c_str(), stdout);
+  std::printf("(%zu rows)\n", result->num_rows());
+  PrintElapsed(*state, millis);
+}
+
+void RunDotCommand(ShellState* state, const std::string& line) {
+  PctDatabase* db = &state->db;
   std::vector<std::string> words = SplitWords(line);
   const std::string& cmd = words[0];
+  bool remote = state->remote.has_value();
   if (cmd == ".help") {
     std::printf(
         ".tables | .schema <t> | .load <t> <csv> | .save <t> <csv> |\n"
         ".gen <kind> <name> <rows> | .explain <sql> | .olap <sql> |\n"
-        ".cache on|off | .quit — SQL statements end with ';'\n");
+        ".cache on|off | .timer on|off | .remote <host:port> | .local |\n"
+        ".quit — SQL statements end with ';'\n");
+    return;
+  }
+  if (cmd == ".timer" && words.size() == 2) {
+    state->timer = words[1] == "on";
+    std::printf("timer %s\n", state->timer ? "on" : "off");
+    return;
+  }
+  if (cmd == ".remote" && words.size() == 2) {
+    std::string host = words[1];
+    int port = 7477;
+    size_t colon = host.rfind(':');
+    if (colon != std::string::npos) {
+      port = std::atoi(host.c_str() + colon + 1);
+      host = host.substr(0, colon);
+    }
+    Result<PctClient> client = PctClient::Connect(host, port);
+    if (!client.ok()) {
+      PrintStatus(client.status());
+      return;
+    }
+    state->remote = std::move(client).value();
+    std::printf("connected to %s:%d — statements now run remotely\n",
+                host.c_str(), port);
+    return;
+  }
+  if (cmd == ".local") {
+    if (remote) {
+      state->remote->Call(RequestVerb::kQuit, "");
+      state->remote.reset();
+    }
+    std::printf("embedded mode\n");
     return;
   }
   if (cmd == ".tables") {
+    if (remote) {
+      RunRemoteCall(state, RequestVerb::kTables, "");
+      return;
+    }
     for (const std::string& name : db->catalog().TableNames()) {
       Result<Table*> t = db->catalog().GetTable(name);
       std::printf("%s (%zu rows, %zu columns)\n", name.c_str(),
@@ -72,6 +173,10 @@ void RunDotCommand(PctDatabase* db, const std::string& line) {
     return;
   }
   if (cmd == ".schema" && words.size() == 2) {
+    if (remote) {
+      RunRemoteCall(state, RequestVerb::kSchema, words[1]);
+      return;
+    }
     Result<Table*> t = db->catalog().GetTable(words[1]);
     if (!t.ok()) {
       PrintStatus(t.status());
@@ -82,6 +187,10 @@ void RunDotCommand(PctDatabase* db, const std::string& line) {
     return;
   }
   if (cmd == ".load" && words.size() == 3) {
+    if (remote) {
+      std::printf(".load is local-only; use .gen in remote mode\n");
+      return;
+    }
     Result<Table> t = pctagg::ReadCsvFileAuto(words[2]);
     if (!t.ok()) {
       PrintStatus(t.status());
@@ -93,6 +202,10 @@ void RunDotCommand(PctDatabase* db, const std::string& line) {
     return;
   }
   if (cmd == ".save" && words.size() == 3) {
+    if (remote) {
+      std::printf(".save is local-only\n");
+      return;
+    }
     Result<Table*> t = db->catalog().GetTable(words[1]);
     if (!t.ok()) {
       PrintStatus(t.status());
@@ -107,6 +220,11 @@ void RunDotCommand(PctDatabase* db, const std::string& line) {
     return;
   }
   if (cmd == ".gen" && words.size() == 4) {
+    if (remote) {
+      RunRemoteCall(state, RequestVerb::kGen,
+                    words[1] + " " + words[2] + " " + words[3]);
+      return;
+    }
     size_t n = static_cast<size_t>(std::atoll(words[3].c_str()));
     std::string kind = pctagg::ToLower(words[1]);
     Table t;
@@ -129,6 +247,10 @@ void RunDotCommand(PctDatabase* db, const std::string& line) {
   }
   if (cmd == ".explain") {
     std::string sql = line.substr(cmd.size());
+    if (remote) {
+      RunRemoteCall(state, RequestVerb::kExplain, sql);
+      return;
+    }
     Result<std::string> script = db->Explain(sql);
     if (!script.ok()) {
       PrintStatus(script.status());
@@ -139,15 +261,26 @@ void RunDotCommand(PctDatabase* db, const std::string& line) {
   }
   if (cmd == ".olap") {
     std::string sql = line.substr(cmd.size());
+    if (remote) {
+      RunRemoteCall(state, RequestVerb::kOlap, sql);
+      return;
+    }
+    pctagg::Stopwatch timer;
     Result<Table> t = db->QueryOlapBaseline(sql);
+    double millis = timer.ElapsedMillis();
     if (!t.ok()) {
       PrintStatus(t.status());
       return;
     }
     std::fputs(t->ToString().c_str(), stdout);
+    PrintElapsed(*state, millis);
     return;
   }
   if (cmd == ".cache" && words.size() == 2) {
+    if (remote) {
+      RunRemoteCall(state, RequestVerb::kSet, "cache " + words[1]);
+      return;
+    }
     db->EnableSummaryCache(words[1] == "on");
     std::printf("summary cache %s\n", words[1] == "on" ? "enabled" : "disabled");
     return;
@@ -158,7 +291,7 @@ void RunDotCommand(PctDatabase* db, const std::string& line) {
 }  // namespace
 
 int main() {
-  PctDatabase db;
+  ShellState state;
   std::string pending;
   std::string line;
   bool interactive = isatty(fileno(stdin));
@@ -168,14 +301,15 @@ int main() {
   }
   while (true) {
     if (interactive) {
-      std::fputs(pending.empty() ? "pctagg> " : "   ...> ", stdout);
+      const char* prompt = state.remote.has_value() ? "remote> " : "pctagg> ";
+      std::fputs(pending.empty() ? prompt : "   ...> ", stdout);
       std::fflush(stdout);
     }
     if (!std::getline(std::cin, line)) break;
     // Dot commands are single-line and only valid with no pending SQL.
     if (pending.empty() && !line.empty() && line[0] == '.') {
       if (line == ".quit" || line == ".exit") break;
-      RunDotCommand(&db, line);
+      RunDotCommand(&state, line);
       continue;
     }
     pending += line;
@@ -184,13 +318,7 @@ int main() {
     std::string sql;
     sql.swap(pending);
     if (sql.find_first_not_of(" \t\n;") == std::string::npos) continue;
-    Result<Table> result = db.Query(sql);
-    if (!result.ok()) {
-      PrintStatus(result.status());
-      continue;
-    }
-    std::fputs(result->ToString().c_str(), stdout);
-    std::printf("(%zu rows)\n", result->num_rows());
+    RunStatement(&state, sql);
   }
   return 0;
 }
