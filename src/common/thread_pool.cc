@@ -1,4 +1,4 @@
-#include "server/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace pctagg {
 
@@ -54,6 +54,45 @@ void ThreadPool::WorkerLoop() {
     }
     task();
   }
+}
+
+void WaitGroup::Add(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ += static_cast<int64_t>(n);
+}
+
+void WaitGroup::Done() {
+  // Notify while still holding the mutex: a waiter may only return from
+  // Wait() after reacquiring it, which orders this broadcast before any
+  // destruction of the WaitGroup on the waiting thread. Notifying after the
+  // unlock would let the waiter wake early (spuriously or via a sibling
+  // Done), observe zero, and destroy the condition variable mid-broadcast.
+  std::lock_guard<std::mutex> lock(mutex_);
+  --count_;
+  if (count_ <= 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return count_ <= 0; });
+}
+
+bool WaitGroup::WaitFor(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, timeout, [this] { return count_ <= 0; });
+}
+
+int64_t WaitGroup::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+ThreadPool& SharedThreadPool() {
+  static ThreadPool* pool = [] {
+    size_t hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw > 2 ? hw : 2);  // leaked: outlives static dtors
+  }();
+  return *pool;
 }
 
 }  // namespace pctagg

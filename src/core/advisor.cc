@@ -8,9 +8,29 @@
 namespace pctagg {
 
 VpctStrategy StrategyAdvisor::AdviseVpct(const Table& fact,
-                                         const AnalyzedQuery& query) const {
-  (void)fact;
-  (void)query;
+                                         const AnalyzedQuery& query,
+                                         size_t dop) const {
+  if (dop > 1) {
+    // Parallel scans change the trade-offs Table 4 was measured under, so
+    // rank the strategy space with the dop-aware cost model instead.
+    const AnalyzedTerm* term = nullptr;
+    for (const AnalyzedTerm& t : query.terms) {
+      if (t.has_by) {
+        term = &t;
+        break;
+      }
+    }
+    if (term != nullptr) {
+      CostModel model;
+      Result<FactStats> stats = model.EstimateStats(
+          fact, query.group_by, term->by_columns, /*by=*/{});
+      if (stats.ok()) {
+        FactStats s = stats.value();
+        s.dop = static_cast<double>(dop);
+        return model.PickVpct(s);
+      }
+    }
+  }
   // Table 4's winner in every configuration: create matching indexes on the
   // common subkey, compute Fj from Fk (sum() is distributive) and produce FV
   // with INSERT rather than UPDATE.
@@ -18,7 +38,8 @@ VpctStrategy StrategyAdvisor::AdviseVpct(const Table& fact,
 }
 
 HorizontalStrategy StrategyAdvisor::AdviseHorizontal(
-    const Table& fact, const AnalyzedQuery& query) const {
+    const Table& fact, const AnalyzedQuery& query, size_t dop) const {
+  if (dop > 1) return AdviseHorizontalByCost(fact, query, dop);
   HorizontalStrategy strategy;
   strategy.method = HorizontalMethod::kCaseDirect;  // CASE always beats SPJ
 
@@ -52,7 +73,7 @@ HorizontalStrategy StrategyAdvisor::AdviseHorizontal(
 }
 
 HorizontalStrategy StrategyAdvisor::AdviseHorizontalByCost(
-    const Table& fact, const AnalyzedQuery& query) const {
+    const Table& fact, const AnalyzedQuery& query, size_t dop) const {
   const AnalyzedTerm* term = nullptr;
   for (const AnalyzedTerm& t : query.terms) {
     if (t.has_by) {
@@ -68,7 +89,9 @@ HorizontalStrategy StrategyAdvisor::AdviseHorizontalByCost(
   Result<FactStats> stats =
       model.EstimateStats(fact, full_group, query.group_by, term->by_columns);
   if (!stats.ok()) return AdviseHorizontal(fact, query);
-  HorizontalStrategy strategy = model.PickHorizontal(stats.value());
+  FactStats s = stats.value();
+  s.dop = static_cast<double>(dop < 1 ? 1 : dop);
+  HorizontalStrategy strategy = model.PickHorizontal(s);
   // DISTINCT terms still require a direct strategy.
   if (term->distinct) strategy.method = HorizontalMethod::kCaseDirect;
   return strategy;

@@ -24,14 +24,20 @@ class StrategyAdvisor {
   // Rows sampled when estimating cardinalities.
   static constexpr size_t kSampleRows = 20000;
 
-  // Vpct: the paper's best strategy is unconditional — matching subkey
-  // indexes, Fj from the partial aggregate Fk, INSERT over UPDATE.
-  VpctStrategy AdviseVpct(const Table& fact, const AnalyzedQuery& query) const;
+  // Vpct: at dop 1 the paper's best strategy is unconditional — matching
+  // subkey indexes, Fj from the partial aggregate Fk, INSERT over UPDATE.
+  // At dop > 1 the choice comes from the cost model with scan terms divided
+  // by dop (parallel scans cheapen the rescans the paper's heuristics were
+  // calibrated against); on estimation failure the paper default stands.
+  VpctStrategy AdviseVpct(const Table& fact, const AnalyzedQuery& query,
+                          size_t dop = 1) const;
 
   // Hpct/Hagg: CASE always beats SPJ; direct from F when there are at most
-  // two BY columns, all of low selectivity; otherwise go through FV.
+  // two BY columns, all of low selectivity; otherwise go through FV. At
+  // dop > 1 defers to AdviseHorizontalByCost with dop-scaled scan costs.
   HorizontalStrategy AdviseHorizontal(const Table& fact,
-                                      const AnalyzedQuery& query) const;
+                                      const AnalyzedQuery& query,
+                                      size_t dop = 1) const;
 
   // Estimated number of distinct values in `column` over a bounded prefix
   // sample of `fact` (exact when the table is smaller than the sample).
@@ -43,7 +49,8 @@ class StrategyAdvisor {
   // and picks the minimum-cost strategy. Falls back to AdviseHorizontal
   // when statistics cannot be estimated.
   HorizontalStrategy AdviseHorizontalByCost(const Table& fact,
-                                            const AnalyzedQuery& query) const;
+                                            const AnalyzedQuery& query,
+                                            size_t dop = 1) const;
 };
 
 }  // namespace pctagg

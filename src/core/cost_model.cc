@@ -62,16 +62,18 @@ double CostModel::VpctCost(const FactStats& stats,
   const double n = stats.rows;
   const double fk = stats.group_cardinality;
   const double fj = stats.totals_cardinality;
+  const double dop = std::max(1.0, stats.dop);
   double cost = 0;
-  // Fk: one scan of F plus |Fk| materialized rows.
-  cost += n * params_.scan + fk * params_.write + params_.statement;
-  // Fj: from Fk (tiny) or a second scan of F.
-  cost += (strategy.fj_from_fk ? fk : n) * params_.scan +
+  // Fk: one morsel-parallel scan of F plus |Fk| (serially) materialized rows.
+  cost += n * params_.scan / dop + fk * params_.write + params_.statement;
+  // Fj: from Fk (tiny) or a second parallel scan of F.
+  cost += (strategy.fj_from_fk ? fk : n) * params_.scan / dop +
           fj * params_.write + params_.statement;
-  // Index build on Fj (worth it; mismatched indexes just waste the build).
+  // Index build on Fj: serial (worth it; mismatched indexes waste the build).
   cost += fj * params_.probe + params_.statement;
-  // Division: probe Fj once per Fk row, then INSERT or UPDATE.
-  cost += fk * params_.probe;
+  // Division: probe Fj once per Fk row (morsel-parallel probe), then INSERT
+  // (serial emission) or UPDATE (serial read-modify-write).
+  cost += fk * params_.probe / dop;
   if (!strategy.matching_indexes) cost += fj * params_.probe;  // rebuild hash
   cost += fk * (strategy.insert_result ? params_.write : params_.update);
   cost += params_.statement;
@@ -91,23 +93,27 @@ double CostModel::HorizontalCost(const FactStats& stats,
   // count (already includes the BY columns), capped by n.
   double fv = std::min(n, stats.group_cardinality);
   double pivot_input = from_fv ? fv : n;
+  const double dop = std::max(1.0, stats.dop);
   double cost = 0;
   if (from_fv) {
-    // Materialize FV first: one scan of F.
-    cost += n * params_.scan + fv * params_.write + params_.statement;
+    // Materialize FV first: one parallel scan of F, |FV| serial writes. The
+    // write term is why from-FV loses ground as dop grows — the scan it
+    // saves shrinks with dop, the materialization it adds does not.
+    cost += n * params_.scan / dop + fv * params_.write + params_.statement;
   }
   if (spj) {
-    // One full pass + one aggregate per result column, then N outer joins.
-    cost += cells * (pivot_input * params_.scan + groups * params_.write +
-                     2 * params_.statement);
+    // One full pass + one (parallel) aggregate per result column, then N
+    // outer joins.
+    cost += cells * (pivot_input * params_.scan / dop +
+                     groups * params_.write + 2 * params_.statement);
     cost += cells * groups * (params_.probe + params_.write);
   } else if (strategy.hash_dispatch) {
-    // One scan, two probes per row, one result table.
-    cost += pivot_input * (params_.scan + 2 * params_.probe) +
+    // One morsel-parallel scan, two probes per row, one result table.
+    cost += pivot_input * (params_.scan + 2 * params_.probe) / dop +
             groups * cells * params_.write + params_.statement;
   } else {
-    // One scan, N CASE evaluations per row.
-    cost += pivot_input * (params_.scan + cells * params_.cell) +
+    // One parallel scan, N CASE evaluations per row.
+    cost += pivot_input * (params_.scan + cells * params_.cell) / dop +
             groups * cells * params_.write + params_.statement;
   }
   return cost;
@@ -115,9 +121,10 @@ double CostModel::HorizontalCost(const FactStats& stats,
 
 double CostModel::OlapCost(const FactStats& stats) const {
   const double n = stats.rows;
-  // Two window passes (each: probe + carry a value per fact row), an n-row
-  // division, and an n-row DISTINCT.
-  return n * (2 * (params_.scan + params_.probe) + params_.write) +
+  const double dop = std::max(1.0, stats.dop);
+  // Two window passes (each: probe + carry a value per fact row, phase 1
+  // morsel-parallel), an n-row division, and an n-row serial DISTINCT.
+  return n * 2 * (params_.scan + params_.probe) / dop + n * params_.write +
          n * (params_.scan + params_.probe) + params_.statement;
 }
 

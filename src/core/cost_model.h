@@ -48,6 +48,12 @@ struct FactStats {
   double group_cardinality = 1;
   double totals_cardinality = 1;  // |Fj| / result-row estimate (D1..Dj)
   double by_cardinality = 1;      // N: product of BY-column cardinalities
+  // Degree of parallelism the engine will run the plan's scans at. The
+  // morsel-parallel phases — aggregation/pivot/window scans and hash-probe
+  // passes — divide by this; serial phases (result materialization, UPDATE's
+  // read-modify-write, index builds) do not, which is what moves the
+  // from-F-vs-from-FV crossover as dop grows (see docs/PARALLELISM.md).
+  double dop = 1;
 };
 
 // Cardinality estimation over a bounded sample, with the standard

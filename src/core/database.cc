@@ -2,6 +2,7 @@
 
 #include "core/olap_planner.h"
 #include "engine/aggregate.h"
+#include "engine/parallel.h"
 #include "engine/table_ops.h"
 #include "sql/parser.h"
 
@@ -130,6 +131,10 @@ Result<Table> PctDatabase::Query(const std::string& sql,
                                  const QueryOptions& options) const {
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
   bool use_cache = options.use_summary_cache.value_or(summary_cache_enabled_);
+  // Engine kernels called anywhere below this frame (planner steps run
+  // synchronously on this thread) pick the knob up via CurrentDop().
+  ScopedParallelism parallelism(options.degree_of_parallelism);
+  const size_t dop = CurrentDop();
   switch (query.query_class) {
     case QueryClass::kProjection:
     case QueryClass::kVertical: {
@@ -147,7 +152,7 @@ Result<Table> PctDatabase::Query(const std::string& sql,
         } else {
           PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
                                   catalog_.GetTable(query.table_name));
-          strategy = advisor_.AdviseVpct(*fact, query);
+          strategy = advisor_.AdviseVpct(*fact, query, dop);
         }
         PCTAGG_ASSIGN_OR_RETURN(plan, PlanVpctQuery(query, strategy));
       }
@@ -160,7 +165,7 @@ Result<Table> PctDatabase::Query(const std::string& sql,
       } else {
         PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
                                 catalog_.GetTable(query.table_name));
-        strategy = advisor_.AdviseHorizontal(*fact, query);
+        strategy = advisor_.AdviseHorizontal(*fact, query, dop);
       }
       PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanHorizontalQuery(query, strategy));
       return RunPlan(plan, query, use_cache);

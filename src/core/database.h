@@ -25,6 +25,12 @@ struct QueryOptions {
   std::optional<bool> use_summary_cache;
   // Evaluate a Vpct query through the ANSI OLAP window-function baseline.
   bool olap_baseline = false;
+  // Degree of parallelism for the engine's morsel-driven operator kernels
+  // (aggregate, pivot, join probe, window). 1 = serial (default), 0 = auto
+  // (the shared worker pool's size), n = use up to n workers. Results are
+  // identical at every setting apart from float-sum rounding — see
+  // docs/PARALLELISM.md.
+  size_t degree_of_parallelism = 1;
 };
 
 // The top-level facade: a catalog of tables plus the percentage-query

@@ -1,7 +1,10 @@
 #include "engine/aggregate.h"
 
+#include <algorithm>
 #include <limits>
-#include <unordered_map>
+
+#include "engine/packed_key.h"
+#include "engine/parallel.h"
 
 namespace pctagg {
 
@@ -44,6 +47,206 @@ Result<DataType> AggOutputType(const AggSpec& spec, const Schema& schema) {
   return Status::Internal("unknown aggregate function");
 }
 
+// A per-spec accumulation micro-plan: the function x input-type dispatch and
+// the variant unpacking (Column::NumericAt runs a std::get per call) are
+// resolved once per HashAggregate instead of once per row per spec, and each
+// spec then runs its own tight loop over the morsel, touching only the
+// fields its emission actually reads.
+enum class AccKind : uint8_t {
+  kCountStar,  // row_count
+  kCount,      // count
+  kSumInt,     // isum, saw_value
+  kSumFloat,   // sum, saw_value
+  kAvg,        // sum, count, saw_value
+  kAvgStr,     // count, saw_value (degenerate avg-over-string: sum stays 0)
+  kMinNum,     // min, saw_value
+  kMaxNum,     // max, saw_value
+  kMinStr,     // smin, saw_value
+  kMaxStr,     // smax, saw_value
+};
+
+struct AccPlan {
+  AccKind kind = AccKind::kCountStar;
+  const uint8_t* validity = nullptr;
+  const int64_t* i64 = nullptr;      // set iff the input column is INT64
+  const double* f64 = nullptr;       // set iff FLOAT64
+  const std::string* str = nullptr;  // set iff STRING
+
+  double NumericAt(size_t row) const {
+    return i64 != nullptr ? static_cast<double>(i64[row]) : f64[row];
+  }
+};
+
+AccPlan MakeAccPlan(const AggSpec& spec, const Column& input) {
+  AccPlan ap;
+  if (spec.func == AggFunc::kCountStar) {
+    ap.kind = AccKind::kCountStar;
+    return ap;
+  }
+  ap.validity = input.validity().data();
+  switch (input.type()) {
+    case DataType::kInt64:
+      ap.i64 = input.int64_data().data();
+      break;
+    case DataType::kFloat64:
+      ap.f64 = input.float64_data().data();
+      break;
+    case DataType::kString:
+      ap.str = input.string_data().data();
+      break;
+  }
+  const bool is_string = input.type() == DataType::kString;
+  switch (spec.func) {
+    case AggFunc::kCountStar:
+      break;  // handled above
+    case AggFunc::kCount:
+      ap.kind = AccKind::kCount;
+      break;
+    case AggFunc::kSum:
+      // sum() over strings is rejected during validation.
+      ap.kind = input.type() == DataType::kInt64 ? AccKind::kSumInt
+                                                 : AccKind::kSumFloat;
+      break;
+    case AggFunc::kAvg:
+      ap.kind = is_string ? AccKind::kAvgStr : AccKind::kAvg;
+      break;
+    case AggFunc::kMin:
+      ap.kind = is_string ? AccKind::kMinStr : AccKind::kMinNum;
+      break;
+    case AggFunc::kMax:
+      ap.kind = is_string ? AccKind::kMaxStr : AccKind::kMaxNum;
+      break;
+  }
+  return ap;
+}
+
+// Folds one morsel into one spec's per-group accumulator column. `gid` holds
+// the local group id of row `begin + i` at position i.
+void AccumulateMorsel(const AccPlan& ap, const std::vector<uint32_t>& gid,
+                      size_t begin, size_t end, std::vector<AggState>& col) {
+  switch (ap.kind) {
+    case AccKind::kCountStar:
+      for (size_t row = begin; row < end; ++row) {
+        col[gid[row - begin]].row_count++;
+      }
+      break;
+    case AccKind::kCount:
+      for (size_t row = begin; row < end; ++row) {
+        if (ap.validity[row]) col[gid[row - begin]].count++;
+      }
+      break;
+    case AccKind::kSumInt:
+      for (size_t row = begin; row < end; ++row) {
+        if (!ap.validity[row]) continue;
+        AggState& st = col[gid[row - begin]];
+        st.isum += ap.i64[row];
+        st.saw_value = true;
+      }
+      break;
+    case AccKind::kSumFloat:
+      for (size_t row = begin; row < end; ++row) {
+        if (!ap.validity[row]) continue;
+        AggState& st = col[gid[row - begin]];
+        st.sum += ap.NumericAt(row);
+        st.saw_value = true;
+      }
+      break;
+    case AccKind::kAvg:
+      for (size_t row = begin; row < end; ++row) {
+        if (!ap.validity[row]) continue;
+        AggState& st = col[gid[row - begin]];
+        st.sum += ap.NumericAt(row);
+        st.count++;
+        st.saw_value = true;
+      }
+      break;
+    case AccKind::kAvgStr:
+      for (size_t row = begin; row < end; ++row) {
+        if (!ap.validity[row]) continue;
+        AggState& st = col[gid[row - begin]];
+        st.count++;
+        st.saw_value = true;
+      }
+      break;
+    case AccKind::kMinNum:
+      for (size_t row = begin; row < end; ++row) {
+        if (!ap.validity[row]) continue;
+        AggState& st = col[gid[row - begin]];
+        double v = ap.NumericAt(row);
+        if (v < st.min) st.min = v;
+        st.saw_value = true;
+      }
+      break;
+    case AccKind::kMaxNum:
+      for (size_t row = begin; row < end; ++row) {
+        if (!ap.validity[row]) continue;
+        AggState& st = col[gid[row - begin]];
+        double v = ap.NumericAt(row);
+        if (v > st.max) st.max = v;
+        st.saw_value = true;
+      }
+      break;
+    case AccKind::kMinStr:
+      for (size_t row = begin; row < end; ++row) {
+        if (!ap.validity[row]) continue;
+        AggState& st = col[gid[row - begin]];
+        const std::string& s = ap.str[row];
+        if (!st.saw_value || s < st.smin) st.smin = s;
+        st.saw_value = true;
+      }
+      break;
+    case AccKind::kMaxStr:
+      for (size_t row = begin; row < end; ++row) {
+        if (!ap.validity[row]) continue;
+        AggState& st = col[gid[row - begin]];
+        const std::string& s = ap.str[row];
+        if (!st.saw_value || s > st.smax) st.smax = s;
+        st.saw_value = true;
+      }
+      break;
+  }
+}
+
+// One worker's thread-local partial aggregation table. Accumulators are
+// laid out per spec ([agg][local group]) so each spec's morsel loop walks
+// one contiguous array.
+struct AggPartial {
+  KeyMap groups;
+  std::vector<std::vector<AggState>> spec_states;  // [agg][local group]
+  std::vector<size_t> first_row;  // min input row per local group
+  std::vector<uint32_t> gid;      // morsel scratch: local group id per row
+  std::vector<char> key_buf;      // morsel scratch: fixed-stride packed keys
+};
+
+// One group's accumulators gathered back into [agg] order for emission.
+std::vector<AggState> GatherStates(const AggPartial& p, size_t id,
+                                   size_t num_specs) {
+  std::vector<AggState> gs;
+  gs.reserve(num_specs);
+  for (size_t a = 0; a < num_specs; ++a) gs.push_back(p.spec_states[a][id]);
+  return gs;
+}
+
+// Folds partial `p`'s accumulators for local group `id` into `dst`.
+void MergeFromPartial(std::vector<AggState>& dst, const AggPartial& p,
+                      size_t id) {
+  for (size_t a = 0; a < dst.size(); ++a) {
+    AggState& d = dst[a];
+    const AggState& s = p.spec_states[a][id];
+    d.row_count += s.row_count;
+    d.count += s.count;
+    d.sum += s.sum;
+    d.isum += s.isum;
+    if (s.min < d.min) d.min = s.min;
+    if (s.max > d.max) d.max = s.max;
+    if (s.saw_value) {
+      if (!d.saw_value || s.smin < d.smin) d.smin = s.smin;
+      if (!d.saw_value || s.smax > d.smax) d.smax = s.smax;
+      d.saw_value = true;
+    }
+  }
+}
+
 }  // namespace
 
 const char* AggFuncName(AggFunc func) {
@@ -65,7 +268,7 @@ const char* AggFuncName(AggFunc func) {
 
 Result<Table> HashAggregate(const Table& input,
                             const std::vector<std::string>& group_by,
-                            const std::vector<AggSpec>& aggs) {
+                            const std::vector<AggSpec>& aggs, size_t dop) {
   // Resolve group-by columns.
   std::vector<size_t> group_idx;
   group_idx.reserve(group_by.size());
@@ -94,40 +297,109 @@ Result<Table> HashAggregate(const Table& input,
     agg_inputs.push_back(std::move(c));
   }
 
-  // Group assignment.
-  std::unordered_map<std::string, size_t> group_of;
-  std::vector<size_t> representative_row;  // first row of each group
-  std::vector<std::vector<AggState>> states;
+  // Phase 1: each worker folds its morsels into a thread-local partial
+  // table, keyed by the packed group key. Per morsel, a keying loop assigns
+  // local group ids into the gid scratch, then each spec runs its resolved
+  // accumulation loop over the morsel.
   const size_t n = input.num_rows();
-  std::string key;
-  for (size_t row = 0; row < n; ++row) {
-    key.clear();
-    input.AppendKeyBytes(row, group_idx, &key);
-    auto [it, inserted] = group_of.emplace(key, states.size());
-    if (inserted) {
-      representative_row.push_back(row);
-      states.emplace_back(aggs.size());
-    }
-    std::vector<AggState>& gs = states[it->second];
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      AggState& st = gs[a];
-      st.row_count++;
-      if (aggs[a].func == AggFunc::kCountStar) continue;
-      const Column& in = agg_inputs[a];
-      if (in.IsNull(row)) continue;  // sum()/count()/min()/max() skip NULLs
-      st.count++;
-      st.saw_value = true;
-      if (in.type() == DataType::kString) {
-        const std::string& s = in.StringAt(row);
-        if (st.count == 1 || s < st.smin) st.smin = s;
-        if (st.count == 1 || s > st.smax) st.smax = s;
-      } else {
-        double v = in.NumericAt(row);
-        st.sum += v;
-        if (in.type() == DataType::kInt64) st.isum += in.Int64At(row);
-        if (v < st.min) st.min = v;
-        if (v > st.max) st.max = v;
+  if (dop == 0) dop = CurrentDop();
+  MorselPlan plan = MorselPlan::For(n, dop);
+  const KeyEncoder encoder(input, group_idx);
+  std::vector<AccPlan> acc_plans;
+  acc_plans.reserve(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    acc_plans.push_back(MakeAccPlan(aggs[a], agg_inputs[a]));
+  }
+  std::vector<AggPartial> partials(plan.num_workers);
+  for (AggPartial& p : partials) p.spec_states.resize(aggs.size());
+  RunMorsels(plan, [&](size_t worker, size_t begin, size_t end) {
+    AggPartial& p = partials[worker];
+    const size_t count = end - begin;
+    if (p.gid.size() < count) p.gid.resize(count);
+    if (encoder.fixed_only()) {
+      // All-fixed-width keys: encode the whole morsel column-at-a-time into
+      // a stride-constant buffer, then key it through the stride-specialized
+      // batch probe. New groups' accumulators are default states, so the
+      // spec columns just extend to the new group count afterwards.
+      const size_t stride = encoder.fixed_width();
+      if (p.key_buf.size() < count * stride) p.key_buf.resize(count * stride);
+      encoder.EncodeFixedBatch(begin, end, p.key_buf.data());
+      p.groups.GetOrAddFixedBatch(p.key_buf.data(), stride, count, begin,
+                                  p.gid.data(), &p.first_row);
+      for (std::vector<AggState>& sc : p.spec_states) {
+        if (sc.size() < p.groups.size()) sc.resize(p.groups.size());
       }
+    } else {
+      std::string key;
+      key.reserve(encoder.fixed_width() + 16);
+      for (size_t row = begin; row < end; ++row) {
+        key.clear();
+        encoder.AppendKey(row, &key);
+        auto [g, inserted] = p.groups.GetOrAdd(key);
+        if (inserted) {
+          for (std::vector<AggState>& sc : p.spec_states) sc.emplace_back();
+          p.first_row.push_back(row);
+        } else if (row < p.first_row[g]) {
+          p.first_row[g] = row;
+        }
+        p.gid[row - begin] = static_cast<uint32_t>(g);
+      }
+    }
+    for (size_t a = 0; a < acc_plans.size(); ++a) {
+      AccumulateMorsel(acc_plans[a], p.gid, begin, end, p.spec_states[a]);
+    }
+  });
+
+  // Phase 2: merge the partials into global groups. A single worker's
+  // partial is already the answer, in first-seen order. Otherwise the key
+  // space is split into hash partitions merged in parallel, and the result
+  // ordered by each group's first input row — reproducing exactly the
+  // first-seen order a serial run would emit.
+  std::vector<std::vector<AggState>> states;
+  std::vector<size_t> representative_row;
+  if (plan.num_workers <= 1 && !partials.empty()) {
+    AggPartial& p = partials[0];
+    states.reserve(p.groups.size());
+    for (size_t g = 0; g < p.groups.size(); ++g) {
+      states.push_back(GatherStates(p, g, aggs.size()));
+    }
+    representative_row = std::move(p.first_row);
+  } else if (!partials.empty()) {
+    struct MergedGroup {
+      std::vector<AggState> states;
+      size_t first_row;
+    };
+    const size_t num_parts = plan.num_workers;
+    std::vector<std::vector<MergedGroup>> part_groups(num_parts);
+    RunPartitions(num_parts, plan.num_workers, [&](size_t part) {
+      KeyMap seen;
+      std::vector<MergedGroup>& out = part_groups[part];
+      for (const AggPartial& p : partials) {
+        p.groups.ForEach([&](std::string_view key, size_t id) {
+          if (KeyMap::Hash(key) % num_parts != part) return;
+          auto [g, inserted] = seen.GetOrAdd(key);
+          if (inserted) {
+            out.push_back({GatherStates(p, id, aggs.size()), p.first_row[id]});
+          } else {
+            MergeFromPartial(out[g].states, p, id);
+            out[g].first_row = std::min(out[g].first_row, p.first_row[id]);
+          }
+        });
+      }
+    });
+    std::vector<MergedGroup> merged;
+    for (std::vector<MergedGroup>& pg : part_groups) {
+      for (MergedGroup& mg : pg) merged.push_back(std::move(mg));
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const MergedGroup& a, const MergedGroup& b) {
+                return a.first_row < b.first_row;
+              });
+    states.reserve(merged.size());
+    representative_row.reserve(merged.size());
+    for (MergedGroup& mg : merged) {
+      states.push_back(std::move(mg.states));
+      representative_row.push_back(mg.first_row);
     }
   }
 

@@ -39,9 +39,16 @@ struct AggSpec {
 //
 // Output schema: the group-by columns (input types preserved) followed by one
 // column per AggSpec.
+//
+// `dop` sets the degree of parallelism for the morsel-driven two-phase
+// parallel path (thread-local partial tables, partitioned merge); 0 means
+// "inherit CurrentDop()" (see engine/parallel.h). Group rows are emitted in
+// first-seen input order at every dop; integer aggregates are bit-identical
+// across dop, float sums may differ by reassociation (see
+// docs/PARALLELISM.md).
 Result<Table> HashAggregate(const Table& input,
                             const std::vector<std::string>& group_by,
-                            const std::vector<AggSpec>& aggs);
+                            const std::vector<AggSpec>& aggs, size_t dop = 0);
 
 }  // namespace pctagg
 

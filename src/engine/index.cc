@@ -1,5 +1,7 @@
 #include "engine/index.h"
 
+#include "engine/packed_key.h"
+
 namespace pctagg {
 
 Result<HashIndex> HashIndex::Build(const Table& table,
@@ -12,11 +14,14 @@ Result<HashIndex> HashIndex::Build(const Table& table,
     col_idx.push_back(idx);
     index.columns_.push_back(table.schema().column(idx).name);
   }
+  // Keys use the packed encoding so joins and updates can probe with a
+  // KeyEncoder over their own table (see engine/packed_key.h).
   index.map_.reserve(table.num_rows());
+  const KeyEncoder encoder(table, col_idx);
   std::string key;
   for (size_t row = 0; row < table.num_rows(); ++row) {
     key.clear();
-    table.AppendKeyBytes(row, col_idx, &key);
+    encoder.AppendKey(row, &key);
     index.map_[key].push_back(row);
   }
   return index;

@@ -3,6 +3,8 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "engine/packed_key.h"
+#include "engine/parallel.h"
 
 namespace pctagg {
 
@@ -68,55 +70,75 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   }
   Table out(out_schema);
 
-  // Build side: a fresh hash table unless the caller supplies a matching
-  // index (the paper's matching-subkey-index optimization skips this pass).
+  // Build side: serial, into a fresh hash table — unless the caller supplies
+  // a matching index (the paper's matching-subkey-index optimization skips
+  // this pass). Packed keys match HashIndex's encoding, so either probe path
+  // sees identical bytes.
   std::unordered_map<std::string, std::vector<size_t>> built;
   const bool use_index =
       right_index != nullptr && IndexMatchesKeys(*right_index, right_keys);
   if (!use_index) {
     built.reserve(right.num_rows());
+    const KeyEncoder renc(right, rkeys);
     std::string key;
     for (size_t row = 0; row < right.num_rows(); ++row) {
       if (!null_safe && HasNullKey(right, rkeys, row)) continue;
       key.clear();
-      right.AppendKeyBytes(row, rkeys, &key);
+      renc.AppendKey(row, &key);
       built[key].push_back(row);
     }
   }
 
-  // Probe side.
-  std::string key;
-  auto emit = [&](size_t lrow, const size_t* rrow) {
-    for (size_t c = 0; c < out_cols.size(); ++c) {
-      const ResolvedOutput& oc = out_cols[c];
-      if (oc.from_left) {
-        out.mutable_column(c).AppendFrom(left.column(oc.column), lrow);
-      } else if (rrow != nullptr) {
-        out.mutable_column(c).AppendFrom(right.column(oc.column), *rrow);
-      } else {
-        out.mutable_column(c).AppendNull();
+  // Probe side: morsel-parallel. Each morsel collects its (left row, right
+  // row) match pairs — kNoMatch marking an outer-join NULL row — and the
+  // matches are emitted serially in morsel order afterwards, so the output
+  // row order is exactly the serial plan's.
+  constexpr size_t kNoMatch = SIZE_MAX;
+  const KeyEncoder lenc(left, lkeys);
+  MorselPlan plan = MorselPlan::For(left.num_rows(), CurrentDop());
+  std::vector<std::vector<std::pair<size_t, size_t>>> morsel_matches(
+      plan.num_morsels);
+  RunMorsels(plan, [&](size_t /*worker*/, size_t begin, size_t end) {
+    std::vector<std::pair<size_t, size_t>>& found =
+        morsel_matches[begin / plan.morsel_rows];
+    std::string key;
+    for (size_t lrow = begin; lrow < end; ++lrow) {
+      const std::vector<size_t>* matches = nullptr;
+      if (null_safe || !HasNullKey(left, lkeys, lrow)) {
+        key.clear();
+        lenc.AppendKey(lrow, &key);
+        if (use_index) {
+          matches = right_index->Lookup(key);
+        } else {
+          auto it = built.find(key);
+          if (it != built.end()) matches = &it->second;
+        }
+      }
+      if (matches == nullptr || matches->empty()) {
+        if (kind == JoinKind::kLeftOuter) found.emplace_back(lrow, kNoMatch);
+        continue;
+      }
+      for (size_t rrow : *matches) {
+        found.emplace_back(lrow, rrow);
       }
     }
-  };
+  });
 
-  for (size_t lrow = 0; lrow < left.num_rows(); ++lrow) {
-    const std::vector<size_t>* matches = nullptr;
-    if (null_safe || !HasNullKey(left, lkeys, lrow)) {
-      key.clear();
-      left.AppendKeyBytes(lrow, lkeys, &key);
-      if (use_index) {
-        matches = right_index->Lookup(key);
-      } else {
-        auto it = built.find(key);
-        if (it != built.end()) matches = &it->second;
+  size_t total = 0;
+  for (const auto& mm : morsel_matches) total += mm.size();
+  out.Reserve(total);
+  for (const auto& mm : morsel_matches) {
+    for (const auto& [lrow, rrow] : mm) {
+      for (size_t c = 0; c < out_cols.size(); ++c) {
+        const ResolvedOutput& oc = out_cols[c];
+        if (oc.from_left) {
+          out.mutable_column(c).AppendFrom(left.column(oc.column), lrow);
+        } else if (rrow != kNoMatch) {
+          out.mutable_column(c).AppendFrom(right.column(oc.column), rrow);
+        } else {
+          out.mutable_column(c).AppendNull();
+        }
       }
-    }
-    if (matches == nullptr || matches->empty()) {
-      if (kind == JoinKind::kLeftOuter) emit(lrow, nullptr);
-      continue;
-    }
-    for (size_t rrow : *matches) {
-      emit(lrow, &rrow);
     }
   }
   return out;
@@ -151,40 +173,45 @@ Result<Column> LookupColumn(const Table& left, const Table& right,
   std::unordered_map<std::string, size_t> built;
   if (!use_index) {
     built.reserve(right.num_rows());
+    const KeyEncoder renc(right, rkeys);
     std::string key;
     for (size_t row = 0; row < right.num_rows(); ++row) {
       key.clear();
-      right.AppendKeyBytes(row, rkeys, &key);
+      renc.AppendKey(row, &key);
       built.emplace(key, row);  // unique keys: keep the first
     }
   }
 
-  const Column& values = right.column(vcol);
-  Column out(values.type());
-  out.Reserve(left.num_rows());
-  std::string key;
-  for (size_t row = 0; row < left.num_rows(); ++row) {
-    key.clear();
-    left.AppendKeyBytes(row, lkeys, &key);
-    const size_t* match = nullptr;
-    size_t storage = 0;
-    if (use_index) {
-      const std::vector<size_t>* rows = right_index->Lookup(key);
-      if (rows != nullptr && !rows->empty()) {
-        storage = (*rows)[0];
-        match = &storage;
-      }
-    } else {
-      auto it = built.find(key);
-      if (it != built.end()) {
-        storage = it->second;
-        match = &storage;
+  // Morsel-parallel probe into a per-row match slot (disjoint writes), then
+  // a serial append pass in row order.
+  constexpr size_t kNoMatch = SIZE_MAX;
+  const size_t n = left.num_rows();
+  const KeyEncoder lenc(left, lkeys);
+  std::vector<size_t> match_row(n, kNoMatch);
+  MorselPlan plan = MorselPlan::For(n, CurrentDop());
+  RunMorsels(plan, [&](size_t /*worker*/, size_t begin, size_t end) {
+    std::string key;
+    for (size_t row = begin; row < end; ++row) {
+      key.clear();
+      lenc.AppendKey(row, &key);
+      if (use_index) {
+        const std::vector<size_t>* rows = right_index->Lookup(key);
+        if (rows != nullptr && !rows->empty()) match_row[row] = (*rows)[0];
+      } else {
+        auto it = built.find(key);
+        if (it != built.end()) match_row[row] = it->second;
       }
     }
-    if (match == nullptr) {
+  });
+
+  const Column& values = right.column(vcol);
+  Column out(values.type());
+  out.Reserve(n);
+  for (size_t row = 0; row < n; ++row) {
+    if (match_row[row] == kNoMatch) {
       out.AppendNull();
     } else {
-      out.AppendFrom(values, *match);
+      out.AppendFrom(values, match_row[row]);
     }
   }
   return out;

@@ -1,0 +1,146 @@
+#include "engine/packed_key.h"
+
+namespace pctagg {
+
+namespace {
+
+constexpr char kNullTag = '\x00';
+
+char TypeTag(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return '\x11';
+    case DataType::kFloat64:
+      return '\x12';
+    case DataType::kString:
+      return '\x13';
+  }
+  return '\x1f';
+}
+
+}  // namespace
+
+KeyEncoder::KeyEncoder(const Table& table,
+                       const std::vector<size_t>& column_indices) {
+  cols_.reserve(column_indices.size());
+  for (size_t ci : column_indices) {
+    const Column& c = table.column(ci);
+    Col col;
+    col.type = c.type();
+    col.validity = c.validity().data();
+    col.i64 = nullptr;
+    col.f64 = nullptr;
+    col.str = nullptr;
+    switch (col.type) {
+      case DataType::kInt64:
+        col.i64 = c.int64_data().data();
+        fixed_width_ += 9;
+        break;
+      case DataType::kFloat64:
+        col.f64 = c.float64_data().data();
+        fixed_width_ += 9;
+        break;
+      case DataType::kString:
+        col.str = c.string_data().data();
+        fixed_width_ += 5;
+        fixed_only_ = false;
+        break;
+    }
+    cols_.push_back(col);
+  }
+}
+
+void KeyEncoder::AppendKey(size_t row, std::string* out) const {
+  for (const Col& col : cols_) {
+    if (col.validity[row] == 0) {
+      out->push_back(kNullTag);
+      // Fixed-width columns pad NULLs to the full 9 bytes so the encoding
+      // stays stride-constant and byte-identical to EncodeFixedBatch.
+      if (col.type != DataType::kString) out->append(8, '\x00');
+      continue;
+    }
+    out->push_back(TypeTag(col.type));
+    switch (col.type) {
+      case DataType::kInt64: {
+        char buf[8];
+        std::memcpy(buf, &col.i64[row], 8);
+        out->append(buf, 8);
+        break;
+      }
+      case DataType::kFloat64: {
+        char buf[8];
+        std::memcpy(buf, &col.f64[row], 8);
+        out->append(buf, 8);
+        break;
+      }
+      case DataType::kString: {
+        const std::string& s = col.str[row];
+        uint32_t len = static_cast<uint32_t>(s.size());
+        char buf[4];
+        std::memcpy(buf, &len, 4);
+        out->append(buf, 4);
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+void KeyEncoder::EncodeFixedBatch(size_t begin, size_t end, char* out) const {
+  const size_t stride = fixed_width_;
+  size_t off = 0;
+  for (const Col& col : cols_) {
+    const char tag = TypeTag(col.type);
+    const uint8_t* validity = col.validity;
+    char* p = out + off;
+    if (col.type == DataType::kInt64) {
+      const int64_t* v = col.i64;
+      for (size_t row = begin; row < end; ++row, p += stride) {
+        if (validity[row] != 0) {
+          *p = tag;
+          std::memcpy(p + 1, &v[row], 8);
+        } else {
+          *p = kNullTag;
+          std::memset(p + 1, 0, 8);
+        }
+      }
+    } else {
+      const double* v = col.f64;
+      for (size_t row = begin; row < end; ++row, p += stride) {
+        if (validity[row] != 0) {
+          *p = tag;
+          std::memcpy(p + 1, &v[row], 8);
+        } else {
+          *p = kNullTag;
+          std::memset(p + 1, 0, 8);
+        }
+      }
+    }
+    off += 9;
+  }
+}
+
+void KeyMap::Grow(size_t min_slots) {
+  size_t slots = 64;
+  while (slots < min_slots) slots <<= 1;
+  if (!slot_id_.empty() && slots <= slot_id_.size()) return;
+  std::vector<uint64_t> old_hash = std::move(slot_hash_);
+  std::vector<uint32_t> old_id = std::move(slot_id_);
+  slot_hash_.assign(slots, 0);
+  slot_id_.assign(slots, kEmptySlot);
+  mask_ = slots - 1;
+  for (size_t s = 0; s < old_id.size(); ++s) {
+    if (old_id[s] == kEmptySlot) continue;
+    size_t idx = old_hash[s] & mask_;
+    while (slot_id_[idx] != kEmptySlot) idx = (idx + 1) & mask_;
+    slot_hash_[idx] = old_hash[s];
+    slot_id_[idx] = old_id[s];
+  }
+}
+
+void KeyMap::Reserve(size_t n) {
+  Grow(n * 2);
+  key_offset_.reserve(n);
+}
+
+}  // namespace pctagg

@@ -1,0 +1,297 @@
+#ifndef PCTAGG_ENGINE_PACKED_KEY_H_
+#define PCTAGG_ENGINE_PACKED_KEY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace pctagg {
+
+// Packed binary group-key encoding shared by group-by, pivot, joins, window
+// partitioning and hash indexes.
+//
+// The seed encoded composite keys through Column::AppendKeyBytes, which
+// pattern-matched a std::variant per row per column; worse, every consumer
+// then called unordered_map::emplace(key, ...) per row, and libstdc++'s
+// emplace allocates a map node before probing — one heap allocation per input
+// row even when the group already exists. KeyEncoder resolves the typed data
+// pointers once per (table, column-set), appends a fixed-width packed
+// encoding per row, and KeyMap probes with find() first so the steady state
+// (key already present) allocates nothing.
+//
+// Encoding, per column, prefix-free so concatenations never collide:
+//   INT64       -> 0x11 then 8 payload bytes (little-endian memcpy)
+//   FLOAT64     -> 0x12 then 8 payload bytes
+//   STRING      -> 0x13 then uint32 length then the bytes
+//   NULL        -> 0x00, padded with 8 zero bytes for the fixed-width
+//                  column types so every int64/float64 column occupies
+//                  exactly 9 bytes; a string NULL is the single tag byte
+// Two composite keys compare equal iff each column is equal with equal type,
+// matching the seed's type-tagged semantics (int64 5 != float64 5.0), and
+// the length prefix keeps "ab","c" distinct from "a","bc". Encodings built
+// from different tables are comparable as long as the column types line up,
+// which is what lets a join probe against keys built from the other side.
+class KeyEncoder {
+ public:
+  KeyEncoder(const Table& table, const std::vector<size_t>& column_indices);
+
+  // Appends the packed key for `row` to `*out` (does not clear it).
+  void AppendKey(size_t row, std::string* out) const;
+
+  // True when no string column participates: every key is exactly
+  // fixed_width() bytes and EncodeFixedBatch applies.
+  bool fixed_only() const { return fixed_only_; }
+
+  // Writes the packed keys for rows [begin, end) into `out` at a stride of
+  // fixed_width() bytes per row, one column at a time so the per-column type
+  // dispatch runs once per column instead of once per row. Byte-identical to
+  // AppendKey. Requires fixed_only(); `out` must hold
+  // (end - begin) * fixed_width() bytes.
+  void EncodeFixedBatch(size_t begin, size_t end, char* out) const;
+
+  // Worst-case fixed part per key (excludes string payloads; exact when
+  // fixed_only()); handy for reserve() calls.
+  size_t fixed_width() const { return fixed_width_; }
+
+ private:
+  struct Col {
+    DataType type;
+    const uint8_t* validity;
+    const int64_t* i64;          // set iff type == kInt64
+    const double* f64;           // set iff type == kFloat64
+    const std::string* str;      // set iff type == kString
+  };
+  std::vector<Col> cols_;
+  size_t fixed_width_ = 0;
+  bool fixed_only_ = true;
+};
+
+// An insert-ordered map from packed key to a dense id [0, size),
+// implemented as an open-addressing (linear probing) slot table over one
+// contiguous key arena. The steady state — key already present — touches two
+// flat arrays and one arena memcmp: no node allocation, no std::string copy,
+// no per-byte std::hash walk. That is the fix for the per-row emplace node
+// churn described above, and it is what the morsel workers key their
+// thread-local partials with.
+class KeyMap {
+ public:
+  // Returns {id, inserted}. Ids are dense and assigned in insertion order.
+  // Defined inline: this runs once per input row in every keyed operator.
+  std::pair<size_t, bool> GetOrAdd(std::string_view key) {
+    if (slot_id_.empty()) Grow(64);
+    uint64_t h = Hash(key);
+    size_t idx = h & mask_;
+    while (slot_id_[idx] != kEmptySlot) {
+      if (slot_hash_[idx] == h && KeyEq(KeyAt(slot_id_[idx]), key)) {
+        return {slot_id_[idx], false};
+      }
+      idx = (idx + 1) & mask_;
+    }
+    size_t id = key_offset_.size();
+    key_offset_.push_back(arena_.size());
+    arena_.append(key.data(), key.size());
+    slot_hash_[idx] = h;
+    slot_id_[idx] = static_cast<uint32_t>(id);
+    // Keep the load factor at or below 1/2 so probe chains stay short.
+    if ((id + 1) * 2 >= slot_id_.size()) Grow(slot_id_.size() * 2);
+    return {id, true};
+  }
+
+  // Batch variant over the fixed-stride key block EncodeFixedBatch produced:
+  // assigns ids for rows [base_row, base_row + count) and writes them to
+  // gid_out. On insert it appends base_row + i to *first_row; on a hit it
+  // lowers (*first_row)[id] if this row precedes the recorded one. Common
+  // strides dispatch to a specialization whose hash and comparison unroll
+  // with the key words held in registers — that is worth ~4x over the
+  // per-row scalar path on the two-int-column group-by this engine runs
+  // constantly. Ids are interchangeable with the scalar path's.
+  void GetOrAddFixedBatch(const char* keys, size_t stride, size_t count,
+                          size_t base_row, uint32_t* gid_out,
+                          std::vector<size_t>* first_row) {
+    switch (stride) {
+      case 9:   // one fixed-width column
+        return FixedBatch<9>(keys, count, base_row, gid_out, first_row);
+      case 18:  // two
+        return FixedBatch<18>(keys, count, base_row, gid_out, first_row);
+      case 27:  // three
+        return FixedBatch<27>(keys, count, base_row, gid_out, first_row);
+      case 36:  // four
+        return FixedBatch<36>(keys, count, base_row, gid_out, first_row);
+      default:
+        const char* kp = keys;
+        for (size_t i = 0; i < count; ++i, kp += stride) {
+          auto [id, inserted] = GetOrAdd(std::string_view(kp, stride));
+          if (inserted) {
+            first_row->push_back(base_row + i);
+          } else if (base_row + i < (*first_row)[id]) {
+            (*first_row)[id] = base_row + i;
+          }
+          gid_out[i] = static_cast<uint32_t>(id);
+        }
+    }
+  }
+
+  // Returns the id for `key` or SIZE_MAX if absent.
+  size_t Find(std::string_view key) const {
+    if (slot_id_.empty()) return SIZE_MAX;
+    uint64_t h = Hash(key);
+    size_t idx = h & mask_;
+    while (slot_id_[idx] != kEmptySlot) {
+      if (slot_hash_[idx] == h && KeyEq(KeyAt(slot_id_[idx]), key)) {
+        return slot_id_[idx];
+      }
+      idx = (idx + 1) & mask_;
+    }
+    return SIZE_MAX;
+  }
+
+  size_t size() const { return key_offset_.size(); }
+  void Reserve(size_t n);
+
+  // The stored bytes of key `id` (valid until the next GetOrAdd).
+  std::string_view KeyAt(size_t id) const {
+    size_t begin = key_offset_[id];
+    size_t end = id + 1 < key_offset_.size() ? key_offset_[id + 1]
+                                             : arena_.size();
+    return std::string_view(arena_.data() + begin, end - begin);
+  }
+
+  // Iterates (key, id) in insertion order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t id = 0; id < key_offset_.size(); ++id) fn(KeyAt(id), id);
+  }
+
+  // The 64-bit hash KeyMap probes with; exposed so the partitioned merge of
+  // two-phase aggregation can split the key space consistently across
+  // workers' partials. Two independent multiply-mix lanes consume 16 bytes
+  // per iteration so the multiplies pipeline instead of serializing — a
+  // typical two-column packed key (18 bytes) costs a dependency chain of
+  // three multiplies rather than five — then a splitmix-style finalizer
+  // gives the low bits enough avalanche for power-of-two slot indexing.
+  static uint64_t Hash(std::string_view key) {
+    const char* p = key.data();
+    size_t n = key.size();
+    uint64_t h1 = 0x9e3779b97f4a7c15ULL ^ n;
+    uint64_t h2 = 0xc2b2ae3d27d4eb4fULL;
+    while (n >= 16) {
+      uint64_t w1, w2;
+      std::memcpy(&w1, p, 8);
+      std::memcpy(&w2, p + 8, 8);
+      h1 = (h1 ^ w1) * 0x2545f4914f6cdd1dULL;
+      h2 = (h2 ^ w2) * 0x9e3779b97f4a7c15ULL;
+      p += 16;
+      n -= 16;
+    }
+    if (n >= 8) {
+      uint64_t w;
+      std::memcpy(&w, p, 8);
+      h1 = (h1 ^ w) * 0x2545f4914f6cdd1dULL;
+      p += 8;
+      n -= 8;
+    }
+    if (n > 0) {
+      uint64_t w = 0;
+      std::memcpy(&w, p, n);
+      h2 = (h2 ^ w) * 0x9e3779b97f4a7c15ULL;
+    }
+    uint64_t h = h1 ^ (h2 * 0xff51afd7ed558ccdULL);
+    h ^= h >> 32;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 32;
+    return h;
+  }
+
+ private:
+  static constexpr uint32_t kEmptySlot = UINT32_MAX;
+
+  // Inline word-at-a-time equality: packed keys are a few dozen bytes, where
+  // the call overhead of library memcmp dominates the comparison itself.
+  static bool KeyEq(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    const char* pa = a.data();
+    const char* pb = b.data();
+    size_t n = a.size();
+    while (n >= 8) {
+      uint64_t x, y;
+      std::memcpy(&x, pa, 8);
+      std::memcpy(&y, pb, 8);
+      if (x != y) return false;
+      pa += 8;
+      pb += 8;
+      n -= 8;
+    }
+    if (n >= 4) {
+      uint32_t x, y;
+      std::memcpy(&x, pa, 4);
+      std::memcpy(&y, pb, 4);
+      if (x != y) return false;
+      pa += 4;
+      pb += 4;
+      n -= 4;
+    }
+    while (n-- > 0) {
+      if (*pa++ != *pb++) return false;
+    }
+    return true;
+  }
+
+  // Doubles the slot table and re-places every id by its stored hash.
+  void Grow(size_t min_slots);
+
+  // GetOrAddFixedBatch's per-stride worker. With kStride a constant the
+  // Hash chunk loop and the KeyEq word loop fully unroll, and the compiler
+  // keeps each key's words in registers across hashing and comparison.
+  template <size_t kStride>
+  void FixedBatch(const char* keys, size_t count, size_t base_row,
+                  uint32_t* gid_out, std::vector<size_t>* first_row) {
+    if (slot_id_.empty()) Grow(64);
+    const char* kp = keys;
+    for (size_t i = 0; i < count; ++i, kp += kStride) {
+      const uint64_t h = Hash(std::string_view(kp, kStride));
+      size_t idx = h & mask_;
+      size_t id;
+      for (;;) {
+        const uint32_t slot = slot_id_[idx];
+        if (slot == kEmptySlot) {
+          id = key_offset_.size();
+          key_offset_.push_back(arena_.size());
+          arena_.append(kp, kStride);
+          slot_hash_[idx] = h;
+          slot_id_[idx] = static_cast<uint32_t>(id);
+          first_row->push_back(base_row + i);
+          if ((id + 1) * 2 >= slot_id_.size()) Grow(slot_id_.size() * 2);
+          break;
+        }
+        if (slot_hash_[idx] == h) {
+          std::string_view stored = KeyAt(slot);
+          if (stored.size() == kStride &&
+              KeyEq(std::string_view(stored.data(), kStride),
+                    std::string_view(kp, kStride))) {
+            id = slot;
+            if (base_row + i < (*first_row)[id]) {
+              (*first_row)[id] = base_row + i;
+            }
+            break;
+          }
+        }
+        idx = (idx + 1) & mask_;
+      }
+      gid_out[i] = static_cast<uint32_t>(id);
+    }
+  }
+
+  std::vector<uint64_t> slot_hash_;  // parallel to slot_id_
+  std::vector<uint32_t> slot_id_;    // kEmptySlot marks a free slot
+  std::vector<size_t> key_offset_;   // per id: start of its bytes in arena_
+  std::string arena_;                // all keys, concatenated
+  size_t mask_ = 0;                  // slot count - 1 (power of two)
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_PACKED_KEY_H_

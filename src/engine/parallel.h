@@ -1,0 +1,90 @@
+#ifndef PCTAGG_ENGINE_PARALLEL_H_
+#define PCTAGG_ENGINE_PARALLEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pctagg {
+
+// Morsel-driven intra-operator parallelism. An operator splits its input
+// into fixed-size row ranges ("morsels"), workers claim morsels dynamically
+// from a shared counter, and each worker accumulates into thread-local state
+// that the operator merges afterwards. Workers come from the process-wide
+// SharedThreadPool(); the dispatching thread itself acts as worker 0 and can
+// drain every morsel alone, so a dispatch never waits for a pool slot — the
+// property that makes it safe to run morsels from inside a pool task (e.g. a
+// query submitted to the same pool by QueryExecutor).
+
+// Default morsel granularity. Small enough that 1M–2.5M-row inputs split
+// into plenty of morsels for 8 workers, big enough that the per-morsel
+// bookkeeping (one mutex acquisition) is noise.
+inline constexpr size_t kDefaultMorselRows = 65536;
+
+// The degree of parallelism in effect for the current thread; kernels read
+// this when their `dop` argument is 0. Defaults to 1 (serial). Pool workers
+// running morsels always see 1, so nested dispatch degenerates to serial
+// execution instead of oversubscribing the pool.
+size_t CurrentDop();
+
+// Scoped override of CurrentDop() for the calling thread. PctDatabase wraps
+// query execution in one of these, resolved from QueryOptions, so the knob
+// reaches the engine kernels without threading a parameter through every
+// planner helper. `dop` of 0 means "auto": the shared pool's thread count.
+class ScopedParallelism {
+ public:
+  explicit ScopedParallelism(size_t dop);
+  ~ScopedParallelism();
+
+  ScopedParallelism(const ScopedParallelism&) = delete;
+  ScopedParallelism& operator=(const ScopedParallelism&) = delete;
+
+ private:
+  size_t previous_;
+};
+
+// How `num_rows` input rows split into morsels for `dop` workers. A plan
+// with num_workers <= 1 is executed serially on the calling thread.
+struct MorselPlan {
+  size_t num_rows = 0;
+  size_t morsel_rows = kDefaultMorselRows;
+  size_t num_morsels = 0;
+  size_t num_workers = 1;
+
+  static MorselPlan For(size_t num_rows, size_t dop,
+                        size_t morsel_rows = kDefaultMorselRows);
+
+  size_t Begin(size_t morsel) const { return morsel * morsel_rows; }
+  size_t End(size_t morsel) const {
+    size_t e = (morsel + 1) * morsel_rows;
+    return e < num_rows ? e : num_rows;
+  }
+};
+
+// Runs `fn(worker, begin, end)` over every morsel in `plan`. `worker` is a
+// stable id in [0, plan.num_workers) identifying which thread-local partial
+// state to use; `begin`/`end` bound the morsel's row range.
+//
+// Workers claim morsels dynamically, and the calling thread participates as
+// worker 0: if the shared pool is saturated (or shutting down), the caller
+// simply claims and runs every morsel itself, and the helper tasks find
+// nothing left to do whenever they eventually run. RunMorsels therefore
+// never deadlocks on pool capacity, and returns only after every morsel has
+// completed — with all worker writes visible to the caller.
+//
+// `fn` must not block on other pool tasks (leaf work only) and must not
+// throw. Calls with plan.num_workers <= 1 run entirely on the calling
+// thread, in morsel order.
+void RunMorsels(const MorselPlan& plan,
+                const std::function<void(size_t, size_t, size_t)>& fn);
+
+// Convenience: partition-parallel loop over `count` independent items (used
+// for the partitioned merge phase of two-phase aggregation). Runs
+// `fn(item)` for item in [0, count) across min(dop, count) workers.
+void RunPartitions(size_t count, size_t dop,
+                   const std::function<void(size_t)>& fn);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_PARALLEL_H_

@@ -1,12 +1,50 @@
 #include "engine/pivot.h"
 
+#include <algorithm>
 #include <limits>
-#include <unordered_map>
+#include <numeric>
 
 #include "common/string_util.h"
+#include "engine/packed_key.h"
+#include "engine/parallel.h"
 #include "engine/table_ops.h"
 
 namespace pctagg {
+
+namespace {
+
+struct CellState {
+  double sum = 0.0;
+  int64_t isum = 0;
+  int64_t count = 0;
+  int64_t rows = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  bool saw_value = false;
+};
+
+void MergeCell(CellState& d, const CellState& s) {
+  d.sum += s.sum;
+  d.isum += s.isum;
+  d.count += s.count;
+  d.rows += s.rows;
+  if (s.min < d.min) d.min = s.min;
+  if (s.max > d.max) d.max = s.max;
+  d.saw_value = d.saw_value || s.saw_value;
+}
+
+// One worker's thread-local dispatch state: its own group map, combo map,
+// cell matrix and group totals over the morsels it claimed.
+struct PivotPartial {
+  KeyMap groups;
+  KeyMap combos;
+  std::vector<size_t> group_first;  // min input row per local group
+  std::vector<size_t> combo_first;  // min input row per local combo
+  std::vector<std::vector<CellState>> cells;  // [local group][local combo]
+  std::vector<CellState> group_total;
+};
+
+}  // namespace
 
 std::string PivotColumnName(const Table& combos, size_t row) {
   std::vector<std::string> parts;
@@ -30,7 +68,7 @@ Result<Table> HashDispatchPivot(const Table& input,
                                 const std::vector<std::string>& group_by,
                                 const std::vector<std::string>& pivot_by,
                                 const ExprPtr& value_expr,
-                                const PivotOptions& options) {
+                                const PivotOptions& options, size_t dop) {
   if (pivot_by.empty()) {
     return Status::InvalidArgument("pivot requires at least one BY column");
   }
@@ -58,65 +96,154 @@ Result<Table> HashDispatchPivot(const Table& input,
     PCTAGG_ASSIGN_OR_RETURN(vals, value_expr->Evaluate(input));
   }
 
-  struct CellState {
-    double sum = 0.0;
-    int64_t isum = 0;
-    int64_t count = 0;
-    int64_t rows = 0;
-    double min = std::numeric_limits<double>::infinity();
-    double max = -std::numeric_limits<double>::infinity();
-    bool saw_value = false;
-  };
+  // Phase 1: each worker runs the O(1) hash dispatch over its morsels into a
+  // thread-local PivotPartial — two probes per row (group map, combo map),
+  // packed binary keys, find-before-insert.
+  const size_t n = input.num_rows();
+  if (dop == 0) dop = CurrentDop();
+  MorselPlan plan = MorselPlan::For(n, dop);
+  const KeyEncoder group_encoder(input, group_idx);
+  const KeyEncoder pivot_encoder(input, pivot_idx);
+  std::vector<PivotPartial> partials(plan.num_workers);
+  RunMorsels(plan, [&](size_t worker, size_t begin, size_t end) {
+    PivotPartial& p = partials[worker];
+    std::string key;
+    for (size_t row = begin; row < end; ++row) {
+      key.clear();
+      group_encoder.AppendKey(row, &key);
+      auto [g, ginserted] = p.groups.GetOrAdd(key);
+      if (ginserted) {
+        p.group_first.push_back(row);
+        p.cells.emplace_back();
+        p.group_total.emplace_back();
+      } else if (row < p.group_first[g]) {
+        p.group_first[g] = row;
+      }
 
-  // Two hash maps: group key -> dense group id; pivot key -> dense column id.
-  // Each row is charged exactly one probe per map — the O(1) dispatch.
-  std::unordered_map<std::string, size_t> group_of;
-  std::unordered_map<std::string, size_t> combo_of;
+      key.clear();
+      pivot_encoder.AppendKey(row, &key);
+      auto [c, cinserted] = p.combos.GetOrAdd(key);
+      if (cinserted) {
+        p.combo_first.push_back(row);
+      } else if (row < p.combo_first[c]) {
+        p.combo_first[c] = row;
+      }
+
+      if (p.cells[g].size() <= c) p.cells[g].resize(c + 1);
+      CellState& st = p.cells[g][c];
+      CellState& tot = p.group_total[g];
+      st.rows++;
+      tot.rows++;
+      if (options.func == AggFunc::kCountStar) continue;
+      if (vals.IsNull(row)) continue;
+      double v = vals.NumericAt(row);
+      st.count++;
+      tot.count++;
+      st.saw_value = true;
+      tot.saw_value = true;
+      st.sum += v;
+      tot.sum += v;
+      if (val_type == DataType::kInt64) {
+        st.isum += vals.Int64At(row);
+        tot.isum += vals.Int64At(row);
+      }
+      if (v < st.min) st.min = v;
+      if (v > st.max) st.max = v;
+    }
+  });
+
+  // Phase 2: merge the partials. Combos are unified serially (their count is
+  // the result's column count — small); groups are merged across hash
+  // partitions in parallel. Both are then ordered by first input row, which
+  // reproduces exactly the first-seen ids a serial run assigns.
   std::vector<size_t> group_rep_row;
   std::vector<size_t> combo_rep_row;
-  // cells[g] grows lazily to the current number of combos.
-  std::vector<std::vector<CellState>> cells;
-  std::vector<CellState> group_total;  // for percent_of_group_total
-
-  const size_t n = input.num_rows();
-  std::string key;
-  for (size_t row = 0; row < n; ++row) {
-    key.clear();
-    input.AppendKeyBytes(row, group_idx, &key);
-    auto [git, ginserted] = group_of.emplace(key, cells.size());
-    if (ginserted) {
-      group_rep_row.push_back(row);
-      cells.emplace_back();
-      group_total.emplace_back();
+  std::vector<std::vector<CellState>> cells;  // [group][global combo]
+  std::vector<CellState> group_total;
+  if (plan.num_workers <= 1) {
+    PivotPartial& p = partials[0];
+    group_rep_row = std::move(p.group_first);
+    combo_rep_row = std::move(p.combo_first);
+    cells = std::move(p.cells);
+    group_total = std::move(p.group_total);
+  } else {
+    // Unify combos and compute, per partial, local combo id -> global id.
+    KeyMap global_combos;
+    std::vector<size_t> combo_min_row;
+    std::vector<std::vector<size_t>> combo_remap(partials.size());
+    for (size_t pi = 0; pi < partials.size(); ++pi) {
+      const PivotPartial& p = partials[pi];
+      combo_remap[pi].resize(p.combos.size());
+      p.combos.ForEach([&](std::string_view key, size_t id) {
+        auto [gid, inserted] = global_combos.GetOrAdd(key);
+        if (inserted) {
+          combo_min_row.push_back(p.combo_first[id]);
+        } else {
+          combo_min_row[gid] = std::min(combo_min_row[gid], p.combo_first[id]);
+        }
+        combo_remap[pi][id] = gid;
+      });
     }
-    size_t g = git->second;
-
-    key.clear();
-    input.AppendKeyBytes(row, pivot_idx, &key);
-    auto [cit, cinserted] = combo_of.emplace(key, combo_rep_row.size());
-    if (cinserted) combo_rep_row.push_back(row);
-    size_t c = cit->second;
-
-    if (cells[g].size() <= c) cells[g].resize(c + 1);
-    CellState& st = cells[g][c];
-    CellState& tot = group_total[g];
-    st.rows++;
-    tot.rows++;
-    if (options.func == AggFunc::kCountStar) continue;
-    if (vals.IsNull(row)) continue;
-    double v = vals.NumericAt(row);
-    st.count++;
-    tot.count++;
-    st.saw_value = true;
-    tot.saw_value = true;
-    st.sum += v;
-    tot.sum += v;
-    if (val_type == DataType::kInt64) {
-      st.isum += vals.Int64At(row);
-      tot.isum += vals.Int64At(row);
+    // Renumber combos into first-seen order.
+    std::vector<size_t> order(combo_min_row.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return combo_min_row[a] < combo_min_row[b];
+    });
+    std::vector<size_t> final_id(order.size());
+    combo_rep_row.resize(order.size());
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      final_id[order[rank]] = rank;
+      combo_rep_row[rank] = combo_min_row[order[rank]];
     }
-    if (v < st.min) st.min = v;
-    if (v > st.max) st.max = v;
+    for (std::vector<size_t>& remap : combo_remap) {
+      for (size_t& id : remap) id = final_id[id];
+    }
+
+    // Partitioned group merge.
+    struct MergedGroup {
+      std::vector<CellState> cells;
+      CellState total;
+      size_t first_row;
+    };
+    const size_t num_parts = plan.num_workers;
+    std::vector<std::vector<MergedGroup>> part_groups(num_parts);
+    RunPartitions(num_parts, plan.num_workers, [&](size_t part) {
+      KeyMap seen;
+      std::vector<MergedGroup>& out = part_groups[part];
+      for (size_t pi = 0; pi < partials.size(); ++pi) {
+        const PivotPartial& p = partials[pi];
+        p.groups.ForEach([&](std::string_view key, size_t id) {
+          if (KeyMap::Hash(key) % num_parts != part) return;
+          auto [g, inserted] = seen.GetOrAdd(key);
+          if (inserted) {
+            out.push_back({{}, p.group_total[id], p.group_first[id]});
+            out.back().cells.resize(combo_rep_row.size());
+          } else {
+            MergeCell(out[g].total, p.group_total[id]);
+            out[g].first_row = std::min(out[g].first_row, p.group_first[id]);
+          }
+          std::vector<CellState>& dst = out[g].cells;
+          const std::vector<CellState>& src = p.cells[id];
+          for (size_t c = 0; c < src.size(); ++c) {
+            if (src[c].rows > 0) MergeCell(dst[combo_remap[pi][c]], src[c]);
+          }
+        });
+      }
+    });
+    std::vector<MergedGroup> merged;
+    for (std::vector<MergedGroup>& pg : part_groups) {
+      for (MergedGroup& mg : pg) merged.push_back(std::move(mg));
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const MergedGroup& a, const MergedGroup& b) {
+                return a.first_row < b.first_row;
+              });
+    for (MergedGroup& mg : merged) {
+      group_rep_row.push_back(mg.first_row);
+      cells.push_back(std::move(mg.cells));
+      group_total.push_back(mg.total);
+    }
   }
 
   const size_t num_groups = cells.size();

@@ -31,11 +31,14 @@ struct PivotOptions {
   bool percent_of_group_total = false;
 };
 
+// `dop` selects the morsel-parallel dispatch path (0 = inherit CurrentDop());
+// output is identical to the serial run at every dop, modulo float-sum
+// reassociation — see docs/PARALLELISM.md.
 Result<Table> HashDispatchPivot(const Table& input,
                                 const std::vector<std::string>& group_by,
                                 const std::vector<std::string>& pivot_by,
                                 const ExprPtr& value_expr,
-                                const PivotOptions& options);
+                                const PivotOptions& options, size_t dop = 0);
 
 // Builds the result-column name for one pivot-key combination, e.g.
 // "dweek=2" or "dh=1,dk=5". `combos` is a table whose columns are the pivot

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "engine/join.h"
+#include "engine/packed_key.h"
 
 namespace pctagg {
 
@@ -39,10 +40,11 @@ Status KeyedDivideUpdate(Table* target,
   std::unordered_map<std::string, size_t> built;
   if (!use_index) {
     built.reserve(source.num_rows());
+    const KeyEncoder senc(source, skeys);
     std::string key;
     for (size_t row = 0; row < source.num_rows(); ++row) {
       key.clear();
-      source.AppendKeyBytes(row, skeys, &key);
+      senc.AppendKey(row, &key);
       built.emplace(key, row);  // keys are unique in Fj; keep the first
     }
   }
@@ -63,10 +65,11 @@ Status KeyedDivideUpdate(Table* target,
   // UPDATE the expensive way to produce FV when |FV| ~ |F| (the paper
   // measured the UPDATE statement at ~80% of total query time).
   const Column& scol = source.column(sval);
+  const KeyEncoder tenc(*target, tkeys);  // matches the index/build encoding
   std::string key;
   for (size_t row = 0; row < target->num_rows(); ++row) {
     key.clear();
-    target->AppendKeyBytes(row, tkeys, &key);
+    tenc.AppendKey(row, &key);
     const size_t* match = nullptr;
     size_t match_storage = 0;
     if (use_index) {

@@ -1,9 +1,35 @@
 #include "engine/window.h"
 
 #include <limits>
-#include <unordered_map>
+
+#include "engine/packed_key.h"
+#include "engine/parallel.h"
 
 namespace pctagg {
+
+namespace {
+
+struct PartState {
+  double sum = 0.0;
+  int64_t isum = 0;
+  int64_t count = 0;
+  int64_t rows = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  bool saw_value = false;
+};
+
+void MergePart(PartState& d, const PartState& s) {
+  d.sum += s.sum;
+  d.isum += s.isum;
+  d.count += s.count;
+  d.rows += s.rows;
+  if (s.min < d.min) d.min = s.min;
+  if (s.max > d.max) d.max = s.max;
+  d.saw_value = d.saw_value || s.saw_value;
+}
+
+}  // namespace
 
 Result<Column> WindowAggregate(const Table& input,
                                const std::vector<std::string>& partition_by,
@@ -28,44 +54,76 @@ Result<Column> WindowAggregate(const Table& input,
     PCTAGG_ASSIGN_OR_RETURN(in, arg->Evaluate(input));
   }
 
-  struct PartState {
-    double sum = 0.0;
-    int64_t isum = 0;
-    int64_t count = 0;
-    int64_t rows = 0;
-    double min = std::numeric_limits<double>::infinity();
-    double max = -std::numeric_limits<double>::infinity();
-    bool saw_value = false;
-  };
-
-  // Pass 1: accumulate per-partition state keyed by the partition columns.
+  // Pass 1: morsel-parallel accumulation into thread-local partition tables.
+  // Instead of materializing one key string per input row (the seed kept n
+  // std::strings alive just to re-probe in pass 2), each worker records a
+  // dense local partition id per row; after the merge those remap to global
+  // ids with one table lookup per (worker, local id).
   const size_t n = input.num_rows();
-  std::unordered_map<std::string, PartState> parts;
-  std::vector<const PartState*> row_part(n, nullptr);
-  // Store keys to re-probe cheaply in pass 2 without re-encoding: keep the
-  // map stable by reserving, then look up pointers after all inserts.
-  std::vector<std::string> keys(n);
-  std::string key;
-  for (size_t row = 0; row < n; ++row) {
-    key.clear();
-    input.AppendKeyBytes(row, part_idx, &key);
-    keys[row] = key;
-    PartState& st = parts[key];
-    st.rows++;
-    if (func == AggFunc::kCountStar) continue;
-    if (in.IsNull(row)) continue;
-    st.count++;
-    st.saw_value = true;
-    if (in.type() != DataType::kString) {
-      double v = in.NumericAt(row);
-      st.sum += v;
-      if (in.type() == DataType::kInt64) st.isum += in.Int64At(row);
-      if (v < st.min) st.min = v;
-      if (v > st.max) st.max = v;
+  MorselPlan plan = MorselPlan::For(n, CurrentDop());
+  const KeyEncoder encoder(input, part_idx);
+  struct WinPartial {
+    KeyMap parts;
+    std::vector<PartState> states;
+  };
+  std::vector<WinPartial> partials(plan.num_workers);
+  std::vector<uint32_t> row_local(n);
+  std::vector<uint32_t> morsel_owner(plan.num_morsels, 0);
+  RunMorsels(plan, [&](size_t worker, size_t begin, size_t end) {
+    WinPartial& p = partials[worker];
+    if (plan.morsel_rows > 0 && begin < n) {
+      morsel_owner[begin / plan.morsel_rows] = static_cast<uint32_t>(worker);
+    }
+    std::string key;
+    for (size_t row = begin; row < end; ++row) {
+      key.clear();
+      encoder.AppendKey(row, &key);
+      auto [id, inserted] = p.parts.GetOrAdd(key);
+      if (inserted) p.states.emplace_back();
+      row_local[row] = static_cast<uint32_t>(id);
+      PartState& st = p.states[id];
+      st.rows++;
+      if (func == AggFunc::kCountStar) continue;
+      if (in.IsNull(row)) continue;
+      st.count++;
+      st.saw_value = true;
+      if (in.type() != DataType::kString) {
+        double v = in.NumericAt(row);
+        st.sum += v;
+        if (in.type() == DataType::kInt64) st.isum += in.Int64At(row);
+        if (v < st.min) st.min = v;
+        if (v > st.max) st.max = v;
+      }
+    }
+  });
+
+  // Merge partials into global partition states, and remap each worker's
+  // local ids to global ids.
+  std::vector<PartState> global_states;
+  std::vector<std::vector<uint32_t>> remap(partials.size());
+  {
+    KeyMap global;
+    for (size_t pi = 0; pi < partials.size(); ++pi) {
+      const WinPartial& p = partials[pi];
+      remap[pi].resize(p.parts.size());
+      p.parts.ForEach([&](std::string_view key, size_t id) {
+        auto [gid, inserted] = global.GetOrAdd(key);
+        if (inserted) {
+          global_states.push_back(p.states[id]);
+        } else {
+          MergePart(global_states[gid], p.states[id]);
+        }
+        remap[pi][id] = static_cast<uint32_t>(gid);
+      });
     }
   }
-  for (size_t row = 0; row < n; ++row) {
-    row_part[row] = &parts[keys[row]];
+  std::vector<const PartState*> row_part(n, nullptr);
+  for (size_t m = 0; m < plan.num_morsels; ++m) {
+    const std::vector<uint32_t>& r = remap[morsel_owner[m]];
+    const size_t end = plan.End(m);
+    for (size_t row = plan.Begin(m); row < end; ++row) {
+      row_part[row] = &global_states[r[row_local[row]]];
+    }
   }
 
   // Output type mirrors HashAggregate.

@@ -1,27 +1,28 @@
 #include "server/executor.h"
 
 #include <chrono>
-#include <future>
 #include <memory>
 #include <sstream>
-#include <thread>
 
 #include "common/string_util.h"
 
 namespace pctagg {
 
-namespace {
-
-size_t ResolveWorkers(size_t requested) {
-  if (requested > 0) return requested;
-  size_t hw = std::thread::hardware_concurrency();
-  return hw > 2 ? hw : 2;
+QueryExecutor::QueryExecutor(PctDatabase* db, ExecutorConfig config)
+    : db_(db), config_(config) {
+  if (config.worker_threads > 0) {
+    owned_pool_ = std::make_unique<ThreadPool>(config.worker_threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &SharedThreadPool();
+  }
 }
 
-}  // namespace
-
-QueryExecutor::QueryExecutor(PctDatabase* db, ExecutorConfig config)
-    : db_(db), config_(config), pool_(ResolveWorkers(config.worker_threads)) {}
+QueryExecutor::~QueryExecutor() {
+  // A timed-out statement keeps running after its caller gave up; it still
+  // references `this` (and the database), so wait it out before tearing down.
+  outstanding_.Wait();
+}
 
 bool QueryExecutor::ParseCreateTableAs(const std::string& sql,
                                        std::string* name,
@@ -53,9 +54,16 @@ Status QueryExecutor::Run(bool writer, std::function<Status()> fn,
         StrFormat("server overloaded: %zu statements in flight",
                   config_.max_in_flight));
   }
-  auto done = std::make_shared<std::promise<Status>>();
-  std::future<Status> future = done->get_future();
-  bool submitted = pool_.Submit([this, writer, fn = std::move(fn), done] {
+  // The task slot outlives a timed-out caller, so it is shared; the caller
+  // waits on the WaitGroup instead of a bespoke promise/future latch.
+  struct TaskSlot {
+    WaitGroup done;
+    Status status = Status::OK();
+  };
+  auto slot = std::make_shared<TaskSlot>();
+  slot->done.Add();
+  outstanding_.Add();
+  bool submitted = pool_->Submit([this, writer, fn = std::move(fn), slot] {
     Status st;
     if (writer) {
       std::unique_lock<std::shared_mutex> lock(table_lock_);
@@ -66,21 +74,26 @@ Status QueryExecutor::Run(bool writer, std::function<Status()> fn,
     }
     ++executed_;
     in_flight_.fetch_sub(1);
-    done->set_value(std::move(st));
+    slot->status = std::move(st);
+    slot->done.Done();
+    outstanding_.Done();
   });
   if (!submitted) {
     in_flight_.fetch_sub(1);
+    outstanding_.Done();
     return Status::Unavailable("server shutting down");
   }
-  if (timeout_ms == 0) return future.get();
-  if (future.wait_for(std::chrono::milliseconds(timeout_ms)) ==
-      std::future_status::timeout) {
+  if (timeout_ms == 0) {
+    slot->done.Wait();
+    return std::move(slot->status);
+  }
+  if (!slot->done.WaitFor(std::chrono::milliseconds(timeout_ms))) {
     ++timed_out_;
     return Status::Timeout(
         StrFormat("query exceeded %llu ms deadline",
                   (unsigned long long)timeout_ms));
   }
-  return future.get();
+  return std::move(slot->status);
 }
 
 Result<Table> QueryExecutor::ExecuteStatement(const std::string& sql,

@@ -4,16 +4,20 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/database.h"
-#include "server/thread_pool.h"
 
 namespace pctagg {
 
 struct ExecutorConfig {
-  // Worker threads running queries; 0 = hardware_concurrency (min 2).
+  // Worker threads running queries; 0 = use the process-wide
+  // SharedThreadPool() (hardware_concurrency, min 2), which the engine's
+  // morsel dispatcher also draws from, so one pool bounds total parallelism.
+  // A nonzero value gives this executor a private pool of that size.
   size_t worker_threads = 0;
   // Admission limit: statements submitted but not yet finished (running or
   // queued). Beyond this, new statements are rejected with kUnavailable so
@@ -37,7 +41,7 @@ struct ExecutorConfig {
 class QueryExecutor {
  public:
   QueryExecutor(PctDatabase* db, ExecutorConfig config);
-  ~QueryExecutor() = default;  // pool drains on destruction
+  ~QueryExecutor();  // waits for every submitted statement to finish
 
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
@@ -62,7 +66,7 @@ class QueryExecutor {
                                  std::string* select_sql);
 
   const ExecutorConfig& config() const { return config_; }
-  size_t worker_threads() const { return pool_.num_threads(); }
+  size_t worker_threads() const { return pool_->num_threads(); }
   size_t in_flight() const { return in_flight_.load(); }
   uint64_t executed() const { return executed_.load(); }
   uint64_t rejected() const { return rejected_.load(); }
@@ -79,7 +83,12 @@ class QueryExecutor {
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> timed_out_{0};
-  ThreadPool pool_;  // last member: drains before the rest is destroyed
+  // Tracks statements handed to the pool but not yet finished, so the
+  // destructor can wait for them even when the pool is the shared one (which
+  // outlives this executor and therefore can't be drained by joining it).
+  WaitGroup outstanding_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // only when worker_threads > 0
+  ThreadPool* pool_;
 };
 
 }  // namespace pctagg

@@ -92,6 +92,27 @@ Result<std::string> Session::ApplySet(const std::string& args) {
     vpct_name_ = value;
     return "vpct = " + value;
   }
+  if (option == "dop") {
+    // Degree of parallelism for engine kernels: 1 = serial, 'auto' = the
+    // shared worker pool's size, n = up to n workers (capped to keep a typo
+    // from requesting thousands of morsel helpers).
+    constexpr size_t kMaxDop = 64;
+    if (value == "default") {
+      options_.degree_of_parallelism = 1;
+    } else if (value == "auto") {
+      options_.degree_of_parallelism = 0;
+    } else if (IsInteger(value)) {
+      size_t dop = std::strtoull(value.c_str(), nullptr, 10);
+      if (dop < 1 || dop > kMaxDop) {
+        return Status::InvalidArgument("SET dop expects 1..64");
+      }
+      options_.degree_of_parallelism = dop;
+    } else {
+      return Status::InvalidArgument(
+          "SET dop expects an integer, 'auto' or 'default'");
+    }
+    return "dop = " + DescribeDop();
+  }
   if (option == "horizontal") {
     if (value == "auto") {
       options_.horizontal_strategy.reset();
@@ -117,11 +138,17 @@ std::string Session::Describe() const {
       "cache = %s\n"
       "vpct = %s\n"
       "horizontal = %s\n"
+      "dop = %s\n"
       "queries = %llu (%llu errors, %.3f ms total)\n",
       (unsigned long long)id_, (unsigned long long)timeout_ms_, cache.c_str(),
-      vpct_name_.c_str(), horizontal_name_.c_str(),
+      vpct_name_.c_str(), horizontal_name_.c_str(), DescribeDop().c_str(),
       (unsigned long long)queries_, (unsigned long long)errors_,
       static_cast<double>(total_micros_) / 1000.0);
+}
+
+std::string Session::DescribeDop() const {
+  if (options_.degree_of_parallelism == 0) return "auto";
+  return std::to_string(options_.degree_of_parallelism);
 }
 
 }  // namespace pctagg

@@ -49,6 +49,9 @@ class Session {
   uint64_t total_micros() const { return total_micros_; }
 
  private:
+  // "auto" when degree_of_parallelism is 0, the number otherwise.
+  std::string DescribeDop() const;
+
   uint64_t id_;
   uint64_t default_timeout_ms_;
   uint64_t timeout_ms_;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -150,6 +151,68 @@ TEST(ConcurrencyTest, ExecutorSerializesDdlAgainstReaders) {
   EXPECT_EQ(failures.load(), 0);
   // Only the two base tables remain; all plan temporaries were dropped.
   EXPECT_EQ(db.catalog().TableNames().size(), 2u);
+}
+
+// Concurrent sessions each running *parallel* queries: the executor draws
+// its statement workers from the process-wide SharedThreadPool(), and every
+// statement sets degree_of_parallelism > 1, so the engine's morsel helpers
+// land on that same pool while all of its threads are busy running
+// statements. The morsel dispatcher's caller-drains design is what keeps
+// this from deadlocking (a statement never waits for a pool slot to make
+// progress); the test would hang, then fail via the per-statement timeout,
+// if that property regressed. Results must also match the serial reference.
+TEST(ConcurrencyTest, ParallelQueriesContendOnSharedPoolWithoutDeadlock) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(21, 20000)).ok());
+  Table vref = db.Query("SELECT d1, d2, Vpct(a BY d2) AS pct FROM f "
+                        "GROUP BY d1, d2 ORDER BY d1, d2")
+                   .value();
+  // worker_threads = 0: share the engine's pool instead of a private one.
+  QueryExecutor executor(&db, ExecutorConfig{0, 64});
+  const size_t kSessions = executor.worker_threads() * 2 + 2;
+
+  std::atomic<int> failures{0};
+  auto session = [&db, &executor, &vref, &failures](int id) {
+    QueryOptions options;
+    options.degree_of_parallelism = (id % 2 == 0) ? 4 : 0;  // fixed or auto
+    for (int iter = 0; iter < 6; ++iter) {
+      Result<Table> r = executor.ExecuteStatement(
+          "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2 "
+          "ORDER BY d1, d2",
+          options, /*timeout_ms=*/60000);
+      if (!r.ok() || r->num_rows() != vref.num_rows()) {
+        ++failures;
+        continue;
+      }
+      for (size_t i = 0; i < vref.num_rows(); ++i) {
+        // Float percentages may reassociate across dop; compare group keys
+        // exactly and the percentage numerically.
+        if (!(r->column(0).GetValue(i) == vref.column(0).GetValue(i)) ||
+            !(r->column(1).GetValue(i) == vref.column(1).GetValue(i))) {
+          ++failures;
+          break;
+        }
+        Value got = r->column(2).GetValue(i);
+        Value want = vref.column(2).GetValue(i);
+        if (got.is_null() != want.is_null()) {
+          ++failures;
+          break;
+        }
+        if (!got.is_null() &&
+            std::fabs(got.AsDouble() - want.AsDouble()) > 1e-9) {
+          ++failures;
+          break;
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (size_t id = 0; id < kSessions; ++id) {
+    threads.emplace_back(session, static_cast<int>(id));
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(db.catalog().TableNames().size(), 1u);
 }
 
 TEST(ConcurrencyTest, CatalogOperationsAreSynchronized) {

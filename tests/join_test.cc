@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/index.h"
+#include "engine/packed_key.h"
 #include "engine/table.h"
 
 namespace pctagg {
@@ -188,8 +189,9 @@ TEST(HashIndexTest, LookupFindsAllRows) {
   t.AppendRow({Value::Int64(6)});
   HashIndex index = HashIndex::Build(t, {"k"}).value();
   EXPECT_EQ(index.num_keys(), 2u);
+  // Probe with the packed key encoding the index is built on.
   std::string key;
-  t.AppendKeyBytes(0, {0}, &key);
+  KeyEncoder(t, {0}).AppendKey(0, &key);
   const std::vector<size_t>* rows = index.Lookup(key);
   ASSERT_NE(rows, nullptr);
   EXPECT_EQ(rows->size(), 2u);

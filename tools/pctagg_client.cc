@@ -1,7 +1,7 @@
 // pctagg_client — command-line client for the pctagg query service.
 //
 // One-shot:
-//   $ ./build/tools/pctagg_client --connect 127.0.0.1:7477 \
+//   $ ./build/tools/pctagg_client --connect 127.0.0.1:7477
 //         --query "SELECT d1, Vpct(a BY d1) FROM f GROUP BY d1"
 //
 // Interactive / piped (statements end with ';', dot-commands as in the
