@@ -1,5 +1,7 @@
 #include "core/database.h"
 
+#include "common/stopwatch.h"
+#include "core/cost_model.h"
 #include "core/olap_planner.h"
 #include "engine/aggregate.h"
 #include "engine/parallel.h"
@@ -101,6 +103,110 @@ Result<Table> ApplyTail(Table table, const AnalyzedQuery& query) {
   return table;
 }
 
+// Human name of an executed Vpct configuration, mirroring the Table 4 knobs.
+std::string VpctStrategyName(const VpctStrategy& s) {
+  std::string name = s.fj_from_fk ? "Fj-from-Fk" : "Fj-from-F";
+  name += s.insert_result ? "+INSERT" : "+UPDATE";
+  if (!s.matching_indexes) name += "+mismatched-indexes";
+  if (s.fj_from_fk && s.lattice_reuse) name += "+lattice";
+  return name;
+}
+
+// First term with a BY list (the one the advisor's estimates key off).
+const AnalyzedTerm* FirstByTerm(const AnalyzedQuery& query) {
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.has_by) return &t;
+  }
+  return nullptr;
+}
+
+// Records the planning metadata EXPLAIN ANALYZE audits for a Vpct query:
+// executed strategy, cost-model prediction per candidate (chosen marked),
+// predicted |Fk|.
+void FillVpctTrace(obs::QueryTrace* trace, const Table& fact,
+                   const AnalyzedQuery& query, const VpctStrategy& strategy,
+                   bool olap_baseline, bool forced, size_t dop) {
+  trace->strategy =
+      olap_baseline ? "OLAP-window" : VpctStrategyName(strategy);
+  trace->strategy_source = forced ? "forced" : "advisor";
+  const AnalyzedTerm* term = FirstByTerm(query);
+  CostModel model;
+  Result<FactStats> stats = model.EstimateStats(
+      fact, query.group_by,
+      term != nullptr ? term->by_columns : std::vector<std::string>{},
+      /*by=*/{});
+  if (!stats.ok()) return;
+  FactStats s = stats.value();
+  s.dop = static_cast<double>(dop < 1 ? 1 : dop);
+  trace->predicted_group_rows = s.group_cardinality;
+  auto add_candidate = [&](const char* name, bool fj_from_fk,
+                           bool insert_result) {
+    VpctStrategy candidate = strategy;
+    candidate.fj_from_fk = fj_from_fk;
+    candidate.insert_result = insert_result;
+    bool chosen = !olap_baseline &&
+                  strategy.fj_from_fk == fj_from_fk &&
+                  strategy.insert_result == insert_result;
+    trace->predicted_costs.push_back(
+        {name, model.VpctCost(s, candidate), chosen});
+  };
+  add_candidate("Fj-from-Fk+INSERT", true, true);
+  add_candidate("Fj-from-F+INSERT", false, true);
+  add_candidate("Fj-from-Fk+UPDATE", true, false);
+  trace->predicted_costs.push_back(
+      {"OLAP-window", model.OlapCost(s), olap_baseline});
+}
+
+// Same for a horizontal query: the four SIGMOD Table 5 / DMKD Table 3
+// methods ranked by the model, predicted |FV|.
+void FillHorizontalTrace(obs::QueryTrace* trace, const Table& fact,
+                         const AnalyzedQuery& query,
+                         const HorizontalStrategy& strategy, bool forced,
+                         size_t dop) {
+  trace->strategy = std::string(HorizontalMethodName(strategy.method)) +
+                    (strategy.hash_dispatch ? "+hash-dispatch" : "+naive-case");
+  trace->strategy_source = forced ? "forced" : "advisor";
+  const AnalyzedTerm* term = FirstByTerm(query);
+  if (term == nullptr) return;
+  std::vector<std::string> full_group = query.group_by;
+  full_group.insert(full_group.end(), term->by_columns.begin(),
+                    term->by_columns.end());
+  CostModel model;
+  Result<FactStats> stats =
+      model.EstimateStats(fact, full_group, query.group_by, term->by_columns);
+  if (!stats.ok()) return;
+  FactStats s = stats.value();
+  s.dop = static_cast<double>(dop < 1 ? 1 : dop);
+  // Predict the cardinality of the first level the plan materializes, so the
+  // "actual" read off the executed trace compares like with like: direct
+  // methods aggregate straight to the result level D1..Dj, the from-FV
+  // methods materialize FV at D1..Dj ∪ BY first.
+  bool from_fv = strategy.method == HorizontalMethod::kCaseFromFV ||
+                 strategy.method == HorizontalMethod::kSpjFromFV;
+  trace->predicted_group_rows =
+      from_fv ? s.group_cardinality : s.totals_cardinality;
+  for (HorizontalMethod method :
+       {HorizontalMethod::kCaseDirect, HorizontalMethod::kCaseFromFV,
+        HorizontalMethod::kSpjDirect, HorizontalMethod::kSpjFromFV}) {
+    HorizontalStrategy candidate = strategy;
+    candidate.method = method;
+    trace->predicted_costs.push_back({HorizontalMethodName(method),
+                                      model.HorizontalCost(s, candidate),
+                                      method == strategy.method});
+  }
+}
+
+// The finest aggregation level a plan materialized: rows_out of the first
+// aggregate (or pivot) operator in execution order.
+const obs::TraceNode* FindFirstAggregateOp(const obs::TraceNode& node) {
+  if (node.label == "aggregate" || node.label == "pivot") return &node;
+  for (const auto& child : node.children) {
+    const obs::TraceNode* found = FindFirstAggregateOp(*child);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 Result<AnalyzedQuery> PctDatabase::Prepare(const std::string& sql) const {
@@ -111,11 +217,18 @@ Result<AnalyzedQuery> PctDatabase::Prepare(const std::string& sql) const {
 }
 
 Result<Table> PctDatabase::RunPlan(const Plan& plan, const AnalyzedQuery& query,
-                                   bool use_cache) const {
-  Status st = plan.Execute(&catalog_, use_cache ? &summaries_ : nullptr);
+                                   bool use_cache,
+                                   obs::QueryTrace* trace) const {
+  Status st = plan.Execute(&catalog_, use_cache ? &summaries_ : nullptr, trace);
   if (!st.ok()) {
     plan.Cleanup(&catalog_);
     return st;
+  }
+  if (trace != nullptr) {
+    const obs::TraceNode* agg = FindFirstAggregateOp(trace->root());
+    if (agg != nullptr) {
+      trace->actual_group_rows = static_cast<double>(agg->stats.rows_out);
+    }
   }
   Result<Table*> result = catalog_.GetTable(plan.result_table());
   if (!result.ok()) {
@@ -129,24 +242,58 @@ Result<Table> PctDatabase::RunPlan(const Plan& plan, const AnalyzedQuery& query,
 
 Result<Table> PctDatabase::Query(const std::string& sql,
                                  const QueryOptions& options) const {
+  // EXPLAIN [ANALYZE] prefix: return the rendering as an ordinary
+  // single-column result so every surface (CSV, wire protocol, shell) shows
+  // it without special casing.
+  PCTAGG_ASSIGN_OR_RETURN(ParsedStatement stmt_kind, ParseStatementKind(sql));
+  if (stmt_kind.explain) {
+    Result<std::string> text = stmt_kind.analyze
+                                   ? ExplainAnalyze(stmt_kind.select_sql,
+                                                    options)
+                                   : Explain(stmt_kind.select_sql);
+    if (!text.ok()) return text.status();
+    Schema schema;
+    schema.AddColumn({"plan", DataType::kString});
+    Table out(schema);
+    size_t begin = 0;
+    while (begin < text->size()) {
+      size_t end = text->find('\n', begin);
+      if (end == std::string::npos) end = text->size();
+      out.mutable_column(0).AppendString(text->substr(begin, end - begin));
+      begin = end + 1;
+    }
+    return out;
+  }
+
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
   bool use_cache = options.use_summary_cache.value_or(summary_cache_enabled_);
   // Engine kernels called anywhere below this frame (planner steps run
   // synchronously on this thread) pick the knob up via CurrentDop().
   ScopedParallelism parallelism(options.degree_of_parallelism);
   const size_t dop = CurrentDop();
+  obs::QueryTrace* trace = options.trace;
+  if (trace != nullptr) {
+    trace->query_class = QueryClassName(query.query_class);
+  }
   switch (query.query_class) {
     case QueryClass::kProjection:
     case QueryClass::kVertical: {
-      PCTAGG_ASSIGN_OR_RETURN(Table out, EvaluateSimple(&catalog_, query));
+      Table out;
+      if (trace != nullptr) {
+        trace->strategy = "direct";
+        trace->strategy_source = "n/a";
+        obs::TraceNode* node = trace->root().AddChild("select", sql);
+        obs::ScopedTraceNode scope(node);
+        PCTAGG_ASSIGN_OR_RETURN(out, EvaluateSimple(&catalog_, query));
+      } else {
+        PCTAGG_ASSIGN_OR_RETURN(out, EvaluateSimple(&catalog_, query));
+      }
       return ApplyTail(std::move(out), query);
     }
     case QueryClass::kVpct: {
       Plan plan;
-      if (options.olap_baseline) {
-        PCTAGG_ASSIGN_OR_RETURN(plan, PlanOlapPercentageQuery(query));
-      } else {
-        VpctStrategy strategy;
+      VpctStrategy strategy;
+      if (!options.olap_baseline) {
         if (options.vpct_strategy.has_value()) {
           strategy = *options.vpct_strategy;
         } else {
@@ -155,8 +302,18 @@ Result<Table> PctDatabase::Query(const std::string& sql,
           strategy = advisor_.AdviseVpct(*fact, query, dop);
         }
         PCTAGG_ASSIGN_OR_RETURN(plan, PlanVpctQuery(query, strategy));
+      } else {
+        PCTAGG_ASSIGN_OR_RETURN(plan, PlanOlapPercentageQuery(query));
       }
-      return RunPlan(plan, query, use_cache);
+      if (trace != nullptr) {
+        PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
+                                catalog_.GetTable(query.table_name));
+        FillVpctTrace(trace, *fact, query, strategy, options.olap_baseline,
+                      options.vpct_strategy.has_value() ||
+                          options.olap_baseline,
+                      dop);
+      }
+      return RunPlan(plan, query, use_cache, trace);
     }
     case QueryClass::kHorizontal: {
       HorizontalStrategy strategy;
@@ -168,14 +325,36 @@ Result<Table> PctDatabase::Query(const std::string& sql,
         strategy = advisor_.AdviseHorizontal(*fact, query, dop);
       }
       PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanHorizontalQuery(query, strategy));
-      return RunPlan(plan, query, use_cache);
+      if (trace != nullptr) {
+        PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
+                                catalog_.GetTable(query.table_name));
+        FillHorizontalTrace(trace, *fact, query, strategy,
+                            options.horizontal_strategy.has_value(), dop);
+      }
+      return RunPlan(plan, query, use_cache, trace);
     }
     case QueryClass::kWindow: {
+      if (trace != nullptr) {
+        trace->strategy = "OLAP-window";
+        trace->strategy_source = "n/a";
+      }
       PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanWindowQuery(query));
-      return RunPlan(plan, query, use_cache);
+      return RunPlan(plan, query, use_cache, trace);
     }
   }
   return Status::Internal("unhandled query class");
+}
+
+Result<std::string> PctDatabase::ExplainAnalyze(
+    const std::string& sql, const QueryOptions& options) const {
+  obs::QueryTrace trace;
+  QueryOptions traced = options;
+  traced.trace = &trace;
+  Stopwatch timer;
+  PCTAGG_ASSIGN_OR_RETURN(Table result, Query(sql, traced));
+  trace.total_ms = timer.ElapsedSeconds() * 1e3;
+  (void)result;
+  return trace.Render();
 }
 
 Result<Table> PctDatabase::QueryVpct(const std::string& sql,

@@ -10,6 +10,7 @@
 #include "core/vpct_planner.h"
 #include "engine/catalog.h"
 #include "engine/table.h"
+#include "obs/trace.h"
 
 namespace pctagg {
 
@@ -31,6 +32,11 @@ struct QueryOptions {
   // identical at every setting apart from float-sum rounding — see
   // docs/PARALLELISM.md.
   size_t degree_of_parallelism = 1;
+  // When set, Query fills it with the executed-plan trace: planning metadata
+  // (query class, strategy, cost-model predictions) plus one node per
+  // generated statement with per-operator stats. Owned by the caller; must
+  // outlive the Query call. See docs/OBSERVABILITY.md.
+  obs::QueryTrace* trace = nullptr;
 };
 
 // The top-level facade: a catalog of tables plus the percentage-query
@@ -106,10 +112,21 @@ class PctDatabase {
   // given) strategy, without executing it.
   Result<std::string> Explain(const std::string& sql) const;
 
+  // EXPLAIN ANALYZE: executes `sql` with tracing on and returns the rendered
+  // executed plan — strategy chosen (and why: advisor vs forced), cost-model
+  // predicted vs actual, and per-operator stats for every generated
+  // statement. The query's result table is discarded.
+  Result<std::string> ExplainAnalyze(const std::string& sql) const {
+    return ExplainAnalyze(sql, QueryOptions{});
+  }
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     const QueryOptions& options) const;
+
  private:
   // Shared tail: execute `plan`, pull out the result, drop temps.
   Result<Table> RunPlan(const Plan& plan, const AnalyzedQuery& query,
-                        bool use_cache) const;
+                        bool use_cache,
+                        obs::QueryTrace* trace = nullptr) const;
 
   Result<AnalyzedQuery> Prepare(const std::string& sql) const;
 

@@ -1,6 +1,8 @@
 #include "core/plan.h"
 
 #include <atomic>
+#include <cctype>
+#include <string_view>
 
 #include "common/string_util.h"
 
@@ -20,10 +22,36 @@ std::string Plan::AppendPlan(Plan other) {
   return other.result_table_;
 }
 
-Status Plan::Execute(Catalog* catalog, SummaryCache* summaries) const {
+Status Plan::Execute(Catalog* catalog, SummaryCache* summaries,
+                     obs::QueryTrace* trace) const {
   ExecContext ctx(catalog, summaries);
   for (const Step& step : steps_) {
-    Status s = step.run(&ctx);
+    Status s;
+    if (trace != nullptr) {
+      // One trace node per generated statement, labelled with its leading
+      // SQL keyword (skipping any /* annotation */ prefix); kernels invoked
+      // by the step attach operator children.
+      std::string_view sql_view = step.sql;
+      if (sql_view.substr(0, 2) == "/*") {
+        size_t close = sql_view.find("*/");
+        if (close != std::string_view::npos) {
+          sql_view.remove_prefix(close + 2);
+        }
+        while (!sql_view.empty() && sql_view.front() == ' ') {
+          sql_view.remove_prefix(1);
+        }
+      }
+      std::string label(
+          sql_view.substr(0, sql_view.find_first_of(" \n")));
+      for (char& c : label) c = static_cast<char>(std::tolower(c));
+      if (label.empty()) label = "statement";  // comment-only annotation step
+      obs::TraceNode* node =
+          trace->root().AddChild(std::move(label), step.sql);
+      obs::ScopedTraceNode scope(node);
+      s = step.run(&ctx);
+    } else {
+      s = step.run(&ctx);
+    }
     if (!s.ok()) {
       return Status(s.code(),
                     s.message() + " (while executing: " + step.sql + ")");

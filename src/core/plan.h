@@ -10,6 +10,7 @@
 #include "core/summary_cache.h"
 #include "engine/catalog.h"
 #include "engine/index.h"
+#include "obs/trace.h"
 
 namespace pctagg {
 
@@ -62,8 +63,11 @@ class Plan {
   std::string AppendPlan(Plan other);
 
   // Runs all steps in order against a fresh ExecContext. A non-null
-  // `summaries` lets cache-aware steps skip recomputation.
-  Status Execute(Catalog* catalog, SummaryCache* summaries = nullptr) const;
+  // `summaries` lets cache-aware steps skip recomputation. A non-null
+  // `trace` collects one TraceNode per generated statement, with engine
+  // operators attaching child nodes through obs::CurrentOp().
+  Status Execute(Catalog* catalog, SummaryCache* summaries = nullptr,
+                 obs::QueryTrace* trace = nullptr) const;
 
   // Drops every registered temporary table (ignores absent ones, so Cleanup
   // is safe after a failed Execute).

@@ -1,8 +1,40 @@
 #include "core/summary_cache.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace pctagg {
+
+namespace {
+
+// Process-wide mirrors of the per-cache counters, so the STATS verb sees
+// cache behaviour without reaching into individual PctDatabase instances.
+// Registration is hoisted into function-local statics (GetCounter locks).
+obs::Counter& HitCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_summary_cache_hits_total",
+      "Summary-cache lookups answered without a scan");
+  return c;
+}
+obs::Counter& MissCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_summary_cache_misses_total", "Summary-cache lookups that missed");
+  return c;
+}
+obs::Counter& StaleCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_summary_cache_stale_inserts_total",
+      "Cache fills rejected because the base table changed mid-scan");
+  return c;
+}
+obs::Counter& InvalidationCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_summary_cache_invalidations_total",
+      "Base-table invalidations (table replaced or cache cleared)");
+  return c;
+}
+
+}  // namespace
 
 std::string SummaryCache::KeyFor(const std::string& base_table,
                                  const std::vector<std::string>& group_by,
@@ -18,9 +50,11 @@ std::shared_ptr<const Table> SummaryCache::Lookup(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
+    MissCounter().Add();
     return nullptr;
   }
   ++hits_;
+  HitCounter().Add();
   return it->second.summary;
 }
 
@@ -41,6 +75,7 @@ void SummaryCache::Insert(const std::string& key, const Table& summary,
   uint64_t current = it == generations_.end() ? 0 : it->second;
   if (current != generation) {
     ++stale_inserts_;  // base table invalidated while the fill was computing
+    StaleCounter().Add();
     return;
   }
   entries_.insert_or_assign(key, Entry{std::move(base), std::move(snapshot)});
@@ -53,6 +88,7 @@ void SummaryCache::Insert(const std::string& key, const Table& summary) {
 
 void SummaryCache::InvalidateTable(const std::string& base_table) {
   std::string lowered = ToLower(base_table);
+  InvalidationCounter().Add();
   std::lock_guard<std::mutex> lock(mutex_);
   ++generations_[lowered];
   for (auto it = entries_.begin(); it != entries_.end();) {

@@ -9,6 +9,7 @@
 #include "engine/join.h"
 #include "engine/table_ops.h"
 #include "engine/update.h"
+#include "obs/trace.h"
 
 namespace pctagg {
 
@@ -56,6 +57,7 @@ void AddAggregateStep(Plan* plan, const std::string& src,
     if (!cache_key.empty() && ctx->summaries != nullptr) {
       std::shared_ptr<const Table> cached = ctx->summaries->Lookup(cache_key);
       if (cached != nullptr) {
+        obs::MarkCacheHit();
         ctx->catalog->CreateOrReplaceTable(dest, *cached);
         return Status::OK();
       }

@@ -5,6 +5,7 @@
 
 #include "engine/packed_key.h"
 #include "engine/parallel.h"
+#include "obs/trace.h"
 
 namespace pctagg {
 
@@ -269,6 +270,7 @@ const char* AggFuncName(AggFunc func) {
 Result<Table> HashAggregate(const Table& input,
                             const std::vector<std::string>& group_by,
                             const std::vector<AggSpec>& aggs, size_t dop) {
+  obs::OpScope op("aggregate");
   // Resolve group-by columns.
   std::vector<size_t> group_idx;
   group_idx.reserve(group_by.size());
@@ -401,6 +403,22 @@ Result<Table> HashAggregate(const Table& input,
       states.push_back(std::move(mg.states));
       representative_row.push_back(mg.first_row);
     }
+  }
+
+  if (op.active()) {
+    // Peak hash-table shape across the workers' thread-local partials; the
+    // merge touches every partial, so that count doubles as spill volume.
+    size_t peak_groups = 0, peak_slots = 0;
+    for (const AggPartial& p : partials) {
+      if (p.groups.size() > peak_groups) {
+        peak_groups = p.groups.size();
+        peak_slots = p.groups.slots();
+      }
+    }
+    op.SetRows(n, states.size());
+    op.SetMorsels(plan.num_morsels, plan.num_workers);
+    op.SetHashTable(peak_groups, peak_slots);
+    if (plan.num_workers > 1) op.SetPartialsMerged(partials.size());
   }
 
   // A global aggregation over zero rows still produces one (empty) group.

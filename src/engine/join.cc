@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "engine/packed_key.h"
 #include "engine/parallel.h"
+#include "obs/trace.h"
 
 namespace pctagg {
 
@@ -38,6 +39,8 @@ Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::vector<std::string>& right_keys,
                        JoinKind kind, const std::vector<JoinOutput>& outputs,
                        const HashIndex* right_index, bool null_safe) {
+  obs::OpScope op(kind == JoinKind::kLeftOuter ? "join-left-outer"
+                                               : "join-inner");
   if (left_keys.empty() || left_keys.size() != right_keys.size()) {
     return Status::InvalidArgument("join key lists must match and be nonempty");
   }
@@ -126,6 +129,13 @@ Result<Table> HashJoin(const Table& left, const Table& right,
 
   size_t total = 0;
   for (const auto& mm : morsel_matches) total += mm.size();
+  if (op.active()) {
+    op.SetRows(left.num_rows() + right.num_rows(), total);
+    op.SetMorsels(plan.num_morsels, plan.num_workers);
+    op.SetHashTable(use_index ? 0 : built.size(),
+                    use_index ? 0 : built.bucket_count());
+    op.SetDetail(use_index ? "probe=index" : "probe=built");
+  }
   out.Reserve(total);
   for (const auto& mm : morsel_matches) {
     for (const auto& [lrow, rrow] : mm) {
@@ -153,6 +163,7 @@ Result<Column> LookupColumn(const Table& left, const Table& right,
                             const std::vector<std::string>& right_keys,
                             const std::string& value,
                             const HashIndex* right_index) {
+  obs::OpScope op("join-lookup");
   if (left_keys.empty() || left_keys.size() != right_keys.size()) {
     return Status::InvalidArgument("lookup key lists must match and be nonempty");
   }
@@ -203,6 +214,18 @@ Result<Column> LookupColumn(const Table& left, const Table& right,
       }
     }
   });
+
+  if (op.active()) {
+    size_t matched = 0;
+    for (size_t m : match_row) {
+      if (m != kNoMatch) ++matched;
+    }
+    op.SetRows(n + right.num_rows(), matched);
+    op.SetMorsels(plan.num_morsels, plan.num_workers);
+    op.SetHashTable(use_index ? 0 : built.size(),
+                    use_index ? 0 : built.bucket_count());
+    op.SetDetail(use_index ? "probe=index" : "probe=built");
+  }
 
   const Column& values = right.column(vcol);
   Column out(values.type());

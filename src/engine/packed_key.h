@@ -150,6 +150,9 @@ class KeyMap {
   }
 
   size_t size() const { return key_offset_.size(); }
+  // Open-addressing slots currently backing the table (observability: the
+  // load factor is size()/slots()).
+  size_t slots() const { return slot_id_.size(); }
   void Reserve(size_t n);
 
   // The stored bytes of key `id` (valid until the next GetOrAdd).

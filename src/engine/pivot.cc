@@ -8,6 +8,7 @@
 #include "engine/packed_key.h"
 #include "engine/parallel.h"
 #include "engine/table_ops.h"
+#include "obs/trace.h"
 
 namespace pctagg {
 
@@ -69,6 +70,7 @@ Result<Table> HashDispatchPivot(const Table& input,
                                 const std::vector<std::string>& pivot_by,
                                 const ExprPtr& value_expr,
                                 const PivotOptions& options, size_t dop) {
+  obs::OpScope op("pivot");
   if (pivot_by.empty()) {
     return Status::InvalidArgument("pivot requires at least one BY column");
   }
@@ -248,6 +250,21 @@ Result<Table> HashDispatchPivot(const Table& input,
 
   const size_t num_groups = cells.size();
   const size_t num_combos = combo_rep_row.size();
+
+  if (op.active()) {
+    size_t peak_groups = 0, peak_slots = 0;
+    for (const PivotPartial& p : partials) {
+      if (p.groups.size() > peak_groups) {
+        peak_groups = p.groups.size();
+        peak_slots = p.groups.slots();
+      }
+    }
+    op.SetRows(n, num_groups);
+    op.SetMorsels(plan.num_morsels, plan.num_workers);
+    op.SetHashTable(peak_groups, peak_slots);
+    if (plan.num_workers > 1) op.SetPartialsMerged(partials.size());
+    op.SetDetail("combos=" + std::to_string(num_combos));
+  }
 
   // Result-column names come from the distinct pivot combinations in
   // first-seen order; build a small table of them to share naming with the

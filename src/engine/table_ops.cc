@@ -4,6 +4,8 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace pctagg {
 
 Result<Table> Project(const Table& input,
@@ -18,6 +20,7 @@ Result<Table> Project(const Table& input,
 }
 
 Result<Table> Filter(const Table& input, const ExprPtr& predicate) {
+  obs::OpScope op("filter");
   PCTAGG_ASSIGN_OR_RETURN(Column pred, predicate->Evaluate(input));
   if (pred.type() != DataType::kInt64) {
     return Status::TypeMismatch("filter predicate must be boolean");
@@ -28,6 +31,7 @@ Result<Table> Filter(const Table& input, const ExprPtr& predicate) {
       out.AppendRowFrom(input, row);
     }
   }
+  op.SetRows(input.num_rows(), out.num_rows());
   return out;
 }
 

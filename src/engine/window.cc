@@ -4,6 +4,7 @@
 
 #include "engine/packed_key.h"
 #include "engine/parallel.h"
+#include "obs/trace.h"
 
 namespace pctagg {
 
@@ -34,6 +35,7 @@ void MergePart(PartState& d, const PartState& s) {
 Result<Column> WindowAggregate(const Table& input,
                                const std::vector<std::string>& partition_by,
                                AggFunc func, const ExprPtr& arg) {
+  obs::OpScope op("window");
   std::vector<size_t> part_idx;
   for (const std::string& name : partition_by) {
     PCTAGG_ASSIGN_OR_RETURN(size_t idx, input.schema().FindColumn(name));
@@ -116,6 +118,20 @@ Result<Column> WindowAggregate(const Table& input,
         remap[pi][id] = static_cast<uint32_t>(gid);
       });
     }
+  }
+  if (op.active()) {
+    size_t peak_parts = 0, peak_slots = 0;
+    for (const WinPartial& p : partials) {
+      if (p.parts.size() > peak_parts) {
+        peak_parts = p.parts.size();
+        peak_slots = p.parts.slots();
+      }
+    }
+    op.SetRows(n, n);
+    op.SetMorsels(plan.num_morsels, plan.num_workers);
+    op.SetHashTable(peak_parts, peak_slots);
+    if (plan.num_workers > 1) op.SetPartialsMerged(partials.size());
+    op.SetDetail("partitions=" + std::to_string(global_states.size()));
   }
   std::vector<const PartState*> row_part(n, nullptr);
   for (size_t m = 0; m < plan.num_morsels; ++m) {

@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pctagg {
+namespace obs {
+
+namespace internal {
+
+size_t ThreadShard() {
+  // A small dense id per thread, assigned on first use. Hashing
+  // std::this_thread::get_id() would work too, but a counter guarantees the
+  // first kMetricShards threads land on distinct shards.
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+size_t BucketFor(uint64_t micros) {
+  size_t b = 0;
+  while (micros >= 2 && b + 1 < Histogram::kBuckets) {
+    micros >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t micros) {
+  HistShard& s = shards_[internal::ThreadShard()];
+  s.bucket[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(micros, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const HistShard& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const HistShard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Snapshot(std::vector<uint64_t>* cumulative,
+                         std::vector<uint64_t>* bounds_out) const {
+  cumulative->assign(kBuckets, 0);
+  bounds_out->assign(kBuckets, 0);
+  for (const HistShard& s : shards_) {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      (*cumulative)[b] += s.bucket[b].load(std::memory_order_relaxed);
+    }
+  }
+  uint64_t running = 0;
+  uint64_t bound = 1;  // bucket 0 covers [0, 2)
+  for (size_t b = 0; b < kBuckets; ++b) {
+    running += (*cumulative)[b];
+    (*cumulative)[b] = running;
+    (*bounds_out)[b] = bound;
+    bound = bound >= (uint64_t{1} << 62) ? bound : bound * 2;
+  }
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[name];
+  if (e.counter == nullptr) {
+    e.kind = Kind::kCounter;
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[name];
+  if (e.gauge == nullptr) {
+    e.kind = Kind::kGauge;
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[name];
+  if (e.histogram == nullptr) {
+    e.kind = Kind::kHistogram;
+    e.help = help;
+    e.histogram = std::make_unique<Histogram>();
+  }
+  return *e.histogram;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.counter == nullptr) return 0;
+  return it->second.counter->Value();
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.gauge == nullptr) return 0;
+  return it->second.gauge->Value();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) {
+      out += "# HELP " + name + " " + e.help + "\n";
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(e.counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(e.gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        std::vector<uint64_t> cumulative, bounds;
+        e.histogram->Snapshot(&cumulative, &bounds);
+        uint64_t total = e.histogram->Count();
+        for (size_t b = 0; b < cumulative.size(); ++b) {
+          // Skip interior all-below buckets once everything is counted, to
+          // keep the dump short; always emit the first bucket and +Inf.
+          if (b > 0 && cumulative[b] == total &&
+              cumulative[b - 1] == total) {
+            continue;
+          }
+          out += name + "_bucket{le=\"" + std::to_string(bounds[b]) + "\"} " +
+                 std::to_string(cumulative[b]) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
+        out += name + "_sum " + std::to_string(e.histogram->Sum()) + "\n";
+        out += name + "_count " + std::to_string(total) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+}  // namespace obs
+}  // namespace pctagg

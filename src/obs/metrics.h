@@ -1,0 +1,147 @@
+#ifndef PCTAGG_OBS_METRICS_H_
+#define PCTAGG_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pctagg {
+namespace obs {
+
+// Process-wide metrics for the query service and the engine underneath it —
+// the instrumentation layer COMPARE-style plan tuning needs to be auditable.
+// Three metric kinds, Prometheus text exposition:
+//
+//   Counter    monotone; lock-free per-thread shards so morsel workers and
+//              connection threads never contend on one cache line
+//   Gauge      a settable level (pool queue depth, active sessions)
+//   Histogram  log2-bucketed latencies in microseconds, sharded like Counter
+//
+// Hot-path cost: Counter::Add / Histogram::Observe are one relaxed atomic
+// add on a shard picked by thread id — no locks, no false sharing. Metric
+// *registration* (GetCounter etc.) takes a mutex and should be hoisted out of
+// loops; the returned references stay valid for the registry's lifetime.
+//
+// The process-wide switch SetEnabled(false) turns the engine's per-operator
+// recording sites into branches on one relaxed atomic load; BENCH_obs.json
+// records the enabled-vs-disabled delta (budget: <= 3%).
+
+// Number of shards. Power of two; 16 covers the worker counts this engine
+// runs (shared pool = hardware_concurrency) while keeping a dump cheap.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+// One cache line per shard so two threads bumping the same counter from
+// different shards never write-share.
+struct alignas(64) Shard {
+  std::atomic<uint64_t> value{0};
+};
+// Stable small id for the calling thread, used to pick a shard.
+size_t ThreadShard();
+}  // namespace internal
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[internal::ThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const internal::Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  internal::Shard shards_[kMetricShards];
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log2-bucketed histogram of microsecond durations: bucket b counts
+// observations in [2^b, 2^(b+1)) with bucket 0 holding [0, 2). 32 buckets
+// reach ~71 minutes. Tracks count and sum for mean/rate queries.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  void Observe(uint64_t micros);
+
+  uint64_t Count() const;
+  uint64_t Sum() const;  // total micros
+  // Cumulative count at or below each bucket's upper bound, Prometheus
+  // `le`-style. `bounds_out` receives the upper bound per bucket.
+  void Snapshot(std::vector<uint64_t>* cumulative,
+                std::vector<uint64_t>* bounds_out) const;
+
+ private:
+  struct alignas(64) HistShard {
+    std::atomic<uint64_t> bucket[kBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+  };
+  HistShard shards_[kMetricShards];
+};
+
+// Named metrics, one per process (see GlobalMetrics). Names follow the
+// Prometheus convention: pctagg_<subsystem>_<what>[_total].
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates. `help` is kept from the first registration.
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name,
+                          const std::string& help = "");
+
+  // Prometheus text exposition format, metrics sorted by name.
+  std::string RenderPrometheus() const;
+
+  // Testing hook: current value of a counter/gauge by name (0 if absent).
+  uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+// The process-wide registry every subsystem records into.
+MetricsRegistry& GlobalMetrics();
+
+// Master switch for the engine's per-operator recording sites (the server
+// keeps it on; benchmarks toggle it to measure overhead). Counters touched
+// directly through GlobalMetrics() are unaffected.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+}  // namespace obs
+}  // namespace pctagg
+
+#endif  // PCTAGG_OBS_METRICS_H_

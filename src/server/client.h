@@ -41,6 +41,8 @@ class PctClient {
     return Call(RequestVerb::kExplain, sql);
   }
   Result<WireResponse> Ping() { return Call(RequestVerb::kPing, ""); }
+  // Prometheus text dump of the server's process-wide metrics.
+  Result<WireResponse> Stats() { return Call(RequestVerb::kStats, ""); }
 
  private:
   explicit PctClient(int fd)

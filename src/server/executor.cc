@@ -5,8 +5,43 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace pctagg {
+
+namespace {
+
+// Registration takes a mutex, so hoist each metric behind a function-local
+// static; Add() itself is a relaxed atomic on a per-thread shard.
+obs::Counter& ExecutedCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_server_statements_executed_total",
+      "Statements run to completion (success or error) by the executor.");
+  return c;
+}
+
+obs::Counter& RejectedCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_server_statements_rejected_total",
+      "Statements bounced by admission control (max_in_flight exceeded).");
+  return c;
+}
+
+obs::Counter& TimedOutCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_server_statements_timed_out_total",
+      "Statements whose caller hit the wall-clock deadline.");
+  return c;
+}
+
+obs::Gauge& InFlightGauge() {
+  static obs::Gauge& g = obs::GlobalMetrics().GetGauge(
+      "pctagg_server_statements_in_flight",
+      "Statements admitted but not yet finished (running or queued).");
+  return g;
+}
+
+}  // namespace
 
 QueryExecutor::QueryExecutor(PctDatabase* db, ExecutorConfig config)
     : db_(db), config_(config) {
@@ -50,6 +85,7 @@ Status QueryExecutor::Run(bool writer, std::function<Status()> fn,
   if (in_flight_.fetch_add(1) >= config_.max_in_flight) {
     in_flight_.fetch_sub(1);
     ++rejected_;
+    RejectedCounter().Add();
     return Status::Unavailable(
         StrFormat("server overloaded: %zu statements in flight",
                   config_.max_in_flight));
@@ -63,6 +99,7 @@ Status QueryExecutor::Run(bool writer, std::function<Status()> fn,
   auto slot = std::make_shared<TaskSlot>();
   slot->done.Add();
   outstanding_.Add();
+  InFlightGauge().Add(1);
   bool submitted = pool_->Submit([this, writer, fn = std::move(fn), slot] {
     Status st;
     if (writer) {
@@ -73,13 +110,16 @@ Status QueryExecutor::Run(bool writer, std::function<Status()> fn,
       st = fn();
     }
     ++executed_;
+    ExecutedCounter().Add();
     in_flight_.fetch_sub(1);
+    InFlightGauge().Add(-1);
     slot->status = std::move(st);
     slot->done.Done();
     outstanding_.Done();
   });
   if (!submitted) {
     in_flight_.fetch_sub(1);
+    InFlightGauge().Add(-1);
     outstanding_.Done();
     return Status::Unavailable("server shutting down");
   }
@@ -89,6 +129,7 @@ Status QueryExecutor::Run(bool writer, std::function<Status()> fn,
   }
   if (!slot->done.WaitFor(std::chrono::milliseconds(timeout_ms))) {
     ++timed_out_;
+    TimedOutCounter().Add();
     return Status::Timeout(
         StrFormat("query exceeded %llu ms deadline",
                   (unsigned long long)timeout_ms));
@@ -96,16 +137,20 @@ Status QueryExecutor::Run(bool writer, std::function<Status()> fn,
   return std::move(slot->status);
 }
 
-Result<Table> QueryExecutor::ExecuteStatement(const std::string& sql,
-                                              const QueryOptions& options,
-                                              uint64_t timeout_ms) {
+Result<Table> QueryExecutor::ExecuteStatement(
+    const std::string& sql, const QueryOptions& options, uint64_t timeout_ms,
+    std::shared_ptr<obs::QueryTrace> trace) {
   std::string name, select_sql;
   bool is_ctas = ParseCreateTableAs(sql, &name, &select_sql);
-  // The worker may outlive a timed-out caller, so the result slot is shared.
+  // The worker may outlive a timed-out caller, so the result slot is shared —
+  // and the lambda co-owns `trace` so the worker never writes into a trace the
+  // caller has already dropped.
   auto out = std::make_shared<Result<Table>>(Table());
+  QueryOptions opts = options;
+  opts.trace = trace.get();
   Status st = Run(
       is_ctas,
-      [this, out, options, name = std::move(name),
+      [this, out, opts, trace, name = std::move(name),
        select_sql = std::move(select_sql), sql, is_ctas]() -> Status {
         if (is_ctas) {
           // Note: CreateTableAs runs its inner SELECT while we hold the
@@ -115,7 +160,7 @@ Result<Table> QueryExecutor::ExecuteStatement(const std::string& sql,
           *out = Table();  // empty result set
           return Status::OK();
         }
-        Result<Table> r = db_->Query(sql, options);
+        Result<Table> r = db_->Query(sql, opts);
         if (!r.ok()) return r.status();
         *out = std::move(r);
         return Status::OK();

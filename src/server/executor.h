@@ -48,10 +48,14 @@ class QueryExecutor {
 
   // Classifies and runs one SQL statement: "CREATE TABLE <t> AS <select>"
   // goes down the exclusive path, everything else is a read. `timeout_ms` of
-  // 0 means no deadline.
+  // 0 means no deadline. A non-null `trace` collects the executed-plan trace
+  // (SET trace on); it is shared because a timed-out statement keeps running
+  // in the background and must not write into a freed trace.
   Result<Table> ExecuteStatement(const std::string& sql,
                                  const QueryOptions& options,
-                                 uint64_t timeout_ms);
+                                 uint64_t timeout_ms,
+                                 std::shared_ptr<obs::QueryTrace> trace =
+                                     nullptr);
 
   // Runs `fn` under the exclusive (writer) lock through the same
   // admission/timeout machinery. For catalog mutations that are not SQL:
@@ -67,6 +71,8 @@ class QueryExecutor {
 
   const ExecutorConfig& config() const { return config_; }
   size_t worker_threads() const { return pool_->num_threads(); }
+  // Tasks waiting in the pool's queue right now (STATS gauge).
+  size_t pool_queue_depth() const { return pool_->queued(); }
   size_t in_flight() const { return in_flight_.load(); }
   uint64_t executed() const { return executed_.load(); }
   uint64_t rejected() const { return rejected_.load(); }

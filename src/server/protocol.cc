@@ -21,7 +21,7 @@ struct VerbEntry {
   RequestVerb verb;
 };
 
-constexpr std::array<VerbEntry, 11> kVerbs = {{
+constexpr std::array<VerbEntry, 12> kVerbs = {{
     {"QUERY", RequestVerb::kQuery},
     {"EXPLAIN", RequestVerb::kExplain},
     {"OLAP", RequestVerb::kOlap},
@@ -31,6 +31,7 @@ constexpr std::array<VerbEntry, 11> kVerbs = {{
     {"SCHEMA", RequestVerb::kSchema},
     {"GEN", RequestVerb::kGen},
     {"DROP", RequestVerb::kDrop},
+    {"STATS", RequestVerb::kStats},
     {"PING", RequestVerb::kPing},
     {"QUIT", RequestVerb::kQuit},
 }};

@@ -15,11 +15,26 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "engine/csv.h"
+#include "obs/metrics.h"
 #include "workload/generators.h"
 
 namespace pctagg {
 
 namespace {
+
+obs::Counter& SessionsOpenedCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_server_sessions_opened_total",
+      "Connections accepted over the server's lifetime.");
+  return c;
+}
+
+obs::Histogram& QueryLatencyHistogram() {
+  static obs::Histogram& h = obs::GlobalMetrics().GetHistogram(
+      "pctagg_server_query_latency_micros",
+      "Wall-clock statement latency as seen by the connection thread.");
+  return h;
+}
 
 // Builds a synthetic workload table; kinds mirror the shell's .gen command.
 Result<Table> GenerateWorkload(const std::string& kind, size_t rows) {
@@ -126,6 +141,7 @@ void PctServer::AcceptLoop() {
 
 void PctServer::HandleConnection(int fd) {
   ++sessions_opened_;
+  SessionsOpenedCounter().Add();
   Session session(next_session_id_.fetch_add(1), config_.default_timeout_ms);
   LineReader reader(fd);
   bool quit = false;
@@ -163,10 +179,15 @@ WireResponse PctServer::RunStatement(Session* session, const std::string& sql,
   WireResponse resp;
   QueryOptions options = session->query_options();
   options.olap_baseline = olap_baseline;
+  // Shared so a worker that outlives a timed-out caller (see QueryExecutor)
+  // still writes into live storage; only success paths read it back.
+  std::shared_ptr<obs::QueryTrace> trace;
+  if (session->trace_enabled()) trace = std::make_shared<obs::QueryTrace>();
   Stopwatch timer;
   Result<Table> result =
-      executor_.ExecuteStatement(sql, options, session->timeout_ms());
+      executor_.ExecuteStatement(sql, options, session->timeout_ms(), trace);
   resp.micros = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+  QueryLatencyHistogram().Observe(resp.micros);
   session->RecordQuery(resp.micros, result.ok());
   if (!result.ok()) {
     resp.status = result.status();
@@ -175,6 +196,11 @@ WireResponse PctServer::RunStatement(Session* session, const std::string& sql,
   resp.rows = result->num_rows();
   resp.cols = result->num_columns();
   if (result->num_columns() > 0) resp.body = FormatCsv(*result);
+  if (trace) {
+    trace->total_ms = static_cast<double>(resp.micros) / 1000.0;
+    resp.body += "-- trace\n";
+    resp.body += trace->Render();
+  }
   return resp;
 }
 
@@ -313,6 +339,25 @@ WireResponse PctServer::HandleRequest(Session* session,
       } else {
         resp.body = "dropped " + request.payload + "\n";
       }
+      return resp;
+    }
+    case RequestVerb::kStats: {
+      // Level metrics are sampled at scrape time; the counters underneath
+      // were bumped on the hot paths as they happened.
+      obs::MetricsRegistry& metrics = obs::GlobalMetrics();
+      metrics
+          .GetGauge("pctagg_server_sessions_active",
+                    "Connections currently open.")
+          .Set(static_cast<int64_t>(sessions_active()));
+      metrics
+          .GetGauge("pctagg_server_pool_queue_depth",
+                    "Statements waiting for a worker thread.")
+          .Set(static_cast<int64_t>(executor_.pool_queue_depth()));
+      metrics
+          .GetGauge("pctagg_server_worker_threads",
+                    "Worker threads serving this executor.")
+          .Set(static_cast<int64_t>(executor_.worker_threads()));
+      resp.body = metrics.RenderPrometheus();
       return resp;
     }
     case RequestVerb::kPing:

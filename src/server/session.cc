@@ -113,6 +113,16 @@ Result<std::string> Session::ApplySet(const std::string& args) {
     }
     return "dop = " + DescribeDop();
   }
+  if (option == "trace") {
+    if (value == "on") {
+      trace_ = true;
+    } else if (value == "off" || value == "default") {
+      trace_ = false;
+    } else {
+      return Status::InvalidArgument("SET trace expects on|off");
+    }
+    return std::string("trace = ") + (trace_ ? "on" : "off");
+  }
   if (option == "horizontal") {
     if (value == "auto") {
       options_.horizontal_strategy.reset();
@@ -139,9 +149,11 @@ std::string Session::Describe() const {
       "vpct = %s\n"
       "horizontal = %s\n"
       "dop = %s\n"
+      "trace = %s\n"
       "queries = %llu (%llu errors, %.3f ms total)\n",
       (unsigned long long)id_, (unsigned long long)timeout_ms_, cache.c_str(),
       vpct_name_.c_str(), horizontal_name_.c_str(), DescribeDop().c_str(),
+      trace_ ? "on" : "off",
       (unsigned long long)queries_, (unsigned long long)errors_,
       static_cast<double>(total_micros_) / 1000.0);
 }

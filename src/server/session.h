@@ -33,8 +33,13 @@ class Session {
   //   cache on|off|default        summary-cache override for this session
   //   vpct auto|best|noindex|update|rescan
   //   horizontal auto|case|case_fv|spj|spj_fv
+  //   trace on|off                append the executed-plan trace to results
   // Returns a human-readable confirmation.
   Result<std::string> ApplySet(const std::string& args);
+
+  // When on, every statement response carries the serialized QueryTrace
+  // after the CSV body (separated by a "-- trace\n" line).
+  bool trace_enabled() const { return trace_; }
 
   // One line per setting, for SHOW.
   std::string Describe() const;
@@ -58,6 +63,7 @@ class Session {
   QueryOptions options_;
   std::string vpct_name_ = "auto";
   std::string horizontal_name_ = "auto";
+  bool trace_ = false;
   uint64_t queries_ = 0;
   uint64_t errors_ = 0;
   uint64_t total_micros_ = 0;

@@ -14,7 +14,7 @@ bool IsKeywordWord(const std::string& upper) {
       "AND",    "OR",    "NOT",      "NULL",      "IS",     "CASE",
       "WHEN",   "THEN",  "ELSE",     "END",       "OVER",   "PARTITION",
       "ORDER",  "ASC",   "DESC",     "DISTINCT",  "DEFAULT", "HAVING",
-      "LIMIT"};
+      "LIMIT",  "EXPLAIN", "ANALYZE"};
   for (const char* kw : kKeywords) {
     if (upper == kw) return true;
   }

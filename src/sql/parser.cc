@@ -431,4 +431,25 @@ Result<SelectStatement> ParseSelect(const std::string& sql) {
   return parser.Parse();
 }
 
+Result<ParsedStatement> ParseStatementKind(const std::string& sql) {
+  ParsedStatement out;
+  PCTAGG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  size_t i = 0;
+  if (i < tokens.size() && tokens[i].IsKeyword("EXPLAIN")) {
+    out.explain = true;
+    ++i;
+    if (i < tokens.size() && tokens[i].IsKeyword("ANALYZE")) {
+      out.analyze = true;
+      ++i;
+    }
+    if (i >= tokens.size() || tokens[i].type == TokenType::kEnd) {
+      return Status::ParseError("EXPLAIN requires a statement to explain");
+    }
+    out.select_sql = sql.substr(tokens[i].position);
+  } else {
+    out.select_sql = sql;
+  }
+  return out;
+}
+
 }  // namespace pctagg

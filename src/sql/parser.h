@@ -25,6 +25,16 @@ namespace pctagg {
 // comparisons, AND/OR/NOT, IS [NOT] NULL and CASE WHEN.
 Result<SelectStatement> ParseSelect(const std::string& sql);
 
+// Statement-kind dispatch for the surfaces (shell, server, PctDatabase):
+// recognizes an EXPLAIN [ANALYZE] prefix and hands back the wrapped SELECT
+// text. A bare SELECT comes back unchanged with both flags false.
+struct ParsedStatement {
+  bool explain = false;
+  bool analyze = false;
+  std::string select_sql;  // the statement with any EXPLAIN prefix removed
+};
+Result<ParsedStatement> ParseStatementKind(const std::string& sql);
+
 }  // namespace pctagg
 
 #endif  // PCTAGG_SQL_PARSER_H_

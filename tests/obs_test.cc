@@ -1,0 +1,271 @@
+// Tests for the observability layer: the sharded metrics registry under
+// concurrent writers, Prometheus rendering, the enable switch, and the
+// QueryTrace / OpScope thread-local attachment protocol.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pctagg {
+namespace obs {
+namespace {
+
+// --- Counter / Gauge / Histogram --------------------------------------------
+
+TEST(MetricsTest, CounterSumsAcrossConcurrentThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kAddsPerThread);
+}
+
+TEST(MetricsTest, CounterAddN) {
+  Counter counter;
+  counter.Add(5);
+  counter.Add(7);
+  EXPECT_EQ(counter.Value(), 12u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(42);
+  EXPECT_EQ(gauge.Value(), 42);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), 32);
+}
+
+TEST(MetricsTest, HistogramCountsAndSumsUnderConcurrency) {
+  Histogram hist;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kObsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (uint64_t i = 0; i < kObsPerThread; ++i) {
+        hist.Observe(static_cast<uint64_t>(t) * 100 + (i % 7));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(hist.Count(), kThreads * kObsPerThread);
+  // Cumulative bucket counts are monotone and end at the total count.
+  std::vector<uint64_t> cumulative, bounds;
+  hist.Snapshot(&cumulative, &bounds);
+  ASSERT_EQ(cumulative.size(), bounds.size());
+  ASSERT_FALSE(cumulative.empty());
+  for (size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]);
+  }
+  EXPECT_EQ(cumulative.back(), hist.Count());
+}
+
+TEST(MetricsTest, HistogramBucketsObservationsByMagnitude) {
+  Histogram hist;
+  hist.Observe(0);
+  hist.Observe(1);     // [0, 2)
+  hist.Observe(1000);  // [512, 1024)
+  EXPECT_EQ(hist.Count(), 3u);
+  EXPECT_EQ(hist.Sum(), 1001u);
+  std::vector<uint64_t> cumulative, bounds;
+  hist.Snapshot(&cumulative, &bounds);
+  // Everything <= 1 except the single large observation.
+  EXPECT_EQ(cumulative.front(), 2u);
+  EXPECT_EQ(cumulative.back(), 3u);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetReturnsSameInstanceForSameName) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("test_total", "help one");
+  Counter& b = registry.GetCounter("test_total", "ignored later help");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(registry.CounterValue("test_total"), 3u);
+  EXPECT_EQ(registry.CounterValue("absent_total"), 0u);
+  Gauge& g = registry.GetGauge("test_gauge");
+  g.Set(-5);
+  EXPECT_EQ(registry.GaugeValue("test_gauge"), -5);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndWritesAreSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Registration races with writes to the same and other metrics.
+      for (int i = 0; i < kIters; ++i) {
+        registry.GetCounter("shared_total").Add();
+        registry.GetCounter("other_" + std::to_string(i % 3)).Add();
+        registry.GetHistogram("lat_micros").Observe(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.CounterValue("shared_total"),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("pctagg_test_events_total", "Events seen.").Add(2);
+  registry.GetGauge("pctagg_test_depth", "Queue depth.").Set(4);
+  registry.GetHistogram("pctagg_test_micros", "Latency.").Observe(100);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP pctagg_test_events_total Events seen."),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pctagg_test_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("pctagg_test_events_total 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pctagg_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("pctagg_test_depth 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pctagg_test_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("pctagg_test_micros_count 1"), std::string::npos);
+  EXPECT_NE(text.find("pctagg_test_micros_sum 100"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(MetricsTest, EnableSwitchToggles) {
+  ASSERT_TRUE(Enabled());  // default on
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+}
+
+// --- QueryTrace / OpScope ---------------------------------------------------
+
+TEST(TraceTest, OpScopeIsInertWithoutCurrentNode) {
+  ASSERT_EQ(CurrentOp(), nullptr);
+  OpScope op("aggregate");
+  EXPECT_FALSE(op.active());
+  op.SetRows(1, 2);  // must be safe no-ops
+  op.SetHashTable(3, 4);
+}
+
+TEST(TraceTest, OpScopeAttachesChildToCurrentNode) {
+  QueryTrace trace;
+  TraceNode* stmt = trace.root().AddChild("insert", "INSERT INTO ...");
+  {
+    ScopedTraceNode scope(stmt);
+    ASSERT_EQ(CurrentOp(), stmt);
+    {
+      OpScope op("aggregate");
+      ASSERT_TRUE(op.active());
+      // The operator node is now the current one, so nested operators
+      // become its children.
+      EXPECT_NE(CurrentOp(), stmt);
+      op.SetRows(1000, 10);
+      op.SetMorsels(4, 2);
+      op.SetHashTable(10, 64);
+      op.SetPartialsMerged(2);
+      op.SetDetail("combos=3");
+    }
+    EXPECT_EQ(CurrentOp(), stmt);  // restored on scope exit
+  }
+  EXPECT_EQ(CurrentOp(), nullptr);
+  ASSERT_EQ(stmt->children.size(), 1u);
+  const TraceNode& op_node = *stmt->children[0];
+  EXPECT_EQ(op_node.label, "aggregate");
+  EXPECT_EQ(op_node.detail, "combos=3");
+  EXPECT_EQ(op_node.stats.rows_in, 1000u);
+  EXPECT_EQ(op_node.stats.rows_out, 10u);
+  EXPECT_EQ(op_node.stats.morsels, 4u);
+  EXPECT_EQ(op_node.stats.workers, 2u);
+  EXPECT_EQ(op_node.stats.hash_groups, 10u);
+  EXPECT_EQ(op_node.stats.hash_slots, 64u);
+  EXPECT_DOUBLE_EQ(op_node.stats.hash_load(), 10.0 / 64.0);
+  EXPECT_EQ(op_node.stats.partials_merged, 2u);
+  EXPECT_GE(op_node.stats.wall_ms, 0.0);
+}
+
+TEST(TraceTest, MarkCacheHitSetsFlagOnCurrentNode) {
+  QueryTrace trace;
+  TraceNode* stmt = trace.root().AddChild("insert");
+  {
+    ScopedTraceNode scope(stmt);
+    MarkCacheHit();
+  }
+  EXPECT_TRUE(stmt->stats.cache_hit);
+  MarkCacheHit();  // no current node: must not crash
+}
+
+TEST(TraceTest, ActualRowOpsSumsOverTree) {
+  QueryTrace trace;
+  TraceNode* a = trace.root().AddChild("insert");
+  a->AddChild("aggregate")->stats.rows_in = 1000;
+  TraceNode* b = trace.root().AddChild("update");
+  b->AddChild("join-lookup")->stats.rows_in = 250;
+  EXPECT_EQ(trace.ActualRowOps(), 1250u);
+}
+
+TEST(TraceTest, RenderContainsStrategyStatsAndTree) {
+  QueryTrace trace;
+  trace.query_class = "vertical-percentage";
+  trace.strategy = "Fj-from-Fk+INSERT";
+  trace.strategy_source = "advisor";
+  trace.predicted_costs.push_back({"Fj-from-Fk+INSERT", 120.0, true});
+  trace.predicted_costs.push_back({"OLAP-window", 900.0, false});
+  trace.predicted_group_rows = 5;
+  trace.actual_group_rows = 5;
+  trace.total_ms = 1.5;
+  TraceNode* stmt = trace.root().AddChild("insert", "INSERT INTO Fk ...");
+  TraceNode* agg = stmt->AddChild("aggregate");
+  agg->stats.rows_in = 1000;
+  agg->stats.rows_out = 5;
+  agg->stats.hash_groups = 5;
+  agg->stats.hash_slots = 64;
+  std::string text = trace.Render();
+  EXPECT_NE(text.find("query class: vertical-percentage"), std::string::npos);
+  EXPECT_NE(text.find("strategy: Fj-from-Fk+INSERT (advisor)"),
+            std::string::npos);
+  // The chosen candidate is starred.
+  EXPECT_NE(text.find("Fj-from-Fk+INSERT=120*"), std::string::npos);
+  EXPECT_NE(text.find("OLAP-window=900"), std::string::npos);
+  EXPECT_NE(text.find("predicted group rows: 5"), std::string::npos);
+  EXPECT_NE(text.find("actual row ops: 1000"), std::string::npos);
+  EXPECT_NE(text.find("insert: INSERT INTO Fk ..."), std::string::npos);
+  EXPECT_NE(text.find("aggregate"), std::string::npos);
+  EXPECT_NE(text.find("rows_in=1000"), std::string::npos);
+}
+
+TEST(TraceTest, ScopedTraceNodeRecordsWallTime) {
+  TraceNode node{"statement", "", {}, {}};
+  {
+    ScopedTraceNode scope(&node);
+    // Busy-wait long enough that the wall clock must advance.
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 2000000; ++i) {
+      sink = sink + static_cast<uint64_t>(i);
+    }
+    (void)sink;
+  }
+  EXPECT_GT(node.stats.wall_ms, 0.0);
+  EXPECT_GE(node.stats.cpu_ms, 0.0);
+}
+
+TEST(TraceTest, NullScopedTraceNodeIsNoop) {
+  ScopedTraceNode scope(nullptr);
+  EXPECT_EQ(CurrentOp(), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pctagg

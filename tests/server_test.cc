@@ -350,6 +350,107 @@ TEST_F(ServerTest, GenAndDropTakeTheWriterPath) {
   EXPECT_EQ(gone->status.code(), StatusCode::kNotFound);
 }
 
+// --- Observability over the wire --------------------------------------------
+
+// Reads the value of one metric from a Prometheus text dump (0 if absent).
+// Value lines start at column 0; HELP/TYPE lines are prefixed with "# ".
+uint64_t PromValue(const std::string& body, const std::string& metric) {
+  std::string needle = "\n" + metric + " ";
+  size_t pos = body.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(body.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST_F(ServerTest, StatsCountersAdvanceAcrossScriptedSession) {
+  StartServer(500);
+  Result<PctClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+  Result<WireResponse> before = client->Stats();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before->status.ok()) << before->status.ToString();
+  uint64_t executed0 =
+      PromValue(before->body, "pctagg_server_statements_executed_total");
+  uint64_t latency0 =
+      PromValue(before->body, "pctagg_server_query_latency_micros_count");
+
+  for (int i = 0; i < 3; ++i) {
+    Result<WireResponse> r = client->Query(kVpctSql);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->status.ok()) << r->status.ToString();
+  }
+
+  Result<WireResponse> after = client->Stats();
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->status.ok());
+  EXPECT_GE(PromValue(after->body, "pctagg_server_statements_executed_total"),
+            executed0 + 3);
+  EXPECT_GE(PromValue(after->body, "pctagg_server_query_latency_micros_count"),
+            latency0 + 3);
+  EXPECT_GE(PromValue(after->body, "pctagg_server_sessions_opened_total"), 1u);
+  EXPECT_GE(PromValue(after->body, "pctagg_server_sessions_active"), 1u);
+  // The dump is well-formed Prometheus text.
+  EXPECT_NE(after->body.find("# TYPE pctagg_server_statements_executed_total "
+                             "counter"),
+            std::string::npos);
+  EXPECT_NE(
+      after->body.find("# TYPE pctagg_server_query_latency_micros histogram"),
+      std::string::npos);
+}
+
+TEST_F(ServerTest, TraceSettingAppendsExecutedPlan) {
+  StartServer(1000);
+  Result<PctClient> client = Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Call(RequestVerb::kSet, "trace on")->status.ok());
+  Result<WireResponse> traced = client->Query(kVpctSql);
+  ASSERT_TRUE(traced.ok());
+  ASSERT_TRUE(traced->status.ok()) << traced->status.ToString();
+  size_t marker = traced->body.find("-- trace\n");
+  ASSERT_NE(marker, std::string::npos);
+  // CSV result first, then the serialized trace.
+  EXPECT_NE(traced->body.substr(0, marker).find("pct"), std::string::npos);
+  std::string trace = traced->body.substr(marker);
+  EXPECT_NE(trace.find("query class: vertical-percentage"),
+            std::string::npos);
+  EXPECT_NE(trace.find("strategy: "), std::string::npos);
+  EXPECT_NE(trace.find("plan:"), std::string::npos);
+  EXPECT_NE(trace.find("aggregate"), std::string::npos);
+  // SHOW reflects the flag; turning it off removes the appendix.
+  Result<WireResponse> show = client->Call(RequestVerb::kShow, "");
+  ASSERT_TRUE(show.ok());
+  EXPECT_NE(show->body.find("trace = on"), std::string::npos);
+  ASSERT_TRUE(client->Call(RequestVerb::kSet, "trace off")->status.ok());
+  Result<WireResponse> plain = client->Query(kVpctSql);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(plain->status.ok());
+  EXPECT_EQ(plain->body.find("-- trace\n"), std::string::npos);
+}
+
+// Regression test for ctest -j: two servers must coexist in one process (and
+// by extension, across concurrently running test binaries) because every
+// test binds port 0 and reads the kernel-assigned port back.
+TEST(ServerPortTest, TwoServersBindConcurrently) {
+  PctDatabase db1, db2;
+  ASSERT_TRUE(db1.CreateTable("f", RandomFact(11, 100)).ok());
+  ASSERT_TRUE(db2.CreateTable("f", RandomFact(12, 100)).ok());
+  ServerConfig config;
+  config.port = 0;
+  PctServer a(&db1, config), b(&db2, config);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  EXPECT_NE(a.port(), b.port());
+  for (PctServer* server : {&a, &b}) {
+    Result<PctClient> client =
+        PctClient::Connect("127.0.0.1", server->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    Result<WireResponse> pong = client->Ping();
+    ASSERT_TRUE(pong.ok());
+    EXPECT_TRUE(pong->status.ok());
+  }
+  b.Stop();
+  a.Stop();
+}
+
 // The smoke suite the TSan ctest target runs: concurrent sessions mixing
 // reads with DDL while the server is under way, then a clean shutdown.
 TEST(ServerSmoke, MixedTrafficUnderConcurrentSessions) {

@@ -71,7 +71,7 @@ bool RunDotCommand(PctClient* client, const std::string& line,
     std::printf(
         ".tables | .schema <t> | .explain <sql> | .olap <sql> |\n"
         ".gen <kind> <name> <rows> | .drop <t> | .set <opt> <val> |\n"
-        ".show | .ping | .timer on|off | .quit — SQL ends with ';'\n");
+        ".show | .stats | .ping | .timer on|off | .quit — SQL ends with ';'\n");
     return true;
   }
   if (cmd == ".timer") {
@@ -96,6 +96,8 @@ bool RunDotCommand(PctClient* client, const std::string& line,
     verb = RequestVerb::kSet;
   } else if (cmd == ".show") {
     verb = RequestVerb::kShow;
+  } else if (cmd == ".stats") {
+    verb = RequestVerb::kStats;
   } else if (cmd == ".ping") {
     verb = RequestVerb::kPing;
   } else {

@@ -20,6 +20,8 @@
 //   .olap <sql>                run a Vpct query via the OLAP window baseline
 //   .cache <on|off>            toggle the shared-summary cache
 //   .timer <on|off>            print per-statement wall-clock time
+//   .stats                     dump process metrics (Prometheus text; in
+//                              remote mode, the server's via STATS)
 //   .remote <host:port>        forward statements to a pctagg_server
 //   .local                     drop the remote connection, back to embedded
 //   .quit                      exit
@@ -39,6 +41,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "engine/csv.h"
+#include "obs/metrics.h"
 #include "pctagg.h"
 #include "server/client.h"
 #include "workload/generators.h"
@@ -124,8 +127,8 @@ void RunDotCommand(ShellState* state, const std::string& line) {
     std::printf(
         ".tables | .schema <t> | .load <t> <csv> | .save <t> <csv> |\n"
         ".gen <kind> <name> <rows> | .explain <sql> | .olap <sql> |\n"
-        ".cache on|off | .timer on|off | .remote <host:port> | .local |\n"
-        ".quit — SQL statements end with ';'\n");
+        ".cache on|off | .timer on|off | .stats | .remote <host:port> |\n"
+        ".local | .quit — SQL statements end with ';'\n");
     return;
   }
   if (cmd == ".timer" && words.size() == 2) {
@@ -274,6 +277,15 @@ void RunDotCommand(ShellState* state, const std::string& line) {
     }
     std::fputs(t->ToString().c_str(), stdout);
     PrintElapsed(*state, millis);
+    return;
+  }
+  if (cmd == ".stats") {
+    if (remote) {
+      RunRemoteCall(state, RequestVerb::kStats, "");
+      return;
+    }
+    std::fputs(pctagg::obs::GlobalMetrics().RenderPrometheus().c_str(),
+               stdout);
     return;
   }
   if (cmd == ".cache" && words.size() == 2) {
