@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """CI bench-smoke regression guard.
 
-Runs bench_parallel_scaling at a reduced size and compares the
-machine-independent ratio metrics against the committed baseline
-(BENCH_parallel.json at the repository root):
+Runs a standalone bench binary (bench_parallel_scaling by default; any
+binary emitting the same JSON shape, e.g. bench_dictionary with
+--env-prefix PCTAGG_DICT_BENCH --json-name BENCH_dictionary.json) at a
+reduced size and compares the machine-independent ratio metrics against the
+committed baseline at the repository root:
 
   * aggregate.dop[].speedup_vs_seed — the kernel rewrite's speedup over the
     seed scalar loop, per DOP. Absolute milliseconds vary wildly across CI
@@ -42,11 +44,15 @@ def by_dop(report, field):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", required=True,
-                        help="path to bench_parallel_scaling")
+                        help="path to the bench binary")
     parser.add_argument("--baseline", required=True,
-                        help="committed BENCH_parallel.json to compare against")
+                        help="committed baseline JSON to compare against")
     parser.add_argument("--out", default="bench-artifacts",
                         help="directory for the fresh JSON + report")
+    parser.add_argument("--env-prefix", default="PCTAGG_PARALLEL_BENCH",
+                        help="prefix of the binary's _ROWS/_REPS env vars")
+    parser.add_argument("--json-name", default="BENCH_parallel.json",
+                        help="JSON file the binary writes into its cwd")
     parser.add_argument("--max-regression-pct", type=float, default=25.0,
                         help="allowed drop in dop=1 speedup_vs_seed")
     parser.add_argument("--rows", type=int, default=None,
@@ -67,22 +73,23 @@ def main():
               "speedup guard may mis-fire" % (args.rows, baseline["rows"]))
     os.makedirs(args.out, exist_ok=True)
 
-    # The binary writes BENCH_parallel.json into its cwd; run it in a scratch
-    # directory so the committed baseline is never clobbered.
-    env = dict(os.environ,
-               PCTAGG_PARALLEL_BENCH_ROWS=str(args.rows),
-               PCTAGG_PARALLEL_BENCH_REPS=str(args.reps))
+    # The binary writes its JSON into its cwd; run it in a scratch directory
+    # so the committed baseline is never clobbered.
+    env = dict(os.environ)
+    env[args.env_prefix + "_ROWS"] = str(args.rows)
+    env[args.env_prefix + "_REPS"] = str(args.reps)
     binary = os.path.abspath(args.binary)
+    smoke_name = args.json_name.replace(".json", "_smoke.json")
     with tempfile.TemporaryDirectory() as scratch:
-        proc = subprocess.run([binary], cwd=scratch, env=env,
+        proc = subprocess.run([binary, "--smoke"], cwd=scratch, env=env,
                               stdout=subprocess.PIPE)
         if proc.returncode != 0:
-            print("FAIL: bench binary exited %d (its own dop1 budget or a "
-                  "setup error)" % proc.returncode)
+            print("FAIL: bench binary exited %d (its own correctness/budget "
+                  "checks or a setup error)" % proc.returncode)
             return 1
         fresh = json.loads(proc.stdout)
-        shutil.copy(os.path.join(scratch, "BENCH_parallel.json"),
-                    os.path.join(args.out, "BENCH_parallel_smoke.json"))
+        shutil.copy(os.path.join(scratch, args.json_name),
+                    os.path.join(args.out, smoke_name))
 
     base_speedup = by_dop(baseline, "speedup_vs_seed")
     fresh_speedup = by_dop(fresh, "speedup_vs_seed")
@@ -115,7 +122,7 @@ def main():
             % (dop, base_speedup[dop], fresh_speedup[dop], ratio_pct,
                base_ms[dop], fresh_ms[dop], ms_pct,
                " [guard]" if guard else "", verdict))
-    lines.append("dop1_regression_pct: baseline %.2f, fresh %.2f (budget 5)"
+    lines.append("dop1_regression_pct: baseline %.2f, fresh %.2f"
                  % (baseline["aggregate"]["dop1_regression_pct"],
                     fresh["aggregate"]["dop1_regression_pct"]))
 

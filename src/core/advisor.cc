@@ -100,6 +100,13 @@ HorizontalStrategy StrategyAdvisor::AdviseHorizontalByCost(
 Result<size_t> StrategyAdvisor::EstimateCardinality(
     const Table& fact, const std::string& column) const {
   PCTAGG_ASSIGN_OR_RETURN(size_t idx, fact.schema().FindColumn(column));
+  const Column& col = fact.column(idx);
+  if (col.type() == DataType::kString) {
+    // Exact for dictionary-encoded columns: every distinct value the column
+    // ever held has a code. Shared dictionaries can overcount (codes this
+    // column never uses), which only errs toward the safer FV-first plan.
+    return std::min(col.dict()->size(), fact.num_rows());
+  }
   const size_t limit = std::min(fact.num_rows(), kSampleRows);
   std::unordered_set<std::string> seen;
   std::string key;

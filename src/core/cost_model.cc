@@ -9,11 +9,25 @@ namespace {
 
 constexpr size_t kSampleRows = 20000;
 
-// Distinct-count estimate of one column over a bounded prefix sample,
-// linearly extrapolated when the sample saturates (every sampled value
-// distinct suggests a key-like column).
+// Mirrors the engine's direct-array aggregation threshold (aggregate.cc):
+// one string group-by column whose dictionary fits this many slots skips
+// hashing entirely.
+constexpr size_t kDirectDictMaxSlots = 4096;
+
+// Distinct-count estimate of one column. Dictionary-encoded string columns
+// answer EXACTLY from the dictionary — every distinct value the column ever
+// held has a code — for free; it can only overcount when the column shares a
+// dictionary holding codes this column never uses (a derived table), which
+// at worst makes the model conservative. Other types sample a bounded
+// prefix, linearly extrapolated when the sample saturates (every sampled
+// value distinct suggests a key-like column).
 Result<double> ColumnCardinality(const Table& fact, const std::string& name) {
   PCTAGG_ASSIGN_OR_RETURN(size_t idx, fact.schema().FindColumn(name));
+  const Column& col = fact.column(idx);
+  if (col.type() == DataType::kString) {
+    return std::min(static_cast<double>(col.dict()->size()),
+                    std::max(1.0, static_cast<double>(fact.num_rows())));
+  }
   const size_t limit = std::min(fact.num_rows(), kSampleRows);
   std::unordered_set<std::string> seen;
   std::string key;
@@ -54,6 +68,13 @@ Result<FactStats> CostModel::EstimateStats(
   PCTAGG_ASSIGN_OR_RETURN(stats.totals_cardinality,
                           ComboCardinality(fact, totals_by));
   PCTAGG_ASSIGN_OR_RETURN(stats.by_cardinality, ComboCardinality(fact, by));
+  if (group_by.size() == 1) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t idx,
+                            fact.schema().FindColumn(group_by[0]));
+    const Column& col = fact.column(idx);
+    stats.group_direct_dict = col.type() == DataType::kString &&
+                              col.dict()->size() + 1 <= kDirectDictMaxSlots;
+  }
   return stats;
 }
 
@@ -108,8 +129,12 @@ double CostModel::HorizontalCost(const FactStats& stats,
                      groups * params_.write + 2 * params_.statement);
     cost += cells * groups * (params_.probe + params_.write);
   } else if (strategy.hash_dispatch) {
-    // One morsel-parallel scan, two probes per row, one result table.
-    cost += pivot_input * (params_.scan + 2 * params_.probe) / dop +
+    // One morsel-parallel scan, two probes per row (group map + combo map),
+    // one result table. A small-dictionary string group key replaces its
+    // hash probe with a direct array index.
+    const double group_probe =
+        stats.group_direct_dict ? params_.dict_probe : params_.probe;
+    cost += pivot_input * (params_.scan + group_probe + params_.probe) / dop +
             groups * cells * params_.write + params_.statement;
   } else {
     // One parallel scan, N CASE evaluations per row.

@@ -27,6 +27,8 @@ namespace pctagg {
 //   kScanCost      reading one fact row through an aggregation/pivot
 //   kCellCost      evaluating one CASE conjunction for one row (naive mode)
 //   kProbeCost     one hash probe (join/lookup/dispatch)
+//   kDictProbeCost one direct-array lookup when a small dictionary lets the
+//                  group key index the accumulators without hashing
 //   kWriteCost     materializing one output row (INSERT)
 //   kUpdateCost    read-modify-write of one row (UPDATE)
 //   kStatementCost fixed overhead per generated statement
@@ -34,6 +36,7 @@ struct CostParams {
   double scan = 1.0;
   double cell = 0.15;
   double probe = 0.5;
+  double dict_probe = 0.1;
   double write = 0.6;
   double update = 2.0;
   double statement = 50.0;
@@ -54,6 +57,10 @@ struct FactStats {
   // read-modify-write, index builds) do not, which is what moves the
   // from-F-vs-from-FV crossover as dop grows (see docs/PARALLELISM.md).
   double dop = 1;
+  // True when the group-by set is a single dictionary-encoded string column
+  // small enough for the engine's direct-array aggregation path, which
+  // replaces the per-row hash probe with an array index (kDictProbeCost).
+  bool group_direct_dict = false;
 };
 
 // Cardinality estimation over a bounded sample, with the standard

@@ -1,8 +1,10 @@
 #include "engine/aggregate.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
+#include "engine/dictionary.h"
 #include "engine/packed_key.h"
 #include "engine/parallel.h"
 #include "obs/trace.h"
@@ -69,12 +71,16 @@ enum class AccKind : uint8_t {
 struct AccPlan {
   AccKind kind = AccKind::kCountStar;
   const uint8_t* validity = nullptr;
-  const int64_t* i64 = nullptr;      // set iff the input column is INT64
-  const double* f64 = nullptr;       // set iff FLOAT64
-  const std::string* str = nullptr;  // set iff STRING
+  const int64_t* i64 = nullptr;       // set iff the input column is INT64
+  const double* f64 = nullptr;        // set iff FLOAT64
+  const uint32_t* codes = nullptr;    // set iff STRING (dictionary codes)
+  const Dictionary* dict = nullptr;   // set iff STRING
 
   double NumericAt(size_t row) const {
     return i64 != nullptr ? static_cast<double>(i64[row]) : f64[row];
+  }
+  const std::string& StringAt(size_t row) const {
+    return dict->value(codes[row]);
   }
 };
 
@@ -93,7 +99,8 @@ AccPlan MakeAccPlan(const AggSpec& spec, const Column& input) {
       ap.f64 = input.float64_data().data();
       break;
     case DataType::kString:
-      ap.str = input.string_data().data();
+      ap.codes = input.codes().data();
+      ap.dict = input.dict().get();
       break;
   }
   const bool is_string = input.type() == DataType::kString;
@@ -123,8 +130,17 @@ AccPlan MakeAccPlan(const AggSpec& spec, const Column& input) {
 
 // Folds one morsel into one spec's per-group accumulator column. `gid` holds
 // the local group id of row `begin + i` at position i.
+//
+// NULLs are the exception in real measure columns, so each morsel first asks
+// one memchr whether this span has any at all; the common all-valid span then
+// runs a branch-free inner loop (load, accumulate, store — no per-row
+// validity test in the dependency chain), and only spans that actually
+// contain NULLs pay the per-row branch.
 void AccumulateMorsel(const AccPlan& ap, const std::vector<uint32_t>& gid,
                       size_t begin, size_t end, std::vector<AggState>& col) {
+  const bool no_nulls =
+      ap.validity == nullptr ||
+      std::memchr(ap.validity + begin, 0, end - begin) == nullptr;
   switch (ap.kind) {
     case AccKind::kCountStar:
       for (size_t row = begin; row < end; ++row) {
@@ -132,11 +148,25 @@ void AccumulateMorsel(const AccPlan& ap, const std::vector<uint32_t>& gid,
       }
       break;
     case AccKind::kCount:
+      if (no_nulls) {
+        for (size_t row = begin; row < end; ++row) {
+          col[gid[row - begin]].count++;
+        }
+        break;
+      }
       for (size_t row = begin; row < end; ++row) {
         if (ap.validity[row]) col[gid[row - begin]].count++;
       }
       break;
     case AccKind::kSumInt:
+      if (no_nulls) {
+        for (size_t row = begin; row < end; ++row) {
+          AggState& st = col[gid[row - begin]];
+          st.isum += ap.i64[row];
+          st.saw_value = true;
+        }
+        break;
+      }
       for (size_t row = begin; row < end; ++row) {
         if (!ap.validity[row]) continue;
         AggState& st = col[gid[row - begin]];
@@ -145,6 +175,14 @@ void AccumulateMorsel(const AccPlan& ap, const std::vector<uint32_t>& gid,
       }
       break;
     case AccKind::kSumFloat:
+      if (no_nulls && ap.f64 != nullptr) {
+        for (size_t row = begin; row < end; ++row) {
+          AggState& st = col[gid[row - begin]];
+          st.sum += ap.f64[row];
+          st.saw_value = true;
+        }
+        break;
+      }
       for (size_t row = begin; row < end; ++row) {
         if (!ap.validity[row]) continue;
         AggState& st = col[gid[row - begin]];
@@ -153,6 +191,15 @@ void AccumulateMorsel(const AccPlan& ap, const std::vector<uint32_t>& gid,
       }
       break;
     case AccKind::kAvg:
+      if (no_nulls && ap.f64 != nullptr) {
+        for (size_t row = begin; row < end; ++row) {
+          AggState& st = col[gid[row - begin]];
+          st.sum += ap.f64[row];
+          st.count++;
+          st.saw_value = true;
+        }
+        break;
+      }
       for (size_t row = begin; row < end; ++row) {
         if (!ap.validity[row]) continue;
         AggState& st = col[gid[row - begin]];
@@ -191,7 +238,7 @@ void AccumulateMorsel(const AccPlan& ap, const std::vector<uint32_t>& gid,
       for (size_t row = begin; row < end; ++row) {
         if (!ap.validity[row]) continue;
         AggState& st = col[gid[row - begin]];
-        const std::string& s = ap.str[row];
+        const std::string& s = ap.StringAt(row);
         if (!st.saw_value || s < st.smin) st.smin = s;
         st.saw_value = true;
       }
@@ -200,7 +247,7 @@ void AccumulateMorsel(const AccPlan& ap, const std::vector<uint32_t>& gid,
       for (size_t row = begin; row < end; ++row) {
         if (!ap.validity[row]) continue;
         AggState& st = col[gid[row - begin]];
-        const std::string& s = ap.str[row];
+        const std::string& s = ap.StringAt(row);
         if (!st.saw_value || s > st.smax) st.smax = s;
         st.saw_value = true;
       }
@@ -228,23 +275,27 @@ std::vector<AggState> GatherStates(const AggPartial& p, size_t id,
   return gs;
 }
 
+// Folds one accumulator into another (associative, commutative up to the
+// first-seen tie-breaks handled by the callers' row ordering).
+void MergeState(AggState& d, const AggState& s) {
+  d.row_count += s.row_count;
+  d.count += s.count;
+  d.sum += s.sum;
+  d.isum += s.isum;
+  if (s.min < d.min) d.min = s.min;
+  if (s.max > d.max) d.max = s.max;
+  if (s.saw_value) {
+    if (!d.saw_value || s.smin < d.smin) d.smin = s.smin;
+    if (!d.saw_value || s.smax > d.smax) d.smax = s.smax;
+    d.saw_value = true;
+  }
+}
+
 // Folds partial `p`'s accumulators for local group `id` into `dst`.
 void MergeFromPartial(std::vector<AggState>& dst, const AggPartial& p,
                       size_t id) {
   for (size_t a = 0; a < dst.size(); ++a) {
-    AggState& d = dst[a];
-    const AggState& s = p.spec_states[a][id];
-    d.row_count += s.row_count;
-    d.count += s.count;
-    d.sum += s.sum;
-    d.isum += s.isum;
-    if (s.min < d.min) d.min = s.min;
-    if (s.max > d.max) d.max = s.max;
-    if (s.saw_value) {
-      if (!d.saw_value || s.smin < d.smin) d.smin = s.smin;
-      if (!d.saw_value || s.smax > d.smax) d.smax = s.smax;
-      d.saw_value = true;
-    }
+    MergeState(dst[a], p.spec_states[a][id]);
   }
 }
 
@@ -312,13 +363,49 @@ Result<Table> HashAggregate(const Table& input,
   for (size_t a = 0; a < aggs.size(); ++a) {
     acc_plans.push_back(MakeAccPlan(aggs[a], agg_inputs[a]));
   }
+
+  // Direct-array keying: grouping by ONE dictionary-encoded string column
+  // whose dictionary is small means the code already IS a dense group id —
+  // no hashing, no key bytes, no probe. Each worker accumulates straight
+  // into arrays of dict_size + 1 slots (the extra slot takes NULL rows) and
+  // the merge is elementwise. The cap bounds the per-worker footprint for
+  // dictionaries much larger than the actual group count (a shared
+  // dictionary can hold codes this column never uses).
+  constexpr size_t kDirectDictMaxSlots = 4096;
+  const uint32_t* direct_codes = nullptr;
+  const uint8_t* direct_validity = nullptr;
+  size_t direct_slots = 0;
+  if (group_idx.size() == 1 &&
+      input.column(group_idx[0]).type() == DataType::kString) {
+    const Column& gc = input.column(group_idx[0]);
+    if (gc.dict()->size() + 1 <= kDirectDictMaxSlots) {
+      direct_codes = gc.codes().data();
+      direct_validity = gc.validity().data();
+      direct_slots = gc.dict()->size() + 1;
+    }
+  }
+
   std::vector<AggPartial> partials(plan.num_workers);
-  for (AggPartial& p : partials) p.spec_states.resize(aggs.size());
+  for (AggPartial& p : partials) {
+    p.spec_states.resize(aggs.size());
+    if (direct_slots > 0) {
+      for (std::vector<AggState>& sc : p.spec_states) sc.resize(direct_slots);
+      p.first_row.assign(direct_slots, SIZE_MAX);
+    }
+  }
   RunMorsels(plan, [&](size_t worker, size_t begin, size_t end) {
     AggPartial& p = partials[worker];
     const size_t count = end - begin;
     if (p.gid.size() < count) p.gid.resize(count);
-    if (encoder.fixed_only()) {
+    if (direct_slots > 0) {
+      const uint32_t null_slot = static_cast<uint32_t>(direct_slots - 1);
+      for (size_t row = begin; row < end; ++row) {
+        const uint32_t g =
+            direct_validity[row] ? direct_codes[row] : null_slot;
+        if (row < p.first_row[g]) p.first_row[g] = row;
+        p.gid[row - begin] = g;
+      }
+    } else if (encoder.fixed_only()) {
       // All-fixed-width keys: encode the whole morsel column-at-a-time into
       // a stride-constant buffer, then key it through the stride-specialized
       // batch probe. New groups' accumulators are default states, so the
@@ -359,7 +446,40 @@ Result<Table> HashAggregate(const Table& input,
   // first-seen order a serial run would emit.
   std::vector<std::vector<AggState>> states;
   std::vector<size_t> representative_row;
-  if (plan.num_workers <= 1 && !partials.empty()) {
+  if (direct_slots > 0 && !partials.empty()) {
+    // Direct-array path: merge elementwise into partial 0, then emit the
+    // slots that saw rows, ordered by first input row. (Code order is NOT
+    // first-seen order in general — a derived table can hold a shared
+    // dictionary's codes in any row order — so the sort applies even for a
+    // single worker.)
+    AggPartial& p0 = partials[0];
+    for (size_t w = 1; w < partials.size(); ++w) {
+      const AggPartial& pw = partials[w];
+      for (size_t g = 0; g < direct_slots; ++g) {
+        if (pw.first_row[g] == SIZE_MAX) continue;
+        for (size_t a = 0; a < aggs.size(); ++a) {
+          MergeState(p0.spec_states[a][g], pw.spec_states[a][g]);
+        }
+        p0.first_row[g] = std::min(p0.first_row[g], pw.first_row[g]);
+      }
+    }
+    std::vector<uint32_t> order;
+    order.reserve(direct_slots);
+    for (size_t g = 0; g < direct_slots; ++g) {
+      if (p0.first_row[g] != SIZE_MAX) {
+        order.push_back(static_cast<uint32_t>(g));
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return p0.first_row[a] < p0.first_row[b];
+    });
+    states.reserve(order.size());
+    representative_row.reserve(order.size());
+    for (uint32_t g : order) {
+      states.push_back(GatherStates(p0, g, aggs.size()));
+      representative_row.push_back(p0.first_row[g]);
+    }
+  } else if (plan.num_workers <= 1 && !partials.empty()) {
     AggPartial& p = partials[0];
     states.reserve(p.groups.size());
     for (size_t g = 0; g < p.groups.size(); ++g) {
@@ -406,18 +526,28 @@ Result<Table> HashAggregate(const Table& input,
   }
 
   if (op.active()) {
-    // Peak hash-table shape across the workers' thread-local partials; the
-    // merge touches every partial, so that count doubles as spill volume.
-    size_t peak_groups = 0, peak_slots = 0;
-    for (const AggPartial& p : partials) {
-      if (p.groups.size() > peak_groups) {
-        peak_groups = p.groups.size();
-        peak_slots = p.groups.slots();
+    if (direct_slots > 0) {
+      // No hash table at all: the dictionary code indexed the accumulator
+      // arrays directly. Report the array size as the "slots".
+      op.SetHashTable(states.size(), direct_slots);
+      op.SetDetail("keys=direct-dict(" + std::to_string(direct_slots - 1) +
+                   ")");
+    } else {
+      // Peak hash-table shape across the workers' thread-local partials; the
+      // merge touches every partial, so that count doubles as spill volume.
+      size_t peak_groups = 0, peak_slots = 0;
+      for (const AggPartial& p : partials) {
+        if (p.groups.size() > peak_groups) {
+          peak_groups = p.groups.size();
+          peak_slots = p.groups.slots();
+        }
       }
+      op.SetHashTable(peak_groups, peak_slots);
+      op.SetDetail("keys=packed(" + std::to_string(encoder.fixed_width()) +
+                   "B)");
     }
     op.SetRows(n, states.size());
     op.SetMorsels(plan.num_morsels, plan.num_workers);
-    op.SetHashTable(peak_groups, peak_slots);
     if (plan.num_workers > 1) op.SetPartialsMerged(partials.size());
   }
 

@@ -13,7 +13,8 @@ Column::Column(DataType type) : type_(type) {
       data_ = std::vector<double>();
       break;
     case DataType::kString:
-      data_ = std::vector<std::string>();
+      data_ = std::vector<uint32_t>();
+      dict_ = std::make_shared<Dictionary>();
       break;
   }
 }
@@ -38,8 +39,8 @@ void Column::AppendFloat64(double v) {
   validity_.push_back(1);
 }
 
-void Column::AppendString(std::string v) {
-  std::get<std::vector<std::string>>(data_).push_back(std::move(v));
+void Column::AppendString(std::string_view v) {
+  std::get<std::vector<uint32_t>>(data_).push_back(dict_->GetOrAdd(v));
   validity_.push_back(1);
 }
 
@@ -90,9 +91,22 @@ void Column::AppendFrom(const Column& other, size_t row) {
                         ? static_cast<double>(other.Int64At(row))
                         : other.Float64At(row));
       break;
-    case DataType::kString:
-      AppendString(other.StringAt(row));
+    case DataType::kString: {
+      if (dict_ != other.dict_) {
+        if (empty() && dict_->size() == 0) {
+          // First string into a fresh column: adopt the source dictionary so
+          // the whole operator output reuses the source's codes (and so a
+          // result table keeps sharing its base table's pool).
+          dict_ = other.dict_;
+        } else {
+          AppendString(other.StringAt(row));
+          return;
+        }
+      }
+      std::get<std::vector<uint32_t>>(data_).push_back(other.codes()[row]);
+      validity_.push_back(1);
       break;
+    }
   }
 }
 
@@ -128,7 +142,7 @@ Status Column::SetValue(size_t row, const Value& v) {
       return Status::OK();
     case DataType::kString:
       if (!v.is_string()) break;
-      std::get<std::vector<std::string>>(data_)[row] = v.string();
+      std::get<std::vector<uint32_t>>(data_)[row] = dict_->GetOrAdd(v.string());
       validity_[row] = 1;
       return Status::OK();
   }
@@ -160,12 +174,10 @@ void Column::AppendKeyBytes(size_t row, std::string* out) const {
     }
     case DataType::kString: {
       out->push_back('s');
-      const std::string& s = StringAt(row);
-      uint32_t len = static_cast<uint32_t>(s.size());
-      char buf[sizeof(len)];
-      std::memcpy(buf, &len, sizeof(len));
-      out->append(buf, sizeof(len));
-      out->append(s);
+      uint32_t code = codes()[row];
+      char buf[sizeof(code)];
+      std::memcpy(buf, &code, sizeof(code));
+      out->append(buf, sizeof(code));
       break;
     }
   }

@@ -2,13 +2,16 @@
 #define PCTAGG_ENGINE_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "engine/data_type.h"
+#include "engine/dictionary.h"
 #include "engine/value.h"
 
 namespace pctagg {
@@ -16,6 +19,14 @@ namespace pctagg {
 // A typed, nullable vector of values: the unit of columnar storage and of
 // vectorized expression evaluation. NULLs keep a placeholder slot in the data
 // vector and are tracked by a validity byte per row (1 = valid).
+//
+// String columns are dictionary-encoded: the data vector holds uint32 codes
+// into a shared, insert-ordered Dictionary (engine/dictionary.h), so group
+// keys, join probes and equality comparisons operate on fixed-width codes
+// while StringAt still hands out the payload by reference. Copying a column
+// shares the dictionary; AppendFrom into an empty column adopts the source's
+// dictionary so operator outputs keep their inputs' codes without
+// re-interning.
 class Column {
  public:
   explicit Column(DataType type);
@@ -32,7 +43,7 @@ class Column {
   void AppendNull();
   void AppendInt64(int64_t v);
   void AppendFloat64(double v);
-  void AppendString(std::string v);
+  void AppendString(std::string_view v);
 
   // Type-checked append of a scalar (NULL always allowed).
   Status AppendValue(const Value& v);
@@ -45,7 +56,9 @@ class Column {
   Value GetValue(size_t row) const;
   int64_t Int64At(size_t row) const { return int64_data()[row]; }
   double Float64At(size_t row) const { return float64_data()[row]; }
-  const std::string& StringAt(size_t row) const { return string_data()[row]; }
+  const std::string& StringAt(size_t row) const {
+    return dict_->value(codes()[row]);
+  }
 
   // Numeric value widened to double (valid for INT64/FLOAT64 columns).
   double NumericAt(size_t row) const {
@@ -60,9 +73,13 @@ class Column {
   const std::vector<double>& float64_data() const {
     return std::get<std::vector<double>>(data_);
   }
-  const std::vector<std::string>& string_data() const {
-    return std::get<std::vector<std::string>>(data_);
+  // Dictionary codes of a string column (NULL rows hold code 0 as a
+  // placeholder; consult validity()).
+  const std::vector<uint32_t>& codes() const {
+    return std::get<std::vector<uint32_t>>(data_);
   }
+  // The dictionary backing a string column (non-null iff type() == kString).
+  const std::shared_ptr<Dictionary>& dict() const { return dict_; }
   const std::vector<uint8_t>& validity() const { return validity_; }
 
   // Overwrites row `row` with a (type-compatible) value; used by the UPDATE
@@ -70,17 +87,20 @@ class Column {
   Status SetValue(size_t row, const Value& v);
 
   // Appends a deterministic, type-tagged byte encoding of row `row` to
-  // `out`. Two rows produce identical bytes iff their values are equal
-  // (NULL encodes distinctly). This is the hashing key used by group-by,
-  // joins, DISTINCT and indexes.
+  // `out`. Two rows OF THE SAME COLUMN (or of columns sharing a dictionary)
+  // produce identical bytes iff their values are equal; NULL encodes
+  // distinctly. String rows encode their dictionary code, so bytes from
+  // unrelated string columns are not comparable — every consumer (group-by,
+  // DISTINCT, cardinality sampling, indexes) keys rows of one table.
   void AppendKeyBytes(size_t row, std::string* out) const;
 
  private:
   DataType type_;
   std::variant<std::vector<int64_t>, std::vector<double>,
-               std::vector<std::string>>
+               std::vector<uint32_t>>
       data_;
   std::vector<uint8_t> validity_;
+  std::shared_ptr<Dictionary> dict_;  // set iff type_ == kString
 };
 
 }  // namespace pctagg

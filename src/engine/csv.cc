@@ -1,9 +1,9 @@
 #include "engine/csv.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <vector>
 
 #include "common/string_util.h"
@@ -22,13 +22,22 @@ struct Record {
 // Splits `text` into records honoring quotes; handles \r\n line ends.
 Result<std::vector<Record>> SplitCsv(const std::string& text) {
   std::vector<Record> records;
+  // Newlines bound the record count (quoted fields can only make it an
+  // overestimate); reserving up front turns the records vector's growth from
+  // O(log n) reallocations — each copying every Record so far — into one.
+  records.reserve(std::count(text.begin(), text.end(), '\n') + 1);
   Record current;
+  size_t arity = 0;  // fields in the first record: reserve for the rest
   std::string field;
   bool quoted = false;
   bool in_quotes = false;
   size_t i = 0;
   const size_t n = text.size();
   auto end_field = [&]() {
+    if (current.fields.empty() && arity > 0) {
+      current.fields.reserve(arity);
+      current.quoted.reserve(arity);
+    }
     current.fields.push_back(field);
     current.quoted.push_back(quoted);
     field.clear();
@@ -42,6 +51,7 @@ Result<std::vector<Record>> SplitCsv(const std::string& text) {
       current = Record();
       return;
     }
+    if (arity == 0) arity = current.fields.size();
     records.push_back(std::move(current));
     current = Record();
   };
@@ -157,6 +167,8 @@ Result<Table> ParseCsv(const std::string& text, const Schema& schema,
                           SplitAndCheckHeader(text, schema, has_header));
   Table out(schema);
   out.Reserve(records.size());
+  std::vector<Value> row;  // reused across records (Values are cheap to move)
+  row.reserve(schema.num_columns());
   for (size_t r = 0; r < records.size(); ++r) {
     const Record& rec = records[r];
     if (rec.fields.size() != schema.num_columns()) {
@@ -165,8 +177,7 @@ Result<Table> ParseCsv(const std::string& text, const Schema& schema,
                                 " fields, expected " +
                                 std::to_string(schema.num_columns()));
     }
-    std::vector<Value> row;
-    row.reserve(rec.fields.size());
+    row.clear();
     for (size_t c = 0; c < rec.fields.size(); ++c) {
       Result<Value> v =
           ParseField(rec.fields[c], rec.quoted[c], schema.column(c).type);
@@ -222,6 +233,9 @@ Result<Table> ParseCsvAuto(const std::string& text) {
 
 std::string FormatCsv(const Table& table) {
   std::string out;
+  // ~8 bytes per rendered cell is a decent floor for numeric-heavy tables;
+  // undershooting just means a couple of amortized growths instead of many.
+  out.reserve(16 + table.num_rows() * table.num_columns() * 8);
   auto append_field = [&out](const std::string& text, bool force_quote) {
     bool needs_quote =
         force_quote || text.find_first_of(",\"\n\r") != std::string::npos;
@@ -264,21 +278,37 @@ std::string FormatCsv(const Table& table) {
   return out;
 }
 
+namespace {
+
+// Reads the whole file into a string sized from the file length in one
+// resize + one read, instead of streaming through an ostringstream's
+// geometrically reallocating buffer (which peaks at ~2x the file size and
+// copies every byte O(log n) times).
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  const std::streamoff size = in.tellg();
+  std::string text;
+  if (size > 0) {
+    text.resize(static_cast<size_t>(size));
+    in.seekg(0);
+    in.read(text.data(), size);
+    if (!in) return Status::Internal("read failed: " + path);
+  }
+  return text;
+}
+
+}  // namespace
+
 Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
                           bool has_header) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseCsv(buffer.str(), schema, has_header);
+  PCTAGG_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseCsv(text, schema, has_header);
 }
 
 Result<Table> ReadCsvFileAuto(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseCsvAuto(buffer.str());
+  PCTAGG_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseCsvAuto(text);
 }
 
 Status WriteCsvFile(const Table& table, const std::string& path) {

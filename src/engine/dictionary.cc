@@ -1,0 +1,117 @@
+#include "engine/dictionary.h"
+
+#include "engine/packed_key.h"
+#include "obs/metrics.h"
+
+namespace pctagg {
+
+namespace {
+
+// Ingest-rate counters for STATS / Prometheus: a hit is an AppendString that
+// resolved to an existing code, a miss interned a new string. Hoisted behind
+// function-local statics (registration takes a mutex, Add is a relaxed
+// atomic on a per-thread shard); the hot path additionally gates on
+// obs::Enabled() because GetOrAdd runs once per ingested string value.
+obs::Counter& DictHitsCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_encoding_dict_hits_total",
+      "String appends that matched an already-interned dictionary entry.");
+  return c;
+}
+
+obs::Counter& DictMissesCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_encoding_dict_misses_total",
+      "String appends that interned a new dictionary entry.");
+  return c;
+}
+
+obs::Gauge& DictPoolBytesGauge() {
+  static obs::Gauge& g = obs::GlobalMetrics().GetGauge(
+      "pctagg_encoding_dict_pool_bytes",
+      "Bytes of string payload interned across live dictionaries.");
+  return g;
+}
+
+}  // namespace
+
+Dictionary::~Dictionary() {
+  const size_t n = size_.load(std::memory_order_relaxed);
+  if (obs::Enabled() && pool_bytes_.load(std::memory_order_relaxed) > 0) {
+    DictPoolBytesGauge().Add(
+        -static_cast<int64_t>(pool_bytes_.load(std::memory_order_relaxed)));
+  }
+  size_t freed = 0;
+  for (size_t k = 0; k < kMaxChunks && freed < n; ++k) {
+    std::string* chunk = chunks_[k].load(std::memory_order_relaxed);
+    if (chunk == nullptr) break;
+    delete[] chunk;
+    freed += kFirstChunk << k;
+  }
+}
+
+uint32_t Dictionary::GetOrAdd(std::string_view s) {
+  if (slot_code_.empty()) Grow(64);
+  const uint64_t h = KeyMap::Hash(s);
+  size_t idx = h & mask_;
+  while (slot_code_[idx] != kInvalidCode) {
+    if (slot_hash_[idx] == h && value(slot_code_[idx]) == s) {
+      if (obs::Enabled()) DictHitsCounter().Add();
+      return slot_code_[idx];
+    }
+    idx = (idx + 1) & mask_;
+  }
+  const size_t n = size_.load(std::memory_order_relaxed);
+  const uint32_t code = static_cast<uint32_t>(n);
+  const size_t k = ChunkIndex(code);
+  std::string* chunk = chunks_[k].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new std::string[kFirstChunk << k];
+    // Publish the chunk before the size that makes its slots reachable.
+    chunks_[k].store(chunk, std::memory_order_release);
+  }
+  chunk[OffsetFor(code)] = std::string(s);
+  size_.store(n + 1, std::memory_order_release);
+  pool_bytes_.fetch_add(s.size(), std::memory_order_relaxed);
+  slot_hash_[idx] = h;
+  slot_code_[idx] = code;
+  if ((n + 1) * 2 >= slot_code_.size()) Grow(slot_code_.size() * 2);
+  if (obs::Enabled()) {
+    DictMissesCounter().Add();
+    DictPoolBytesGauge().Add(static_cast<int64_t>(s.size()));
+  }
+  return code;
+}
+
+uint32_t Dictionary::Find(std::string_view s) const {
+  if (slot_code_.empty()) return kInvalidCode;
+  const uint64_t h = KeyMap::Hash(s);
+  size_t idx = h & mask_;
+  while (slot_code_[idx] != kInvalidCode) {
+    if (slot_hash_[idx] == h && value(slot_code_[idx]) == s) {
+      return slot_code_[idx];
+    }
+    idx = (idx + 1) & mask_;
+  }
+  return kInvalidCode;
+}
+
+void Dictionary::Grow(size_t min_slots) {
+  size_t slots = 64;
+  while (slots < min_slots) slots <<= 1;
+  if (!slot_code_.empty() && slots <= slot_code_.size()) return;
+  std::vector<uint64_t> old_hash = std::move(slot_hash_);
+  std::vector<uint32_t> old_code = std::move(slot_code_);
+  slot_hash_.assign(slots, 0);
+  slot_code_.assign(slots, kInvalidCode);
+  mask_ = slots - 1;
+  for (size_t s = 0; s < old_code.size(); ++s) {
+    if (old_code[s] == kInvalidCode) continue;
+    size_t idx = old_hash[s] & mask_;
+    while (slot_code_[idx] != kInvalidCode) idx = (idx + 1) & mask_;
+    slot_hash_[idx] = old_hash[s];
+    slot_code_[idx] = old_code[s];
+  }
+}
+
+}  // namespace pctagg

@@ -1,0 +1,108 @@
+#ifndef PCTAGG_ENGINE_DICTIONARY_H_
+#define PCTAGG_ENGINE_DICTIONARY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pctagg {
+
+// An insert-ordered interning dictionary for one string column (MonetDB/X100
+// style): every distinct string gets a dense uint32 code in first-seen order,
+// the column stores codes, and operators key, probe and compare on the
+// fixed-width codes instead of the heap-allocated payloads.
+//
+// Codes are append-only and never reassigned, so a code handed out once stays
+// valid for the dictionary's lifetime and dictionaries can be shared between
+// a base table and every result/temporary table derived from it (Column
+// adopts the source dictionary on its first AppendFrom).
+//
+// Concurrency contract, matching the executor's reader/writer discipline
+// (queries hold the shared lock, DDL/INSERT the exclusive lock):
+//   * GetOrAdd (the only mutator) runs single-writer, with no concurrent
+//     GetOrAdd/Find. The executor's exclusive lock provides this.
+//   * Find may run from many threads at once (morsel workers translating
+//     probe codes) as long as no writer is active — plain const reads.
+//   * value() and size() are safe even CONCURRENT WITH a writer: a server
+//     renders a finished query's result table after releasing the shared
+//     lock, and that result may share this dictionary with a base table an
+//     INSERT is growing at the same moment. Values therefore live in
+//     geometrically sized chunks behind an array of atomic chunk pointers —
+//     growth publishes a new chunk but never moves or frees a published one,
+//     and size_ is released only after the string is fully constructed.
+class Dictionary {
+ public:
+  // Returned by Find for strings not in the dictionary. Never a valid code
+  // (the code space is capped well below UINT32_MAX), so translated probe
+  // keys carrying it can never equal a key built from real codes.
+  static constexpr uint32_t kInvalidCode = UINT32_MAX;
+
+  Dictionary() = default;
+  ~Dictionary();
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  // Returns the code for `s`, interning it first if absent. Single writer.
+  uint32_t GetOrAdd(std::string_view s);
+
+  // Returns the code for `s` or kInvalidCode. Safe from concurrent readers
+  // when no writer is active.
+  uint32_t Find(std::string_view s) const;
+
+  // The string behind `code` (must be < size()). Lock-free reader: safe
+  // concurrently with a writer interning new strings.
+  const std::string& value(uint32_t code) const {
+    return ChunkFor(code)[OffsetFor(code)];
+  }
+
+  // Number of distinct strings interned. Acquire-ordered so a reader that
+  // learned a code from published column data sees its string.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  // Total bytes of interned string payloads (observability).
+  size_t pool_bytes() const {
+    return pool_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Chunk k holds kFirstChunk << k strings; 26 chunks cover ~2^36 codes,
+  // far beyond the uint32 code space.
+  static constexpr size_t kFirstChunkLog2 = 10;
+  static constexpr size_t kFirstChunk = size_t{1} << kFirstChunkLog2;
+  static constexpr size_t kMaxChunks = 26;
+
+  static size_t ChunkIndex(uint32_t code) {
+    size_t adj = (static_cast<size_t>(code) >> kFirstChunkLog2) + 1;
+    size_t k = 0;
+    while (adj >>= 1) ++k;  // floor(log2); codes cluster low, loop is short
+    return k;
+  }
+  static size_t OffsetFor(uint32_t code) {
+    size_t k = ChunkIndex(code);
+    size_t base = ((size_t{1} << k) - 1) << kFirstChunkLog2;
+    return static_cast<size_t>(code) - base;
+  }
+  const std::string* ChunkFor(uint32_t code) const {
+    return chunks_[ChunkIndex(code)].load(std::memory_order_acquire);
+  }
+
+  void Grow(size_t min_slots);
+
+  std::array<std::atomic<std::string*>, kMaxChunks> chunks_{};
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> pool_bytes_{0};
+
+  // Open-addressing code lookup (string -> code); only touched under the
+  // writer/no-writer regimes above, so plain vectors suffice.
+  std::vector<uint64_t> slot_hash_;
+  std::vector<uint32_t> slot_code_;  // kInvalidCode marks a free slot
+  size_t mask_ = 0;
+};
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_ENGINE_DICTIONARY_H_

@@ -208,6 +208,35 @@ class CompareExpr : public Expression {
     Column out(DataType::kInt64);
     out.Reserve(table.num_rows());
     const bool strings = lc.type() == DataType::kString;
+    if (strings && (op_ == CmpOp::kEq || op_ == CmpOp::kNe)) {
+      // Equality over dictionary-encoded columns is a code comparison: no
+      // payload bytes are touched. When the sides use different
+      // dictionaries, the smaller one is translated into the other's code
+      // space once (one Find per distinct string), and kInvalidCode for
+      // strings the other side never interned makes those rows compare
+      // unequal — exactly the per-row string comparison's answer.
+      const bool want_eq = op_ == CmpOp::kEq;
+      const uint32_t* lcodes = lc.codes().data();
+      const uint32_t* rcodes = rc.codes().data();
+      std::vector<uint32_t> lmap;  // left code -> right code space
+      if (lc.dict() != rc.dict()) {
+        const Dictionary& ld = *lc.dict();
+        const Dictionary& rd = *rc.dict();
+        lmap.resize(ld.size());
+        for (size_t c = 0; c < lmap.size(); ++c) {
+          lmap[c] = rd.Find(ld.value(static_cast<uint32_t>(c)));
+        }
+      }
+      for (size_t i = 0; i < table.num_rows(); ++i) {
+        if (lc.IsNull(i) || rc.IsNull(i)) {
+          out.AppendNull();
+          continue;
+        }
+        const uint32_t l = lmap.empty() ? lcodes[i] : lmap[lcodes[i]];
+        out.AppendInt64((l == rcodes[i]) == want_eq ? 1 : 0);
+      }
+      return out;
+    }
     for (size_t i = 0; i < table.num_rows(); ++i) {
       if (lc.IsNull(i) || rc.IsNull(i)) {
         out.AppendNull();

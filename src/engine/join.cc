@@ -97,7 +97,10 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   // matches are emitted serially in morsel order afterwards, so the output
   // row order is exactly the serial plan's.
   constexpr size_t kNoMatch = SIZE_MAX;
-  const KeyEncoder lenc(left, lkeys);
+  // Translating encoder: string key columns rewrite the left table's
+  // dictionary codes into the right table's code space so the packed probe
+  // bytes match the build/index side's.
+  const KeyEncoder lenc(left, lkeys, right, rkeys);
   MorselPlan plan = MorselPlan::For(left.num_rows(), CurrentDop());
   std::vector<std::vector<std::pair<size_t, size_t>>> morsel_matches(
       plan.num_morsels);
@@ -197,7 +200,9 @@ Result<Column> LookupColumn(const Table& left, const Table& right,
   // a serial append pass in row order.
   constexpr size_t kNoMatch = SIZE_MAX;
   const size_t n = left.num_rows();
-  const KeyEncoder lenc(left, lkeys);
+  // Translating encoder (see HashJoin): probe bytes must carry right-side
+  // dictionary codes.
+  const KeyEncoder lenc(left, lkeys, right, rkeys);
   std::vector<size_t> match_row(n, kNoMatch);
   MorselPlan plan = MorselPlan::For(n, CurrentDop());
   RunMorsels(plan, [&](size_t /*worker*/, size_t begin, size_t end) {

@@ -20,43 +20,70 @@ char TypeTag(DataType type) {
 
 }  // namespace
 
-KeyEncoder::KeyEncoder(const Table& table,
-                       const std::vector<size_t>& column_indices) {
+void KeyEncoder::Init(const Table& table,
+                      const std::vector<size_t>& column_indices) {
   cols_.reserve(column_indices.size());
   for (size_t ci : column_indices) {
     const Column& c = table.column(ci);
     Col col;
     col.type = c.type();
     col.validity = c.validity().data();
-    col.i64 = nullptr;
-    col.f64 = nullptr;
-    col.str = nullptr;
     switch (col.type) {
       case DataType::kInt64:
         col.i64 = c.int64_data().data();
-        fixed_width_ += 9;
+        col.width = 9;
         break;
       case DataType::kFloat64:
         col.f64 = c.float64_data().data();
-        fixed_width_ += 9;
+        col.width = 9;
         break;
       case DataType::kString:
-        col.str = c.string_data().data();
-        fixed_width_ += 5;
-        fixed_only_ = false;
+        col.codes = c.codes().data();
+        col.width = 5;
         break;
     }
+    fixed_width_ += col.width;
     cols_.push_back(col);
+  }
+}
+
+KeyEncoder::KeyEncoder(const Table& table,
+                       const std::vector<size_t>& column_indices) {
+  Init(table, column_indices);
+}
+
+KeyEncoder::KeyEncoder(const Table& table,
+                       const std::vector<size_t>& column_indices,
+                       const Table& target,
+                       const std::vector<size_t>& target_indices) {
+  Init(table, column_indices);
+  translations_.resize(cols_.size());
+  for (size_t i = 0; i < cols_.size() && i < target_indices.size(); ++i) {
+    if (cols_[i].type != DataType::kString) continue;
+    const Column& tc = target.column(target_indices[i]);
+    if (tc.type() != DataType::kString) continue;  // types never compare equal
+    const Dictionary& probe_dict = *table.column(column_indices[i]).dict();
+    const Dictionary& target_dict = *tc.dict();
+    if (&probe_dict == &target_dict) continue;  // codes already agree
+    // One Find per DISTINCT probe-side string instead of one per probe row.
+    // Strings absent from the target become kInvalidCode, which no real
+    // target-side key carries, so those probes simply never match.
+    const size_t n = probe_dict.size();
+    std::vector<uint32_t> map(n);
+    for (size_t c = 0; c < n; ++c) {
+      map[c] = target_dict.Find(probe_dict.value(static_cast<uint32_t>(c)));
+    }
+    translations_[i] = std::move(map);
+    cols_[i].translate = translations_[i].data();
   }
 }
 
 void KeyEncoder::AppendKey(size_t row, std::string* out) const {
   for (const Col& col : cols_) {
     if (col.validity[row] == 0) {
-      out->push_back(kNullTag);
-      // Fixed-width columns pad NULLs to the full 9 bytes so the encoding
-      // stays stride-constant and byte-identical to EncodeFixedBatch.
-      if (col.type != DataType::kString) out->append(8, '\x00');
+      // NULL pads to the column's full width so the encoding stays
+      // stride-constant and byte-identical to EncodeFixedBatch.
+      out->append(col.width, kNullTag);
       continue;
     }
     out->push_back(TypeTag(col.type));
@@ -74,12 +101,11 @@ void KeyEncoder::AppendKey(size_t row, std::string* out) const {
         break;
       }
       case DataType::kString: {
-        const std::string& s = col.str[row];
-        uint32_t len = static_cast<uint32_t>(s.size());
+        uint32_t code = col.codes[row];
+        if (col.translate != nullptr) code = col.translate[code];
         char buf[4];
-        std::memcpy(buf, &len, 4);
+        std::memcpy(buf, &code, 4);
         out->append(buf, 4);
-        out->append(s);
         break;
       }
     }
@@ -93,30 +119,51 @@ void KeyEncoder::EncodeFixedBatch(size_t begin, size_t end, char* out) const {
     const char tag = TypeTag(col.type);
     const uint8_t* validity = col.validity;
     char* p = out + off;
-    if (col.type == DataType::kInt64) {
-      const int64_t* v = col.i64;
-      for (size_t row = begin; row < end; ++row, p += stride) {
-        if (validity[row] != 0) {
-          *p = tag;
-          std::memcpy(p + 1, &v[row], 8);
-        } else {
-          *p = kNullTag;
-          std::memset(p + 1, 0, 8);
+    switch (col.type) {
+      case DataType::kInt64: {
+        const int64_t* v = col.i64;
+        for (size_t row = begin; row < end; ++row, p += stride) {
+          if (validity[row] != 0) {
+            *p = tag;
+            std::memcpy(p + 1, &v[row], 8);
+          } else {
+            *p = kNullTag;
+            std::memset(p + 1, 0, 8);
+          }
         }
+        break;
       }
-    } else {
-      const double* v = col.f64;
-      for (size_t row = begin; row < end; ++row, p += stride) {
-        if (validity[row] != 0) {
-          *p = tag;
-          std::memcpy(p + 1, &v[row], 8);
-        } else {
-          *p = kNullTag;
-          std::memset(p + 1, 0, 8);
+      case DataType::kFloat64: {
+        const double* v = col.f64;
+        for (size_t row = begin; row < end; ++row, p += stride) {
+          if (validity[row] != 0) {
+            *p = tag;
+            std::memcpy(p + 1, &v[row], 8);
+          } else {
+            *p = kNullTag;
+            std::memset(p + 1, 0, 8);
+          }
         }
+        break;
+      }
+      case DataType::kString: {
+        const uint32_t* codes = col.codes;
+        const uint32_t* translate = col.translate;
+        for (size_t row = begin; row < end; ++row, p += stride) {
+          if (validity[row] != 0) {
+            *p = tag;
+            const uint32_t code =
+                translate != nullptr ? translate[codes[row]] : codes[row];
+            std::memcpy(p + 1, &code, 4);
+          } else {
+            *p = kNullTag;
+            std::memset(p + 1, 0, 4);
+          }
+        }
+        break;
       }
     }
-    off += 9;
+    off += col.width;
   }
 }
 

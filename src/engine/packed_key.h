@@ -23,56 +23,78 @@ namespace pctagg {
 // encoding per row, and KeyMap probes with find() first so the steady state
 // (key already present) allocates nothing.
 //
-// Encoding, per column, prefix-free so concatenations never collide:
+// Encoding, per column — every type is fixed width, so every composite key
+// over the same column set is exactly fixed_width() bytes and the
+// stride-constant batch path applies to string-keyed queries too:
 //   INT64       -> 0x11 then 8 payload bytes (little-endian memcpy)
 //   FLOAT64     -> 0x12 then 8 payload bytes
-//   STRING      -> 0x13 then uint32 length then the bytes
-//   NULL        -> 0x00, padded with 8 zero bytes for the fixed-width
-//                  column types so every int64/float64 column occupies
-//                  exactly 9 bytes; a string NULL is the single tag byte
+//   STRING      -> 0x13 then the 4-byte dictionary code
+//   NULL        -> 0x00, padded with zero payload bytes to the column's
+//                  width (9 for the numeric types, 5 for strings)
 // Two composite keys compare equal iff each column is equal with equal type,
-// matching the seed's type-tagged semantics (int64 5 != float64 5.0), and
-// the length prefix keeps "ab","c" distinct from "a","bc". Encodings built
-// from different tables are comparable as long as the column types line up,
-// which is what lets a join probe against keys built from the other side.
+// matching the seed's type-tagged semantics (int64 5 != float64 5.0).
+//
+// String codes are only meaningful relative to their column's Dictionary, so
+// encodings from different tables are directly comparable only for numeric
+// columns or string columns that share a dictionary (which operator outputs
+// do — see Column::AppendFrom). A join/update probing keys built from the
+// OTHER side uses the translating constructor, which maps each probe-side
+// code to the build side's code for the same string once per distinct value
+// (absent values map to Dictionary::kInvalidCode, which no build-side key
+// can carry, so such probes simply never match).
 class KeyEncoder {
  public:
   KeyEncoder(const Table& table, const std::vector<size_t>& column_indices);
 
+  // Translating probe encoder: keys built from (table, column_indices)
+  // compare equal to keys built from (target, target_indices) iff the rows
+  // match column-wise — string codes are rewritten into the target's code
+  // space. Column counts must match; types should line up pairwise (rows of
+  // mismatched type never compare equal, exactly as before).
+  KeyEncoder(const Table& table, const std::vector<size_t>& column_indices,
+             const Table& target, const std::vector<size_t>& target_indices);
+
   // Appends the packed key for `row` to `*out` (does not clear it).
   void AppendKey(size_t row, std::string* out) const;
 
-  // True when no string column participates: every key is exactly
-  // fixed_width() bytes and EncodeFixedBatch applies.
+  // Always true since strings became fixed-width codes: every key is exactly
+  // fixed_width() bytes and EncodeFixedBatch applies. Kept for call sites
+  // that still guard their batch path on it.
   bool fixed_only() const { return fixed_only_; }
 
   // Writes the packed keys for rows [begin, end) into `out` at a stride of
   // fixed_width() bytes per row, one column at a time so the per-column type
   // dispatch runs once per column instead of once per row. Byte-identical to
-  // AppendKey. Requires fixed_only(); `out` must hold
-  // (end - begin) * fixed_width() bytes.
+  // AppendKey. `out` must hold (end - begin) * fixed_width() bytes.
   void EncodeFixedBatch(size_t begin, size_t end, char* out) const;
 
-  // Worst-case fixed part per key (excludes string payloads; exact when
-  // fixed_only()); handy for reserve() calls.
+  // Exact bytes per key.
   size_t fixed_width() const { return fixed_width_; }
 
  private:
   struct Col {
     DataType type;
     const uint8_t* validity;
-    const int64_t* i64;          // set iff type == kInt64
-    const double* f64;           // set iff type == kFloat64
-    const std::string* str;      // set iff type == kString
+    const int64_t* i64 = nullptr;        // set iff type == kInt64
+    const double* f64 = nullptr;         // set iff type == kFloat64
+    const uint32_t* codes = nullptr;     // set iff type == kString
+    const uint32_t* translate = nullptr; // optional probe-code rewrite table
+    size_t width = 0;                    // bytes incl. tag: 9 or 5
   };
+
+  void Init(const Table& table, const std::vector<size_t>& column_indices);
+
   std::vector<Col> cols_;
+  // Per-string-column probe-code -> target-code tables (parallel to cols_
+  // via Col::translate); boxed so cols_ pointers survive vector growth.
+  std::vector<std::vector<uint32_t>> translations_;
   size_t fixed_width_ = 0;
   bool fixed_only_ = true;
 };
 
 // An insert-ordered map from packed key to a dense id [0, size),
 // implemented as an open-addressing (linear probing) slot table over one
-// contiguous key arena. The steady state — key already present — touches two
+// contiguous key arena. The steady state (key already present) touches two
 // flat arrays and one arena memcmp: no node allocation, no std::string copy,
 // no per-byte std::hash walk. That is the fix for the per-row emplace node
 // churn described above, and it is what the morsel workers key their
@@ -108,18 +130,34 @@ class KeyMap {
   // strides dispatch to a specialization whose hash and comparison unroll
   // with the key words held in registers — that is worth ~4x over the
   // per-row scalar path on the two-int-column group-by this engine runs
-  // constantly. Ids are interchangeable with the scalar path's.
+  // constantly. Ids are interchangeable with the scalar path's. The listed
+  // strides cover 1-4 columns of numeric (9-byte) and dictionary-coded
+  // string (5-byte) keys in every mix that shows up in the workloads.
   void GetOrAddFixedBatch(const char* keys, size_t stride, size_t count,
                           size_t base_row, uint32_t* gid_out,
                           std::vector<size_t>* first_row) {
     switch (stride) {
-      case 9:   // one fixed-width column
+      case 5:   // one string column
+        return FixedBatch<5>(keys, count, base_row, gid_out, first_row);
+      case 9:   // one numeric column
         return FixedBatch<9>(keys, count, base_row, gid_out, first_row);
-      case 18:  // two
+      case 10:  // two strings
+        return FixedBatch<10>(keys, count, base_row, gid_out, first_row);
+      case 14:  // string + numeric
+        return FixedBatch<14>(keys, count, base_row, gid_out, first_row);
+      case 15:  // three strings
+        return FixedBatch<15>(keys, count, base_row, gid_out, first_row);
+      case 18:  // two numerics
         return FixedBatch<18>(keys, count, base_row, gid_out, first_row);
-      case 27:  // three
+      case 19:  // two strings + numeric
+        return FixedBatch<19>(keys, count, base_row, gid_out, first_row);
+      case 23:  // string + two numerics
+        return FixedBatch<23>(keys, count, base_row, gid_out, first_row);
+      case 27:  // three numerics
         return FixedBatch<27>(keys, count, base_row, gid_out, first_row);
-      case 36:  // four
+      case 28:  // two strings + two numerics
+        return FixedBatch<28>(keys, count, base_row, gid_out, first_row);
+      case 36:  // four numerics
         return FixedBatch<36>(keys, count, base_row, gid_out, first_row);
       default:
         const char* kp = keys;

@@ -43,6 +43,9 @@ struct PivotPartial {
   std::vector<size_t> combo_first;  // min input row per local combo
   std::vector<std::vector<CellState>> cells;  // [local group][local combo]
   std::vector<CellState> group_total;
+  std::vector<uint32_t> gid;      // morsel scratch: local group id per row
+  std::vector<uint32_t> cid;      // morsel scratch: local combo id per row
+  std::vector<char> key_buf;      // morsel scratch: fixed-stride packed keys
 };
 
 }  // namespace
@@ -109,27 +112,32 @@ Result<Table> HashDispatchPivot(const Table& input,
   std::vector<PivotPartial> partials(plan.num_workers);
   RunMorsels(plan, [&](size_t worker, size_t begin, size_t end) {
     PivotPartial& p = partials[worker];
-    std::string key;
+    // Batch keying: every key is fixed width (dictionary codes made string
+    // columns fixed too), so both key sets for the whole morsel are encoded
+    // column-at-a-time and probed through the stride-specialized batch path.
+    const size_t count = end - begin;
+    const size_t gstride = group_encoder.fixed_width();
+    const size_t pstride = pivot_encoder.fixed_width();
+    if (p.gid.size() < count) {
+      p.gid.resize(count);
+      p.cid.resize(count);
+    }
+    // +1 keeps key_buf.data() non-null even for an empty (0-width) key set.
+    const size_t buf_need = count * std::max(gstride, pstride) + 1;
+    if (p.key_buf.size() < buf_need) p.key_buf.resize(buf_need);
+    group_encoder.EncodeFixedBatch(begin, end, p.key_buf.data());
+    p.groups.GetOrAddFixedBatch(p.key_buf.data(), gstride, count, begin,
+                                p.gid.data(), &p.group_first);
+    while (p.cells.size() < p.groups.size()) {
+      p.cells.emplace_back();
+      p.group_total.emplace_back();
+    }
+    pivot_encoder.EncodeFixedBatch(begin, end, p.key_buf.data());
+    p.combos.GetOrAddFixedBatch(p.key_buf.data(), pstride, count, begin,
+                                p.cid.data(), &p.combo_first);
     for (size_t row = begin; row < end; ++row) {
-      key.clear();
-      group_encoder.AppendKey(row, &key);
-      auto [g, ginserted] = p.groups.GetOrAdd(key);
-      if (ginserted) {
-        p.group_first.push_back(row);
-        p.cells.emplace_back();
-        p.group_total.emplace_back();
-      } else if (row < p.group_first[g]) {
-        p.group_first[g] = row;
-      }
-
-      key.clear();
-      pivot_encoder.AppendKey(row, &key);
-      auto [c, cinserted] = p.combos.GetOrAdd(key);
-      if (cinserted) {
-        p.combo_first.push_back(row);
-      } else if (row < p.combo_first[c]) {
-        p.combo_first[c] = row;
-      }
+      const uint32_t g = p.gid[row - begin];
+      const uint32_t c = p.cid[row - begin];
 
       if (p.cells[g].size() <= c) p.cells[g].resize(c + 1);
       CellState& st = p.cells[g][c];

@@ -65,7 +65,10 @@ Status KeyedDivideUpdate(Table* target,
   // UPDATE the expensive way to produce FV when |FV| ~ |F| (the paper
   // measured the UPDATE statement at ~80% of total query time).
   const Column& scol = source.column(sval);
-  const KeyEncoder tenc(*target, tkeys);  // matches the index/build encoding
+  // Translating probe encoder: string key columns rewrite the target's
+  // dictionary codes into the source's code space so the packed bytes match
+  // the index/build encoding.
+  const KeyEncoder tenc(*target, tkeys, source, skeys);
   std::string key;
   for (size_t row = 0; row < target->num_rows(); ++row) {
     key.clear();

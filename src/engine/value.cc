@@ -30,7 +30,18 @@ std::string Value::ToString() const {
   if (is_null()) return "NULL";
   if (is_int64()) return std::to_string(int64());
   if (is_float64()) return StrFormat("%g", float64());
-  return "'" + string() + "'";
+  // SQL string literal: embedded single quotes double, so the rendering
+  // round-trips through the parser (and generated SQL in traces stays valid).
+  const std::string& s = string();
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('\'');
+  for (char c : s) {
+    if (c == '\'') out.push_back('\'');
+    out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
 }
 
 }  // namespace pctagg

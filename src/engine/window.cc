@@ -67,6 +67,8 @@ Result<Column> WindowAggregate(const Table& input,
   struct WinPartial {
     KeyMap parts;
     std::vector<PartState> states;
+    std::vector<size_t> first_row;  // batch-keying bookkeeping (unused here)
+    std::vector<char> key_buf;      // morsel scratch: fixed-stride packed keys
   };
   std::vector<WinPartial> partials(plan.num_workers);
   std::vector<uint32_t> row_local(n);
@@ -76,14 +78,20 @@ Result<Column> WindowAggregate(const Table& input,
     if (plan.morsel_rows > 0 && begin < n) {
       morsel_owner[begin / plan.morsel_rows] = static_cast<uint32_t>(worker);
     }
-    std::string key;
+    // Batch keying (all key types are fixed width): encode the morsel's keys
+    // column-at-a-time, assign local partition ids straight into row_local.
+    const size_t count = end - begin;
+    const size_t stride = encoder.fixed_width();
+    // +1 keeps key_buf.data() non-null even for an empty (0-width) key set.
+    if (p.key_buf.size() < count * stride + 1) {
+      p.key_buf.resize(count * stride + 1);
+    }
+    encoder.EncodeFixedBatch(begin, end, p.key_buf.data());
+    p.parts.GetOrAddFixedBatch(p.key_buf.data(), stride, count, begin,
+                               row_local.data() + begin, &p.first_row);
+    if (p.states.size() < p.parts.size()) p.states.resize(p.parts.size());
     for (size_t row = begin; row < end; ++row) {
-      key.clear();
-      encoder.AppendKey(row, &key);
-      auto [id, inserted] = p.parts.GetOrAdd(key);
-      if (inserted) p.states.emplace_back();
-      row_local[row] = static_cast<uint32_t>(id);
-      PartState& st = p.states[id];
+      PartState& st = p.states[row_local[row]];
       st.rows++;
       if (func == AggFunc::kCountStar) continue;
       if (in.IsNull(row)) continue;

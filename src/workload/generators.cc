@@ -100,6 +100,55 @@ Table GenerateSales(size_t n, uint64_t seed) {
   return t;
 }
 
+Table GenerateSalesNamed(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table t(Schema({{"rid", DataType::kInt64},
+                  {"transactionId", DataType::kInt64},
+                  {"itemId", DataType::kInt64},
+                  {"dweek", DataType::kString},
+                  {"monthNo", DataType::kString},
+                  {"store", DataType::kString},
+                  {"city", DataType::kString},
+                  {"state", DataType::kString},
+                  {"dept", DataType::kInt64},
+                  {"salesAmt", DataType::kFloat64}}));
+  t.Reserve(n);
+  static const char* const kDweek[] = {"Mon", "Tue", "Wed", "Thu",
+                                       "Fri", "Sat", "Sun"};
+  static const char* const kMonth[] = {"Jan", "Feb", "Mar", "Apr",
+                                       "May", "Jun", "Jul", "Aug",
+                                       "Sep", "Oct", "Nov", "Dec"};
+  static const char* const kState[] = {"CA", "TX", "NY", "WA", "FL"};
+  std::vector<std::string> stores;
+  stores.reserve(100);
+  for (int s = 0; s < 100; ++s) {
+    const std::string id = std::to_string(s);
+    stores.push_back("store" + std::string(3 - id.size(), '0') + id);
+  }
+  std::vector<std::string> cities;
+  cities.reserve(20);
+  for (int c = 0; c < 20; ++c) {
+    const std::string id = std::to_string(c);
+    cities.push_back("city" + std::string(2 - id.size(), '0') + id);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Value> row;
+    row.reserve(10);
+    row.push_back(Value::Int64(static_cast<int64_t>(i + 1)));
+    row.push_back(Value::Int64(static_cast<int64_t>(i + 1)));  // transactionId
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(1000))));
+    row.push_back(Value::String(kDweek[rng.Uniform(7)]));
+    row.push_back(Value::String(kMonth[rng.Uniform(12)]));
+    row.push_back(Value::String(stores[rng.Uniform(100)]));
+    row.push_back(Value::String(cities[rng.Uniform(20)]));
+    row.push_back(Value::String(kState[rng.Uniform(5)]));
+    row.push_back(Value::Int64(static_cast<int64_t>(rng.Uniform(100))));
+    row.push_back(Value::Float64(1.0 + rng.NextDouble() * 99.0));
+    t.AppendRow(row);
+  }
+  return t;
+}
+
 Table GenerateTransactionLine(size_t n, uint64_t seed) {
   Rng rng(seed);
   Table t(TransactionLineSchema());

@@ -21,6 +21,13 @@ Table GenerateEmployee(size_t n, uint64_t seed = 20040613);
 // Paper size: n = 10,000,000.
 Table GenerateSales(size_t n, uint64_t seed = 20040618);
 
+// The same sales workload with human-readable STRING dimensions — dweek
+// ("Mon".."Sun"), monthNo ("Jan".."Dec"), store ("store000".."store099"),
+// city ("city00".."city19"), state (5 state codes) — same cardinalities and
+// distributions as GenerateSales. This is the string-keyed benchmark and
+// test workload for dictionary-encoded columns.
+Table GenerateSalesNamed(size_t n, uint64_t seed = 20040618);
+
 // transactionLine(RID, deptId(10), subdeptId(100), itemId(1000), yearNo(4),
 //                 monthNo(12), dayOfWeekNo(7), regionId(4), stateId(10),
 //                 cityId(20), storeId(30), itemQty, costAmt, salesAmt).

@@ -1,0 +1,112 @@
+// Unit tests for the string Dictionary: insert-ordered codes, round-trips
+// across chunk boundaries, Find semantics, the encoding metrics, and the
+// single-writer / concurrent-reader publication protocol (the TSan target
+// `dictionary_tsan` pins this suite).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/dictionary.h"
+#include "obs/metrics.h"
+
+namespace pctagg {
+namespace {
+
+TEST(DictionaryTest, InsertOrderedCodesAndRoundTrip) {
+  Dictionary d;
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.GetOrAdd("b"), 0u);
+  EXPECT_EQ(d.GetOrAdd("a"), 1u);
+  EXPECT_EQ(d.GetOrAdd("c"), 2u);
+  EXPECT_EQ(d.GetOrAdd("a"), 1u);  // duplicate interns to the same code
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.value(0), "b");
+  EXPECT_EQ(d.value(1), "a");
+  EXPECT_EQ(d.value(2), "c");
+}
+
+TEST(DictionaryTest, FindDoesNotInsert) {
+  Dictionary d;
+  d.GetOrAdd("present");
+  EXPECT_EQ(d.Find("present"), 0u);
+  EXPECT_EQ(d.Find("absent"), Dictionary::kInvalidCode);
+  EXPECT_EQ(d.size(), 1u);  // Find never grows the pool
+}
+
+TEST(DictionaryTest, EmptyStringIsARegularValue) {
+  Dictionary d;
+  uint32_t empty = d.GetOrAdd("");
+  uint32_t other = d.GetOrAdd("x");
+  EXPECT_NE(empty, other);
+  EXPECT_EQ(d.value(empty), "");
+  EXPECT_EQ(d.Find(""), empty);
+}
+
+TEST(DictionaryTest, ChunkBoundaryRoundTrip) {
+  // The first chunk holds 1024 strings; 5000 distinct values span the first
+  // three chunks (1024 + 2048 + 4096). Every code must round-trip and Find
+  // must agree after the open-addressing table has grown several times.
+  Dictionary d;
+  const int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(d.GetOrAdd("key-" + std::to_string(i)), static_cast<uint32_t>(i));
+  }
+  ASSERT_EQ(d.size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(d.value(static_cast<uint32_t>(i)), "key-" + std::to_string(i));
+    EXPECT_EQ(d.Find("key-" + std::to_string(i)), static_cast<uint32_t>(i));
+  }
+  EXPECT_GT(d.pool_bytes(), 0u);
+}
+
+TEST(DictionaryTest, EncodingMetricsExposed) {
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  Dictionary d;
+  d.GetOrAdd("miss");  // first sight: a miss
+  d.GetOrAdd("miss");  // second sight: a hit
+  obs::SetEnabled(was_enabled);
+  const std::string page = obs::GlobalMetrics().RenderPrometheus();
+  EXPECT_NE(page.find("pctagg_encoding_dict_hits_total"), std::string::npos);
+  EXPECT_NE(page.find("pctagg_encoding_dict_misses_total"), std::string::npos);
+  EXPECT_NE(page.find("pctagg_encoding_dict_pool_bytes"), std::string::npos);
+}
+
+// The engine's contract: one writer interns (table loads run under the
+// executor's exclusive lock) while any number of readers call size()/value()
+// concurrently (rendering results after the lock is released). Readers must
+// only ever observe fully constructed strings for codes below the size they
+// read. Run under TSan via the `dictionary_tsan` ctest target.
+TEST(DictionaryTest, ConcurrentReadersWhileWriterInterns) {
+  Dictionary d;
+  const uint32_t kN = 4000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  std::atomic<int> errors{0};
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&d, &done, &errors] {
+      while (!done.load(std::memory_order_acquire)) {
+        size_t visible = d.size();
+        for (uint32_t c = 0; c < visible; ++c) {
+          const std::string& s = d.value(c);
+          if (s != "w" + std::to_string(c)) {
+            errors.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (uint32_t i = 0; i < kN; ++i) d.GetOrAdd("w" + std::to_string(i));
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(d.size(), static_cast<size_t>(kN));
+}
+
+}  // namespace
+}  // namespace pctagg

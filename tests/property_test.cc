@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "core/database.h"
+#include "engine/csv.h"
 
 namespace pctagg {
 namespace {
@@ -220,6 +221,135 @@ TEST_P(RandomizedSweep, P6PivotIsLossless) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedSweep,
                          ::testing::Range<uint64_t>(1, 13));
+
+// --- String-dimension sweep --------------------------------------------------
+// The same invariants must hold when the grouping dimensions are
+// dictionary-encoded STRING columns. s3 carries ~8% NULL keys so the
+// direct-dictionary aggregation's NULL slot and the packed-key NULL tag are
+// both exercised.
+
+Table RandomFactStr(uint64_t seed) {
+  Rng rng(seed);
+  size_t n = 200 + rng.Uniform(400);
+  Table t(Schema({{"s1", DataType::kString},
+                  {"s2", DataType::kString},
+                  {"s3", DataType::kString},
+                  {"a", DataType::kFloat64}}));
+  static const char* const kS1[] = {"north", "south", "east", "west"};
+  static const char* const kS2[] = {"", "aa", "ab", "b", "longer-name"};
+  static const char* const kS3[] = {"x", "y", "z"};
+  for (size_t i = 0; i < n; ++i) {
+    Value a = rng.Uniform(12) == 0
+                  ? Value::Null()
+                  : Value::Float64(std::round(rng.NextDouble() * 90.0) + 1.0);
+    Value s3 = rng.Uniform(12) == 0 ? Value::Null()
+                                    : Value::String(kS3[rng.Uniform(3)]);
+    t.AppendRow({Value::String(kS1[rng.Uniform(4)]),
+                 Value::String(kS2[rng.Uniform(5)]), s3, a});
+  }
+  return t;
+}
+
+class StringDimSweep : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("f", RandomFactStr(GetParam())).ok());
+  }
+  PctDatabase db_;
+};
+
+TEST_P(StringDimSweep, P1VpctGroupsSumToOne) {
+  Table t = db_.Query("SELECT s1, s2, Vpct(a BY s2) AS pct FROM f "
+                      "GROUP BY s1, s2")
+                .value();
+  std::map<std::string, double> sums;
+  const Column& s1 = *t.ColumnByName("s1").value();
+  const Column& pct = *t.ColumnByName("pct").value();
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    ASSERT_FALSE(pct.IsNull(i));
+    EXPECT_GE(pct.Float64At(i), 0.0);
+    EXPECT_LE(pct.Float64At(i), 1.0 + 1e-12);
+    sums[std::string(s1.StringAt(i))] += pct.Float64At(i);
+  }
+  for (const auto& [g, s] : sums) EXPECT_NEAR(s, 1.0, 1e-9) << g;
+}
+
+TEST_P(StringDimSweep, P2VpctStrategiesIdentical) {
+  const std::string sql =
+      "SELECT s1, s2, s3, Vpct(a BY s2, s3) AS pct FROM f "
+      "GROUP BY s1, s2, s3";
+  std::map<CellKey, std::string> reference;
+  bool first = true;
+  for (bool idx : {true, false}) {
+    for (bool ins : {true, false}) {
+      for (bool fjfk : {true, false}) {
+        VpctStrategy s;
+        s.matching_indexes = idx;
+        s.insert_result = ins;
+        s.fj_from_fk = fjfk;
+        Result<Table> r = db_.QueryVpct(sql, s);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        auto fp = Fingerprint(r.value(), 3);
+        if (first) {
+          reference = fp;
+          first = false;
+        } else {
+          EXPECT_EQ(fp, reference);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(StringDimSweep, P4HorizontalStrategiesIdentical) {
+  const std::string sql = "SELECT s1, Hpct(a BY s2) FROM f GROUP BY s1";
+  std::map<CellKey, std::string> reference;
+  bool first = true;
+  for (HorizontalMethod method :
+       {HorizontalMethod::kCaseDirect, HorizontalMethod::kCaseFromFV,
+        HorizontalMethod::kSpjDirect, HorizontalMethod::kSpjFromFV}) {
+    for (bool dispatch : {true, false}) {
+      HorizontalStrategy s;
+      s.method = method;
+      s.hash_dispatch = dispatch;
+      Result<Table> r = db_.QueryHorizontal(sql, s);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      auto fp = Fingerprint(r.value(), 1);
+      if (first) {
+        reference = fp;
+        first = false;
+      } else {
+        EXPECT_EQ(fp, reference) << HorizontalMethodName(method);
+      }
+    }
+  }
+}
+
+// Encoded group-by must be deterministic across degrees of parallelism:
+// the rendered CSV — values AND row order — is identical bit for bit.
+TEST_P(StringDimSweep, CrossDopDeterminism) {
+  for (const char* sql :
+       {"SELECT s1, s2, Vpct(a BY s2) AS pct FROM f GROUP BY s1, s2",
+        "SELECT s1, s3, sum(a) AS s, count(a) AS c, avg(a) AS m FROM f "
+        "GROUP BY s1, s3",
+        "SELECT s1, Hpct(a BY s2) FROM f GROUP BY s1"}) {
+    QueryOptions serial;
+    serial.degree_of_parallelism = 1;
+    Result<Table> base = db_.Query(sql, serial);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    const std::string base_csv = FormatCsv(base.value());
+    for (size_t dop : {2u, 4u}) {
+      QueryOptions options;
+      options.degree_of_parallelism = dop;
+      Result<Table> r = db_.Query(sql, options);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(FormatCsv(r.value()), base_csv) << sql << " dop=" << dop;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StringDimSweep,
+                         ::testing::Range<uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace pctagg

@@ -50,6 +50,15 @@ TEST(ValueTest, ToStringQuotesStrings) {
   EXPECT_EQ(Value::Float64(0.25).ToString(), "0.25");
 }
 
+TEST(ValueTest, ToStringEscapesEmbeddedQuotes) {
+  // SQL-style doubling, so the rendering is a valid literal the parser (and
+  // generated trace SQL) can round-trip.
+  EXPECT_EQ(Value::String("O'Brien").ToString(), "'O''Brien'");
+  EXPECT_EQ(Value::String("'").ToString(), "''''");
+  EXPECT_EQ(Value::String("a''b").ToString(), "'a''''b'");
+  EXPECT_EQ(Value::String("").ToString(), "''");
+}
+
 TEST(ColumnTest, AppendAndRead) {
   Column c(DataType::kInt64);
   c.AppendInt64(1);
@@ -139,24 +148,92 @@ TEST(ColumnTest, KeyBytesNullDistinctFromZero) {
 }
 
 TEST(ColumnTest, KeyBytesStringsWithEmbeddedData) {
+  // String key bytes carry the dictionary code, so within one column (or
+  // columns sharing a dictionary) equal strings — and only equal strings —
+  // produce equal bytes, including strings that are prefixes of each other.
   Column c(DataType::kString);
   c.AppendString("ab");
   c.AppendString("a");
   c.AppendString("b");
-  std::string ka, kb, kc;
+  c.AppendString("a");
+  std::string ka, kb, kc, ka2;
   c.AppendKeyBytes(0, &ka);
   c.AppendKeyBytes(1, &kb);
   c.AppendKeyBytes(2, &kc);
+  c.AppendKeyBytes(3, &ka2);
   EXPECT_NE(ka, kb);
   EXPECT_NE(kb, kc);
-  // Length prefix prevents "ab"+"c" colliding with "a"+"bc" across columns.
+  EXPECT_EQ(kb, ka2);
+  // Fixed-width codes prevent "ab"+"b" colliding with "a"+"bb" when both
+  // keys concatenate columns of the same (shared-dictionary) column set.
   std::string two_cols_1 = ka;
   c.AppendKeyBytes(2, &two_cols_1);  // "ab","b"
   std::string two_cols_2 = kb;
-  Column d(DataType::kString);
-  d.AppendString("bb");
-  d.AppendKeyBytes(0, &two_cols_2);  // "a","bb"
+  c.AppendKeyBytes(0, &two_cols_2);  // "a","ab"
   EXPECT_NE(two_cols_1, two_cols_2);
+}
+
+TEST(ColumnTest, DictionaryRoundTripWithNullsAndEmpties) {
+  Column c(DataType::kString);
+  c.AppendString("x");
+  c.AppendNull();
+  c.AppendString("");  // empty string is a value, distinct from NULL
+  c.AppendString("x");
+  c.AppendString("y");
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.StringAt(0), "x");
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_EQ(c.StringAt(2), "");
+  EXPECT_EQ(c.GetValue(2), Value::String(""));
+  EXPECT_EQ(c.GetValue(1), Value::Null());
+  // Duplicates intern to the same code; distinct values get distinct codes.
+  EXPECT_EQ(c.codes()[0], c.codes()[3]);
+  EXPECT_NE(c.codes()[0], c.codes()[4]);
+  EXPECT_EQ(c.dict()->size(), 3u);  // "x", "", "y"
+}
+
+TEST(ColumnTest, DictionaryDuplicateHeavyAndAllDistinct) {
+  Column dup(DataType::kString);
+  for (int i = 0; i < 1000; ++i) dup.AppendString(i % 2 ? "odd" : "even");
+  EXPECT_EQ(dup.dict()->size(), 2u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dup.StringAt(i), i % 2 ? "odd" : "even");
+  }
+  // All-distinct crosses the dictionary's first chunk boundary (1024).
+  Column uniq(DataType::kString);
+  const int kN = 3000;
+  for (int i = 0; i < kN; ++i) uniq.AppendString("v" + std::to_string(i));
+  EXPECT_EQ(uniq.dict()->size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(uniq.StringAt(i), "v" + std::to_string(i)) << i;
+  }
+}
+
+TEST(ColumnTest, AppendFromSharesDictionary) {
+  Column src(DataType::kString);
+  src.AppendString("a");
+  src.AppendString("b");
+  src.AppendNull();
+  Column dst(DataType::kString);
+  dst.AppendFrom(src, 1);  // fresh empty column adopts the source dictionary
+  dst.AppendFrom(src, 2);
+  dst.AppendFrom(src, 0);
+  EXPECT_EQ(dst.dict(), src.dict());
+  EXPECT_EQ(dst.StringAt(0), "b");
+  EXPECT_TRUE(dst.IsNull(1));
+  EXPECT_EQ(dst.StringAt(2), "a");
+  EXPECT_EQ(dst.codes()[0], src.codes()[1]);  // codes copied verbatim
+}
+
+TEST(ColumnTest, AppendFromForeignDictionaryReinterns) {
+  Column a(DataType::kString);
+  a.AppendString("only-in-a");
+  Column b(DataType::kString);
+  b.AppendString("only-in-b");  // b's dictionary is no longer empty
+  b.AppendFrom(a, 0);           // cannot adopt: must re-intern by value
+  EXPECT_NE(b.dict(), a.dict());
+  EXPECT_EQ(b.StringAt(1), "only-in-a");
+  EXPECT_EQ(b.dict()->size(), 2u);
 }
 
 }  // namespace
