@@ -1,0 +1,325 @@
+// bench_append_delta — steady-state latency of cached percentage queries
+// under a mixed append/query workload, comparing summary maintenance modes;
+// reports JSON (BENCH_append.json, also echoed to stdout).
+//
+// Workload: the paper's sales table. Each round appends a 1%-of-base batch
+// and then runs a cached Vpct and a cached Hpct query (FromFV forced, so the
+// horizontal query materializes — and caches — its FVh aggregate). Modes:
+//
+//   delta-merge  AppendPolicy::kMerge, cache on: the append aggregates only
+//                the batch and upserts it into each cached summary, so the
+//                follow-up queries answer from the maintained cache entry.
+//   recompute    AppendPolicy::kRecompute, cache on: every append drops the
+//                table's entries; every query re-aggregates the full table
+//                to refill them (the invalidate-everything behavior this PR
+//                replaces, and the bench's "seed" reference).
+//   cache-off    no summary cache at all: every query re-aggregates.
+//
+// The JSON's "aggregate" section is shaped for scripts/bench_smoke.py:
+// "seed_reference_ms" is the recompute mode's steady-state dop=1 query
+// latency, "dop" rows carry the delta-merge mode at DOP 1/4 with
+// "speedup_vs_seed" = recompute_ms / merge_ms on the same host. The dop=1
+// speedup is the headline: under 3x the binary exits 1 (skipped in --smoke).
+//
+// Correctness rider: on a quantized copy (salesAmt rounded, so FLOAT64 sums
+// are exact and order-independent) the final post-append query results in
+// delta-merge mode must be bit-for-bit identical to a from-scratch database
+// over the same rows, at DOP 1 and 4.
+//
+// Flags / environment:
+//   --smoke                    tiny rows + 1 repetition
+//   PCTAGG_APPEND_BENCH_ROWS   sales rows (default 500000)
+//   PCTAGG_APPEND_BENCH_REPS   repetitions, best-of (default 3)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/database.h"
+#include "engine/csv.h"
+#include "engine/table_ops.h"
+#include "workload/generators.h"
+
+namespace {
+
+using pctagg::AppendPolicy;
+using pctagg::PctDatabase;
+using pctagg::QueryOptions;
+using pctagg::Result;
+using pctagg::StrFormat;
+using pctagg::Table;
+using pctagg::Value;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  long long n = std::atoll(v);
+  return n > 0 ? static_cast<size_t>(n) : fallback;
+}
+
+constexpr char kVpctSql[] =
+    "SELECT monthNo, dweek, Vpct(salesAmt BY dweek) AS pct FROM sales "
+    "GROUP BY monthNo, dweek";
+constexpr char kHpctSql[] =
+    "SELECT monthNo, Hpct(salesAmt BY dweek) FROM sales GROUP BY monthNo";
+constexpr size_t kRounds = 30;
+
+QueryOptions ModeOptions(AppendPolicy policy, size_t dop) {
+  QueryOptions options;
+  options.degree_of_parallelism = dop;
+  options.append_policy = policy;
+  // Only the FromFV horizontal methods materialize (and cache) the FVh
+  // aggregate; force one so Hpct participates in summary maintenance.
+  pctagg::HorizontalStrategy h;
+  h.method = pctagg::HorizontalMethod::kCaseFromFV;
+  options.horizontal_strategy = h;
+  return options;
+}
+
+Table MustQuery(const PctDatabase& db, const char* sql,
+                const QueryOptions& options) {
+  Result<Table> r = db.Query(sql, options);
+  if (!r.ok() || r.value().num_rows() == 0) {
+    std::fprintf(stderr, "benchmark query failed: %s\n%s\n",
+                 r.status().ToString().c_str(), sql);
+    std::abort();
+  }
+  return std::move(r.value());
+}
+
+struct ModeResult {
+  double mean_query_ms = 0;   // steady-state per-query latency
+  double p99_ms = 0;          // p99 over all statements (queries + appends)
+  double mean_append_ms = 0;  // per-append-statement latency
+};
+
+// One full mixed workload run: warm the cache, then kRounds of
+// (append 1% batch, query Vpct, query Hpct), timing every statement.
+ModeResult RunMode(const Table& base, const std::vector<Table>& deltas,
+                   AppendPolicy policy, bool cache_on, size_t dop) {
+  PctDatabase db;
+  if (!db.CreateTable("sales", base).ok()) std::abort();
+  db.EnableSummaryCache(cache_on);
+  QueryOptions options = ModeOptions(policy, dop);
+  // Warm-up fills the cache (when enabled) from the base table.
+  MustQuery(db, kVpctSql, options);
+  MustQuery(db, kHpctSql, options);
+
+  std::vector<double> query_ms, append_ms;
+  for (const Table& delta : deltas) {
+    pctagg::Stopwatch append_timer;
+    Result<pctagg::AppendOutcome> outcome = db.AppendRows("sales", delta,
+                                                          options);
+    append_ms.push_back(append_timer.ElapsedMillis());
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "append failed: %s\n",
+                   outcome.status().ToString().c_str());
+      std::abort();
+    }
+    for (const char* sql : {kVpctSql, kHpctSql}) {
+      pctagg::Stopwatch timer;
+      MustQuery(db, sql, options);
+      query_ms.push_back(timer.ElapsedMillis());
+    }
+  }
+
+  ModeResult result;
+  for (double ms : query_ms) result.mean_query_ms += ms;
+  result.mean_query_ms /= static_cast<double>(query_ms.size());
+  for (double ms : append_ms) result.mean_append_ms += ms;
+  result.mean_append_ms /= static_cast<double>(append_ms.size());
+  std::vector<double> all = query_ms;
+  all.insert(all.end(), append_ms.begin(), append_ms.end());
+  std::sort(all.begin(), all.end());
+  result.p99_ms = all[(all.size() * 99 + 99) / 100 - 1];
+  return result;
+}
+
+template <typename Fn>
+ModeResult BestOf(size_t reps, Fn&& fn) {
+  ModeResult best = fn();
+  for (size_t i = 1; i < reps; ++i) {
+    ModeResult r = fn();
+    if (r.mean_query_ms < best.mean_query_ms) best = r;
+  }
+  return best;
+}
+
+// salesAmt rounded to whole numbers: integer-valued doubles sum exactly, so
+// merged and recomputed summaries agree bit for bit (see property test P7).
+Table Quantized(const Table& src) {
+  Table t(src.schema());
+  t.Reserve(src.num_rows());
+  const size_t amt = src.schema().FindColumn("salesAmt").value();
+  std::vector<Value> row;
+  row.reserve(src.num_columns());
+  for (size_t r = 0; r < src.num_rows(); ++r) {
+    row.clear();
+    for (size_t c = 0; c < src.num_columns(); ++c) {
+      Value v = src.column(c).GetValue(r);
+      if (c == amt && !v.is_null()) {
+        v = Value::Float64(std::round(v.AsDouble()));
+      }
+      row.push_back(std::move(v));
+    }
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  size_t rows = EnvSize("PCTAGG_APPEND_BENCH_ROWS", smoke ? 20000 : 500000);
+  size_t reps = EnvSize("PCTAGG_APPEND_BENCH_REPS", smoke ? 1 : 3);
+  size_t num_cores = std::thread::hardware_concurrency();
+
+  std::fprintf(stderr,
+               "[setup] generating sales n=%zu + %zu append batches of 1%% "
+               "(cores=%zu)...\n",
+               rows, kRounds, num_cores);
+  Table base = pctagg::GenerateSales(rows);
+  const size_t batch = std::max<size_t>(rows / 100, 1);
+  std::vector<Table> deltas;
+  deltas.reserve(kRounds);
+  for (size_t i = 0; i < kRounds; ++i) {
+    deltas.push_back(pctagg::GenerateSales(batch, /*seed=*/977 + i));
+  }
+
+  struct Mode {
+    const char* name;
+    AppendPolicy policy;
+    bool cache_on;
+    size_t dop;
+  };
+  const Mode kModes[] = {
+      {"delta-merge", AppendPolicy::kMerge, true, 1},
+      {"delta-merge", AppendPolicy::kMerge, true, 4},
+      {"recompute", AppendPolicy::kRecompute, true, 1},
+      {"recompute", AppendPolicy::kRecompute, true, 4},
+      {"cache-off", AppendPolicy::kRecompute, false, 1},
+  };
+  ModeResult results[sizeof(kModes) / sizeof(kModes[0])];
+  std::string mode_json;
+  for (size_t m = 0; m < sizeof(kModes) / sizeof(kModes[0]); ++m) {
+    const Mode& mode = kModes[m];
+    results[m] = BestOf(reps, [&] {
+      return RunMode(base, deltas, mode.policy, mode.cache_on, mode.dop);
+    });
+    std::fprintf(stderr,
+                 "[%s dop=%zu] query mean %.3f ms, p99 %.3f ms, "
+                 "append mean %.3f ms\n",
+                 mode.name, mode.dop, results[m].mean_query_ms,
+                 results[m].p99_ms, results[m].mean_append_ms);
+    mode_json += StrFormat(
+        "    {\"name\": \"%s\", \"dop\": %zu, \"query_mean_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"append_mean_ms\": %.3f}%s\n",
+        mode.name, mode.dop, results[m].mean_query_ms, results[m].p99_ms,
+        results[m].mean_append_ms,
+        m + 1 == sizeof(kModes) / sizeof(kModes[0]) ? "" : ",");
+  }
+  const ModeResult& merge1 = results[0];
+  const ModeResult& merge4 = results[1];
+  const ModeResult& recompute1 = results[2];
+  const ModeResult& recompute4 = results[3];
+  const double speedup1 = recompute1.mean_query_ms / merge1.mean_query_ms;
+  const double speedup4 = recompute4.mean_query_ms / merge4.mean_query_ms;
+  std::fprintf(stderr, "[headline] steady-state speedup vs recompute: "
+               "%.2fx (dop=1), %.2fx (dop=4)\n", speedup1, speedup4);
+
+  // --- Correctness: quantized data, final state bit-for-bit vs recompute.
+  std::fprintf(stderr, "[check] quantized merged-vs-fresh identity...\n");
+  Table qbase = Quantized(base);
+  std::vector<Table> qdeltas;
+  for (const Table& d : deltas) qdeltas.push_back(Quantized(d));
+  Table qfull = qbase;
+  for (const Table& d : qdeltas) {
+    if (!pctagg::InsertInto(&qfull, d).ok()) std::abort();
+  }
+  bool identical = true;
+  for (size_t dop : {size_t{1}, size_t{4}}) {
+    QueryOptions options = ModeOptions(AppendPolicy::kMerge, dop);
+    PctDatabase merged_db, fresh_db;
+    if (!merged_db.CreateTable("sales", qbase).ok() ||
+        !fresh_db.CreateTable("sales", qfull).ok()) {
+      std::abort();
+    }
+    merged_db.EnableSummaryCache(true);
+    fresh_db.EnableSummaryCache(true);
+    MustQuery(merged_db, kVpctSql, options);
+    MustQuery(merged_db, kHpctSql, options);
+    for (const Table& d : qdeltas) {
+      if (!merged_db.AppendRows("sales", d, options).ok()) std::abort();
+    }
+    for (const char* sql : {kVpctSql, kHpctSql}) {
+      const std::string got =
+          pctagg::FormatCsv(MustQuery(merged_db, sql, options));
+      const std::string want =
+          pctagg::FormatCsv(MustQuery(fresh_db, sql, options));
+      if (got != want) {
+        std::fprintf(stderr,
+                     "[check] FAIL: dop=%zu merged result differs from "
+                     "recompute\n%s\n",
+                     dop, sql);
+        identical = false;
+      }
+    }
+  }
+  std::fprintf(stderr, "[check] merged vs recompute identical: %s\n",
+               identical ? "yes" : "NO");
+
+  std::string json = StrFormat(
+      "{\n"
+      "  \"benchmark\": \"append_delta\",\n"
+      "  \"rows\": %zu,\n"
+      "  \"batch_rows\": %zu,\n"
+      "  \"rounds\": %zu,\n"
+      "  \"num_cores\": %zu,\n"
+      "  \"repetitions\": %zu,\n"
+      "  \"aggregate\": {\n"
+      "    \"seed_reference_ms\": %.3f,\n"
+      "    \"dop1_regression_pct\": %.2f,\n"
+      "    \"dop\": [\n"
+      "      {\"dop\": 1, \"ms\": %.3f, \"speedup_vs_seed\": %.3f},\n"
+      "      {\"dop\": 4, \"ms\": %.3f, \"speedup_vs_seed\": %.3f}\n"
+      "    ]\n"
+      "  },\n"
+      "  \"modes\": [\n%s  ],\n"
+      "  \"checks\": {\n"
+      "    \"merged_vs_recompute_identical\": %s\n"
+      "  }\n"
+      "}\n",
+      rows, batch, kRounds, num_cores, reps, recompute1.mean_query_ms,
+      (merge1.mean_query_ms - recompute1.mean_query_ms) /
+          recompute1.mean_query_ms * 100.0,
+      merge1.mean_query_ms, speedup1, merge4.mean_query_ms, speedup4,
+      mode_json.c_str(), identical ? "true" : "false");
+
+  std::fputs(json.c_str(), stdout);
+  FILE* f = std::fopen("BENCH_append.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote BENCH_append.json\n");
+  }
+  if (!identical) return 1;
+  if (!smoke && speedup1 < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: dop=1 steady-state speedup %.2fx is under the 3x "
+                 "acceptance bar\n",
+                 speedup1);
+    return 1;
+  }
+  return 0;
+}

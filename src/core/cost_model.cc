@@ -153,6 +153,26 @@ double CostModel::OlapCost(const FactStats& stats) const {
          n * (params_.scan + params_.probe) + params_.statement;
 }
 
+double CostModel::DeltaMergeCost(double delta_rows, double summary_rows,
+                                 double dop) const {
+  dop = std::max(1.0, dop);
+  // Aggregate the delta (parallel scan into at most delta_rows groups),
+  // probe each delta group against the cached summary, and read-modify-
+  // write the cells that hit (bounded by both cardinalities).
+  const double delta_groups = std::min(delta_rows, summary_rows);
+  return delta_rows * params_.scan / dop +
+         delta_groups * (params_.probe + params_.update) + params_.statement;
+}
+
+double CostModel::RecomputeCost(double table_rows, double summary_rows,
+                                double dop) const {
+  dop = std::max(1.0, dop);
+  // Rebuild from every base row on the next query: a full parallel
+  // aggregation scan plus serial materialization of the summary rows.
+  return table_rows * params_.scan / dop + summary_rows * params_.write +
+         params_.statement;
+}
+
 VpctStrategy CostModel::PickVpct(const FactStats& stats) const {
   VpctStrategy best;
   double best_cost = VpctCost(stats, best);

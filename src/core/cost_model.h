@@ -91,6 +91,20 @@ class CostModel {
   VpctStrategy PickVpct(const FactStats& stats) const;
   HorizontalStrategy PickHorizontal(const FactStats& stats) const;
 
+  // Append-path maintenance of one cached summary (core/summary_cache.h).
+  //
+  // Delta-merge: aggregate the `delta_rows` appended rows (morsel-parallel
+  // scan), then upsert at most min(delta groups, summary rows) cells into
+  // the cached table — a serial read-modify-write per touched group.
+  double DeltaMergeCost(double delta_rows, double summary_rows,
+                        double dop) const;
+
+  // Invalidate-recompute: drop the entry and rebuild it from all
+  // `table_rows` base rows on the next query (parallel scan + serial
+  // materialization of the summary).
+  double RecomputeCost(double table_rows, double summary_rows,
+                       double dop) const;
+
   const CostParams& params() const { return params_; }
 
  private:

@@ -1,11 +1,15 @@
 #include "core/database.h"
 
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "core/cost_model.h"
 #include "core/olap_planner.h"
 #include "engine/aggregate.h"
+#include "engine/csv.h"
+#include "engine/merge.h"
 #include "engine/parallel.h"
 #include "engine/table_ops.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 
 namespace pctagg {
@@ -196,6 +200,57 @@ void FillHorizontalTrace(obs::QueryTrace* trace, const Table& fact,
   }
 }
 
+// Append-path delta-maintenance counters (process-wide, like the summary
+// cache's own counters in core/summary_cache.cc).
+obs::Counter& DeltaMergeCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_summary_delta_merges_total",
+      "Cached summaries maintained by delta-merge on append");
+  return c;
+}
+obs::Counter& DeltaRecomputeCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_summary_delta_recomputes_total",
+      "Cached summaries dropped on append for lazy recompute");
+  return c;
+}
+obs::Counter& DeltaRowsCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_summary_delta_rows_total", "Rows appended through AppendRows");
+  return c;
+}
+
+// Renders multi-line text as the single-column "plan" table every surface
+// (CSV, wire protocol, shell) prints without special casing.
+Table TextToPlanTable(const std::string& text) {
+  Schema schema;
+  schema.AddColumn({"plan", DataType::kString});
+  Table out(schema);
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    out.mutable_column(0).AppendString(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+// One-row result of an append statement.
+Table AppendOutcomeTable(const AppendOutcome& outcome) {
+  Schema schema;
+  schema.AddColumn({"rows_appended", DataType::kInt64});
+  schema.AddColumn({"summaries_merged", DataType::kInt64});
+  schema.AddColumn({"summaries_recomputed", DataType::kInt64});
+  Table out(schema);
+  Status st = out.AppendRow(
+      {Value::Int64(static_cast<int64_t>(outcome.rows_appended)),
+       Value::Int64(static_cast<int64_t>(outcome.summaries_merged)),
+       Value::Int64(static_cast<int64_t>(outcome.summaries_recomputed))});
+  (void)st;
+  return out;
+}
+
 // The finest aggregation level a plan materialized: rows_out of the first
 // aggregate (or pivot) operator in execution order.
 const obs::TraceNode* FindFirstAggregateOp(const obs::TraceNode& node) {
@@ -246,23 +301,17 @@ Result<Table> PctDatabase::Query(const std::string& sql,
   // single-column result so every surface (CSV, wire protocol, shell) shows
   // it without special casing.
   PCTAGG_ASSIGN_OR_RETURN(ParsedStatement stmt_kind, ParseStatementKind(sql));
+  if (stmt_kind.kind != ParsedStatement::Kind::kSelect) {
+    return Status::InvalidArgument(
+        "INSERT/COPY are write statements; run them through Execute()");
+  }
   if (stmt_kind.explain) {
     Result<std::string> text = stmt_kind.analyze
                                    ? ExplainAnalyze(stmt_kind.select_sql,
                                                     options)
                                    : Explain(stmt_kind.select_sql);
     if (!text.ok()) return text.status();
-    Schema schema;
-    schema.AddColumn({"plan", DataType::kString});
-    Table out(schema);
-    size_t begin = 0;
-    while (begin < text->size()) {
-      size_t end = text->find('\n', begin);
-      if (end == std::string::npos) end = text->size();
-      out.mutable_column(0).AppendString(text->substr(begin, end - begin));
-      begin = end + 1;
-    }
-    return out;
+    return TextToPlanTable(*text);
   }
 
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
@@ -385,6 +434,153 @@ Status PctDatabase::CreateTableAs(const std::string& name,
   PCTAGG_ASSIGN_OR_RETURN(Table result, Query(sql));
   summaries_.InvalidateTable(name);
   return catalog_.CreateTable(name, std::move(result));
+}
+
+Result<AppendOutcome> PctDatabase::AppendRows(const std::string& name,
+                                              const Table& delta,
+                                              const QueryOptions& options) {
+  AppendOutcome outcome;
+  outcome.rows_appended = delta.num_rows();
+  PCTAGG_ASSIGN_OR_RETURN(Table* base, catalog_.GetTable(name));
+  if (delta.num_rows() == 0) return outcome;
+
+  ScopedParallelism parallelism(options.degree_of_parallelism);
+  const size_t dop = CurrentDop();
+  obs::QueryTrace* trace = options.trace;
+  if (trace != nullptr) {
+    trace->query_class = "append";
+    trace->strategy = "delta-maintenance";
+    trace->strategy_source =
+        options.append_policy == AppendPolicy::kAuto ? "cost-model" : "forced";
+  }
+  obs::TraceNode* node =
+      trace != nullptr
+          ? trace->root().AddChild(
+                "append", StrFormat("INSERT INTO %s (%zu rows)", name.c_str(),
+                                    delta.num_rows()))
+          : nullptr;
+  obs::ScopedTraceNode scope(node);
+
+  // Check out the table's cached summaries *before* growing the base rows:
+  // every entry present now was filled from pre-append data (in-flight fills
+  // from the old generation get rejected by the generation bump), so each
+  // checked-out summary plus the delta reproduces the post-append summary.
+  size_t dropped = 0;
+  std::vector<SummaryCache::PendingMerge> pending =
+      summaries_.BeginAppend(name, &dropped);
+  outcome.summaries_recomputed += dropped;
+
+  const double base_rows_before = static_cast<double>(base->num_rows());
+  PCTAGG_RETURN_IF_ERROR(InsertInto(base, delta));
+
+  CostModel model;
+  for (const SummaryCache::PendingMerge& p : pending) {
+    const std::string group_cols = Join(p.recipe.group_by, ",");
+    const double summary_rows = static_cast<double>(p.summary->num_rows());
+    const double merge_cost = model.DeltaMergeCost(
+        static_cast<double>(delta.num_rows()), summary_rows,
+        static_cast<double>(dop));
+    const double recompute_cost =
+        model.RecomputeCost(base_rows_before + delta.num_rows(), summary_rows,
+                            static_cast<double>(dop));
+    bool merge;
+    switch (options.append_policy) {
+      case AppendPolicy::kMerge:
+        merge = true;
+        break;
+      case AppendPolicy::kRecompute:
+        merge = false;
+        break;
+      case AppendPolicy::kAuto:
+      default:
+        merge = merge_cost <= recompute_cost;
+    }
+    if (trace != nullptr) {
+      trace->predicted_costs.push_back(
+          {"delta-merge[" + group_cols + "]", merge_cost, merge});
+      trace->predicted_costs.push_back(
+          {"recompute[" + group_cols + "]", recompute_cost, !merge});
+    }
+    if (merge) {
+      Result<Table> delta_summary =
+          HashAggregate(delta, p.recipe.group_by, p.recipe.aggs, dop);
+      if (delta_summary.ok()) {
+        Result<Table> merged =
+            MergeSummaries(*p.summary, *delta_summary,
+                           p.recipe.group_by.size(), p.recipe.aggs);
+        if (merged.ok() && summaries_.CompleteMerge(p, *merged)) {
+          ++outcome.summaries_merged;
+          DeltaMergeCounter().Add();
+          continue;
+        }
+      }
+      // A failed or superseded merge degrades to the drop-and-recompute
+      // path — the entry simply stays out of the cache.
+    }
+    ++outcome.summaries_recomputed;
+    DeltaRecomputeCounter().Add();
+  }
+  DeltaRowsCounter().Add(delta.num_rows());
+  return outcome;
+}
+
+Result<AppendOutcome> PctDatabase::ExecuteInsert(const std::string& sql,
+                                                 const QueryOptions& options) {
+  PCTAGG_ASSIGN_OR_RETURN(InsertStatement stmt, ParseInsert(sql));
+  PCTAGG_ASSIGN_OR_RETURN(const Table* base, catalog_.GetTable(stmt.table));
+  PCTAGG_ASSIGN_OR_RETURN(Table delta,
+                          BuildInsertDelta(stmt, base->schema()));
+  return AppendRows(stmt.table, delta, options);
+}
+
+Result<AppendOutcome> PctDatabase::ExecuteCopy(const std::string& sql,
+                                               const QueryOptions& options) {
+  PCTAGG_ASSIGN_OR_RETURN(CopyStatement stmt, ParseCopy(sql));
+  PCTAGG_ASSIGN_OR_RETURN(const Table* base, catalog_.GetTable(stmt.table));
+  PCTAGG_ASSIGN_OR_RETURN(Table delta,
+                          ReadCsvFile(stmt.path, base->schema()));
+  return AppendRows(stmt.table, delta, options);
+}
+
+Result<Table> PctDatabase::Execute(const std::string& sql,
+                                   const QueryOptions& options) {
+  PCTAGG_ASSIGN_OR_RETURN(ParsedStatement stmt_kind, ParseStatementKind(sql));
+  if (stmt_kind.kind == ParsedStatement::Kind::kSelect) {
+    return Query(sql, options);
+  }
+  const bool is_insert = stmt_kind.kind == ParsedStatement::Kind::kInsert;
+  if (stmt_kind.explain && !stmt_kind.analyze) {
+    // Plain EXPLAIN of a write: describe the append script without running
+    // it. The merge-vs-recompute choice is per cache entry at run time, so
+    // the script lists the rule rather than a resolved plan.
+    std::string text =
+        stmt_kind.select_sql + "\n" +
+        "-- append path: add rows to the base table (dictionary codes\n"
+        "-- resolved against the existing per-column dictionaries), then for\n"
+        "-- each cached summary of the table: aggregate only the delta with\n"
+        "-- the entry's recipe and merge by keyed upsert, or drop the entry\n"
+        "-- for lazy recompute (per-entry cost-model choice; see EXPLAIN\n"
+        "-- ANALYZE for the resolved candidates).\n";
+    return TextToPlanTable(text);
+  }
+  if (stmt_kind.explain) {
+    obs::QueryTrace trace;
+    QueryOptions traced = options;
+    traced.trace = &trace;
+    Stopwatch timer;
+    Result<AppendOutcome> outcome =
+        is_insert ? ExecuteInsert(stmt_kind.select_sql, traced)
+                  : ExecuteCopy(stmt_kind.select_sql, traced);
+    if (!outcome.ok()) return outcome.status();
+    trace.total_ms = timer.ElapsedSeconds() * 1e3;
+    return TextToPlanTable(trace.Render());
+  }
+  PCTAGG_ASSIGN_OR_RETURN(AppendOutcome outcome,
+                          is_insert ? ExecuteInsert(stmt_kind.select_sql,
+                                                    options)
+                                    : ExecuteCopy(stmt_kind.select_sql,
+                                                  options));
+  return AppendOutcomeTable(outcome);
 }
 
 Result<std::string> PctDatabase::Explain(const std::string& sql) const {

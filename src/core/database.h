@@ -14,6 +14,15 @@
 
 namespace pctagg {
 
+// How an append maintains the cached summaries of its table. kAuto asks the
+// CostModel per entry (delta cardinality vs base cardinality, dop-aware);
+// the forced modes exist for benchmarking and tests.
+enum class AppendPolicy {
+  kAuto,
+  kMerge,      // always delta-merge mergeable entries
+  kRecompute,  // always drop entries (recompute lazily on next lookup)
+};
+
 // Per-call overrides for PctDatabase::Query. Server sessions carry one of
 // these so concurrent callers can force strategies or toggle the summary
 // cache without mutating shared database state.
@@ -37,6 +46,15 @@ struct QueryOptions {
   // generated statement with per-operator stats. Owned by the caller; must
   // outlive the Query call. See docs/OBSERVABILITY.md.
   obs::QueryTrace* trace = nullptr;
+  // Summary-maintenance policy when Execute runs an INSERT/COPY.
+  AppendPolicy append_policy = AppendPolicy::kAuto;
+};
+
+// What an append did, returned by AppendRows/Execute(INSERT/COPY).
+struct AppendOutcome {
+  size_t rows_appended = 0;
+  size_t summaries_merged = 0;      // cache entries delta-merged in place
+  size_t summaries_recomputed = 0;  // entries dropped for lazy recompute
 };
 
 // The top-level facade: a catalog of tables plus the percentage-query
@@ -76,6 +94,34 @@ class PctDatabase {
     summaries_.InvalidateTable(name);
     catalog_.CreateOrReplaceTable(name, std::move(table));
   }
+
+  // Appends `delta` (same column arity/types as the table) to base table
+  // `name` and delta-maintains its cached summaries: the delta is aggregated
+  // once per mergeable cache entry with the entry's own recipe and merged by
+  // keyed upsert (engine/merge.h); entries whose aggregates are not
+  // distributive — or where the CostModel prefers it — are dropped and
+  // recomputed lazily by the next query. Dictionary codes of string columns
+  // are resolved against the table's existing per-column dictionaries.
+  //
+  // This is a write: callers must keep it exclusive against concurrent
+  // queries on the same database (the server's QueryExecutor classifies
+  // INSERT/COPY as exclusive writers; library users synchronize themselves).
+  Result<AppendOutcome> AppendRows(const std::string& name, const Table& delta) {
+    return AppendRows(name, delta, QueryOptions{});
+  }
+  Result<AppendOutcome> AppendRows(const std::string& name, const Table& delta,
+                                   const QueryOptions& options);
+
+  // Full statement dispatch: SELECT / EXPLAIN [ANALYZE] go to Query;
+  // INSERT INTO ... VALUES and COPY ... FROM ... (APPEND) — including their
+  // EXPLAIN ANALYZE forms — run through AppendRows and return a one-row
+  // summary (rows_appended, summaries_merged, summaries_recomputed).
+  // Non-const because appends mutate the catalog; see AppendRows for the
+  // writer-exclusivity contract.
+  Result<Table> Execute(const std::string& sql) {
+    return Execute(sql, QueryOptions{});
+  }
+  Result<Table> Execute(const std::string& sql, const QueryOptions& options);
 
   // CREATE TABLE <name> AS <select>: materializes a query result as a new
   // base table. This is how the paper's "F can be a temporary table
@@ -123,6 +169,12 @@ class PctDatabase {
                                      const QueryOptions& options) const;
 
  private:
+  // Statement bodies of Execute (EXPLAIN prefix already stripped).
+  Result<AppendOutcome> ExecuteInsert(const std::string& sql,
+                                      const QueryOptions& options);
+  Result<AppendOutcome> ExecuteCopy(const std::string& sql,
+                                    const QueryOptions& options);
+
   // Shared tail: execute `plan`, pull out the result, drop temps.
   Result<Table> RunPlan(const Plan& plan, const AnalyzedQuery& query,
                         bool use_cache,

@@ -494,24 +494,14 @@ Result<Plan> PlanHorizontalQuery(const AnalyzedQuery& query,
         std::vector<std::string> fv_group = query.group_by;
         fv_group.insert(fv_group.end(), t.by_columns.begin(),
                         t.by_columns.end());
-        plan.AddStep(
-            "INSERT INTO " + fv + " SELECT " + Join(fv_group, ", ") +
-                ", sum(" + t.argument->ToString() + "), count(" +
-                t.argument->ToString() + ") FROM " + block_source +
-                " GROUP BY " + Join(fv_group, ", "),
-            [src = block_source, fv, fv_group,
-             arg = t.argument](ExecContext* ctx) -> Status {
-              PCTAGG_ASSIGN_OR_RETURN(const Table* input,
-                                      ctx->catalog->GetTable(src));
-              PCTAGG_ASSIGN_OR_RETURN(
-                  Table out,
-                  HashAggregate(*input, fv_group,
-                                {{AggFunc::kSum, arg, "__vs"},
-                                 {AggFunc::kCount, arg, "__vc"}}));
-              ctx->catalog->CreateOrReplaceTable(fv, std::move(out));
-              return Status::OK();
-            });
-        plan.AddTempTable(fv);
+        // The (sum, count) decomposition is distributive, so when FVh comes
+        // straight off the base table the shared cacheable step makes it
+        // append-maintainable — unlike a cached avg column.
+        AddCacheableAggregateStep(&plan, block_source, fv, fv_group,
+                                  {{AggFunc::kSum, t.argument, "__vs"},
+                                   {AggFunc::kCount, t.argument, "__vc"}},
+                                  /*cacheable=*/block_source ==
+                                      query.table_name);
         block_source = fv;
         spec.func = AggFunc::kSum;
         spec.value = Col("__vs");
@@ -524,24 +514,10 @@ Result<Plan> PlanHorizontalQuery(const AnalyzedQuery& query,
         std::vector<std::string> fv_group = query.group_by;
         fv_group.insert(fv_group.end(), t.by_columns.begin(),
                         t.by_columns.end());
-        std::string arg_sql = t.func == TermFunc::kCountStar
-                                  ? "*"
-                                  : t.argument->ToString();
-        plan.AddStep(
-            "INSERT INTO " + fv + " SELECT " + Join(fv_group, ", ") + ", " +
-                AggFuncName(direct_func) + "(" + arg_sql + ") FROM " +
-                block_source + " GROUP BY " + Join(fv_group, ", "),
-            [src = block_source, fv, fv_group, direct_func,
-             arg = t.argument](ExecContext* ctx) -> Status {
-              PCTAGG_ASSIGN_OR_RETURN(const Table* input,
-                                      ctx->catalog->GetTable(src));
-              PCTAGG_ASSIGN_OR_RETURN(
-                  Table out,
-                  HashAggregate(*input, fv_group, {{direct_func, arg, "__v"}}));
-              ctx->catalog->CreateOrReplaceTable(fv, std::move(out));
-              return Status::OK();
-            });
-        plan.AddTempTable(fv);
+        AddCacheableAggregateStep(&plan, block_source, fv, fv_group,
+                                  {{direct_func, t.argument, "__v"}},
+                                  /*cacheable=*/block_source ==
+                                      query.table_name);
         block_source = fv;
         spec.func = combine;
         spec.value = Col("__v");

@@ -27,53 +27,13 @@ struct VpctTermInfo {
   std::string output_name;
 };
 
-// Adds the step "INSERT INTO <dest> SELECT <group>, <aggs> FROM <src> GROUP
-// BY <group>". When `cacheable` (i.e. `src` is an immutable base table and
-// no filter intervened), the step consults and feeds the shared summary
-// cache so repeated percentage queries skip the aggregation scan entirely.
+// Local shorthand with the historical default.
 void AddAggregateStep(Plan* plan, const std::string& src,
                       const std::string& dest,
                       std::vector<std::string> group_by,
                       std::vector<AggSpec> aggs, bool cacheable = false) {
-  std::vector<std::string> rendered_aggs;
-  for (const AggSpec& a : aggs) {
-    std::string arg =
-        a.func == AggFunc::kCountStar ? "*" : a.input->ToString();
-    rendered_aggs.push_back(std::string(AggFuncName(a.func)) + "(" + arg +
-                            ") AS " + a.output_name);
-  }
-  std::vector<std::string> rendered = group_by;
-  rendered.insert(rendered.end(), rendered_aggs.begin(), rendered_aggs.end());
-  std::string sql = "INSERT INTO " + dest + " SELECT " + Join(rendered, ", ") +
-                    " FROM " + src;
-  if (!group_by.empty()) sql += " GROUP BY " + Join(group_by, ", ");
-  std::string cache_key =
-      cacheable ? SummaryCache::KeyFor(src, group_by, Join(rendered_aggs, ","))
-                : "";
-  plan->AddStep(sql, [src, dest, group_by = std::move(group_by),
-                      aggs = std::move(aggs),
-                      cache_key](ExecContext* ctx) -> Status {
-    uint64_t generation = 0;
-    if (!cache_key.empty() && ctx->summaries != nullptr) {
-      std::shared_ptr<const Table> cached = ctx->summaries->Lookup(cache_key);
-      if (cached != nullptr) {
-        obs::MarkCacheHit();
-        ctx->catalog->CreateOrReplaceTable(dest, *cached);
-        return Status::OK();
-      }
-      // Snapshot the invalidation generation before scanning `src`; Insert
-      // below drops the fill if the base table was replaced meanwhile.
-      generation = ctx->summaries->GenerationFor(src);
-    }
-    PCTAGG_ASSIGN_OR_RETURN(const Table* input, ctx->catalog->GetTable(src));
-    PCTAGG_ASSIGN_OR_RETURN(Table out, HashAggregate(*input, group_by, aggs));
-    if (!cache_key.empty() && ctx->summaries != nullptr) {
-      ctx->summaries->Insert(cache_key, out, generation);
-    }
-    ctx->catalog->CreateOrReplaceTable(dest, std::move(out));
-    return Status::OK();
-  });
-  plan->AddTempTable(dest);
+  AddCacheableAggregateStep(plan, src, dest, std::move(group_by),
+                            std::move(aggs), cacheable);
 }
 
 // Adds "CREATE INDEX ON <table> (<columns>)" materialized as a HashIndex in
@@ -103,6 +63,56 @@ Result<Value> ReadScalarTotal(ExecContext* ctx, const std::string& fj_name,
 }
 
 }  // namespace
+
+void AddCacheableAggregateStep(Plan* plan, const std::string& src,
+                               const std::string& dest,
+                               std::vector<std::string> group_by,
+                               std::vector<AggSpec> aggs, bool cacheable) {
+  std::vector<std::string> rendered_aggs;
+  for (const AggSpec& a : aggs) {
+    std::string arg =
+        a.func == AggFunc::kCountStar ? "*" : a.input->ToString();
+    rendered_aggs.push_back(std::string(AggFuncName(a.func)) + "(" + arg +
+                            ") AS " + a.output_name);
+  }
+  std::vector<std::string> rendered = group_by;
+  rendered.insert(rendered.end(), rendered_aggs.begin(), rendered_aggs.end());
+  std::string sql = "INSERT INTO " + dest + " SELECT " + Join(rendered, ", ") +
+                    " FROM " + src;
+  if (!group_by.empty()) sql += " GROUP BY " + Join(group_by, ", ");
+  std::string cache_key =
+      cacheable ? SummaryCache::KeyFor(src, group_by, Join(rendered_aggs, ","))
+                : "";
+  plan->AddStep(sql, [src, dest, group_by = std::move(group_by),
+                      aggs = std::move(aggs),
+                      cache_key](ExecContext* ctx) -> Status {
+    uint64_t generation = 0;
+    if (!cache_key.empty() && ctx->summaries != nullptr) {
+      std::shared_ptr<const Table> cached = ctx->summaries->Lookup(cache_key);
+      if (cached != nullptr) {
+        obs::MarkCacheHit();
+        ctx->catalog->CreateOrReplaceTable(dest, *cached);
+        return Status::OK();
+      }
+      // Snapshot the invalidation generation before scanning `src`; Insert
+      // below drops the fill if the base table was replaced (or appended to)
+      // meanwhile.
+      generation = ctx->summaries->GenerationFor(src);
+    }
+    PCTAGG_ASSIGN_OR_RETURN(const Table* input, ctx->catalog->GetTable(src));
+    PCTAGG_ASSIGN_OR_RETURN(Table out, HashAggregate(*input, group_by, aggs));
+    if (!cache_key.empty() && ctx->summaries != nullptr) {
+      // Store the recipe alongside the summary so an append to `src` can
+      // delta-maintain this entry instead of dropping it (when every agg is
+      // distributive — RecipeIsMergeable decides).
+      SummaryRecipe recipe{group_by, aggs};
+      ctx->summaries->Insert(cache_key, out, generation, &recipe);
+    }
+    ctx->catalog->CreateOrReplaceTable(dest, std::move(out));
+    return Status::OK();
+  });
+  plan->AddTempTable(dest);
+}
 
 Result<Plan> PlanVpctQuery(const AnalyzedQuery& query,
                            const VpctStrategy& strategy) {

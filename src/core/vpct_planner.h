@@ -3,6 +3,7 @@
 
 #include "common/result.h"
 #include "core/plan.h"
+#include "engine/aggregate.h"
 #include "sql/analyzer.h"
 
 namespace pctagg {
@@ -57,6 +58,18 @@ struct VpctStrategy {
 // vertical aggregates on the same GROUP BY.
 Result<Plan> PlanVpctQuery(const AnalyzedQuery& query,
                            const VpctStrategy& strategy);
+
+// Adds "INSERT INTO <dest> SELECT <group>, <aggs> FROM <src> GROUP BY
+// <group>" to `plan`. When `cacheable` (i.e. `src` is an immutable-or-
+// append-only base table and no filter intervened), the step consults and
+// feeds the shared summary cache, recording the (group_by, aggs) recipe so
+// the append path can delta-maintain the entry (core/summary_cache.h).
+// Shared by the Vpct planner (Fk/Fj levels) and the horizontal planner (FVh
+// materialization).
+void AddCacheableAggregateStep(Plan* plan, const std::string& src,
+                               const std::string& dest,
+                               std::vector<std::string> group_by,
+                               std::vector<AggSpec> aggs, bool cacheable);
 
 }  // namespace pctagg
 

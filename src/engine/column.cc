@@ -110,6 +110,61 @@ void Column::AppendFrom(const Column& other, size_t row) {
   }
 }
 
+void Column::AppendAllFrom(const Column& other) {
+  if (other.type() != type_) {
+    // Widening (float64 <- int64) stays on the scalar path; the bulk path
+    // below assumes identical payload representations.
+    for (size_t row = 0; row < other.size(); ++row) AppendFrom(other, row);
+    return;
+  }
+  bool was_empty = empty();
+  validity_.insert(validity_.end(), other.validity_.begin(),
+                   other.validity_.end());
+  switch (type_) {
+    case DataType::kInt64: {
+      auto& dst = std::get<std::vector<int64_t>>(data_);
+      const auto& src = other.int64_data();
+      dst.insert(dst.end(), src.begin(), src.end());
+      break;
+    }
+    case DataType::kFloat64: {
+      auto& dst = std::get<std::vector<double>>(data_);
+      const auto& src = other.float64_data();
+      dst.insert(dst.end(), src.begin(), src.end());
+      break;
+    }
+    case DataType::kString: {
+      auto& dst = std::get<std::vector<uint32_t>>(data_);
+      const auto& src = other.codes();
+      if (dict_ == other.dict_ || (was_empty && dict_->size() == 0)) {
+        // Shared codes, or adoption into a fresh column (same rule as
+        // AppendFrom): the source codes are already this column's codes.
+        dict_ = other.dict_;
+        dst.insert(dst.end(), src.begin(), src.end());
+        break;
+      }
+      // Different dictionaries: intern each *distinct* source code once,
+      // then map rows through the translation table. NULL rows keep their
+      // placeholder code 0 without consulting the source dictionary.
+      std::vector<uint32_t> translated(other.dict_->size(),
+                                       Dictionary::kInvalidCode);
+      dst.reserve(dst.size() + src.size());
+      for (size_t row = 0; row < src.size(); ++row) {
+        if (other.validity_[row] == 0) {
+          dst.push_back(0);
+          continue;
+        }
+        uint32_t code = src[row];
+        if (translated[code] == Dictionary::kInvalidCode) {
+          translated[code] = dict_->GetOrAdd(other.dict_->value(code));
+        }
+        dst.push_back(translated[code]);
+      }
+      break;
+    }
+  }
+}
+
 Value Column::GetValue(size_t row) const {
   if (IsNull(row)) return Value::Null();
   switch (type_) {

@@ -51,6 +51,15 @@ class Column {
   // Append row `row` of `other` (same type) to this column.
   void AppendFrom(const Column& other, size_t row);
 
+  // Appends every row of `other` in one pass: bulk vector inserts for
+  // numeric payloads and validity, and for string columns either code
+  // adoption (empty destination, shared dictionary — same rules as
+  // AppendFrom) or a per-distinct-code translation into this column's
+  // dictionary instead of a per-row hash of the string payload. Interns
+  // into the dictionary, so the caller must hold the single-writer append
+  // discipline (engine/dictionary.h) when dictionaries differ.
+  void AppendAllFrom(const Column& other);
+
   // Scalar accessors. The typed *At accessors require a non-null slot of the
   // matching type.
   Value GetValue(size_t row) const;

@@ -1,0 +1,121 @@
+#include "engine/merge.h"
+
+#include <string>
+#include <utility>
+
+#include "engine/packed_key.h"
+#include "obs/trace.h"
+
+namespace pctagg {
+
+namespace {
+
+// True when `a` orders before `b` under SQL comparison of same-typed,
+// non-null values (the ordering min()/max() accumulate with).
+bool SqlLess(const Value& a, const Value& b) {
+  if (a.is_int64()) return a.int64() < b.int64();
+  if (a.is_float64()) return a.float64() < b.float64();
+  return a.string() < b.string();
+}
+
+// Combines one aggregate cell: the cached value for a group with the same
+// group's value over the delta rows. NULL is the identity for every
+// distributive aggregate here (a sum/min/max over zero non-null inputs is
+// NULL; count never is).
+Value CombineCell(AggFunc func, const Value& existing, const Value& delta) {
+  if (delta.is_null()) return existing;
+  if (existing.is_null()) return delta;
+  switch (func) {
+    case AggFunc::kSum:
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      if (existing.is_int64()) {
+        return Value::Int64(existing.int64() + delta.int64());
+      }
+      return Value::Float64(existing.float64() + delta.float64());
+    case AggFunc::kMin:
+      return SqlLess(delta, existing) ? delta : existing;
+    case AggFunc::kMax:
+      return SqlLess(existing, delta) ? delta : existing;
+    case AggFunc::kAvg:
+      break;  // unreachable: rejected up front
+  }
+  return existing;
+}
+
+}  // namespace
+
+Result<Table> MergeSummaries(const Table& existing, const Table& delta,
+                             size_t num_group_cols,
+                             const std::vector<AggSpec>& aggs) {
+  obs::OpScope op("merge-summary");
+  if (existing.num_columns() != num_group_cols + aggs.size() ||
+      delta.num_columns() != existing.num_columns()) {
+    return Status::InvalidArgument(
+        "MergeSummaries: tables must both have group columns + one column "
+        "per aggregate");
+  }
+  for (size_t i = 0; i < existing.num_columns(); ++i) {
+    if (existing.column(i).type() != delta.column(i).type()) {
+      return Status::InvalidArgument(
+          "MergeSummaries: column type mismatch between summary and delta");
+    }
+  }
+  for (const AggSpec& a : aggs) {
+    if (a.func == AggFunc::kAvg) {
+      return Status::InvalidArgument(
+          "MergeSummaries: avg is not distributive; decompose to sum+count");
+    }
+  }
+
+  Table out = existing;
+
+  std::vector<size_t> group_idx(num_group_cols);
+  for (size_t i = 0; i < num_group_cols; ++i) group_idx[i] = i;
+
+  // Key the existing groups, then probe with the delta's keys translated
+  // into the existing dictionaries' code space. A delta value absent from an
+  // existing dictionary translates to kInvalidCode and can never match — by
+  // construction it is a new group and lands on the append path below.
+  KeyMap groups;
+  groups.Reserve(existing.num_rows());
+  std::string key;
+  if (num_group_cols > 0) {
+    KeyEncoder build(existing, group_idx);
+    for (size_t row = 0; row < existing.num_rows(); ++row) {
+      key.clear();
+      build.AppendKey(row, &key);
+      groups.GetOrAdd(key);
+    }
+  }
+  KeyEncoder probe = num_group_cols > 0
+                         ? KeyEncoder(delta, group_idx, existing, group_idx)
+                         : KeyEncoder(delta, group_idx);
+
+  size_t groups_appended = 0;
+  for (size_t drow = 0; drow < delta.num_rows(); ++drow) {
+    key.clear();
+    probe.AppendKey(drow, &key);
+    // Zero group columns (the grand-total recipe): both summaries are the
+    // single global group, so every delta row combines into row 0.
+    size_t hit = num_group_cols == 0 && existing.num_rows() > 0
+                     ? 0
+                     : groups.Find(key);
+    if (hit == SIZE_MAX) {
+      out.AppendRowFrom(delta, drow);  // new group; re-interns strings
+      ++groups_appended;
+      continue;
+    }
+    for (size_t j = 0; j < aggs.size(); ++j) {
+      size_t c = num_group_cols + j;
+      Value merged = CombineCell(aggs[j].func, out.column(c).GetValue(hit),
+                                 delta.column(c).GetValue(drow));
+      PCTAGG_RETURN_IF_ERROR(out.mutable_column(c).SetValue(hit, merged));
+    }
+  }
+  op.SetRows(delta.num_rows(), out.num_rows());
+  op.SetHashTable(groups.size() + groups_appended, groups.slots());
+  return out;
+}
+
+}  // namespace pctagg

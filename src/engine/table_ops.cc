@@ -159,8 +159,11 @@ Status InsertInto(Table* dst, const Table& src) {
                                   std::to_string(i));
     }
   }
-  for (size_t row = 0; row < src.num_rows(); ++row) {
-    dst->AppendRowFrom(src, row);
+  // Column-at-a-time bulk append: one vector insert per numeric column, one
+  // per-distinct-code dictionary translation per string column (see
+  // Column::AppendAllFrom), instead of a per-row per-column variant visit.
+  for (size_t i = 0; i < dst->num_columns(); ++i) {
+    dst->mutable_column(i).AppendAllFrom(src.column(i));
   }
   return Status::OK();
 }

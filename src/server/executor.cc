@@ -78,6 +78,17 @@ bool QueryExecutor::ParseCreateTableAs(const std::string& sql,
   return true;
 }
 
+bool QueryExecutor::IsAppendStatement(const std::string& sql) {
+  std::istringstream in(sql);
+  std::string word;
+  in >> word;
+  if (EqualsIgnoreCase(word, "EXPLAIN")) {
+    in >> word;
+    if (EqualsIgnoreCase(word, "ANALYZE")) in >> word;
+  }
+  return EqualsIgnoreCase(word, "INSERT") || EqualsIgnoreCase(word, "COPY");
+}
+
 Status QueryExecutor::Run(bool writer, std::function<Status()> fn,
                           uint64_t timeout_ms) {
   // Admission: count this statement in; if the service is already saturated,
@@ -142,6 +153,7 @@ Result<Table> QueryExecutor::ExecuteStatement(
     std::shared_ptr<obs::QueryTrace> trace) {
   std::string name, select_sql;
   bool is_ctas = ParseCreateTableAs(sql, &name, &select_sql);
+  bool is_append = !is_ctas && IsAppendStatement(sql);
   // The worker may outlive a timed-out caller, so the result slot is shared —
   // and the lambda co-owns `trace` so the worker never writes into a trace the
   // caller has already dropped.
@@ -149,15 +161,24 @@ Result<Table> QueryExecutor::ExecuteStatement(
   QueryOptions opts = options;
   opts.trace = trace.get();
   Status st = Run(
-      is_ctas,
+      is_ctas || is_append,
       [this, out, opts, trace, name = std::move(name),
-       select_sql = std::move(select_sql), sql, is_ctas]() -> Status {
+       select_sql = std::move(select_sql), sql, is_ctas, is_append]() -> Status {
         if (is_ctas) {
           // Note: CreateTableAs runs its inner SELECT while we hold the
           // exclusive lock — correct (the new table appears atomically to
           // readers) at the cost of serializing with readers.
           PCTAGG_RETURN_IF_ERROR(db_->CreateTableAs(name, select_sql));
           *out = Table();  // empty result set
+          return Status::OK();
+        }
+        if (is_append) {
+          // Appends mutate the base table and delta-maintain its cached
+          // summaries; the exclusive lock we hold is exactly the
+          // writer-exclusivity AppendRows requires.
+          Result<Table> r = db_->Execute(sql, opts);
+          if (!r.ok()) return r.status();
+          *out = std::move(r);
           return Status::OK();
         }
         Result<Table> r = db_->Query(sql, opts);

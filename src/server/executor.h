@@ -46,8 +46,9 @@ class QueryExecutor {
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
-  // Classifies and runs one SQL statement: "CREATE TABLE <t> AS <select>"
-  // goes down the exclusive path, everything else is a read. `timeout_ms` of
+  // Classifies and runs one SQL statement: "CREATE TABLE <t> AS <select>",
+  // INSERT and COPY ... (APPEND) — including their EXPLAIN [ANALYZE] forms —
+  // go down the exclusive path, everything else is a read. `timeout_ms` of
   // 0 means no deadline. A non-null `trace` collects the executed-plan trace
   // (SET trace on); it is shared because a timed-out statement keeps running
   // in the background and must not write into a freed trace.
@@ -68,6 +69,11 @@ class QueryExecutor {
   // True (and outputs the pieces) if `sql` is CREATE TABLE <name> AS <select>.
   static bool ParseCreateTableAs(const std::string& sql, std::string* name,
                                  std::string* select_sql);
+
+  // True if `sql` is an INSERT or COPY statement (optionally wrapped in
+  // EXPLAIN [ANALYZE]) — these mutate the catalog, so they run under the
+  // exclusive lock and are dispatched to PctDatabase::Execute.
+  static bool IsAppendStatement(const std::string& sql);
 
   const ExecutorConfig& config() const { return config_; }
   size_t worker_threads() const { return pool_->num_threads(); }

@@ -21,8 +21,9 @@ struct VerbEntry {
   RequestVerb verb;
 };
 
-constexpr std::array<VerbEntry, 12> kVerbs = {{
+constexpr std::array<VerbEntry, 13> kVerbs = {{
     {"QUERY", RequestVerb::kQuery},
+    {"APPEND", RequestVerb::kAppend},
     {"EXPLAIN", RequestVerb::kExplain},
     {"OLAP", RequestVerb::kOlap},
     {"SET", RequestVerb::kSet},

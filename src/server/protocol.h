@@ -27,6 +27,7 @@ inline constexpr size_t kMaxBodyBytes = 1 << 28;
 
 enum class RequestVerb {
   kQuery,    // QUERY <sql>       run a statement (SELECT / CREATE TABLE AS)
+  kAppend,   // APPEND <sql>      run a write (INSERT / COPY ... (APPEND))
   kExplain,  // EXPLAIN <sql>     return the generated evaluation script
   kOlap,     // OLAP <sql>        run a Vpct query via the OLAP baseline
   kSet,      // SET <opt> <val>   change a session option

@@ -209,6 +209,9 @@ WireResponse PctServer::HandleRequest(Session* session,
   WireResponse resp;
   switch (request.verb) {
     case RequestVerb::kQuery:
+    // APPEND is a courtesy alias: the executor classifies INSERT/COPY by the
+    // statement text, so writes sent via QUERY take the exclusive path too.
+    case RequestVerb::kAppend:
       return RunStatement(session, request.payload, /*olap_baseline=*/false);
     case RequestVerb::kOlap:
       return RunStatement(session, request.payload, /*olap_baseline=*/true);
@@ -235,6 +238,25 @@ WireResponse PctServer::HandleRequest(Session* session,
       return resp;
     }
     case RequestVerb::kSet: {
+      // summary_cache_mb is database-wide (the byte-budget LRU is shared by
+      // every session), so it is handled here rather than in Session.
+      {
+        std::istringstream in(request.payload);
+        std::string option, value;
+        in >> option >> value;
+        if (EqualsIgnoreCase(option, "summary_cache_mb")) {
+          if (!IsInteger(value)) {
+            resp.status = Status::InvalidArgument(
+                "SET summary_cache_mb expects an integer (MiB)");
+            return resp;
+          }
+          size_t mb = static_cast<size_t>(
+              std::strtoull(value.c_str(), nullptr, 10));
+          db_->summaries().set_capacity_bytes(mb << 20);
+          resp.body = StrFormat("summary_cache_mb = %zu (global)\n", mb);
+          return resp;
+        }
+      }
       Result<std::string> r = session->ApplySet(request.payload);
       if (!r.ok()) {
         resp.status = r.status();

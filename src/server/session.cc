@@ -134,6 +134,22 @@ Result<std::string> Session::ApplySet(const std::string& args) {
     horizontal_name_ = value;
     return "horizontal = " + value;
   }
+  if (option == "append_policy") {
+    if (value == "auto" || value == "default") {
+      options_.append_policy = AppendPolicy::kAuto;
+      append_policy_name_ = "auto";
+    } else if (value == "merge") {
+      options_.append_policy = AppendPolicy::kMerge;
+      append_policy_name_ = value;
+    } else if (value == "recompute") {
+      options_.append_policy = AppendPolicy::kRecompute;
+      append_policy_name_ = value;
+    } else {
+      return Status::InvalidArgument(
+          "SET append_policy expects auto|merge|recompute");
+    }
+    return "append_policy = " + append_policy_name_;
+  }
   return Status::InvalidArgument("SET: unknown option: " + option);
 }
 
@@ -150,10 +166,11 @@ std::string Session::Describe() const {
       "horizontal = %s\n"
       "dop = %s\n"
       "trace = %s\n"
+      "append_policy = %s\n"
       "queries = %llu (%llu errors, %.3f ms total)\n",
       (unsigned long long)id_, (unsigned long long)timeout_ms_, cache.c_str(),
       vpct_name_.c_str(), horizontal_name_.c_str(), DescribeDop().c_str(),
-      trace_ ? "on" : "off",
+      trace_ ? "on" : "off", append_policy_name_.c_str(),
       (unsigned long long)queries_, (unsigned long long)errors_,
       static_cast<double>(total_micros_) / 1000.0);
 }

@@ -34,6 +34,8 @@ class Session {
   //   vpct auto|best|noindex|update|rescan
   //   horizontal auto|case|case_fv|spj|spj_fv
   //   trace on|off                append the executed-plan trace to results
+  //   append_policy auto|merge|recompute   summary maintenance for INSERT/COPY
+  // (SET summary_cache_mb is database-wide and handled by the server.)
   // Returns a human-readable confirmation.
   Result<std::string> ApplySet(const std::string& args);
 
@@ -63,6 +65,7 @@ class Session {
   QueryOptions options_;
   std::string vpct_name_ = "auto";
   std::string horizontal_name_ = "auto";
+  std::string append_policy_name_ = "auto";
   bool trace_ = false;
   uint64_t queries_ = 0;
   uint64_t errors_ = 0;

@@ -306,4 +306,41 @@ Result<AnalyzedQuery> Analyze(const SelectStatement& stmt,
   return out;
 }
 
+Result<Table> BuildInsertDelta(const InsertStatement& stmt,
+                               const Schema& schema) {
+  // Map each schema position to its literal index within a VALUES row, or
+  // SIZE_MAX for columns the statement omits (filled with NULL below).
+  std::vector<size_t> source_of(schema.num_columns(), SIZE_MAX);
+  if (stmt.columns.empty()) {
+    if (!stmt.rows.empty() && stmt.rows.front().size() != schema.num_columns()) {
+      return Status::InvalidArgument(StrFormat(
+          "INSERT INTO %s expects %zu values per row, got %zu", stmt.table.c_str(),
+          schema.num_columns(), stmt.rows.front().size()));
+    }
+    for (size_t i = 0; i < schema.num_columns(); ++i) source_of[i] = i;
+  } else {
+    for (size_t j = 0; j < stmt.columns.size(); ++j) {
+      PCTAGG_ASSIGN_OR_RETURN(size_t idx,
+                              schema.FindColumn(stmt.columns[j]));
+      if (source_of[idx] != SIZE_MAX) {
+        return Status::InvalidArgument("INSERT names column " +
+                                       stmt.columns[j] + " twice");
+      }
+      source_of[idx] = j;
+    }
+  }
+  Table delta{schema};
+  delta.Reserve(stmt.rows.size());
+  std::vector<Value> bound(schema.num_columns());
+  for (const std::vector<Value>& row : stmt.rows) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      bound[i] = source_of[i] == SIZE_MAX ? Value::Null() : row[source_of[i]];
+    }
+    // AppendRow type-checks each cell against the schema (and widens int
+    // literals into FLOAT64 columns).
+    PCTAGG_RETURN_IF_ERROR(delta.AppendRow(bound));
+  }
+  return delta;
+}
+
 }  // namespace pctagg

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "engine/data_type.h"
+#include "engine/table.h"
 #include "sql/ast.h"
 
 namespace pctagg {
@@ -77,6 +78,16 @@ struct AnalyzedQuery {
 // horizontal terms in one statement is rejected (the paper's stated open
 // problem); window terms cannot carry BY/DEFAULT and preclude GROUP BY.
 Result<AnalyzedQuery> Analyze(const SelectStatement& stmt, const Schema& schema);
+
+// Binds an INSERT against the target table's schema and materializes the
+// batch as a delta table with exactly that schema. Named column lists are
+// resolved case-insensitively (no duplicates); columns the statement omits
+// are filled with NULL — the paper's missing-rows rules treat an absent
+// dimension value as a NULL group that percentage queries keep or pad
+// explicitly, so partial inserts stay queryable. Integer literals widen to
+// FLOAT64 columns; any other type mismatch is an error.
+Result<Table> BuildInsertDelta(const InsertStatement& stmt,
+                               const Schema& schema);
 
 }  // namespace pctagg
 

@@ -69,4 +69,25 @@ std::string SelectStatement::ToString() const {
   return out + ";";
 }
 
+std::string InsertStatement::ToString() const {
+  std::string out = "INSERT INTO " + table;
+  if (!columns.empty()) out += " (" + Join(columns, ", ") + ")";
+  out += " VALUES ";
+  std::vector<std::string> rendered;
+  rendered.reserve(rows.size());
+  for (const std::vector<Value>& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& v : row) cells.push_back(v.ToString());
+    rendered.push_back("(" + Join(cells, ", ") + ")");
+  }
+  return out + Join(rendered, ", ") + ";";
+}
+
+std::string CopyStatement::ToString() const {
+  std::string out = "COPY " + table + " FROM '" + path + "'";
+  if (append) out += " (APPEND)";
+  return out + ";";
+}
+
 }  // namespace pctagg

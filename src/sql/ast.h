@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "engine/expression.h"
+#include "engine/value.h"
 
 namespace pctagg {
 
@@ -66,6 +67,28 @@ struct SelectStatement {
   std::vector<OrderItem> order_by;
   bool has_limit = false;
   size_t limit = 0;
+
+  std::string ToString() const;
+};
+
+// INSERT INTO <table> [(<columns>)] VALUES (<literals>), ... — the append
+// statement. An empty column list means schema order; named lists may omit
+// columns, which are filled with NULL (the paper's missing-dimension rows).
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;  // empty = full schema, in order
+  std::vector<std::vector<Value>> rows;
+
+  std::string ToString() const;
+};
+
+// COPY <table> FROM '<path>' (APPEND) — bulk CSV append. The APPEND option
+// is required today: it states the write is additive, which is what lets
+// delta maintenance patch cached summaries instead of invalidating them.
+struct CopyStatement {
+  std::string table;
+  std::string path;
+  bool append = false;
 
   std::string ToString() const;
 };

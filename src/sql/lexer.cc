@@ -14,7 +14,8 @@ bool IsKeywordWord(const std::string& upper) {
       "AND",    "OR",    "NOT",      "NULL",      "IS",     "CASE",
       "WHEN",   "THEN",  "ELSE",     "END",       "OVER",   "PARTITION",
       "ORDER",  "ASC",   "DESC",     "DISTINCT",  "DEFAULT", "HAVING",
-      "LIMIT",  "EXPLAIN", "ANALYZE"};
+      "LIMIT",  "EXPLAIN", "ANALYZE", "INSERT",   "INTO",   "VALUES",
+      "COPY",   "APPEND"};
   for (const char* kw : kKeywords) {
     if (upper == kw) return true;
   }

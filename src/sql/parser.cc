@@ -96,6 +96,76 @@ class Parser {
     return stmt;
   }
 
+  Result<InsertStatement> ParseInsertStatement() {
+    InsertStatement stmt;
+    PCTAGG_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    PCTAGG_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    PCTAGG_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (ConsumeSymbol("(")) {
+      while (true) {
+        PCTAGG_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+        stmt.columns.push_back(std::move(name));
+        if (!ConsumeSymbol(",")) break;
+      }
+      PCTAGG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    PCTAGG_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      PCTAGG_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Value> row;
+      while (true) {
+        PCTAGG_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        row.push_back(std::move(v));
+        if (!ConsumeSymbol(",")) break;
+      }
+      PCTAGG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (!stmt.columns.empty() && row.size() != stmt.columns.size()) {
+        return Status::ParseError(StrFormat(
+            "VALUES row has %zu literals but %zu columns were named",
+            row.size(), stmt.columns.size()));
+      }
+      if (!stmt.rows.empty() && row.size() != stmt.rows.front().size()) {
+        return Status::ParseError("VALUES rows differ in arity");
+      }
+      stmt.rows.push_back(std::move(row));
+      if (!ConsumeSymbol(",")) break;
+    }
+    ConsumeSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("unexpected trailing input near '" +
+                                Peek().text + "'");
+    }
+    return stmt;
+  }
+
+  Result<CopyStatement> ParseCopyStatement() {
+    CopyStatement stmt;
+    PCTAGG_RETURN_IF_ERROR(ExpectKeyword("COPY"));
+    PCTAGG_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    PCTAGG_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Peek().type != TokenType::kString) {
+      return Status::ParseError("COPY requires a quoted file path");
+    }
+    stmt.path = Peek().text;
+    Advance();
+    if (ConsumeSymbol("(")) {
+      PCTAGG_RETURN_IF_ERROR(ExpectKeyword("APPEND"));
+      stmt.append = true;
+      PCTAGG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    if (!stmt.append) {
+      return Status::ParseError(
+          "COPY requires the (APPEND) option: only additive loads are "
+          "supported");
+    }
+    ConsumeSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("unexpected trailing input near '" +
+                                Peek().text + "'");
+    }
+    return stmt;
+  }
+
  private:
   const Token& Peek(size_t ahead = 0) const {
     size_t i = pos_ + ahead;
@@ -140,6 +210,29 @@ class Parser {
     std::string name = Peek().text;
     Advance();
     return name;
+  }
+
+  // One VALUES literal: [-] integer | [-] float | 'string' | NULL.
+  Result<Value> ParseLiteral() {
+    if (ConsumeKeyword("NULL")) return Value::Null();
+    bool negate = ConsumeSymbol("-");
+    const Token& t = Peek();
+    if (t.type == TokenType::kInteger) {
+      int64_t v = std::stoll(t.text);
+      Advance();
+      return Value::Int64(negate ? -v : v);
+    }
+    if (t.type == TokenType::kFloat) {
+      double v = std::stod(t.text);
+      Advance();
+      return Value::Float64(negate ? -v : v);
+    }
+    if (!negate && t.type == TokenType::kString) {
+      std::string v = t.text;
+      Advance();
+      return Value::String(std::move(v));
+    }
+    return Status::ParseError("expected literal near '" + t.text + "'");
   }
 
   // Returns the aggregate kind for a function-call identifier, or kScalar.
@@ -431,6 +524,18 @@ Result<SelectStatement> ParseSelect(const std::string& sql) {
   return parser.Parse();
 }
 
+Result<InsertStatement> ParseInsert(const std::string& sql) {
+  PCTAGG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseInsertStatement();
+}
+
+Result<CopyStatement> ParseCopy(const std::string& sql) {
+  PCTAGG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseCopyStatement();
+}
+
 Result<ParsedStatement> ParseStatementKind(const std::string& sql) {
   ParsedStatement out;
   PCTAGG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
@@ -448,6 +553,13 @@ Result<ParsedStatement> ParseStatementKind(const std::string& sql) {
     out.select_sql = sql.substr(tokens[i].position);
   } else {
     out.select_sql = sql;
+  }
+  if (i < tokens.size()) {
+    if (tokens[i].IsKeyword("INSERT")) {
+      out.kind = ParsedStatement::Kind::kInsert;
+    } else if (tokens[i].IsKeyword("COPY")) {
+      out.kind = ParsedStatement::Kind::kCopy;
+    }
   }
   return out;
 }

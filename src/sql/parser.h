@@ -25,12 +25,30 @@ namespace pctagg {
 // comparisons, AND/OR/NOT, IS [NOT] NULL and CASE WHEN.
 Result<SelectStatement> ParseSelect(const std::string& sql);
 
+// Parses one append statement:
+//
+//   INSERT INTO sales (state, city, salesAmt) VALUES
+//     ('CA', 'la', 12.5), ('TX', NULL, 3);
+//
+// Literals are integers, floats (optionally negated), strings and NULL. An
+// omitted column list means "all columns in schema order"; binding against
+// the schema happens in the analyzer (BuildInsertDelta).
+Result<InsertStatement> ParseInsert(const std::string& sql);
+
+// Parses a bulk CSV append:
+//
+//   COPY sales FROM 'new_batch.csv' (APPEND);
+Result<CopyStatement> ParseCopy(const std::string& sql);
+
 // Statement-kind dispatch for the surfaces (shell, server, PctDatabase):
-// recognizes an EXPLAIN [ANALYZE] prefix and hands back the wrapped SELECT
-// text. A bare SELECT comes back unchanged with both flags false.
+// recognizes an EXPLAIN [ANALYZE] prefix, classifies the wrapped statement
+// (SELECT vs INSERT vs COPY by its leading keyword) and hands back its text.
+// A bare SELECT comes back unchanged with both flags false.
 struct ParsedStatement {
+  enum class Kind { kSelect, kInsert, kCopy };
   bool explain = false;
   bool analyze = false;
+  Kind kind = Kind::kSelect;
   std::string select_sql;  // the statement with any EXPLAIN prefix removed
 };
 Result<ParsedStatement> ParseStatementKind(const std::string& sql);

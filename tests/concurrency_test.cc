@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -213,6 +214,101 @@ TEST(ConcurrencyTest, ParallelQueriesContendOnSharedPoolWithoutDeadlock) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(db.catalog().TableNames().size(), 1u);
+}
+
+// Mixed append + query load through the executor's reader/writer discipline:
+// INSERT statements (classified as writers by statement text) interleave with
+// cached Vpct queries. Every result a reader sees must be internally
+// consistent — within each totals group the percentages sum to exactly 1 —
+// whether it was answered before or after any given append, from a fresh
+// aggregation or from a delta-merged cache entry. A torn read (summary
+// merged against a half-extended table, or a stale entry surviving an
+// append) breaks that invariant.
+TEST(AppendQueryStress, MixedAppendsAndCachedQueriesStayConsistent) {
+  PctDatabase db;
+  db.EnableSummaryCache(true);
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(41, 2000)).ok());
+  QueryExecutor executor(&db, ExecutorConfig{4, 64});
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> rows_appended{0};
+
+  auto append_worker = [&db, &executor, &failures, &rows_appended] {
+    Rng rng(43);
+    for (int iter = 0; iter < 15; ++iter) {
+      // ~1% of the base table per batch, as one INSERT statement.
+      std::string sql = "INSERT INTO f VALUES ";
+      const size_t batch = 20;
+      for (size_t i = 0; i < batch; ++i) {
+        if (i > 0) sql += ", ";
+        sql += "(" + std::to_string(rng.Uniform(5)) + ", " +
+               std::to_string(rng.Uniform(6)) + ", " +
+               std::to_string(1 + rng.Uniform(9)) + ".5)";
+      }
+      Result<Table> r =
+          executor.ExecuteStatement(sql, QueryOptions{}, /*timeout_ms=*/0);
+      if (!r.ok()) {
+        ++failures;
+        continue;
+      }
+      rows_appended += batch;
+    }
+  };
+  auto query_worker = [&executor, &failures, &stop] {
+    while (!stop.load()) {
+      Result<Table> r = executor.ExecuteStatement(
+          "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2",
+          QueryOptions{}, /*timeout_ms=*/0);
+      if (!r.ok()) {
+        ++failures;
+        continue;
+      }
+      // Vpct(a BY d2): within each d1 the percentages across d2 sum to 1
+      // (same invariant as property test P1).
+      std::map<int64_t, double> sums;
+      const Column& d1 = r->column(0);
+      const Column& pct = r->column(2);
+      for (size_t i = 0; i < r->num_rows(); ++i) {
+        if (pct.IsNull(i)) continue;
+        sums[d1.Int64At(i)] += pct.Float64At(i);
+      }
+      for (const auto& [k, s] : sums) {
+        if (std::fabs(s - 1.0) > 1e-9) {
+          ++failures;
+          break;
+        }
+      }
+    }
+  };
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) readers.emplace_back(query_worker);
+  std::thread writer(append_worker);
+  writer.join();
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every batch landed in full.
+  EXPECT_EQ(db.catalog().GetTable("f").value()->num_rows(),
+            2000u + rows_appended.load());
+  EXPECT_EQ(db.catalog().TableNames().size(), 1u);
+  // The final cache state answers correctly too: one more query, compared
+  // against a from-scratch database over the same rows.
+  Table got = db.Query("SELECT d1, d2, Vpct(a BY d2) AS pct FROM f "
+                       "GROUP BY d1, d2 ORDER BY d1, d2")
+                  .value();
+  PctDatabase fresh;
+  ASSERT_TRUE(
+      fresh.CreateTable("f", *db.catalog().GetTable("f").value()).ok());
+  Table want = fresh.Query("SELECT d1, d2, Vpct(a BY d2) AS pct FROM f "
+                           "GROUP BY d1, d2 ORDER BY d1, d2")
+                   .value();
+  ASSERT_EQ(got.num_rows(), want.num_rows());
+  for (size_t i = 0; i < want.num_rows(); ++i) {
+    EXPECT_EQ(got.column(0).GetValue(i), want.column(0).GetValue(i));
+    EXPECT_EQ(got.column(1).GetValue(i), want.column(1).GetValue(i));
+    EXPECT_NEAR(got.column(2).Float64At(i), want.column(2).Float64At(i),
+                1e-9);
+  }
 }
 
 TEST(ConcurrencyTest, CatalogOperationsAreSynchronized) {

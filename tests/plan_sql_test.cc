@@ -160,7 +160,8 @@ TEST(PlanSqlTest, HaggFromFvComputesVerticalAggregateFirst) {
           Analyzed("SELECT d1, max(a BY d2) FROM f GROUP BY d1"), s)
           .value()
           .ToSql();
-  EXPECT_NE(sql.find("max(a) FROM f GROUP BY d1, d2"), std::string::npos)
+  EXPECT_NE(sql.find("max(a) AS __v FROM f GROUP BY d1, d2"),
+            std::string::npos)
       << sql;
 }
 
@@ -172,7 +173,8 @@ TEST(PlanSqlTest, AvgFromFvCarriesSumAndCount) {
           Analyzed("SELECT d1, avg(a BY d2) FROM f GROUP BY d1"), s)
           .value()
           .ToSql();
-  EXPECT_NE(sql.find("sum(a), count(a)"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("sum(a) AS __vs, count(a) AS __vc"), std::string::npos)
+      << sql;
 }
 
 TEST(PlanSqlTest, OlapScriptUsesWindowsAndDistinct) {

@@ -147,6 +147,179 @@ TEST(SummaryCacheTest, StaleInsertAfterInvalidationIsRejected) {
   EXPECT_EQ(cache.stale_inserts(), 2u);
 }
 
+// --- Byte-budget LRU ------------------------------------------------------
+
+// A small one-column summary for budget tests; each instance costs the same
+// approximate byte count, so eviction order is purely LRU.
+Table SmallSummary(int64_t v) {
+  Table t(Schema({{"d1", DataType::kInt64}}));
+  EXPECT_TRUE(t.AppendRow({Value::Int64(v)}).ok());
+  return t;
+}
+
+TEST(SummaryCacheTest, InsertTracksBytes) {
+  SummaryCache cache;
+  EXPECT_EQ(cache.bytes(), 0u);
+  cache.Insert(SummaryCache::KeyFor("f", {"d1"}, "sum(a)"), SmallSummary(1));
+  size_t one = cache.bytes();
+  EXPECT_GT(one, 0u);
+  cache.Insert(SummaryCache::KeyFor("f", {"d2"}, "sum(a)"), SmallSummary(2));
+  EXPECT_EQ(cache.bytes(), 2 * one);
+  // Replacing an entry keeps the byte count flat.
+  cache.Insert(SummaryCache::KeyFor("f", {"d1"}, "sum(a)"), SmallSummary(3));
+  EXPECT_EQ(cache.bytes(), 2 * one);
+  cache.InvalidateTable("f");
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(SummaryCacheTest, EvictsLeastRecentlyUsedFirst) {
+  SummaryCache cache;
+  std::string k1 = SummaryCache::KeyFor("f", {"d1"}, "sum(a)");
+  std::string k2 = SummaryCache::KeyFor("f", {"d2"}, "sum(a)");
+  std::string k3 = SummaryCache::KeyFor("f", {"d3"}, "sum(a)");
+  cache.Insert(k1, SmallSummary(1));
+  size_t one = cache.bytes();
+  cache.Insert(k2, SmallSummary(2));
+  // Touch k1 so k2 is now the coldest entry.
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  // Budget for exactly two entries: inserting a third evicts the coldest.
+  cache.set_capacity_bytes(2 * one);
+  cache.Insert(k3, SmallSummary(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  EXPECT_EQ(cache.Lookup(k2), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(k3), nullptr);
+}
+
+TEST(SummaryCacheTest, ShrinkingBudgetEvictsImmediately) {
+  SummaryCache cache;
+  for (int64_t i = 0; i < 4; ++i) {
+    cache.Insert(SummaryCache::KeyFor("f", {"d" + std::to_string(i)}, "sum(a)"),
+                 SmallSummary(i));
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  size_t one = cache.bytes() / 4;
+  cache.set_capacity_bytes(one);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 3u);
+  EXPECT_LE(cache.bytes(), one);
+  // Budget 0 disables storage entirely.
+  cache.set_capacity_bytes(0);
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Insert(SummaryCache::KeyFor("f", {"d9"}, "sum(a)"), SmallSummary(9));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SummaryCacheTest, CacheBoundedUnderQueryLoad) {
+  PctDatabase db;
+  db.EnableSummaryCache(true);
+  db.summaries().set_capacity_bytes(1);  // absurdly small: everything evicts
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(7)).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(db.Query(kSql).ok());
+  EXPECT_EQ(db.summaries().size(), 0u);
+  EXPECT_GE(db.summaries().evictions(), 1u);
+  EXPECT_EQ(db.summaries().bytes(), 0u);
+}
+
+// --- Append protocol ------------------------------------------------------
+
+SummaryRecipe SumRecipe() {
+  return SummaryRecipe{{"d1"}, {{AggFunc::kSum, nullptr, "s"}}};
+}
+
+TEST(SummaryCacheTest, RecipeMergeability) {
+  EXPECT_TRUE(RecipeIsMergeable(
+      SummaryRecipe{{"d1"}, {{AggFunc::kSum, nullptr, "s"},
+                             {AggFunc::kCount, nullptr, "c"},
+                             {AggFunc::kMin, nullptr, "lo"},
+                             {AggFunc::kMax, nullptr, "hi"},
+                             {AggFunc::kCountStar, nullptr, "n"}}}));
+  EXPECT_FALSE(RecipeIsMergeable(
+      SummaryRecipe{{"d1"}, {{AggFunc::kAvg, nullptr, "m"}}}));
+}
+
+TEST(SummaryCacheTest, BeginAppendChecksOutMergeableEntries) {
+  SummaryCache cache;
+  std::string mergeable_key = SummaryCache::KeyFor("f", {"d1"}, "sum(a)");
+  std::string plain_key = SummaryCache::KeyFor("f", {"d2"}, "avg(a)");
+  std::string other_key = SummaryCache::KeyFor("g", {"d1"}, "sum(a)");
+  SummaryRecipe recipe = SumRecipe();
+  cache.Insert(mergeable_key, SmallSummary(1), cache.GenerationFor("f"),
+               &recipe);
+  cache.Insert(plain_key, SmallSummary(2));  // no recipe: not maintainable
+  cache.Insert(other_key, SmallSummary(3), cache.GenerationFor("g"), &recipe);
+
+  size_t dropped = 0;
+  std::vector<SummaryCache::PendingMerge> pending =
+      cache.BeginAppend("f", &dropped);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].key, mergeable_key);
+  EXPECT_EQ(dropped, 1u);
+  // Both f-derived entries are gone for the append window; g's survives.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Lookup(other_key), nullptr);
+
+  // The merged summary lands because nothing intervened.
+  EXPECT_TRUE(cache.CompleteMerge(pending[0], SmallSummary(4)));
+  std::shared_ptr<const Table> merged = cache.Lookup(mergeable_key);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->column(0).GetValue(0), Value::Int64(4));
+}
+
+TEST(SummaryCacheTest, CompleteMergeRejectedAfterLaterWrite) {
+  SummaryCache cache;
+  std::string key = SummaryCache::KeyFor("f", {"d1"}, "sum(a)");
+  SummaryRecipe recipe = SumRecipe();
+  cache.Insert(key, SmallSummary(1), cache.GenerationFor("f"), &recipe);
+  std::vector<SummaryCache::PendingMerge> pending = cache.BeginAppend("f");
+  ASSERT_EQ(pending.size(), 1u);
+  // A second write (replace or another append) lands before the merge does:
+  // the merged summary describes a superseded table state and must not stick.
+  cache.InvalidateTable("f");
+  EXPECT_FALSE(cache.CompleteMerge(pending[0], SmallSummary(2)));
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_GE(cache.stale_inserts(), 1u);
+}
+
+TEST(SummaryCacheTest, FresherFillWinsOverMerge) {
+  SummaryCache cache;
+  std::string key = SummaryCache::KeyFor("f", {"d1"}, "sum(a)");
+  SummaryRecipe recipe = SumRecipe();
+  cache.Insert(key, SmallSummary(1), cache.GenerationFor("f"), &recipe);
+  std::vector<SummaryCache::PendingMerge> pending = cache.BeginAppend("f");
+  ASSERT_EQ(pending.size(), 1u);
+  // While the append merges, a query misses (the entry was checked out) and
+  // recomputes from the already-extended table, inserting at the post-append
+  // generation. That fill is as fresh as the merge; it must not be clobbered.
+  cache.Insert(key, SmallSummary(42), cache.GenerationFor("f"), &recipe);
+  EXPECT_FALSE(cache.CompleteMerge(pending[0], SmallSummary(2)));
+  std::shared_ptr<const Table> kept = cache.Lookup(key);
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(kept->column(0).GetValue(0), Value::Int64(42));
+}
+
+// Extension of the fill/invalidate regression above to appends: a fill that
+// scanned the table *before* rows were appended must not publish after the
+// append, or the cache would serve pre-append aggregates for a post-append
+// table. BeginAppend bumps the generation exactly like InvalidateTable.
+TEST(SummaryCacheTest, StaleInsertDuringAppendIsRejected) {
+  SummaryCache cache;
+  std::string key = SummaryCache::KeyFor("f", {"d1"}, "sum(a)");
+  // Query thread snapshots the generation and starts scanning.
+  uint64_t generation = cache.GenerationFor("f");
+  // Writer appends rows: generation moves, mergeable entries check out.
+  std::vector<SummaryCache::PendingMerge> pending = cache.BeginAppend("f");
+  EXPECT_TRUE(pending.empty());
+  // The pre-append fill lands late and must be rejected.
+  cache.Insert(key, SmallSummary(1), generation);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.stale_inserts(), 1u);
+  // A fill snapshotted after the append publishes fine.
+  cache.Insert(key, SmallSummary(2), cache.GenerationFor("f"));
+  EXPECT_NE(cache.Lookup(key), nullptr);
+}
+
 TEST(SummaryCacheTest, DisabledByDefault) {
   PctDatabase db;
   ASSERT_TRUE(db.CreateTable("f", RandomFact(6)).ok());

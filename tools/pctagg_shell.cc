@@ -107,7 +107,10 @@ void RunStatement(ShellState* state, const std::string& sql) {
     return;
   }
   pctagg::Stopwatch timer;
-  Result<Table> result = state->db.Query(sql);
+  // Execute dispatches: SELECT / EXPLAIN forms to Query, INSERT / COPY to
+  // the append path (the shell is single-threaded, so writer exclusivity
+  // holds trivially).
+  Result<Table> result = state->db.Execute(sql);
   double millis = timer.ElapsedMillis();
   if (!result.ok()) {
     PrintStatus(result.status());
