@@ -1,0 +1,332 @@
+// bench_persistence — cost of durability: append throughput with the WAL on
+// (fsync always/batch/off) against the pure in-memory path, plus checkpoint
+// and startup-recovery time on the same corpus; reports JSON
+// (BENCH_persistence.json, also echoed to stdout).
+//
+// Workload: the paper's sales table at PCTAGG_PERSISTENCE_ROWS rows
+// (default 1M). Each mode creates the base table, then appends kRounds
+// batches of 1% each, timing only the appends:
+//
+//   in-memory   no storage attached — the seed reference the WAL path is
+//               held against.
+//   wal-batch   --data-dir with fsync=batch (8 MiB group commit): the
+//               production default; the acceptance bar says its append
+//               throughput stays within 25% of in-memory.
+//   wal-always  fsync per record: the full-durability upper bound, reported
+//               but not guarded (it is dominated by device sync latency).
+//
+// After the wal-batch run the same database is CHECKPOINTed (timed, with
+// segment bytes) and the data directory is reopened twice: once recovering
+// from segments only (post-checkpoint) and once replaying the whole append
+// history from the WAL (no checkpoint), timing both recoveries.
+//
+// The JSON's "aggregate" section is shaped for scripts/bench_smoke.py:
+// "seed_reference_ms" is the in-memory append total, the dop=1 row carries
+// wal-batch with "speedup_vs_seed" = in_memory_ms / wal_batch_ms (≈ 1/(1+
+// overhead)), and "dop1_regression_pct" is the WAL overhead in percent —
+// over 25 the binary exits 1 (skipped in --smoke).
+//
+// Correctness rider: the table recovered from segments + WAL replay must be
+// bit-identical (dictionary codes and NULL bitmaps included) to the
+// in-memory table built from the same base + batches.
+//
+// Flags / environment:
+//   --smoke                     tiny rows + 1 repetition
+//   PCTAGG_PERSISTENCE_ROWS     sales rows (default 1000000)
+//   PCTAGG_PERSISTENCE_REPS     repetitions, best-of (default 3)
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/database.h"
+#include "engine/table_ops.h"
+#include "storage/storage.h"
+#include "workload/generators.h"
+
+namespace {
+
+using pctagg::PctDatabase;
+using pctagg::Result;
+using pctagg::StrFormat;
+using pctagg::Table;
+using pctagg::storage::FsyncPolicy;
+using pctagg::storage::StorageOptions;
+
+constexpr size_t kRounds = 30;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  long long n = std::atoll(v);
+  return n > 0 ? static_cast<size_t>(n) : fallback;
+}
+
+std::string MakeTempDir() {
+  std::string tmpl = "/tmp/pctagg_bench_persistence_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl.data());
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::abort();
+  }
+  return dir;
+}
+
+void Must(const pctagg::Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::abort();
+  }
+}
+
+// Appends every batch, returning total milliseconds spent in AppendRows.
+double TimeAppends(PctDatabase* db, const std::vector<Table>& batches) {
+  double total_ms = 0;
+  for (const Table& batch : batches) {
+    pctagg::Stopwatch timer;
+    Result<pctagg::AppendOutcome> r = db->AppendRows("sales", batch);
+    total_ms += timer.ElapsedMillis();
+    Must(r.status(), "append");
+  }
+  return total_ms;
+}
+
+// One timed run of a persistence mode; policy ignored when durable==false.
+double RunAppendMode(const Table& base, const std::vector<Table>& batches,
+                     bool durable, FsyncPolicy policy) {
+  PctDatabase db;
+  std::string dir;
+  if (durable) {
+    dir = MakeTempDir();
+    StorageOptions opts;
+    opts.data_dir = dir + "/db";
+    opts.fsync = policy;
+    Must(db.OpenStorage(opts), "open storage");
+  }
+  Must(db.CreateTable("sales", base), "create table");
+  double ms = TimeAppends(&db, batches);
+  if (durable) std::filesystem::remove_all(dir);
+  return ms;
+}
+
+template <typename Fn>
+double BestOf(size_t reps, Fn&& fn) {
+  double best = fn();
+  for (size_t i = 1; i < reps; ++i) best = std::min(best, fn());
+  return best;
+}
+
+bool TablesBitIdentical(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    const pctagg::Column& ca = a.column(c);
+    const pctagg::Column& cb = b.column(c);
+    if (ca.type() != cb.type() || ca.validity() != cb.validity()) return false;
+    switch (ca.type()) {
+      case pctagg::DataType::kInt64:
+        if (ca.int64_data() != cb.int64_data()) return false;
+        break;
+      case pctagg::DataType::kFloat64:
+        for (size_t r = 0; r < a.num_rows(); ++r) {
+          if (!ca.IsNull(r) && ca.Float64At(r) != cb.Float64At(r)) {
+            return false;
+          }
+        }
+        break;
+      case pctagg::DataType::kString: {
+        if (ca.codes() != cb.codes()) return false;
+        if (ca.dict()->size() != cb.dict()->size()) return false;
+        for (uint32_t i = 0; i < ca.dict()->size(); ++i) {
+          if (ca.dict()->value(i) != cb.dict()->value(i)) return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  size_t rows = EnvSize("PCTAGG_PERSISTENCE_ROWS", smoke ? 20000 : 1000000);
+  size_t reps = EnvSize("PCTAGG_PERSISTENCE_REPS", smoke ? 1 : 3);
+
+  std::fprintf(stderr,
+               "[setup] generating sales n=%zu + %zu append batches of 1%%\n",
+               rows, kRounds);
+  Table base = pctagg::GenerateSales(rows);
+  const size_t batch_rows = std::max<size_t>(rows / 100, 1);
+  std::vector<Table> batches;
+  batches.reserve(kRounds);
+  for (size_t i = 0; i < kRounds; ++i) {
+    batches.push_back(pctagg::GenerateSales(batch_rows, /*seed=*/977 + i));
+  }
+  const double appended_rows =
+      static_cast<double>(batch_rows) * static_cast<double>(kRounds);
+
+  struct Mode {
+    const char* name;
+    bool durable;
+    FsyncPolicy policy;
+    double ms = 0;
+  };
+  Mode modes[] = {
+      {"in-memory", false, FsyncPolicy::kOff},
+      {"wal-batch", true, FsyncPolicy::kBatch},
+      {"wal-always", true, FsyncPolicy::kAlways},
+      {"wal-off", true, FsyncPolicy::kOff},
+  };
+  std::string mode_json;
+  for (size_t m = 0; m < sizeof(modes) / sizeof(modes[0]); ++m) {
+    Mode& mode = modes[m];
+    mode.ms = BestOf(reps, [&] {
+      return RunAppendMode(base, batches, mode.durable, mode.policy);
+    });
+    std::fprintf(stderr,
+                 "[%s] %zu appends in %.2f ms (%.0f rows/s)\n", mode.name,
+                 kRounds, mode.ms, appended_rows / (mode.ms / 1000.0));
+    mode_json += StrFormat(
+        "    {\"name\": \"%s\", \"append_total_ms\": %.3f, "
+        "\"rows_per_sec\": %.0f}%s\n",
+        mode.name, mode.ms, appended_rows / (mode.ms / 1000.0),
+        m + 1 == sizeof(modes) / sizeof(modes[0]) ? "" : ",");
+  }
+  const double in_memory_ms = modes[0].ms;
+  const double wal_batch_ms = modes[1].ms;
+  const double overhead_pct =
+      (wal_batch_ms - in_memory_ms) / in_memory_ms * 100.0;
+  std::fprintf(stderr,
+               "[headline] wal-batch append overhead vs in-memory: %+.1f%%\n",
+               overhead_pct);
+
+  // --- Checkpoint + recovery timings on the full corpus --------------------
+  std::string dir = MakeTempDir();
+  double checkpoint_ms = 0, recovery_segment_ms = 0, recovery_wal_ms = 0;
+  uint64_t checkpoint_bytes = 0, wal_replay_records = 0;
+  bool identical = true;
+  {
+    // Build the durable database (batch fsync), then time CHECKPOINT.
+    PctDatabase db;
+    StorageOptions opts;
+    opts.data_dir = dir + "/db";
+    opts.fsync = FsyncPolicy::kBatch;
+    Must(db.OpenStorage(opts), "open storage");
+    Must(db.CreateTable("sales", base), "create table");
+    TimeAppends(&db, batches);
+    pctagg::Stopwatch timer;
+    Result<pctagg::storage::StorageManager::CheckpointStats> ck =
+        db.Checkpoint();
+    Must(ck.status(), "checkpoint");
+    checkpoint_ms = timer.ElapsedMillis();
+    checkpoint_bytes = ck->bytes;
+  }
+  {
+    // Recovery from segments only (the post-checkpoint shape).
+    PctDatabase db;
+    StorageOptions opts;
+    opts.data_dir = dir + "/db";
+    Must(db.OpenStorage(opts), "reopen (segments)");
+    recovery_segment_ms = db.storage()->recovery_stats().recovery_ms;
+    Table expected = base;
+    for (const Table& b : batches) {
+      Must(InsertInto(&expected, b), "build expected");
+    }
+    Result<const Table*> got =
+        static_cast<const PctDatabase&>(db).catalog().GetTable("sales");
+    Must(got.status(), "recovered table");
+    identical = TablesBitIdentical(expected, **got);
+  }
+  std::filesystem::remove_all(dir);
+  {
+    // Recovery replaying the whole append history from the WAL.
+    dir = MakeTempDir();
+    {
+      PctDatabase db;
+      StorageOptions opts;
+      opts.data_dir = dir + "/db";
+      opts.fsync = FsyncPolicy::kOff;
+      Must(db.OpenStorage(opts), "open storage");
+      Must(db.CreateTable("sales", base), "create table");
+      TimeAppends(&db, batches);
+      Must(db.storage()->SyncWal(), "sync wal");
+    }
+    PctDatabase db;
+    StorageOptions opts;
+    opts.data_dir = dir + "/db";
+    Must(db.OpenStorage(opts), "reopen (wal replay)");
+    recovery_wal_ms = db.storage()->recovery_stats().recovery_ms;
+    wal_replay_records = db.storage()->recovery_stats().wal_records_replayed;
+    std::filesystem::remove_all(dir);
+  }
+  std::fprintf(stderr,
+               "[persistence] checkpoint %.2f ms (%llu bytes), recovery "
+               "segments %.2f ms, wal replay %.2f ms (%llu records)\n",
+               checkpoint_ms, (unsigned long long)checkpoint_bytes,
+               recovery_segment_ms, recovery_wal_ms,
+               (unsigned long long)wal_replay_records);
+  std::fprintf(stderr, "[check] recovered vs in-memory bit-identical: %s\n",
+               identical ? "yes" : "NO");
+
+  std::string json = StrFormat(
+      "{\n"
+      "  \"benchmark\": \"persistence\",\n"
+      "  \"rows\": %zu,\n"
+      "  \"batch_rows\": %zu,\n"
+      "  \"rounds\": %zu,\n"
+      "  \"repetitions\": %zu,\n"
+      "  \"aggregate\": {\n"
+      "    \"seed_reference_ms\": %.3f,\n"
+      "    \"dop1_regression_pct\": %.2f,\n"
+      "    \"dop\": [\n"
+      "      {\"dop\": 1, \"ms\": %.3f, \"speedup_vs_seed\": %.3f}\n"
+      "    ]\n"
+      "  },\n"
+      "  \"modes\": [\n%s  ],\n"
+      "  \"persistence\": {\n"
+      "    \"checkpoint_ms\": %.3f,\n"
+      "    \"checkpoint_bytes\": %llu,\n"
+      "    \"recovery_segment_ms\": %.3f,\n"
+      "    \"recovery_wal_replay_ms\": %.3f,\n"
+      "    \"wal_replay_records\": %llu\n"
+      "  },\n"
+      "  \"checks\": {\n"
+      "    \"recovered_bit_identical\": %s\n"
+      "  }\n"
+      "}\n",
+      rows, batch_rows, kRounds, reps, in_memory_ms, overhead_pct,
+      wal_batch_ms, in_memory_ms / wal_batch_ms, mode_json.c_str(),
+      checkpoint_ms, (unsigned long long)checkpoint_bytes,
+      recovery_segment_ms, recovery_wal_ms,
+      (unsigned long long)wal_replay_records, identical ? "true" : "false");
+
+  std::fputs(json.c_str(), stdout);
+  FILE* f = std::fopen("BENCH_persistence.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote BENCH_persistence.json\n");
+  }
+  if (!identical) return 1;
+  if (!smoke && overhead_pct > 25.0) {
+    std::fprintf(stderr,
+                 "FAIL: wal-batch append overhead %.1f%% exceeds the 25%% "
+                 "acceptance bar\n",
+                 overhead_pct);
+    return 1;
+  }
+  return 0;
+}

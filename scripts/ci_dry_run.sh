@@ -98,6 +98,32 @@ else
   FAILED+=("bench smoke")
 fi
 
+# --- persistence bench smoke -------------------------------------------------
+note "persistence bench smoke"
+if cmake --build build-ci-gcc-release -j"$JOBS" --target bench_persistence &&
+   python3 scripts/bench_smoke.py \
+     --binary build-ci-gcc-release/bench/bench_persistence \
+     --baseline BENCH_persistence.json \
+     --env-prefix PCTAGG_PERSISTENCE \
+     --json-name BENCH_persistence.json \
+     --out bench-artifacts \
+     --max-regression-pct 25; then
+  echo "[persistence bench smoke] OK"
+else
+  echo "[persistence bench smoke] FAILED"
+  FAILED+=("persistence bench smoke")
+fi
+
+# --- recovery smoke ----------------------------------------------------------
+note "recovery smoke (kill -9)"
+if cmake --build build-ci-gcc-release -j"$JOBS" --target pctagg_server pctagg_client &&
+   scripts/recovery_smoke.sh build-ci-gcc-release; then
+  echo "[recovery smoke] OK"
+else
+  echo "[recovery smoke] FAILED"
+  FAILED+=("recovery smoke")
+fi
+
 # --- format ------------------------------------------------------------------
 if have clang-format; then
   note "clang-format (changed files vs HEAD~1)"

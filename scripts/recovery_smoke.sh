@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# End-to-end crash-recovery smoke: start pctagg_server with a data directory
+# and fsync=always, append rows over the wire, kill -9 the server mid-flight,
+# restart it on the same directory, and verify every acknowledged append
+# survived. Exercises the full stack the unit tests fork around: real
+# process, real sockets, real SIGKILL.
+#
+# Usage: scripts/recovery_smoke.sh [build-dir]   (default: build)
+
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+SERVER=$BUILD/tools/pctagg_server
+CLIENT=$BUILD/tools/pctagg_client
+PORT=${PCTAGG_SMOKE_PORT:-7497}
+DATA_DIR=$(mktemp -d /tmp/pctagg_recovery_smoke_XXXXXX)
+SERVER_PID=
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$DATA_DIR"
+  exit 1
+}
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$DATA_DIR"
+}
+trap cleanup EXIT
+
+[ -x "$SERVER" ] || fail "$SERVER not built"
+[ -x "$CLIENT" ] || fail "$CLIENT not built"
+
+start_server() {
+  "$SERVER" --port "$PORT" --data-dir "$DATA_DIR/db" --wal-fsync always &
+  SERVER_PID=$!
+  for _ in $(seq 1 50); do
+    if printf '.ping\n.quit\n' | "$CLIENT" --connect 127.0.0.1:"$PORT" \
+        >/dev/null 2>&1; then
+      return 0
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+  done
+  fail "server did not start listening"
+}
+
+# How many rows the server reports for table `f` ("" when absent).
+table_rows() {
+  printf '.tables\n.quit\n' | "$CLIENT" --connect 127.0.0.1:"$PORT" 2>/dev/null |
+    awk -F, '$1 == "f" { print $2 }'
+}
+
+echo "=== phase 1: seed a table and append under fsync=always"
+start_server
+
+printf '.gen sales f 5000\n.quit\n' | "$CLIENT" --connect 127.0.0.1:"$PORT" \
+  >/dev/null || fail "could not create table"
+
+# 40 acknowledged single-row appends; the client exits nonzero if any errs.
+APPENDS=40
+for i in $(seq 1 "$APPENDS"); do
+  "$CLIENT" --connect 127.0.0.1:"$PORT" --query \
+    "INSERT INTO f VALUES ($i, $i, 1, 1, 1, 1, 1, 1, 1, 9.5)" \
+    >/dev/null || fail "append $i not acknowledged"
+done
+
+ROWS_BEFORE=$(table_rows)
+EXPECTED=$((5000 + APPENDS))
+[ "$ROWS_BEFORE" = "$EXPECTED" ] ||
+  fail "pre-kill row count $ROWS_BEFORE != $EXPECTED"
+echo "    $APPENDS appends acknowledged, table at $ROWS_BEFORE rows"
+
+echo "=== phase 2: kill -9, restart on the same data dir"
+kill -9 "$SERVER_PID" || fail "kill failed"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=
+
+start_server
+ROWS_AFTER=$(table_rows)
+[ "$ROWS_AFTER" = "$EXPECTED" ] ||
+  fail "recovered row count $ROWS_AFTER != $EXPECTED (lost acknowledged writes)"
+echo "    recovered $ROWS_AFTER rows after SIGKILL"
+
+echo "=== phase 3: the recovered table still appends and queries"
+"$CLIENT" --connect 127.0.0.1:"$PORT" --query \
+  "INSERT INTO f VALUES (0, 0, 1, 1, 1, 1, 1, 1, 1, 1.0)" >/dev/null ||
+  fail "post-recovery append failed"
+"$CLIENT" --connect 127.0.0.1:"$PORT" --query \
+  "SELECT state, Vpct(salesAmt BY state) AS pct FROM f GROUP BY state" \
+  >/dev/null || fail "post-recovery query failed"
+[ "$(table_rows)" = "$((EXPECTED + 1))" ] || fail "post-recovery append lost"
+
+echo "=== phase 4: graceful shutdown checkpoints and restarts clean"
+kill -TERM "$SERVER_PID" || fail "SIGTERM failed"
+for _ in $(seq 1 50); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$SERVER_PID" 2>/dev/null && fail "server did not exit on SIGTERM"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=
+[ -f "$DATA_DIR/db/CLEAN" ] || fail "no clean-shutdown marker after SIGTERM"
+
+start_server
+[ "$(table_rows)" = "$((EXPECTED + 1))" ] || fail "rows lost across clean restart"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=
+
+echo "recovery smoke passed"

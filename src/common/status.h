@@ -21,6 +21,7 @@ enum class StatusCode {
   kTimeout,           // query exceeded its wall-clock deadline
   kUnavailable,       // server overloaded; retry later
   kInternal,          // invariant violation inside the engine
+  kDataLoss,          // on-disk corruption: checksum/framing failure
 };
 
 // Returns a short human-readable name such as "InvalidArgument".
@@ -67,6 +68,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,7 @@
 #include "core/database.h"
 
+#include <utility>
+
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/cost_model.h"
@@ -426,14 +428,78 @@ Result<Table> PctDatabase::QueryOlapBaseline(const std::string& sql) const {
   return RunPlan(plan, query, summary_cache_enabled_);
 }
 
+Status PctDatabase::CreateTable(const std::string& name, Table table) {
+  summaries_.InvalidateTable(name);
+  PCTAGG_RETURN_IF_ERROR(catalog_.CreateTable(name, std::move(table)));
+  if (storage_ != nullptr) {
+    // DDL persists its full image immediately (tables are created rarely);
+    // the new segment's flush LSN supersedes any same-named WAL history.
+    PCTAGG_ASSIGN_OR_RETURN(const Table* stored, catalog_.GetTable(name));
+    return storage_->PersistTable(ToLower(name), *stored);
+  }
+  return Status::OK();
+}
+
+Status PctDatabase::ReplaceTable(const std::string& name, Table table) {
+  summaries_.InvalidateTable(name);
+  catalog_.CreateOrReplaceTable(name, std::move(table));
+  if (storage_ != nullptr) {
+    PCTAGG_ASSIGN_OR_RETURN(const Table* stored, catalog_.GetTable(name));
+    return storage_->PersistTable(ToLower(name), *stored);
+  }
+  return Status::OK();
+}
+
+Result<bool> PctDatabase::DropTable(const std::string& name, bool if_exists) {
+  if (!catalog_.HasTable(name)) {
+    if (if_exists) return false;
+    return Status::NotFound("table not found: " + name);
+  }
+  summaries_.InvalidateTable(name);
+  PCTAGG_RETURN_IF_ERROR(catalog_.DropTable(name));
+  if (storage_ != nullptr) {
+    PCTAGG_RETURN_IF_ERROR(storage_->RemoveTable(ToLower(name)));
+  }
+  return true;
+}
+
+Status PctDatabase::OpenStorage(storage::StorageOptions options) {
+  if (storage_ != nullptr) {
+    return Status::InvalidArgument("storage already attached");
+  }
+  PCTAGG_ASSIGN_OR_RETURN(storage_,
+                          storage::StorageManager::Open(std::move(options)));
+  for (auto& [name, table] : storage_->TakeRecoveredTables()) {
+    // The generation bump rejects any in-flight fills keyed to a previous
+    // incarnation of the table; recovered tables start with a cold cache.
+    summaries_.InvalidateTable(name);
+    catalog_.CreateOrReplaceTable(name, std::move(table));
+  }
+  return Status::OK();
+}
+
+Result<storage::StorageManager::CheckpointStats> PctDatabase::Checkpoint() {
+  if (storage_ == nullptr) {
+    // CHECKPOINT against an in-memory database succeeds with nothing to do,
+    // so the SQL surface behaves uniformly.
+    return storage::StorageManager::CheckpointStats{};
+  }
+  std::vector<std::pair<std::string, const Table*>> tables;
+  for (const std::string& name : catalog_.TableNames()) {
+    PCTAGG_ASSIGN_OR_RETURN(const Table* table,
+                            std::as_const(catalog_).GetTable(name));
+    tables.emplace_back(name, table);
+  }
+  return storage_->Checkpoint(tables);
+}
+
 Status PctDatabase::CreateTableAs(const std::string& name,
                                   const std::string& sql) {
   if (catalog_.HasTable(name)) {
     return Status::AlreadyExists("table already exists: " + name);
   }
   PCTAGG_ASSIGN_OR_RETURN(Table result, Query(sql));
-  summaries_.InvalidateTable(name);
-  return catalog_.CreateTable(name, std::move(result));
+  return CreateTable(name, std::move(result));
 }
 
 Result<AppendOutcome> PctDatabase::AppendRows(const std::string& name,
@@ -443,6 +509,23 @@ Result<AppendOutcome> PctDatabase::AppendRows(const std::string& name,
   outcome.rows_appended = delta.num_rows();
   PCTAGG_ASSIGN_OR_RETURN(Table* base, catalog_.GetTable(name));
   if (delta.num_rows() == 0) return outcome;
+
+  if (storage_ != nullptr) {
+    // WAL-before-data. Validate compatibility first so nothing reaches the
+    // log unless the in-memory apply below is guaranteed to succeed — a
+    // logged record is replayed verbatim at recovery.
+    if (delta.num_columns() != base->num_columns()) {
+      return Status::InvalidArgument("append arity mismatch");
+    }
+    for (size_t i = 0; i < base->num_columns(); ++i) {
+      if (base->schema().column(i).type != delta.schema().column(i).type) {
+        return Status::TypeMismatch("append column type mismatch at position " +
+                                    std::to_string(i));
+      }
+    }
+    Result<uint64_t> logged = storage_->LogAppend(ToLower(name), delta);
+    if (!logged.ok()) return logged.status();
+  }
 
   ScopedParallelism parallelism(options.degree_of_parallelism);
   const size_t dop = CurrentDop();
@@ -547,6 +630,49 @@ Result<Table> PctDatabase::Execute(const std::string& sql,
   PCTAGG_ASSIGN_OR_RETURN(ParsedStatement stmt_kind, ParseStatementKind(sql));
   if (stmt_kind.kind == ParsedStatement::Kind::kSelect) {
     return Query(sql, options);
+  }
+  if (stmt_kind.kind == ParsedStatement::Kind::kDrop) {
+    PCTAGG_ASSIGN_OR_RETURN(DropStatement stmt,
+                            ParseDrop(stmt_kind.select_sql));
+    if (stmt_kind.explain) {
+      return TextToPlanTable(
+          stmt.ToString() +
+          "\n-- drop path: remove the table from the catalog, invalidate its\n"
+          "-- cached summaries (generation bump), and delete its segment file\n"
+          "-- and manifest entry when a data directory is attached.\n");
+    }
+    PCTAGG_ASSIGN_OR_RETURN(bool proceed, AnalyzeDrop(stmt, catalog_));
+    bool dropped = false;
+    if (proceed) {
+      PCTAGG_ASSIGN_OR_RETURN(dropped, DropTable(stmt.table, stmt.if_exists));
+    }
+    Schema schema;
+    schema.AddColumn({"dropped", DataType::kInt64});
+    Table out(schema);
+    (void)out.AppendRow({Value::Int64(dropped ? 1 : 0)});
+    return out;
+  }
+  if (stmt_kind.kind == ParsedStatement::Kind::kCheckpoint) {
+    if (stmt_kind.explain) {
+      return TextToPlanTable(
+          "CHECKPOINT;\n"
+          "-- checkpoint path: write every base table to a fresh checksummed\n"
+          "-- segment, start a fresh WAL, atomically publish the new manifest,\n"
+          "-- then delete the previous generation's files.\n");
+    }
+    PCTAGG_ASSIGN_OR_RETURN(storage::StorageManager::CheckpointStats stats,
+                            Checkpoint());
+    Schema schema;
+    schema.AddColumn({"tables", DataType::kInt64});
+    schema.AddColumn({"rows", DataType::kInt64});
+    schema.AddColumn({"bytes", DataType::kInt64});
+    schema.AddColumn({"ms", DataType::kFloat64});
+    Table out(schema);
+    (void)out.AppendRow({Value::Int64(static_cast<int64_t>(stats.tables)),
+                         Value::Int64(static_cast<int64_t>(stats.rows)),
+                         Value::Int64(static_cast<int64_t>(stats.bytes)),
+                         Value::Float64(stats.ms)});
+    return out;
   }
   const bool is_insert = stmt_kind.kind == ParsedStatement::Kind::kInsert;
   if (stmt_kind.explain && !stmt_kind.analyze) {

@@ -1,6 +1,7 @@
 #ifndef PCTAGG_CORE_DATABASE_H_
 #define PCTAGG_CORE_DATABASE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -11,6 +12,7 @@
 #include "engine/catalog.h"
 #include "engine/table.h"
 #include "obs/trace.h"
+#include "storage/storage.h"
 
 namespace pctagg {
 
@@ -77,10 +79,9 @@ class PctDatabase {
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
-  Status CreateTable(const std::string& name, Table table) {
-    summaries_.InvalidateTable(name);
-    return catalog_.CreateTable(name, std::move(table));
-  }
+  // Registers a new base table (and, with storage attached, writes its
+  // segment and manifest entry).
+  Status CreateTable(const std::string& name, Table table);
 
   // Enables/disables the cross-query shared-summary cache (paper future
   // work: repeated percentage queries on the same table reuse the Fk-level
@@ -89,11 +90,28 @@ class PctDatabase {
   void EnableSummaryCache(bool enabled) { summary_cache_enabled_ = enabled; }
   SummaryCache& summaries() { return summaries_; }
 
-  // Replaces a base table, invalidating its cached summaries.
-  void ReplaceTable(const std::string& name, Table table) {
-    summaries_.InvalidateTable(name);
-    catalog_.CreateOrReplaceTable(name, std::move(table));
-  }
+  // Replaces a base table, invalidating its cached summaries (and, with
+  // storage attached, superseding its segment and any earlier WAL records).
+  Status ReplaceTable(const std::string& name, Table table);
+
+  // Drops a base table from the catalog, its cached summaries, and (with
+  // storage attached) its segment file and manifest entry. Returns true when
+  // a table was dropped, false for the benign if_exists-and-absent case.
+  Result<bool> DropTable(const std::string& name, bool if_exists = false);
+
+  // --- Durable storage (optional) ------------------------------------------
+  //
+  // Attaches a data directory: recovers its tables into the catalog
+  // (manifest -> segments -> WAL tail), then makes every subsequent append
+  // WAL-logged (WAL-before-data) and every DDL segment-backed. Call once,
+  // before serving traffic; without it the database is purely in-memory.
+  Status OpenStorage(storage::StorageOptions options);
+  bool HasStorage() const { return storage_ != nullptr; }
+  storage::StorageManager* storage() { return storage_.get(); }
+
+  // Flushes every base table to fresh segments and truncates the WAL, under
+  // the caller's writer exclusivity. A no-op (zero stats) without storage.
+  Result<storage::StorageManager::CheckpointStats> Checkpoint();
 
   // Appends `delta` (same column arity/types as the table) to base table
   // `name` and delta-maintains its cached summaries: the delta is aggregated
@@ -116,7 +134,8 @@ class PctDatabase {
   // INSERT INTO ... VALUES and COPY ... FROM ... (APPEND) — including their
   // EXPLAIN ANALYZE forms — run through AppendRows and return a one-row
   // summary (rows_appended, summaries_merged, summaries_recomputed).
-  // Non-const because appends mutate the catalog; see AppendRows for the
+  // DROP TABLE [IF EXISTS] and CHECKPOINT return one-row summaries too.
+  // Non-const because writes mutate the catalog; see AppendRows for the
   // writer-exclusivity contract.
   Result<Table> Execute(const std::string& sql) {
     return Execute(sql, QueryOptions{});
@@ -189,6 +208,7 @@ class PctDatabase {
   StrategyAdvisor advisor_;
   mutable SummaryCache summaries_;
   bool summary_cache_enabled_ = false;
+  std::unique_ptr<storage::StorageManager> storage_;
 };
 
 }  // namespace pctagg

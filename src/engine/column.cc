@@ -19,6 +19,32 @@ Column::Column(DataType type) : type_(type) {
   }
 }
 
+Column Column::FromInt64(std::vector<int64_t> data,
+                         std::vector<uint8_t> validity) {
+  Column c(DataType::kInt64);
+  c.data_ = std::move(data);
+  c.validity_ = std::move(validity);
+  return c;
+}
+
+Column Column::FromFloat64(std::vector<double> data,
+                           std::vector<uint8_t> validity) {
+  Column c(DataType::kFloat64);
+  c.data_ = std::move(data);
+  c.validity_ = std::move(validity);
+  return c;
+}
+
+Column Column::FromCodes(std::vector<uint32_t> codes,
+                         std::vector<uint8_t> validity,
+                         std::shared_ptr<Dictionary> dict) {
+  Column c(DataType::kString);
+  c.data_ = std::move(codes);
+  c.validity_ = std::move(validity);
+  c.dict_ = std::move(dict);
+  return c;
+}
+
 void Column::Reserve(size_t n) {
   validity_.reserve(n);
   std::visit([n](auto& vec) { vec.reserve(n); }, data_);

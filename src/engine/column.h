@@ -95,6 +95,19 @@ class Column {
   // operator which models the paper's in-place FV = Fk strategy.
   Status SetValue(size_t row, const Value& v);
 
+  // Storage deserialization hooks: adopt decoded vectors wholesale instead
+  // of re-appending row by row. `validity` must match the data length; for
+  // FromCodes every valid row's code must be < dict->size(). The storage
+  // layer rebuilds dictionaries in insert order, so codes read back from a
+  // segment mean exactly what they meant when the segment was written.
+  static Column FromInt64(std::vector<int64_t> data,
+                          std::vector<uint8_t> validity);
+  static Column FromFloat64(std::vector<double> data,
+                            std::vector<uint8_t> validity);
+  static Column FromCodes(std::vector<uint32_t> codes,
+                          std::vector<uint8_t> validity,
+                          std::shared_ptr<Dictionary> dict);
+
   // Appends a deterministic, type-tagged byte encoding of row `row` to
   // `out`. Two rows OF THE SAME COLUMN (or of columns sharing a dictionary)
   // produce identical bytes iff their values are equal; NULL encodes

@@ -78,7 +78,12 @@ bool QueryExecutor::ParseCreateTableAs(const std::string& sql,
   return true;
 }
 
-bool QueryExecutor::IsAppendStatement(const std::string& sql) {
+namespace {
+
+// First statement keyword, skipping an EXPLAIN [ANALYZE] prefix. Trailing
+// semicolons are stripped so a bare "CHECKPOINT;" classifies like
+// "CHECKPOINT".
+std::string LeadingKeyword(const std::string& sql) {
   std::istringstream in(sql);
   std::string word;
   in >> word;
@@ -86,7 +91,21 @@ bool QueryExecutor::IsAppendStatement(const std::string& sql) {
     in >> word;
     if (EqualsIgnoreCase(word, "ANALYZE")) in >> word;
   }
+  while (!word.empty() && word.back() == ';') word.pop_back();
+  return word;
+}
+
+}  // namespace
+
+bool QueryExecutor::IsAppendStatement(const std::string& sql) {
+  std::string word = LeadingKeyword(sql);
   return EqualsIgnoreCase(word, "INSERT") || EqualsIgnoreCase(word, "COPY");
+}
+
+bool QueryExecutor::IsWriteStatement(const std::string& sql) {
+  std::string word = LeadingKeyword(sql);
+  return EqualsIgnoreCase(word, "INSERT") || EqualsIgnoreCase(word, "COPY") ||
+         EqualsIgnoreCase(word, "DROP") || EqualsIgnoreCase(word, "CHECKPOINT");
 }
 
 Status QueryExecutor::Run(bool writer, std::function<Status()> fn,
@@ -153,7 +172,9 @@ Result<Table> QueryExecutor::ExecuteStatement(
     std::shared_ptr<obs::QueryTrace> trace) {
   std::string name, select_sql;
   bool is_ctas = ParseCreateTableAs(sql, &name, &select_sql);
-  bool is_append = !is_ctas && IsAppendStatement(sql);
+  // Appends, DROP TABLE and CHECKPOINT all dispatch to PctDatabase::Execute
+  // under the exclusive lock.
+  bool is_append = !is_ctas && IsWriteStatement(sql);
   // The worker may outlive a timed-out caller, so the result slot is shared —
   // and the lambda co-owns `trace` so the worker never writes into a trace the
   // caller has already dropped.

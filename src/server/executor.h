@@ -75,6 +75,11 @@ class QueryExecutor {
   // exclusive lock and are dispatched to PctDatabase::Execute.
   static bool IsAppendStatement(const std::string& sql);
 
+  // Superset of IsAppendStatement: also DROP TABLE and CHECKPOINT, which
+  // likewise need the exclusive lock (drop swaps the catalog; checkpoint
+  // serializes every base table to segments and must see them quiescent).
+  static bool IsWriteStatement(const std::string& sql);
+
   const ExecutorConfig& config() const { return config_; }
   size_t worker_threads() const { return pool_->num_threads(); }
   // Tasks waiting in the pool's queue right now (STATS gauge).

@@ -21,7 +21,7 @@ struct VerbEntry {
   RequestVerb verb;
 };
 
-constexpr std::array<VerbEntry, 13> kVerbs = {{
+constexpr std::array<VerbEntry, 14> kVerbs = {{
     {"QUERY", RequestVerb::kQuery},
     {"APPEND", RequestVerb::kAppend},
     {"EXPLAIN", RequestVerb::kExplain},
@@ -32,6 +32,7 @@ constexpr std::array<VerbEntry, 13> kVerbs = {{
     {"SCHEMA", RequestVerb::kSchema},
     {"GEN", RequestVerb::kGen},
     {"DROP", RequestVerb::kDrop},
+    {"CHECKPOINT", RequestVerb::kCheckpoint},
     {"STATS", RequestVerb::kStats},
     {"PING", RequestVerb::kPing},
     {"QUIT", RequestVerb::kQuit},
@@ -143,7 +144,8 @@ StatusCode StatusCodeFromName(const std::string& name) {
         StatusCode::kAnalysisError, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kTypeMismatch,
         StatusCode::kLimitExceeded, StatusCode::kTimeout,
-        StatusCode::kUnavailable, StatusCode::kInternal}) {
+        StatusCode::kUnavailable, StatusCode::kInternal,
+        StatusCode::kDataLoss}) {
     if (name == StatusCodeName(code)) return code;
   }
   return StatusCode::kInternal;

@@ -36,6 +36,7 @@ enum class RequestVerb {
   kSchema,   // SCHEMA <table>    one-line schema text
   kGen,      // GEN <kind> <name> <rows>   create a synthetic workload table
   kDrop,     // DROP <table>      drop a base table
+  kCheckpoint,  // CHECKPOINT     flush tables to segments, truncate the WAL
   kStats,    // STATS             process-wide metrics, Prometheus text format
   kPing,     // PING              liveness check, empty OK
   kQuit,     // QUIT              close the session

@@ -244,6 +244,24 @@ WireResponse PctServer::HandleRequest(Session* session,
         std::istringstream in(request.payload);
         std::string option, value;
         in >> option >> value;
+        if (EqualsIgnoreCase(option, "wal_fsync")) {
+          if (!db_->HasStorage()) {
+            resp.status = Status::InvalidArgument(
+                "SET wal_fsync: no data dir attached (start the server "
+                "with --data-dir)");
+            return resp;
+          }
+          Result<storage::FsyncPolicy> policy =
+              storage::ParseFsyncPolicy(value);
+          if (!policy.ok()) {
+            resp.status = policy.status();
+            return resp;
+          }
+          db_->storage()->set_fsync_policy(*policy);
+          resp.body = StrFormat("wal_fsync = %s (global)\n",
+                                storage::FsyncPolicyName(*policy));
+          return resp;
+        }
         if (EqualsIgnoreCase(option, "summary_cache_mb")) {
           if (!IsInteger(value)) {
             resp.status = Status::InvalidArgument(
@@ -275,6 +293,16 @@ WireResponse PctServer::HandleRequest(Session* session,
           (unsigned long long)executor_.executed(),
           (unsigned long long)executor_.rejected(),
           (unsigned long long)executor_.timed_out(), sessions_active());
+      if (db_->HasStorage()) {
+        const storage::StorageManager& sm = *db_->storage();
+        resp.body += StrFormat(
+            "storage: dir=%s wal_fsync=%s wal_bytes=%llu wal_fsyncs=%llu\n",
+            sm.data_dir().c_str(), storage::FsyncPolicyName(sm.fsync_policy()),
+            (unsigned long long)sm.wal_bytes_written(),
+            (unsigned long long)sm.wal_fsyncs());
+      } else {
+        resp.body += "storage: none (in-memory only)\n";
+      }
       return resp;
     }
     case RequestVerb::kTables: {
@@ -336,8 +364,7 @@ WireResponse PctServer::HandleRequest(Session* session,
       Status st = executor_.ExecuteWrite(
           [this, kind, name, rows]() -> Status {
             PCTAGG_ASSIGN_OR_RETURN(Table t, GenerateWorkload(kind, rows));
-            db_->ReplaceTable(name, std::move(t));
-            return Status::OK();
+            return db_->ReplaceTable(name, std::move(t));
           },
           session->timeout_ms());
       resp.micros = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
@@ -350,16 +377,45 @@ WireResponse PctServer::HandleRequest(Session* session,
       return resp;
     }
     case RequestVerb::kDrop: {
+      // Routed through PctDatabase::DropTable so the segment file and
+      // manifest entry go away with the in-memory table.
       Status st = executor_.ExecuteWrite(
           [this, table = request.payload]() -> Status {
-            db_->summaries().InvalidateTable(table);
-            return db_->catalog().DropTable(table);
+            Result<bool> dropped = db_->DropTable(table);
+            if (!dropped.ok()) return dropped.status();
+            return Status::OK();
           },
           session->timeout_ms());
       if (!st.ok()) {
         resp.status = st;
       } else {
         resp.body = "dropped " + request.payload + "\n";
+      }
+      return resp;
+    }
+    case RequestVerb::kCheckpoint: {
+      auto stats =
+          std::make_shared<storage::StorageManager::CheckpointStats>();
+      Stopwatch timer;
+      Status st = executor_.ExecuteWrite(
+          [this, stats]() -> Status {
+            Result<storage::StorageManager::CheckpointStats> r =
+                db_->Checkpoint();
+            if (!r.ok()) return r.status();
+            *stats = *r;
+            return Status::OK();
+          },
+          session->timeout_ms());
+      resp.micros = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+      if (!st.ok()) {
+        resp.status = st;
+      } else if (!db_->HasStorage()) {
+        resp.body = "checkpoint: no data dir attached (no-op)\n";
+      } else {
+        resp.body = StrFormat(
+            "checkpoint: %zu tables, %llu rows, %llu segment bytes, %.2f ms\n",
+            stats->tables, (unsigned long long)stats->rows,
+            (unsigned long long)stats->bytes, stats->ms);
       }
       return resp;
     }
@@ -379,6 +435,17 @@ WireResponse PctServer::HandleRequest(Session* session,
           .GetGauge("pctagg_server_worker_threads",
                     "Worker threads serving this executor.")
           .Set(static_cast<int64_t>(executor_.worker_threads()));
+      if (db_->HasStorage()) {
+        const storage::StorageManager& sm = *db_->storage();
+        metrics
+            .GetGauge("pctagg_storage_wal_live_bytes",
+                      "Bytes in the live WAL file (resets at checkpoint).")
+            .Set(static_cast<int64_t>(sm.wal_bytes_written()));
+        metrics
+            .GetGauge("pctagg_storage_wal_live_fsyncs",
+                      "fsync calls issued by the live WAL writer.")
+            .Set(static_cast<int64_t>(sm.wal_fsyncs()));
+      }
       resp.body = metrics.RenderPrometheus();
       return resp;
     }

@@ -84,6 +84,12 @@ std::string InsertStatement::ToString() const {
   return out + Join(rendered, ", ") + ";";
 }
 
+std::string DropStatement::ToString() const {
+  std::string out = "DROP TABLE ";
+  if (if_exists) out += "IF EXISTS ";
+  return out + table + ";";
+}
+
 std::string CopyStatement::ToString() const {
   std::string out = "COPY " + table + " FROM '" + path + "'";
   if (append) out += " (APPEND)";

@@ -82,6 +82,16 @@ struct InsertStatement {
   std::string ToString() const;
 };
 
+// DROP TABLE [IF EXISTS] <table> — removes the table from the catalog, its
+// cached summaries, and (when a data directory is attached) its segment file
+// and manifest entry.
+struct DropStatement {
+  std::string table;
+  bool if_exists = false;
+
+  std::string ToString() const;
+};
+
 // COPY <table> FROM '<path>' (APPEND) — bulk CSV append. The APPEND option
 // is required today: it states the write is additive, which is what lets
 // delta maintenance patch cached summaries instead of invalidating them.

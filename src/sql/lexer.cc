@@ -15,7 +15,8 @@ bool IsKeywordWord(const std::string& upper) {
       "WHEN",   "THEN",  "ELSE",     "END",       "OVER",   "PARTITION",
       "ORDER",  "ASC",   "DESC",     "DISTINCT",  "DEFAULT", "HAVING",
       "LIMIT",  "EXPLAIN", "ANALYZE", "INSERT",   "INTO",   "VALUES",
-      "COPY",   "APPEND"};
+      "COPY",   "APPEND",  "DROP",    "TABLE",    "IF",     "EXISTS",
+      "CHECKPOINT"};
   for (const char* kw : kKeywords) {
     if (upper == kw) return true;
   }

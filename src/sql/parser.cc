@@ -138,6 +138,23 @@ class Parser {
     return stmt;
   }
 
+  Result<DropStatement> ParseDropStatement() {
+    DropStatement stmt;
+    PCTAGG_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+    PCTAGG_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    if (ConsumeKeyword("IF")) {
+      PCTAGG_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      stmt.if_exists = true;
+    }
+    PCTAGG_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    ConsumeSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("unexpected trailing input near '" +
+                                Peek().text + "'");
+    }
+    return stmt;
+  }
+
   Result<CopyStatement> ParseCopyStatement() {
     CopyStatement stmt;
     PCTAGG_RETURN_IF_ERROR(ExpectKeyword("COPY"));
@@ -536,6 +553,12 @@ Result<CopyStatement> ParseCopy(const std::string& sql) {
   return parser.ParseCopyStatement();
 }
 
+Result<DropStatement> ParseDrop(const std::string& sql) {
+  PCTAGG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseDropStatement();
+}
+
 Result<ParsedStatement> ParseStatementKind(const std::string& sql) {
   ParsedStatement out;
   PCTAGG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
@@ -559,6 +582,10 @@ Result<ParsedStatement> ParseStatementKind(const std::string& sql) {
       out.kind = ParsedStatement::Kind::kInsert;
     } else if (tokens[i].IsKeyword("COPY")) {
       out.kind = ParsedStatement::Kind::kCopy;
+    } else if (tokens[i].IsKeyword("DROP")) {
+      out.kind = ParsedStatement::Kind::kDrop;
+    } else if (tokens[i].IsKeyword("CHECKPOINT")) {
+      out.kind = ParsedStatement::Kind::kCheckpoint;
     }
   }
   return out;

@@ -40,12 +40,18 @@ Result<InsertStatement> ParseInsert(const std::string& sql);
 //   COPY sales FROM 'new_batch.csv' (APPEND);
 Result<CopyStatement> ParseCopy(const std::string& sql);
 
+// Parses a drop statement:
+//
+//   DROP TABLE [IF EXISTS] sales;
+Result<DropStatement> ParseDrop(const std::string& sql);
+
 // Statement-kind dispatch for the surfaces (shell, server, PctDatabase):
 // recognizes an EXPLAIN [ANALYZE] prefix, classifies the wrapped statement
-// (SELECT vs INSERT vs COPY by its leading keyword) and hands back its text.
-// A bare SELECT comes back unchanged with both flags false.
+// (SELECT vs INSERT vs COPY vs DROP vs CHECKPOINT by its leading keyword)
+// and hands back its text. A bare SELECT comes back unchanged with both
+// flags false. CHECKPOINT takes no operands.
 struct ParsedStatement {
-  enum class Kind { kSelect, kInsert, kCopy };
+  enum class Kind { kSelect, kInsert, kCopy, kDrop, kCheckpoint };
   bool explain = false;
   bool analyze = false;
   Kind kind = Kind::kSelect;

@@ -1,0 +1,115 @@
+#include "storage/crc32c.h"
+
+#include <array>
+
+namespace pctagg {
+namespace storage {
+
+namespace {
+
+// Slicing-by-8: eight 256-entry tables, each mapping one byte position of a
+// 64-bit chunk to its CRC contribution. Built once at startup; the generator
+// is the reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 bit-reflected
+
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = (crc >> 8) ^ t[0][crc & 0xFF];
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+#if defined(__x86_64__)
+// SSE4.2 CRC32 instruction path (the instruction implements exactly the
+// Castagnoli polynomial). Compiled with a target attribute and selected at
+// runtime so the binary still runs on pre-Nehalem hardware.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHw(uint32_t crc,
+                                                    const uint8_t* p,
+                                                    size_t n) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc = static_cast<uint32_t>(__builtin_ia32_crc32di(crc, chunk));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+bool HaveSse42() { return __builtin_cpu_supports("sse4.2"); }
+#endif
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
+#if defined(__x86_64__)
+  static const bool have_hw = HaveSse42();
+  if (have_hw) {
+    return Crc32cHw(crc, static_cast<const uint8_t*>(data), n);
+  }
+#endif
+  const Tables& tb = T();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until 8-byte alignment (also covers short inputs).
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFF];
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    chunk ^= crc;  // little-endian hosts only (the on-disk format is LE)
+    crc = tb.t[7][chunk & 0xFF] ^ tb.t[6][(chunk >> 8) & 0xFF] ^
+          tb.t[5][(chunk >> 16) & 0xFF] ^ tb.t[4][(chunk >> 24) & 0xFF] ^
+          tb.t[3][(chunk >> 32) & 0xFF] ^ tb.t[2][(chunk >> 40) & 0xFF] ^
+          tb.t[1][(chunk >> 48) & 0xFF] ^ tb.t[0][(chunk >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFF];
+    --n;
+  }
+  return ~crc;
+}
+
+uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xA282EAD8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace storage
+}  // namespace pctagg

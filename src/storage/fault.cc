@@ -1,0 +1,61 @@
+#include "storage/fault.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace pctagg {
+namespace storage {
+
+namespace {
+
+struct CrashSpec {
+  std::string point;
+  long long remaining = -1;  // -1 = disabled
+};
+
+CrashSpec ParseSpec() {
+  CrashSpec spec;
+  const char* env = std::getenv("PCTAGG_CRASH_AFTER");
+  if (env == nullptr || *env == '\0') return spec;
+  const char* colon = std::strrchr(env, ':');
+  if (colon == nullptr) {
+    spec.point = env;
+    spec.remaining = 1;
+    return spec;
+  }
+  spec.point.assign(env, colon - env);
+  spec.remaining = std::atoll(colon + 1);
+  if (spec.remaining < 1) spec.remaining = 1;
+  return spec;
+}
+
+CrashSpec g_spec;
+std::atomic<long long> g_hits{0};
+std::once_flag g_load_once;
+
+}  // namespace
+
+void CrashPoint(const char* point) {
+  std::call_once(g_load_once, [] { g_spec = ParseSpec(); });
+  if (g_spec.remaining < 0 || g_spec.point != point) return;
+  if (g_hits.fetch_add(1) + 1 == g_spec.remaining) {
+    std::fprintf(stderr, "PCTAGG_CRASH_AFTER: crashing at %s:%lld\n", point,
+                 g_spec.remaining);
+    std::_Exit(kCrashExitCode);
+  }
+}
+
+void ReloadCrashSpecForTesting() {
+  // Mark the lazy load done (no-op if it already ran), then overwrite with a
+  // fresh parse so a forked child can arm faults its parent never had.
+  std::call_once(g_load_once, [] {});
+  g_spec = ParseSpec();
+  g_hits.store(0);
+}
+
+}  // namespace storage
+}  // namespace pctagg

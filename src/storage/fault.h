@@ -1,0 +1,34 @@
+#ifndef PCTAGG_STORAGE_FAULT_H_
+#define PCTAGG_STORAGE_FAULT_H_
+
+namespace pctagg {
+namespace storage {
+
+// Crash-fault injection for recovery tests.
+//
+// PCTAGG_CRASH_AFTER=<point>:<n> makes the n-th execution of CrashPoint(
+// "<point>") terminate the process immediately with _Exit(137) — no atexit
+// handlers, no flushes, no destructors — the closest in-process stand-in for
+// `kill -9` at a chosen instruction. Points wired into the storage layer:
+//
+//   wal_record    after a WAL record's bytes reach the OS, before fsync
+//   wal_partial   after only the first half of a WAL record's bytes
+//   segment       after one segment file is written during a checkpoint
+//   manifest_tmp  after the manifest temp file is written, before rename
+//
+// The environment variable is read once per process (first CrashPoint call);
+// unset means every point is free. Counting is process-wide and thread-safe.
+void CrashPoint(const char* point);
+
+// Re-reads PCTAGG_CRASH_AFTER and resets the hit counter. For fork-based
+// recovery tests: a forked child inherits the parent's already-latched (and
+// usually disabled) spec, so it must rearm after setting the variable.
+void ReloadCrashSpecForTesting();
+
+// Exit code CrashPoint dies with (matches a SIGKILL-ed shell's 128+9).
+inline constexpr int kCrashExitCode = 137;
+
+}  // namespace storage
+}  // namespace pctagg
+
+#endif  // PCTAGG_STORAGE_FAULT_H_

@@ -1,0 +1,197 @@
+#include "storage/file_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace pctagg {
+namespace storage {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  const int err = errno;
+  if (err == ENOENT) {
+    return Status::NotFound(what + " " + path + ": " + std::strerror(err));
+  }
+  return Status::Internal(what + " " + path + ": " + std::strerror(err));
+}
+
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_),
+      bytes_written_(other.bytes_written_),
+      sticky_(std::move(other.sticky_)) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    bytes_written_ = other.bytes_written_;
+    sticky_ = std::move(other.sticky_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status AppendFile::Create(const std::string& path) {
+  if (fd_ >= 0) return Status::Internal("AppendFile already open");
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return Errno("create", path);
+  bytes_written_ = 0;
+  sticky_ = Status::OK();
+  return Status::OK();
+}
+
+Status AppendFile::OpenForAppend(const std::string& path) {
+  if (fd_ >= 0) return Status::Internal("AppendFile already open");
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) return Errno("open", path);
+  sticky_ = Status::OK();
+  return Status::OK();
+}
+
+Status AppendFile::Append(const void* data, size_t n) {
+  if (!sticky_.ok()) return sticky_;
+  if (fd_ < 0) return Status::Internal("AppendFile not open");
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t written = ::write(fd_, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      sticky_ = Errno("write", "appendfile");
+      return sticky_;
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+    bytes_written_ += static_cast<uint64_t>(written);
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (!sticky_.ok()) return sticky_;
+  if (fd_ < 0) return Status::Internal("AppendFile not open");
+  if (::fsync(fd_) != 0) {
+    sticky_ = Errno("fsync", "appendfile");
+    return sticky_;
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0 && sticky_.ok()) sticky_ = Errno("close", "appendfile");
+  return sticky_;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    AppendFile f;
+    PCTAGG_RETURN_IF_ERROR(f.Create(tmp));
+    PCTAGG_RETURN_IF_ERROR(f.Append(data));
+    PCTAGG_RETURN_IF_ERROR(f.Sync());
+    PCTAGG_RETURN_IF_ERROR(f.Close());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = Errno("rename", tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  return SyncDirOf(path);
+}
+
+Status SyncDirOf(const std::string& path) {
+  const std::string dir = DirOf(path);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir", dir);
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Errno("mkdir", path);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return Errno("unlink", path);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(std::move(name));
+    }
+  }
+  ::closedir(d);
+  return names;
+}
+
+}  // namespace storage
+}  // namespace pctagg

@@ -1,0 +1,76 @@
+#ifndef PCTAGG_STORAGE_FILE_IO_H_
+#define PCTAGG_STORAGE_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pctagg {
+namespace storage {
+
+// Thin POSIX wrappers with typed errors. All paths are plain strings; the
+// storage layer never walks outside its data directory.
+
+// An append-only file handle (WAL, segment writes). Write errors are sticky:
+// after the first failure every later call reports it, so a caller can't
+// accidentally acknowledge data that never reached the OS.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+
+  // Creates (or truncates) `path` for writing.
+  Status Create(const std::string& path);
+  // Opens `path` for appending at its current end.
+  Status OpenForAppend(const std::string& path);
+
+  Status Append(const void* data, size_t n);
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+  Status Sync();   // fsync
+  Status Close();  // close without sync
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  // The underlying descriptor, for callers that fsync off-thread. Stays
+  // owned by (and valid for the lifetime of) this AppendFile.
+  int raw_fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t bytes_written_ = 0;
+  Status sticky_;
+};
+
+// Reads the whole file into a string. NotFound when absent.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Writes `data` to `path` atomically: write `path.tmp`, fsync, rename over
+// `path`, fsync the directory. Readers see either the old or the new file,
+// never a prefix.
+Status AtomicWriteFile(const std::string& path, const std::string& data);
+
+// fsyncs the directory containing `path` (durability of renames/creates).
+Status SyncDirOf(const std::string& path);
+
+Status EnsureDir(const std::string& path);  // mkdir -p (one level)
+bool FileExists(const std::string& path);
+Status RemoveFile(const std::string& path);          // ok if absent
+Result<uint64_t> FileSize(const std::string& path);  // NotFound when absent
+
+// Names of regular files directly inside `dir` (no subdirectories).
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+}  // namespace storage
+}  // namespace pctagg
+
+#endif  // PCTAGG_STORAGE_FILE_IO_H_

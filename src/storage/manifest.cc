@@ -1,0 +1,134 @@
+#include "storage/manifest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "storage/crc32c.h"
+#include "storage/fault.h"
+#include "storage/file_io.h"
+
+namespace pctagg {
+namespace storage {
+
+namespace {
+
+constexpr char kHeaderLine[] = "pctagg-manifest v1";
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) words.push_back(std::move(word));
+  return words;
+}
+
+bool ParseU64(const std::string& s, uint64_t* v) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *v = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::string EncodeManifest(const Manifest& manifest) {
+  std::string out;
+  out += kHeaderLine;
+  out += '\n';
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "wal %s %llu\n", manifest.wal_file.c_str(),
+                (unsigned long long)manifest.next_lsn);
+  out += buf;
+  for (const ManifestTable& t : manifest.tables) {
+    std::snprintf(buf, sizeof(buf), "table %s %s %llu %llu\n", t.name.c_str(),
+                  t.segment_file.c_str(), (unsigned long long)t.rows,
+                  (unsigned long long)t.flush_lsn);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "crc %08x\n",
+                MaskCrc(Crc32c(out.data(), out.size())));
+  out += buf;
+  return out;
+}
+
+Result<Manifest> DecodeManifest(const std::string& bytes) {
+  // The crc line authenticates everything before it.
+  size_t crc_at = bytes.rfind("crc ");
+  if (crc_at == std::string::npos ||
+      (crc_at != 0 && bytes[crc_at - 1] != '\n')) {
+    return Status::DataLoss("manifest: missing crc line");
+  }
+  uint32_t masked = 0;
+  if (std::sscanf(bytes.c_str() + crc_at, "crc %x", &masked) != 1 ||
+      Crc32c(bytes.data(), crc_at) != UnmaskCrc(masked)) {
+    return Status::DataLoss("manifest: checksum mismatch");
+  }
+
+  Manifest manifest;
+  std::istringstream in(bytes.substr(0, crc_at));
+  std::string line;
+  bool saw_header = false, saw_wal = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kHeaderLine) {
+        return Status::DataLoss("manifest: bad header line: " + line);
+      }
+      saw_header = true;
+      continue;
+    }
+    std::vector<std::string> words = SplitWords(line);
+    if (words.empty()) continue;
+    if (words[0] == "wal") {
+      if (words.size() != 3 || !ParseU64(words[2], &manifest.next_lsn)) {
+        return Status::DataLoss("manifest: bad wal line: " + line);
+      }
+      manifest.wal_file = words[1];
+      saw_wal = true;
+    } else if (words[0] == "table") {
+      ManifestTable t;
+      if (words.size() != 5 || !ParseU64(words[3], &t.rows) ||
+          !ParseU64(words[4], &t.flush_lsn)) {
+        return Status::DataLoss("manifest: bad table line: " + line);
+      }
+      t.name = words[1];
+      t.segment_file = words[2];
+      manifest.tables.push_back(std::move(t));
+    } else {
+      return Status::DataLoss("manifest: unknown line: " + line);
+    }
+  }
+  if (!saw_header || !saw_wal) {
+    return Status::DataLoss("manifest: incomplete (missing header or wal)");
+  }
+  return manifest;
+}
+
+Status WriteManifest(const std::string& path, const Manifest& manifest) {
+  const std::string data = EncodeManifest(manifest);
+  const std::string tmp = path + ".tmp";
+  {
+    AppendFile f;
+    PCTAGG_RETURN_IF_ERROR(f.Create(tmp));
+    PCTAGG_RETURN_IF_ERROR(f.Append(data));
+    PCTAGG_RETURN_IF_ERROR(f.Sync());
+    PCTAGG_RETURN_IF_ERROR(f.Close());
+  }
+  CrashPoint("manifest_tmp");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    RemoveFile(tmp);
+    return Status::Internal("manifest rename " + tmp + " -> " + path +
+                            " failed");
+  }
+  return SyncDirOf(path);
+}
+
+Result<Manifest> ReadManifest(const std::string& path) {
+  PCTAGG_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return DecodeManifest(bytes);
+}
+
+}  // namespace storage
+}  // namespace pctagg

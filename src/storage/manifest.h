@@ -1,0 +1,52 @@
+#ifndef PCTAGG_STORAGE_MANIFEST_H_
+#define PCTAGG_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pctagg {
+namespace storage {
+
+// The catalog manifest: the single source of truth for which files make up
+// the database. A line-oriented text file, always replaced atomically
+// (tmp + fsync + rename + dir fsync), with a trailing checksum line:
+//
+//   pctagg-manifest v1
+//   wal <wal file name> <replay-from lsn>
+//   table <name> <segment file name> <rows> <flush_lsn>
+//   ...
+//   crc <8 hex digits: masked crc32c of every previous byte>
+//
+// `flush_lsn` is the WAL position already captured in the table's segment;
+// replay skips append records at or below it. Table names are SQL
+// identifiers (no whitespace), so plain token splitting is unambiguous.
+
+struct ManifestTable {
+  std::string name;
+  std::string segment_file;  // file name inside the data dir
+  uint64_t rows = 0;
+  uint64_t flush_lsn = 0;
+};
+
+struct Manifest {
+  std::string wal_file;   // file name inside the data dir
+  uint64_t next_lsn = 1;  // first LSN the current WAL may contain
+  std::vector<ManifestTable> tables;
+};
+
+std::string EncodeManifest(const Manifest& manifest);
+Result<Manifest> DecodeManifest(const std::string& bytes);
+
+// Atomically replaces the manifest at `path`. Fires the `manifest_tmp` crash
+// point between writing the temp file and publishing the rename.
+Status WriteManifest(const std::string& path, const Manifest& manifest);
+Result<Manifest> ReadManifest(const std::string& path);
+
+}  // namespace storage
+}  // namespace pctagg
+
+#endif  // PCTAGG_STORAGE_MANIFEST_H_

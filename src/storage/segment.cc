@@ -1,0 +1,143 @@
+#include "storage/segment.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "storage/crc32c.h"
+#include "storage/fault.h"
+#include "storage/file_io.h"
+#include "storage/serde.h"
+
+namespace pctagg {
+namespace storage {
+
+namespace {
+
+constexpr size_t kFooterBytes = 24;
+
+void AppendBlock(std::string* out, const std::string& payload) {
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU32(out, MaskCrc(Crc32c(payload.data(), payload.size())));
+  out->append(payload);
+}
+
+// Reads one framed block, verifying its checksum; `what` names the block in
+// error messages ("schema", "column 3").
+Result<std::string_view> ReadBlock(ByteReader* in, const std::string& path,
+                                   const std::string& what) {
+  uint32_t len = 0, masked = 0;
+  if (!in->ReadU32(&len) || !in->ReadU32(&masked)) {
+    return Status::DataLoss("segment " + path + ": truncated " + what +
+                            " block header");
+  }
+  std::string_view payload;
+  if (!in->ReadBytes(len, &payload)) {
+    return Status::DataLoss("segment " + path + ": truncated " + what +
+                            " block body");
+  }
+  if (Crc32c(payload.data(), payload.size()) != UnmaskCrc(masked)) {
+    return Status::DataLoss("segment " + path + ": checksum mismatch in " +
+                            what + " block");
+  }
+  return payload;
+}
+
+}  // namespace
+
+Status WriteSegment(const std::string& path, const Table& table) {
+  std::string file;
+  file.append(kSegmentMagic, sizeof(kSegmentMagic));
+
+  std::string payload;
+  EncodeSchema(table.schema(), &payload);
+  AppendBlock(&file, payload);
+
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    payload.clear();
+    EncodeColumn(table.column(c), &payload);
+    AppendBlock(&file, payload);
+  }
+
+  std::string footer;
+  AppendU32(&footer, kSegmentFooterMagic);
+  AppendU32(&footer, kSegmentVersion);
+  AppendU64(&footer, table.num_rows());
+  AppendU32(&footer, static_cast<uint32_t>(table.num_columns()));
+  AppendU32(&footer, MaskCrc(Crc32c(footer.data(), footer.size())));
+  file.append(footer);
+
+  AppendFile f;
+  PCTAGG_RETURN_IF_ERROR(f.Create(path));
+  PCTAGG_RETURN_IF_ERROR(f.Append(file));
+  PCTAGG_RETURN_IF_ERROR(f.Sync());
+  PCTAGG_RETURN_IF_ERROR(f.Close());
+  PCTAGG_RETURN_IF_ERROR(SyncDirOf(path));
+  CrashPoint("segment");
+  return Status::OK();
+}
+
+Result<Table> ReadSegment(const std::string& path) {
+  PCTAGG_ASSIGN_OR_RETURN(std::string file, ReadFileToString(path));
+  if (file.size() < sizeof(kSegmentMagic) + kFooterBytes ||
+      std::memcmp(file.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return Status::DataLoss("segment " + path + ": bad magic or truncated");
+  }
+
+  // Footer first: it anchors the expected shape of everything before it.
+  ByteReader footer(file.data() + file.size() - kFooterBytes, kFooterBytes);
+  uint32_t magic = 0, version = 0, num_columns = 0, masked = 0;
+  uint64_t num_rows = 0;
+  footer.ReadU32(&magic);
+  footer.ReadU32(&version);
+  footer.ReadU64(&num_rows);
+  footer.ReadU32(&num_columns);
+  footer.ReadU32(&masked);
+  const char* footer_start = file.data() + file.size() - kFooterBytes;
+  if (magic != kSegmentFooterMagic ||
+      Crc32c(footer_start, kFooterBytes - 4) != UnmaskCrc(masked)) {
+    return Status::DataLoss("segment " + path + ": corrupt footer");
+  }
+  if (version != kSegmentVersion) {
+    return Status::DataLoss("segment " + path + ": unsupported version " +
+                            std::to_string(version));
+  }
+
+  ByteReader in(file.data() + sizeof(kSegmentMagic),
+                file.size() - sizeof(kSegmentMagic) - kFooterBytes);
+
+  PCTAGG_ASSIGN_OR_RETURN(std::string_view schema_bytes,
+                          ReadBlock(&in, path, "schema"));
+  ByteReader schema_in(schema_bytes);
+  PCTAGG_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(&schema_in));
+  if (schema.num_columns() != num_columns) {
+    return Status::DataLoss("segment " + path +
+                            ": schema column count disagrees with footer");
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    PCTAGG_ASSIGN_OR_RETURN(
+        std::string_view col_bytes,
+        ReadBlock(&in, path, "column " + std::to_string(c)));
+    ByteReader col_in(col_bytes);
+    PCTAGG_ASSIGN_OR_RETURN(Column column,
+                            DecodeColumn(&col_in, schema.column(c).type));
+    if (column.size() != num_rows) {
+      return Status::DataLoss("segment " + path + ": column " +
+                              std::to_string(c) + " row count disagrees");
+    }
+    columns.push_back(std::move(column));
+  }
+  if (in.remaining() != 0) {
+    return Status::DataLoss("segment " + path + ": trailing bytes");
+  }
+  if (num_rows > 0 && num_columns == 0) {
+    return Status::DataLoss("segment " + path + ": rows without columns");
+  }
+  return Table(std::move(schema), std::move(columns));
+}
+
+}  // namespace storage
+}  // namespace pctagg

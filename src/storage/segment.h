@@ -1,0 +1,51 @@
+#ifndef PCTAGG_STORAGE_SEGMENT_H_
+#define PCTAGG_STORAGE_SEGMENT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace pctagg {
+namespace storage {
+
+// Columnar segment files: the at-rest image of one table, written whole at
+// checkpoint and never modified afterwards. Layout:
+//
+//   [8]  magic "PCTSEG1\n"
+//   schema block                      EncodeSchema payload
+//   one column block per column       EncodeColumn payload, schema order
+//   [24] footer
+//
+// Every block is framed [u32 len][u32 masked crc32c(payload)][payload], so a
+// reader can detect truncation and bit rot per block without trusting any of
+// the surrounding bytes. The footer is fixed-size so it can be located from
+// the file tail:
+//
+//   u32 footer magic 0x50435446 ("PCTF")
+//   u32 format version (1)
+//   u64 num_rows
+//   u32 num_columns
+//   u32 masked crc32c of the previous 20 footer bytes
+//
+// Checkpoints write segments under fresh names and only then publish them via
+// the manifest rename, so WriteSegment needs no tmp-file dance of its own —
+// a crash mid-write leaves an unreferenced file the next Open sweeps away.
+
+inline constexpr char kSegmentMagic[8] = {'P', 'C', 'T', 'S',
+                                          'E', 'G', '1', '\n'};
+inline constexpr uint32_t kSegmentFooterMagic = 0x50435446u;
+inline constexpr uint32_t kSegmentVersion = 1;
+
+// Serializes `table` to `path`, fsyncing the file and its directory.
+Status WriteSegment(const std::string& path, const Table& table);
+
+// Reads a segment back, verifying magic, footer and every block checksum.
+// Corruption and truncation surface as Status::DataLoss naming the block.
+Result<Table> ReadSegment(const std::string& path);
+
+}  // namespace storage
+}  // namespace pctagg
+
+#endif  // PCTAGG_STORAGE_SEGMENT_H_

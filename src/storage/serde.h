@@ -1,0 +1,113 @@
+#ifndef PCTAGG_STORAGE_SERDE_H_
+#define PCTAGG_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace pctagg {
+namespace storage {
+
+// Little-endian primitive encoding shared by the segment, WAL and manifest
+// formats. Everything on disk is explicit-width and little-endian; readers
+// never trust a length field without bounds-checking it against the bytes
+// they actually have.
+
+void AppendU8(std::string* out, uint8_t v);
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+void AppendLenPrefixed(std::string* out, std::string_view s);  // u32 len + bytes
+
+// Cursor over an encoded byte range. Read* return false on underflow and
+// leave the cursor unchanged, so callers can turn truncation into a typed
+// corruption error instead of reading garbage.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t n)
+      : p_(static_cast<const char*>(data)), end_(p_ + n) {}
+  explicit ByteReader(std::string_view s) : ByteReader(s.data(), s.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  const char* cursor() const { return p_; }
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadLenPrefixed(std::string_view* s);
+  bool ReadBytes(size_t n, std::string_view* s);
+  bool Skip(size_t n);
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+// --- Column payloads --------------------------------------------------------
+//
+// One column's bytes (the payload of a segment column block, and the unit the
+// WAL's table payload repeats per column):
+//
+//   u64 num_rows
+//   null bitmap: ceil(num_rows/8) bytes, bit r set = row r valid (LSB first)
+//   values:
+//     INT64 / FLOAT64   num_rows * 8 bytes, little-endian (doubles bit-cast)
+//     STRING            u32 dict_count, dict_count * (u32 len + bytes) in
+//                       insert-code order, then num_rows * u32 codes
+//
+// NULL rows write a zero placeholder value. The dictionary pool is written in
+// code order and replayed through Dictionary::GetOrAdd on decode, so every
+// code in the value vector decodes to exactly the string it encoded — the
+// recovered column is bit-identical, codes included.
+
+void EncodeColumn(const Column& column, std::string* out);
+Result<Column> DecodeColumn(ByteReader* in, DataType type);
+
+// --- Table payloads ---------------------------------------------------------
+//
+//   u32 num_columns
+//   per column: u32 name_len + name bytes, u8 data_type
+//   per column: the column payload above
+//
+// This is the WAL append record's body and the logical content of a segment
+// (segments frame the same pieces as separate checksummed blocks).
+
+void EncodeSchema(const Schema& schema, std::string* out);
+Result<Schema> DecodeSchema(ByteReader* in);
+
+void EncodeTable(const Table& table, std::string* out);
+Result<Table> DecodeTable(ByteReader* in);
+
+// --- Zero-copy table encoding -----------------------------------------------
+//
+// One span of an encoded table: either bytes appended to the shared scratch
+// buffer (data == nullptr, located at [scratch_offset, scratch_offset+size))
+// or a direct reference into the table's own value vectors. Scratch offsets
+// must be resolved only after encoding finishes — the buffer may reallocate
+// while it grows.
+struct TablePiece {
+  const void* data = nullptr;
+  size_t scratch_offset = 0;
+  size_t size = 0;
+};
+
+// Encodes `table` like EncodeTable, but without copying the large value
+// vectors: schema, row counts, null bitmaps and dictionaries are appended to
+// `scratch` while INT64/FLOAT64 values and STRING code vectors are referenced
+// in place. The pieces concatenated in order (scratch ranges resolved against
+// the final `scratch`) are byte-identical to EncodeTable's output. The first
+// scratch piece starts at `first_run_offset`, so a caller can prepend its own
+// header bytes to the scratch and have them carried in the first piece.
+// `table` must outlive any use of the pieces.
+void EncodeTablePieces(const Table& table, std::string* scratch,
+                       std::vector<TablePiece>* pieces,
+                       size_t first_run_offset);
+
+}  // namespace storage
+}  // namespace pctagg
+
+#endif  // PCTAGG_STORAGE_SERDE_H_

@@ -1,0 +1,381 @@
+#include "storage/storage.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "engine/table_ops.h"
+#include "obs/metrics.h"
+#include "storage/file_io.h"
+#include "storage/segment.h"
+#include "storage/serde.h"
+
+namespace pctagg {
+namespace storage {
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kCleanMarkerName[] = "CLEAN";
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+obs::Counter& WalRecordsCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_storage_wal_records_total", "WAL records written");
+  return c;
+}
+
+obs::Counter& WalBytesCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_storage_wal_bytes_total", "WAL bytes written");
+  return c;
+}
+
+obs::Counter& WalFsyncCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_storage_wal_fsyncs_total", "WAL fsync calls");
+  return c;
+}
+
+obs::Counter& CheckpointCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_storage_checkpoints_total", "checkpoints completed");
+  return c;
+}
+
+obs::Histogram& CheckpointMicros() {
+  static obs::Histogram& h = obs::GlobalMetrics().GetHistogram(
+      "pctagg_storage_checkpoint_micros", "checkpoint duration");
+  return h;
+}
+
+// The file-name suffix counter survives restarts by scanning existing names:
+// "seg-<seq>-<table>.seg" and "wal-<seq>.log".
+uint64_t ParseFileSeq(const std::string& name) {
+  size_t dash = name.find('-');
+  if (dash == std::string::npos) return 0;
+  return std::strtoull(name.c_str() + dash + 1, nullptr, 10);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Open(
+    StorageOptions options) {
+  auto start = std::chrono::steady_clock::now();
+  PCTAGG_RETURN_IF_ERROR(EnsureDir(options.data_dir));
+
+  std::unique_ptr<StorageManager> mgr(new StorageManager());
+  mgr->options_ = std::move(options);
+
+  const std::string marker = mgr->options_.data_dir + "/" + kCleanMarkerName;
+  const bool clean_marker = FileExists(marker);
+  // The marker certifies only the shutdown that wrote it; remove it up front
+  // so a crash from here on reads as unclean.
+  PCTAGG_RETURN_IF_ERROR(RemoveFile(marker));
+
+  PCTAGG_RETURN_IF_ERROR(mgr->Recover(clean_marker));
+  PCTAGG_RETURN_IF_ERROR(mgr->SweepUnreferenced());
+  mgr->recovery_stats_.recovery_ms = MsSince(start);
+
+  obs::GlobalMetrics()
+      .GetGauge("pctagg_storage_recovery_ms", "last startup recovery time")
+      .Set(static_cast<int64_t>(mgr->recovery_stats_.recovery_ms));
+  obs::GlobalMetrics()
+      .GetGauge("pctagg_storage_recovery_wal_records",
+                "WAL records replayed at last startup")
+      .Set(static_cast<int64_t>(mgr->recovery_stats_.wal_records_replayed));
+  obs::GlobalMetrics()
+      .GetGauge("pctagg_storage_recovery_discarded_bytes",
+                "torn WAL tail bytes discarded at last startup")
+      .Set(static_cast<int64_t>(mgr->recovery_stats_.wal_discarded_bytes));
+  return mgr;
+}
+
+Status StorageManager::Recover(bool clean_marker) {
+  recovery_stats_.clean_shutdown = clean_marker;
+  const std::string manifest_path = options_.data_dir + "/" + kManifestName;
+
+  if (!FileExists(manifest_path)) {
+    // Fresh data directory: start an empty WAL and publish a manifest for it.
+    manifest_.wal_file = WalFileName();
+    manifest_.next_lsn = 1;
+    PCTAGG_ASSIGN_OR_RETURN(
+        wal_, WalWriter::Create(options_.data_dir + "/" + manifest_.wal_file, 1,
+                                options_.fsync, options_.wal_batch_bytes));
+    return WriteManifest(manifest_path, manifest_);
+  }
+
+  recovery_stats_.opened_existing = true;
+  PCTAGG_ASSIGN_OR_RETURN(manifest_, ReadManifest(manifest_path));
+
+  // Seed the name counter past every existing file so fresh names never
+  // collide with live ones.
+  PCTAGG_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                          ListDir(options_.data_dir));
+  for (const std::string& name : names) {
+    file_seq_ = std::max(file_seq_, ParseFileSeq(name) + 1);
+  }
+
+  // Segments first: each table's checkpointed image, checksum-verified.
+  for (const ManifestTable& t : manifest_.tables) {
+    PCTAGG_ASSIGN_OR_RETURN(
+        Table table, ReadSegment(options_.data_dir + "/" + t.segment_file));
+    if (table.num_rows() != t.rows) {
+      return Status::DataLoss("segment " + t.segment_file + ": has " +
+                              std::to_string(table.num_rows()) +
+                              " rows, manifest says " + std::to_string(t.rows));
+    }
+    recovery_stats_.segment_rows += table.num_rows();
+    recovered_.emplace_back(t.name, std::move(table));
+  }
+  recovery_stats_.tables_loaded = recovered_.size();
+
+  // WAL tail: replay acknowledged appends past each table's flush LSN,
+  // dropping any torn tail. A missing WAL (crash between segment writes and
+  // the manifest flip of an interrupted checkpoint never leaves this state,
+  // but an empty fresh directory copy might) reads as empty.
+  const std::string wal_path = options_.data_dir + "/" + manifest_.wal_file;
+  WalReadResult wal;
+  if (FileExists(wal_path)) {
+    PCTAGG_ASSIGN_OR_RETURN(wal, ReadWal(wal_path));
+  }
+  recovery_stats_.wal_bytes_replayed = wal.valid_bytes;
+  recovery_stats_.wal_discarded_bytes = wal.discarded_bytes;
+  recovery_stats_.wal_tail_reason = wal.tail_reason;
+
+  for (const WalRecord& record : wal.records) {
+    if (record.type != kWalRecordAppend) continue;  // forward compatibility
+    ByteReader in(record.payload);
+    std::string_view name;
+    if (!in.ReadLenPrefixed(&name)) {
+      return Status::DataLoss("wal: corrupt append payload at lsn " +
+                              std::to_string(record.lsn));
+    }
+    auto it = std::find_if(
+        recovered_.begin(), recovered_.end(),
+        [&](const auto& entry) { return entry.first == name; });
+    if (it == recovered_.end()) continue;  // table dropped after this record
+    const ManifestTable* mt = nullptr;
+    for (const ManifestTable& t : manifest_.tables) {
+      if (t.name == it->first) mt = &t;
+    }
+    if (mt != nullptr && record.lsn <= mt->flush_lsn) {
+      continue;  // already captured in the segment image
+    }
+    PCTAGG_ASSIGN_OR_RETURN(Table batch, DecodeTable(&in));
+    // Same bulk append the live path uses (InsertInto), so recovered
+    // dictionary codes come out identical to the pre-crash assignment.
+    PCTAGG_RETURN_IF_ERROR(InsertInto(&it->second, batch));
+    ++recovery_stats_.wal_records_replayed;
+    recovery_stats_.wal_rows_replayed += batch.num_rows();
+  }
+
+  uint64_t next_lsn = std::max(manifest_.next_lsn, wal.next_lsn);
+  PCTAGG_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Reopen(wal_path, next_lsn, wal.valid_bytes,
+                              options_.fsync, options_.wal_batch_bytes));
+  return Status::OK();
+}
+
+Status StorageManager::SweepUnreferenced() {
+  std::set<std::string> keep = {kManifestName, manifest_.wal_file};
+  for (const ManifestTable& t : manifest_.tables) keep.insert(t.segment_file);
+  PCTAGG_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                          ListDir(options_.data_dir));
+  for (const std::string& name : names) {
+    if (keep.count(name)) continue;
+    PCTAGG_RETURN_IF_ERROR(RemoveFile(options_.data_dir + "/" + name));
+    ++recovery_stats_.files_swept;
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, Table>>
+StorageManager::TakeRecoveredTables() {
+  return std::move(recovered_);
+}
+
+std::string StorageManager::SegmentFileName(const std::string& table) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu-",
+                (unsigned long long)file_seq_++);
+  return buf + table + ".seg";
+}
+
+std::string StorageManager::WalFileName() {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                (unsigned long long)file_seq_++);
+  return buf;
+}
+
+Result<uint64_t> StorageManager::LogAppend(const std::string& table,
+                                           const Table& batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wal_scratch_.clear();
+  wal_pieces_.clear();
+  AppendLenPrefixed(&wal_scratch_, table);
+  EncodeTablePieces(batch, &wal_scratch_, &wal_pieces_,
+                    /*first_run_offset=*/0);
+  const uint64_t fsyncs_before = wal_.fsyncs();
+  const uint64_t bytes_before = wal_.bytes_written();
+  PCTAGG_ASSIGN_OR_RETURN(
+      uint64_t lsn,
+      wal_.AppendRecord(kWalRecordAppend, wal_scratch_, wal_pieces_));
+  WalRecordsCounter().Add(1);
+  WalBytesCounter().Add(wal_.bytes_written() - bytes_before);
+  WalFsyncCounter().Add(wal_.fsyncs() - fsyncs_before);
+  return lsn;
+}
+
+Status StorageManager::PersistTable(const std::string& name,
+                                    const Table& table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string file = SegmentFileName(name);
+  PCTAGG_RETURN_IF_ERROR(
+      WriteSegment(options_.data_dir + "/" + file, table));
+
+  Manifest next = manifest_;
+  std::string old_file;
+  ManifestTable entry{name, file, table.num_rows(), wal_.next_lsn() - 1};
+  bool replaced = false;
+  for (ManifestTable& t : next.tables) {
+    if (t.name == name) {
+      old_file = t.segment_file;
+      t = entry;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) next.tables.push_back(std::move(entry));
+
+  PCTAGG_RETURN_IF_ERROR(
+      WriteManifest(options_.data_dir + "/" + kManifestName, next));
+  manifest_ = std::move(next);
+  if (!old_file.empty() && old_file != file) {
+    PCTAGG_RETURN_IF_ERROR(RemoveFile(options_.data_dir + "/" + old_file));
+  }
+  return Status::OK();
+}
+
+Status StorageManager::RemoveTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Manifest next = manifest_;
+  std::string old_file;
+  for (auto it = next.tables.begin(); it != next.tables.end(); ++it) {
+    if (it->name == name) {
+      old_file = it->segment_file;
+      next.tables.erase(it);
+      break;
+    }
+  }
+  if (old_file.empty()) return Status::OK();  // never persisted
+  PCTAGG_RETURN_IF_ERROR(
+      WriteManifest(options_.data_dir + "/" + kManifestName, next));
+  manifest_ = std::move(next);
+  return RemoveFile(options_.data_dir + "/" + old_file);
+}
+
+Result<StorageManager::CheckpointStats> StorageManager::Checkpoint(
+    const std::vector<std::pair<std::string, const Table*>>& tables) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto start = std::chrono::steady_clock::now();
+  CheckpointStats stats;
+
+  // 1. Fresh segments. A crash here leaves them unreferenced; the old file
+  //    set is still the published truth.
+  Manifest next;
+  for (const auto& [name, table] : tables) {
+    const std::string file = SegmentFileName(name);
+    PCTAGG_RETURN_IF_ERROR(
+        WriteSegment(options_.data_dir + "/" + file, *table));
+    PCTAGG_ASSIGN_OR_RETURN(uint64_t size,
+                            FileSize(options_.data_dir + "/" + file));
+    stats.bytes += size;
+    stats.rows += table->num_rows();
+    next.tables.push_back(
+        ManifestTable{name, file, table->num_rows(), wal_.next_lsn() - 1});
+  }
+  stats.tables = tables.size();
+
+  // 2. Fresh WAL, continuing the LSN sequence.
+  next.wal_file = WalFileName();
+  next.next_lsn = wal_.next_lsn();
+  PCTAGG_ASSIGN_OR_RETURN(
+      WalWriter fresh_wal,
+      WalWriter::Create(options_.data_dir + "/" + next.wal_file,
+                        next.next_lsn, wal_.policy(),
+                        options_.wal_batch_bytes));
+
+  // 3. Atomic flip: after this rename the new file set is the database.
+  PCTAGG_RETURN_IF_ERROR(
+      WriteManifest(options_.data_dir + "/" + kManifestName, next));
+
+  // 4. Retire the old generation.
+  const std::string old_wal = manifest_.wal_file;
+  std::set<std::string> still_referenced;
+  for (const ManifestTable& t : next.tables) {
+    still_referenced.insert(t.segment_file);
+  }
+  wal_.Close();
+  wal_ = std::move(fresh_wal);
+  std::vector<ManifestTable> old_tables = std::move(manifest_.tables);
+  manifest_ = std::move(next);
+  PCTAGG_RETURN_IF_ERROR(RemoveFile(options_.data_dir + "/" + old_wal));
+  for (const ManifestTable& t : old_tables) {
+    if (!still_referenced.count(t.segment_file)) {
+      PCTAGG_RETURN_IF_ERROR(
+          RemoveFile(options_.data_dir + "/" + t.segment_file));
+    }
+  }
+
+  stats.ms = MsSince(start);
+  CheckpointCounter().Add(1);
+  CheckpointMicros().Observe(static_cast<uint64_t>(stats.ms * 1000.0));
+  return stats;
+}
+
+Status StorageManager::SyncWal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t before = wal_.fsyncs();
+  PCTAGG_RETURN_IF_ERROR(wal_.Sync());
+  WalFsyncCounter().Add(wal_.fsyncs() - before);
+  return Status::OK();
+}
+
+Status StorageManager::MarkCleanShutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PCTAGG_RETURN_IF_ERROR(wal_.Sync());
+  return AtomicWriteFile(options_.data_dir + "/" + kCleanMarkerName, "clean\n");
+}
+
+void StorageManager::set_fsync_policy(FsyncPolicy policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wal_.set_policy(policy);
+}
+
+FsyncPolicy StorageManager::fsync_policy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wal_.policy();
+}
+
+uint64_t StorageManager::wal_bytes_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wal_.bytes_written();
+}
+
+uint64_t StorageManager::wal_fsyncs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wal_.fsyncs();
+}
+
+}  // namespace storage
+}  // namespace pctagg

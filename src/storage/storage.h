@@ -1,0 +1,132 @@
+#ifndef PCTAGG_STORAGE_STORAGE_H_
+#define PCTAGG_STORAGE_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/table.h"
+#include "storage/manifest.h"
+#include "storage/wal.h"
+
+namespace pctagg {
+namespace storage {
+
+struct StorageOptions {
+  std::string data_dir;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  // Group-commit threshold for kBatch: unsynced WAL bytes accumulate up to
+  // this before an fsync (below it the kernel is only nudged to start
+  // writeback). Bounds the post-crash loss window under kBatch.
+  uint64_t wal_batch_bytes = 8 << 20;
+};
+
+// What startup recovery found and did.
+struct RecoveryStats {
+  bool clean_shutdown = false;    // CLEAN marker was present
+  bool opened_existing = false;   // a manifest existed (vs. fresh data dir)
+  size_t tables_loaded = 0;       // tables materialized from segments
+  uint64_t segment_rows = 0;      // rows read back from segments
+  size_t wal_records_replayed = 0;
+  uint64_t wal_rows_replayed = 0;
+  uint64_t wal_bytes_replayed = 0;
+  uint64_t wal_discarded_bytes = 0;  // torn tail dropped after the last
+  std::string wal_tail_reason;       // intact record ("" = clean tail)
+  size_t files_swept = 0;            // unreferenced files deleted
+  double recovery_ms = 0;
+};
+
+// The durable half of a database instance: one data directory holding a
+// manifest, one live WAL, and one immutable segment file per table.
+//
+//   Open        manifest -> segments -> WAL tail replay -> sweep
+//   LogAppend   WAL-before-data for every acknowledged append batch
+//   PersistTable/RemoveTable   DDL makes its own segment + manifest flip
+//   Checkpoint  fresh segments -> fresh WAL -> manifest flip -> old files go
+//
+// Callers serialize data mutations (the server's executor runs DDL/append
+// under an exclusive lock); an internal mutex additionally keeps direct
+// PctDatabase users safe. Crash-safety rests on ordering alone: every step
+// leaves either the old complete file set or the new one reachable from the
+// manifest, never a mix.
+class StorageManager {
+ public:
+  static Result<std::unique_ptr<StorageManager>> Open(StorageOptions options);
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  // Tables rebuilt during Open, for the caller to install into its catalog.
+  // Valid once; the internal copies are released.
+  std::vector<std::pair<std::string, Table>> TakeRecoveredTables();
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  // Logs one append batch (WAL-before-data). On return the record is as
+  // durable as the fsync policy promises and the batch may be applied to the
+  // in-memory table and acknowledged.
+  Result<uint64_t> LogAppend(const std::string& table, const Table& batch);
+
+  // Writes `table` to a fresh segment and publishes it in the manifest
+  // (CREATE TABLE, CREATE TABLE AS, full replacement). Prior WAL records for
+  // the table are superseded by the new flush LSN.
+  Status PersistTable(const std::string& name, const Table& table);
+
+  // Drops the table's manifest entry and segment file (DROP TABLE).
+  Status RemoveTable(const std::string& name);
+
+  struct CheckpointStats {
+    size_t tables = 0;
+    uint64_t rows = 0;
+    uint64_t bytes = 0;  // segment bytes written
+    double ms = 0;
+  };
+
+  // Flushes every passed table to a fresh segment, starts a fresh WAL, and
+  // atomically publishes the new file set. The caller must hold writer
+  // exclusivity over the tables for the duration.
+  Result<CheckpointStats> Checkpoint(
+      const std::vector<std::pair<std::string, const Table*>>& tables);
+
+  // Forces batched WAL bytes to disk (fsync=batch barrier).
+  Status SyncWal();
+
+  // Final checkpointed shutdown marker; next Open reports clean_shutdown.
+  Status MarkCleanShutdown();
+
+  void set_fsync_policy(FsyncPolicy policy);
+  FsyncPolicy fsync_policy() const;
+
+  const std::string& data_dir() const { return options_.data_dir; }
+  uint64_t wal_bytes_written() const;
+  uint64_t wal_fsyncs() const;
+
+ private:
+  StorageManager() = default;
+
+  Status Recover(bool clean_marker);
+  std::string SegmentFileName(const std::string& table);
+  std::string WalFileName();
+  Status SweepUnreferenced();
+
+  StorageOptions options_;
+  mutable std::mutex mutex_;
+  // Reused append-payload encode state (guarded by mutex_; scratch keeps its
+  // capacity across batches, pieces reference it plus the batch's columns).
+  std::string wal_scratch_;
+  std::vector<TablePiece> wal_pieces_;
+  Manifest manifest_;  // mirrors the file on disk
+  WalWriter wal_;
+  uint64_t file_seq_ = 1;  // monotone suffix for fresh file names
+  std::vector<std::pair<std::string, Table>> recovered_;
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace storage
+}  // namespace pctagg
+
+#endif  // PCTAGG_STORAGE_STORAGE_H_

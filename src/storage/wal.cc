@@ -1,0 +1,274 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "storage/crc32c.h"
+#include "storage/fault.h"
+#include "storage/serde.h"
+
+namespace pctagg {
+namespace storage {
+
+namespace {
+
+constexpr size_t kRecordHeaderBytes = 4 + 8 + 4 + 4 + 4;
+
+}  // namespace
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name) {
+  if (name == "always") return FsyncPolicy::kAlways;
+  if (name == "batch") return FsyncPolicy::kBatch;
+  if (name == "off") return FsyncPolicy::kOff;
+  return Status::InvalidArgument("wal_fsync must be always|batch|off, got '" +
+                                 name + "'");
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+Result<WalWriter> WalWriter::Create(const std::string& path, uint64_t next_lsn,
+                                    FsyncPolicy policy, uint64_t batch_bytes) {
+  WalWriter w;
+  PCTAGG_RETURN_IF_ERROR(w.file_.Create(path));
+  PCTAGG_RETURN_IF_ERROR(w.file_.Sync());
+  PCTAGG_RETURN_IF_ERROR(SyncDirOf(path));
+  w.next_lsn_ = next_lsn;
+  w.policy_ = policy;
+  w.batch_bytes_ = batch_bytes;
+  return w;
+}
+
+Result<WalWriter> WalWriter::Reopen(const std::string& path, uint64_t next_lsn,
+                                    uint64_t valid_bytes, FsyncPolicy policy,
+                                    uint64_t batch_bytes) {
+  PCTAGG_ASSIGN_OR_RETURN(uint64_t size, FileSize(path));
+  if (size > valid_bytes) {
+    // Drop the torn tail so new records start on a record boundary.
+    if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+      return Status::Internal("wal truncate " + path + " failed");
+    }
+  }
+  WalWriter w;
+  PCTAGG_RETURN_IF_ERROR(w.file_.OpenForAppend(path));
+  PCTAGG_RETURN_IF_ERROR(w.file_.Sync());
+  w.next_lsn_ = next_lsn;
+  w.policy_ = policy;
+  w.batch_bytes_ = batch_bytes;
+  return w;
+}
+
+Result<uint64_t> WalWriter::AppendRecord(uint32_t type,
+                                         std::string_view payload) {
+  static const std::string kNoScratch;
+  return AppendRecord(type, kNoScratch,
+                      {TablePiece{payload.data(), 0, payload.size()}});
+}
+
+Result<uint64_t> WalWriter::AppendRecord(uint32_t type,
+                                         const std::string& scratch,
+                                         const std::vector<TablePiece>& pieces) {
+  const uint64_t lsn = next_lsn_;
+  size_t payload_size = 0;
+  for (const TablePiece& p : pieces) payload_size += p.size;
+  auto piece_data = [&](const TablePiece& p) {
+    return p.data != nullptr ? static_cast<const char*>(p.data)
+                             : scratch.data() + p.scratch_offset;
+  };
+
+  // The payload is written straight from the callers' buffers — at append
+  // batch sizes a contiguous frame copy would double the memory traffic of
+  // the whole WAL path. Only the 24-byte header is materialized.
+  char header[kRecordHeaderBytes];
+  std::memcpy(header, &kWalMagic, 4);
+  std::memcpy(header + 4, &lsn, 8);
+  std::memcpy(header + 12, &type, 4);
+  const uint32_t len = static_cast<uint32_t>(payload_size);
+  std::memcpy(header + 16, &len, 4);
+  // The checksum covers everything after the magic, header fields included,
+  // so a flipped length or LSN is caught as corruption, not obeyed.
+  uint32_t crc = Crc32c(header + 4, 16);
+  for (const TablePiece& p : pieces) {
+    crc = Crc32c(crc, piece_data(p), p.size);
+  }
+  const uint32_t masked = MaskCrc(crc);
+  std::memcpy(header + 20, &masked, 4);
+
+  // Two writes, with a crash point between, model a record torn mid-write.
+  // emit() writes out [begin, end) of the logical frame (header ++ pieces).
+  const size_t total = kRecordHeaderBytes + payload_size;
+  const size_t half = total / 2;
+  auto emit = [&](size_t begin, size_t end) -> Status {
+    size_t pos = 0;
+    auto overlap = [&](const char* data, size_t size) -> Status {
+      const size_t lo = std::max(begin, pos);
+      const size_t hi = std::min(end, pos + size);
+      Status st = lo < hi ? file_.Append(data + (lo - pos), hi - lo)
+                          : Status::OK();
+      pos += size;
+      return st;
+    };
+    PCTAGG_RETURN_IF_ERROR(overlap(header, kRecordHeaderBytes));
+    for (const TablePiece& p : pieces) {
+      PCTAGG_RETURN_IF_ERROR(overlap(piece_data(p), p.size));
+    }
+    return Status::OK();
+  };
+  PCTAGG_RETURN_IF_ERROR(emit(0, half));
+  CrashPoint("wal_partial");
+  PCTAGG_RETURN_IF_ERROR(emit(half, total));
+  CrashPoint("wal_record");
+
+  bytes_written_ += total;
+  unsynced_bytes_ += total;
+  switch (policy_) {
+    case FsyncPolicy::kAlways:
+      PCTAGG_RETURN_IF_ERROR(Sync());
+      break;
+    case FsyncPolicy::kBatch:
+      if (unsynced_bytes_ >= kGroupCommitHardCap * batch_bytes_) {
+        // The device is falling behind sustained appends; block rather than
+        // let the loss window grow without bound.
+        PCTAGG_RETURN_IF_ERROR(Sync());
+      } else if (unsynced_bytes_ >= batch_bytes_) {
+        PCTAGG_RETURN_IF_ERROR(TryLaunchGroupCommit());
+      }
+      break;
+    case FsyncPolicy::kOff:
+      break;
+  }
+  next_lsn_ = lsn + 1;
+  return lsn;
+}
+
+Status WalWriter::TryLaunchGroupCommit() {
+  if (group_commit_.joinable() && group_commit_done_ != nullptr &&
+      !group_commit_done_->load(std::memory_order_acquire)) {
+    // The previous commit is still flushing; let these bytes roll into the
+    // next window instead of blocking the append path on the device.
+    return Status::OK();
+  }
+  PCTAGG_RETURN_IF_ERROR(JoinGroupCommit());
+  if (group_commit_errno_ == nullptr) {
+    group_commit_errno_ = std::make_shared<std::atomic<int>>(0);
+    group_commit_done_ = std::make_shared<std::atomic<bool>>(false);
+  }
+  group_commit_done_->store(false, std::memory_order_relaxed);
+  const int fd = file_.raw_fd();
+  std::shared_ptr<std::atomic<int>> err = group_commit_errno_;
+  std::shared_ptr<std::atomic<bool>> done = group_commit_done_;
+  group_commit_ = std::thread([fd, err, done] {
+    if (::fsync(fd) != 0) err->store(errno);
+    done->store(true, std::memory_order_release);
+  });
+  unsynced_bytes_ = 0;
+  ++fsyncs_;
+  return Status::OK();
+}
+
+Status WalWriter::JoinGroupCommit() {
+  if (group_commit_.joinable()) group_commit_.join();
+  if (group_commit_errno_ != nullptr) {
+    const int err = group_commit_errno_->exchange(0);
+    if (err != 0) {
+      return Status::Internal(std::string("wal group-commit fsync: ") +
+                              std::strerror(err));
+    }
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  PCTAGG_RETURN_IF_ERROR(JoinGroupCommit());
+  if (unsynced_bytes_ == 0) return Status::OK();
+  PCTAGG_RETURN_IF_ERROR(file_.Sync());
+  unsynced_bytes_ = 0;
+  ++fsyncs_;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  PCTAGG_RETURN_IF_ERROR(JoinGroupCommit());
+  return file_.Close();
+}
+
+WalWriter::~WalWriter() {
+  if (group_commit_.joinable()) group_commit_.join();
+}
+
+void EncodeAppendPayload(const std::string& table_name, const Table& rows,
+                         std::string* out) {
+  AppendLenPrefixed(out, table_name);
+  EncodeTable(rows, out);
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  PCTAGG_ASSIGN_OR_RETURN(std::string file, ReadFileToString(path));
+  WalReadResult result;
+  ByteReader in(file.data(), file.size());
+  uint64_t prev_lsn = 0;
+
+  while (in.remaining() > 0) {
+    const uint64_t offset = file.size() - in.remaining();
+    auto tear = [&](const char* why) {
+      result.valid_bytes = offset;
+      result.discarded_bytes = file.size() - offset;
+      result.tail_reason = why;
+    };
+    if (in.remaining() < kRecordHeaderBytes) {
+      tear("short record header");
+      break;
+    }
+    uint32_t magic = 0, type = 0, len = 0, masked = 0;
+    uint64_t lsn = 0;
+    in.ReadU32(&magic);
+    in.ReadU64(&lsn);
+    in.ReadU32(&type);
+    in.ReadU32(&len);
+    in.ReadU32(&masked);
+    if (magic != kWalMagic) {
+      tear("bad record magic");
+      break;
+    }
+    std::string_view payload;
+    if (!in.ReadBytes(len, &payload)) {
+      tear("short record body");
+      break;
+    }
+    uint32_t crc = Crc32c(file.data() + offset + 4, kRecordHeaderBytes - 8);
+    crc = Crc32c(crc, payload.data(), payload.size());
+    if (crc != UnmaskCrc(masked)) {
+      tear("record checksum mismatch");
+      break;
+    }
+    if (lsn <= prev_lsn) {
+      tear("lsn regression");
+      break;
+    }
+    prev_lsn = lsn;
+    result.records.push_back(WalRecord{lsn, type, std::string(payload)});
+    result.valid_bytes = file.size() - in.remaining();
+  }
+  if (result.tail_reason.empty()) {
+    result.valid_bytes = file.size();
+  }
+  result.next_lsn = prev_lsn + 1;
+  if (result.next_lsn < 1) result.next_lsn = 1;
+  return result;
+}
+
+}  // namespace storage
+}  // namespace pctagg

@@ -1,0 +1,144 @@
+#ifndef PCTAGG_STORAGE_WAL_H_
+#define PCTAGG_STORAGE_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/table.h"
+#include "storage/file_io.h"
+#include "storage/serde.h"
+
+namespace pctagg {
+namespace storage {
+
+// Write-ahead log for the append path. One record per AppendRows batch,
+// framed:
+//
+//   u32 magic "WAL1"
+//   u64 lsn          strictly increasing, global across WAL rotations
+//   u32 type         kWalRecordAppend
+//   u32 payload len
+//   u32 masked crc32c over [lsn..len] header fields + payload
+//   payload
+//
+// Append payloads are: len-prefixed table name + EncodeTable(batch). Replay
+// stops at the first record that is short, mis-magiced, checksum-failing or
+// LSN-regressing — a torn tail from a crash mid-write — and reports how much
+// it discarded. Everything before the tear is trusted bit-for-bit.
+
+inline constexpr uint32_t kWalMagic = 0x314C4157u;  // "WAL1" little-endian
+inline constexpr uint32_t kWalRecordAppend = 1;
+
+// How eagerly the WAL reaches stable storage.
+//   kAlways  fsync after every record; an acknowledged append survives kill -9
+//   kBatch   group commit: once `batch_bytes` accumulate the fsync runs on a
+//            helper thread while appends continue; if it is still running at
+//            the next threshold the bytes roll over (up to a hard cap of 4
+//            windows, where appends block), so the post-crash loss window is
+//            bounded by ~4*batch_bytes plus the in-flight fsync. Barriers
+//            (checkpoint/shutdown/SyncWal) always sync fully.
+//   kOff     never fsync from the append path; durability only at checkpoint
+enum class FsyncPolicy { kAlways, kBatch, kOff };
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+class WalWriter {
+ public:
+  // Creates a fresh WAL at `path`; records start at `next_lsn`.
+  static Result<WalWriter> Create(const std::string& path, uint64_t next_lsn,
+                                  FsyncPolicy policy, uint64_t batch_bytes);
+  // Reopens an existing WAL for appending after `valid_bytes` of replayed
+  // records (the file is truncated to drop any torn tail first).
+  static Result<WalWriter> Reopen(const std::string& path, uint64_t next_lsn,
+                                  uint64_t valid_bytes, FsyncPolicy policy,
+                                  uint64_t batch_bytes);
+
+  // An empty writer; assign from Create/Reopen before use.
+  WalWriter() = default;
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+  ~WalWriter();  // joins any in-flight group-commit fsync
+
+  // Appends one record and applies the fsync policy. Returns the record's
+  // LSN once it is as durable as the policy promises.
+  Result<uint64_t> AppendRecord(uint32_t type, std::string_view payload);
+
+  // Same record format, but the payload arrives as EncodeTablePieces output:
+  // scratch ranges resolve against `scratch`, direct pieces are written from
+  // their owning buffers without ever materializing a contiguous payload.
+  Result<uint64_t> AppendRecord(uint32_t type, const std::string& scratch,
+                                const std::vector<TablePiece>& pieces);
+
+  // Forces any batched bytes to disk (checkpoint barrier, shutdown).
+  Status Sync();
+
+  Status Close();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+  void set_policy(FsyncPolicy policy) { policy_ = policy; }
+  FsyncPolicy policy() const { return policy_; }
+
+ private:
+  // Hard backpressure for kBatch: once this many batch windows of WAL bytes
+  // are unsynced, appends block on a full Sync() instead of launching
+  // another background commit, bounding the post-crash loss window.
+  static constexpr uint64_t kGroupCommitHardCap = 4;
+
+  // Starts the group-commit fsync on a helper thread (kBatch threshold
+  // crossing). If the previous commit is still running, does nothing — the
+  // bytes roll into the next window. Otherwise joins the finished commit
+  // (surfacing its failure, if any) and launches the next one.
+  Status TryLaunchGroupCommit();
+  // Waits for an in-flight group-commit fsync and surfaces its result.
+  Status JoinGroupCommit();
+
+  AppendFile file_;
+  uint64_t next_lsn_ = 1;
+  uint64_t bytes_written_ = 0;
+  uint64_t unsynced_bytes_ = 0;
+  uint64_t fsyncs_ = 0;
+  FsyncPolicy policy_ = FsyncPolicy::kBatch;
+  uint64_t batch_bytes_ = 1 << 20;
+  std::thread group_commit_;
+  // Heap-allocated so the writer stays movable; shared with the helper
+  // thread, which parks its fsync errno / completion flag here.
+  std::shared_ptr<std::atomic<int>> group_commit_errno_;
+  std::shared_ptr<std::atomic<bool>> group_commit_done_;
+};
+
+// Encodes / decodes the append payload.
+void EncodeAppendPayload(const std::string& table_name, const Table& rows,
+                         std::string* out);
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint32_t type = 0;
+  std::string payload;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;      // offset past the last intact record
+  uint64_t discarded_bytes = 0;  // torn-tail bytes dropped after valid_bytes
+  std::string tail_reason;       // empty when the file ended cleanly
+  uint64_t next_lsn = 1;         // 1 + last intact record's lsn (min 1)
+};
+
+// Reads the whole WAL, verifying per-record checksums. Never fails on a torn
+// tail (that is the expected crash shape) — only on I/O errors.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+}  // namespace storage
+}  // namespace pctagg
+
+#endif  // PCTAGG_STORAGE_WAL_H_

@@ -141,6 +141,27 @@ TEST(ExecutorTest, ParsesCreateTableAs) {
                                                  &select_sql));
 }
 
+TEST(ExecutorTest, ClassifiesWriteStatementsIgnoringSemicolons) {
+  EXPECT_TRUE(QueryExecutor::IsWriteStatement("CHECKPOINT"));
+  EXPECT_TRUE(QueryExecutor::IsWriteStatement("CHECKPOINT;"));
+  EXPECT_TRUE(QueryExecutor::IsWriteStatement("checkpoint"));
+  EXPECT_TRUE(QueryExecutor::IsWriteStatement("DROP TABLE f;"));
+  EXPECT_TRUE(QueryExecutor::IsAppendStatement("INSERT INTO f VALUES (1);"));
+  EXPECT_FALSE(QueryExecutor::IsWriteStatement("SELECT 1;"));
+}
+
+TEST(ExecutorTest, CheckpointStatementTakesTheWriterPath) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", RandomFact(1, 100)).ok());
+  QueryExecutor executor(&db, ExecutorConfig{2, 8});
+  // A bare CHECKPOINT; (as the QUERY verb delivers it) must dispatch to
+  // Execute() like other write statements, not down the read-only path.
+  Result<Table> r =
+      executor.ExecuteStatement("CHECKPOINT;", QueryOptions{}, 0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 1u);
+}
+
 TEST(ExecutorTest, RunsStatementsAndCreateTableAs) {
   PctDatabase db;
   ASSERT_TRUE(db.CreateTable("f", RandomFact(1, 500)).ok());

@@ -10,9 +10,16 @@
 //   --threads <n>          query worker threads  (default: hardware)
 //   --max-inflight <n>     admission limit       (default 64)
 //   --timeout-ms <n>       default per-query deadline, 0 = none (default 30000)
+//   --data-dir <path>      durable storage directory; recovers any existing
+//                          tables on startup and WAL-logs appends
+//   --wal-fsync <policy>   always | batch | off  (default batch)
 //   --load <table>:<csv>   preload a CSV file as a base table (repeatable)
 //   --gen <kind>:<name>:<rows>  preload a synthetic workload table
 //                          (kind: employee|sales|transactionline|census)
+//
+// SIGINT/SIGTERM shut down gracefully: stop accepting, drain in-flight
+// statements, checkpoint to the data dir, and write the CLEAN marker. A
+// second signal force-exits immediately.
 
 #include <csignal>
 #include <cstdio>
@@ -26,6 +33,7 @@
 #include "common/string_util.h"
 #include "engine/csv.h"
 #include "server/server.h"
+#include "storage/storage.h"
 #include "workload/generators.h"
 
 namespace {
@@ -38,7 +46,10 @@ using pctagg::Table;
 
 volatile std::sig_atomic_t g_stop = 0;
 
-void HandleSignal(int) { g_stop = 1; }
+void HandleSignal(int) {
+  if (g_stop != 0) std::_Exit(130);  // second signal: give up on draining
+  g_stop = 1;
+}
 
 // Splits "a:b[:c]" on ':'.
 std::vector<std::string> SplitColons(const std::string& s) {
@@ -58,7 +69,8 @@ std::vector<std::string> SplitColons(const std::string& s) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host A] [--port N] [--threads N] "
-               "[--max-inflight N] [--timeout-ms N] [--load t:file.csv]... "
+               "[--max-inflight N] [--timeout-ms N] [--data-dir DIR] "
+               "[--wal-fsync always|batch|off] [--load t:file.csv]... "
                "[--gen kind:name:rows]...\n",
                argv0);
   return 2;
@@ -70,6 +82,11 @@ int main(int argc, char** argv) {
   PctDatabase db;
   ServerConfig config;
   config.port = 7477;
+  std::string data_dir;
+  std::string wal_fsync = "batch";
+  // --load/--gen are deferred until storage is attached so preloaded tables
+  // are persisted regardless of flag order.
+  std::vector<std::string> load_specs, gen_specs;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -96,46 +113,107 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       config.default_timeout_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      data_dir = v;
+    } else if (arg == "--wal-fsync") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      wal_fsync = v;
     } else if (arg == "--load") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
-      std::vector<std::string> parts = SplitColons(v);
-      if (parts.size() != 2) return Usage(argv[0]);
-      Result<Table> t = pctagg::ReadCsvFileAuto(parts[1]);
-      if (!t.ok()) {
-        std::fprintf(stderr, "--load %s: %s\n", v,
-                     t.status().ToString().c_str());
-        return 1;
-      }
-      db.ReplaceTable(parts[0], std::move(t).value());
-      std::fprintf(stderr, "loaded %s from %s\n", parts[0].c_str(),
-                   parts[1].c_str());
+      load_specs.push_back(v);
     } else if (arg == "--gen") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
-      std::vector<std::string> parts = SplitColons(v);
-      if (parts.size() != 3) return Usage(argv[0]);
-      size_t rows = static_cast<size_t>(std::atoll(parts[2].c_str()));
-      std::string kind = pctagg::ToLower(parts[0]);
-      Table t;
-      if (kind == "employee") {
-        t = pctagg::GenerateEmployee(rows);
-      } else if (kind == "sales") {
-        t = pctagg::GenerateSales(rows);
-      } else if (kind == "transactionline") {
-        t = pctagg::GenerateTransactionLine(rows);
-      } else if (kind == "census") {
-        t = pctagg::GenerateCensusLike(rows);
-      } else {
-        std::fprintf(stderr, "--gen: unknown kind %s\n", parts[0].c_str());
-        return 1;
-      }
-      db.ReplaceTable(parts[1], std::move(t));
-      std::fprintf(stderr, "generated %zu %s rows into %s\n", rows,
-                   kind.c_str(), parts[1].c_str());
+      gen_specs.push_back(v);
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  if (!data_dir.empty()) {
+    pctagg::storage::StorageOptions opts;
+    opts.data_dir = data_dir;
+    Result<pctagg::storage::FsyncPolicy> policy =
+        pctagg::storage::ParseFsyncPolicy(wal_fsync);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "--wal-fsync %s: %s\n", wal_fsync.c_str(),
+                   policy.status().ToString().c_str());
+      return 1;
+    }
+    opts.fsync = *policy;
+    Status st = db.OpenStorage(opts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--data-dir %s: %s\n", data_dir.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    const pctagg::storage::RecoveryStats& rec =
+        db.storage()->recovery_stats();
+    std::fprintf(stderr,
+                 "recovered %s: %zu tables (%llu rows) from segments, "
+                 "%zu WAL records (%llu rows) replayed, %llu torn bytes "
+                 "discarded%s%s, %s shutdown, %.1f ms\n",
+                 data_dir.c_str(), rec.tables_loaded,
+                 (unsigned long long)rec.segment_rows,
+                 rec.wal_records_replayed,
+                 (unsigned long long)rec.wal_rows_replayed,
+                 (unsigned long long)rec.wal_discarded_bytes,
+                 rec.wal_tail_reason.empty() ? "" : ": ",
+                 rec.wal_tail_reason.c_str(),
+                 rec.clean_shutdown ? "clean" : "unclean", rec.recovery_ms);
+  } else if (wal_fsync != "batch") {
+    std::fprintf(stderr, "--wal-fsync requires --data-dir\n");
+    return 1;
+  }
+
+  for (const std::string& spec : load_specs) {
+    std::vector<std::string> parts = SplitColons(spec);
+    if (parts.size() != 2) return Usage(argv[0]);
+    Result<Table> t = pctagg::ReadCsvFileAuto(parts[1]);
+    if (!t.ok()) {
+      std::fprintf(stderr, "--load %s: %s\n", spec.c_str(),
+                   t.status().ToString().c_str());
+      return 1;
+    }
+    Status st = db.ReplaceTable(parts[0], std::move(t).value());
+    if (!st.ok()) {
+      std::fprintf(stderr, "--load %s: %s\n", spec.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %s from %s\n", parts[0].c_str(),
+                 parts[1].c_str());
+  }
+  for (const std::string& spec : gen_specs) {
+    std::vector<std::string> parts = SplitColons(spec);
+    if (parts.size() != 3) return Usage(argv[0]);
+    size_t rows = static_cast<size_t>(std::atoll(parts[2].c_str()));
+    std::string kind = pctagg::ToLower(parts[0]);
+    Table t;
+    if (kind == "employee") {
+      t = pctagg::GenerateEmployee(rows);
+    } else if (kind == "sales") {
+      t = pctagg::GenerateSales(rows);
+    } else if (kind == "transactionline") {
+      t = pctagg::GenerateTransactionLine(rows);
+    } else if (kind == "census") {
+      t = pctagg::GenerateCensusLike(rows);
+    } else {
+      std::fprintf(stderr, "--gen: unknown kind %s\n", parts[0].c_str());
+      return 1;
+    }
+    Status st = db.ReplaceTable(parts[1], std::move(t));
+    if (!st.ok()) {
+      std::fprintf(stderr, "--gen %s: %s\n", spec.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "generated %zu %s rows into %s\n", rows,
+                 kind.c_str(), parts[1].c_str());
   }
 
   pctagg::PctServer server(&db, config);
@@ -158,6 +236,38 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "shutting down (%zu sessions served)\n",
                server.sessions_opened());
+  // Stop() closes the listener and joins every connection thread; a
+  // timed-out statement may still be draining in the worker pool, so the
+  // final checkpoint runs under the executor's exclusive lock, which waits
+  // it out.
   server.Stop();
+  if (db.HasStorage()) {
+    pctagg::storage::StorageManager::CheckpointStats stats;
+    Status ck = server.executor().ExecuteWrite(
+        [&db, &stats]() -> Status {
+          Result<pctagg::storage::StorageManager::CheckpointStats> r =
+              db.Checkpoint();
+          if (!r.ok()) return r.status();
+          stats = *r;
+          return Status::OK();
+        },
+        /*timeout_ms=*/0);
+    if (!ck.ok()) {
+      std::fprintf(stderr, "shutdown checkpoint failed: %s\n",
+                   ck.ToString().c_str());
+      return 1;
+    }
+    Status mark = db.storage()->MarkCleanShutdown();
+    if (!mark.ok()) {
+      std::fprintf(stderr, "clean-shutdown marker failed: %s\n",
+                   mark.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "checkpointed %zu tables (%llu rows, %llu bytes) in %.1f ms; "
+                 "clean shutdown\n",
+                 stats.tables, (unsigned long long)stats.rows,
+                 (unsigned long long)stats.bytes, stats.ms);
+  }
   return 0;
 }

@@ -203,7 +203,11 @@ void RunDotCommand(ShellState* state, const std::string& line) {
       return;
     }
     size_t rows = t.value().num_rows();
-    db->ReplaceTable(words[1], std::move(t).value());
+    Status s = db->ReplaceTable(words[1], std::move(t).value());
+    if (!s.ok()) {
+      PrintStatus(s);
+      return;
+    }
     std::printf("loaded %zu rows into %s\n", rows, words[1].c_str());
     return;
   }
@@ -246,7 +250,11 @@ void RunDotCommand(ShellState* state, const std::string& line) {
       std::printf("unknown workload kind: %s\n", words[1].c_str());
       return;
     }
-    db->ReplaceTable(words[2], std::move(t));
+    Status s = db->ReplaceTable(words[2], std::move(t));
+    if (!s.ok()) {
+      PrintStatus(s);
+      return;
+    }
     std::printf("generated %zu %s rows into %s\n", n, kind.c_str(),
                 words[2].c_str());
     return;
