@@ -1,0 +1,274 @@
+// bench_fused — measures the fused push-based percentage pipelines against
+// the materialized multi-statement plans and reports per-DOP timings as JSON
+// (BENCH_fused.json, also echoed to stdout).
+//
+// Two comparisons:
+//   1. The fused scan->filter->aggregate kernel (FusedAggregate) versus the
+//      materialized equivalent it replaces — Filter into an intermediate
+//      table, then HashAggregate over the copy — on the same WHERE +
+//      GROUP BY shape at DOP 1/2/4/8. The seed reference is the materialized
+//      pair at DOP=1; "speedup_vs_seed" is materialized_ms / fused_ms,
+//      measured on the same host in the same process, so the ratio transfers
+//      across CI hardware. The DOP=1 row doubles as the regression guard
+//      (dop1_regression_pct must stay <= 5: fusing must never lose to
+//      materializing serially).
+//   2. End-to-end Vpct / Hpct queries through PctDatabase::Query with
+//      ExecutionMode::kFused vs kMaterialized at each DOP.
+//
+// Scaling soft-check: the fused kernel at DOP=4 must not be slower than its
+// own DOP=1 by more than 15% — MorselPlan::Auto clamps workers to the cores
+// the process can actually use, so extra DOP must degenerate to serial
+// instead of thrashing (the committed dop=4-slower-than-dop=1 row this PR
+// fixes). num_cores is recorded honestly: on a single-core host the DOP>1
+// rows show the clamp, not scaling.
+//
+// Flags / environment:
+//   --smoke                  tiny rows (TSan/CI smoke)
+//   PCTAGG_FUSED_BENCH_ROWS  sales rows (default 1000000)
+//   PCTAGG_FUSED_BENCH_REPS  repetitions, best-of (default 3)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/database.h"
+#include "engine/aggregate.h"
+#include "engine/pipeline.h"
+#include "engine/table_ops.h"
+#include "workload/generators.h"
+
+namespace {
+
+using pctagg::AggFunc;
+using pctagg::AggSpec;
+using pctagg::Col;
+using pctagg::ExecutionMode;
+using pctagg::ExprPtr;
+using pctagg::Lit;
+using pctagg::PctDatabase;
+using pctagg::QueryOptions;
+using pctagg::Result;
+using pctagg::StrFormat;
+using pctagg::Table;
+using pctagg::Value;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  long long n = std::atoll(v);
+  return n > 0 ? static_cast<size_t>(n) : fallback;
+}
+
+constexpr size_t kDops[] = {1, 2, 4, 8};
+
+// The WHERE + GROUP BY shape both sides run: a ~75%-selective predicate
+// (month <= 9) so the materialized path really pays for its intermediate
+// copy, grouped at the paper's Fk granularity.
+ExprPtr BenchWhere() { return pctagg::Le(Col("monthNo"), Lit(Value::Int64(9))); }
+
+std::vector<AggSpec> BenchAggs() {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col("salesAmt"), "s"});
+  return aggs;
+}
+
+// What the fused kernel replaces: Filter materializes the surviving rows
+// into a new table (the planner's Fw temp), then HashAggregate scans the
+// copy. Both operators are the engine's current morsel-parallel versions, so
+// the delta measured here is fusion itself, not an old scalar loop.
+double MaterializedAggregateMs(const Table& t, size_t dop, size_t* out_groups) {
+  pctagg::Stopwatch timer;
+  Result<Table> fw = pctagg::Filter(t, BenchWhere());
+  if (!fw.ok()) {
+    std::fprintf(stderr, "Filter failed: %s\n", fw.status().ToString().c_str());
+    std::abort();
+  }
+  Result<Table> r =
+      pctagg::HashAggregate(*fw, {"dweek", "monthNo"}, BenchAggs(), dop);
+  double ms = timer.ElapsedMillis();
+  if (!r.ok()) {
+    std::fprintf(stderr, "HashAggregate failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  *out_groups = r.value().num_rows();
+  return ms;
+}
+
+double FusedAggregateMs(const Table& t, size_t dop, size_t* out_groups) {
+  pctagg::Stopwatch timer;
+  Result<Table> r = pctagg::FusedAggregate(t, BenchWhere(), {"dweek", "monthNo"},
+                                           BenchAggs(), dop);
+  double ms = timer.ElapsedMillis();
+  if (!r.ok()) {
+    std::fprintf(stderr, "FusedAggregate failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  *out_groups = r.value().num_rows();
+  return ms;
+}
+
+struct BenchQuery {
+  const char* name;
+  const char* sql;
+  ExecutionMode mode;
+};
+
+constexpr BenchQuery kQueries[] = {
+    {"vpct_fused",
+     "SELECT monthNo, dweek, Vpct(salesAmt BY dweek) AS pct FROM sales "
+     "GROUP BY monthNo, dweek",
+     ExecutionMode::kFused},
+    {"vpct_materialized",
+     "SELECT monthNo, dweek, Vpct(salesAmt BY dweek) AS pct FROM sales "
+     "GROUP BY monthNo, dweek",
+     ExecutionMode::kMaterialized},
+    {"hpct_fused",
+     "SELECT store, Hpct(salesAmt BY dweek) FROM sales GROUP BY store",
+     ExecutionMode::kFused},
+    {"hpct_materialized",
+     "SELECT store, Hpct(salesAmt BY dweek) FROM sales GROUP BY store",
+     ExecutionMode::kMaterialized},
+};
+
+double QueryMs(const PctDatabase& db, const BenchQuery& q, size_t dop) {
+  QueryOptions options;
+  options.degree_of_parallelism = dop;
+  options.execution = q.mode;
+  pctagg::Stopwatch timer;
+  Result<Table> r = db.Query(q.sql, options);
+  double ms = timer.ElapsedMillis();
+  if (!r.ok() || r.value().num_rows() == 0) {
+    std::fprintf(stderr, "benchmark query failed: %s\n%s\n",
+                 r.status().ToString().c_str(), q.sql);
+    std::abort();
+  }
+  return ms;
+}
+
+template <typename Fn>
+double BestOf(size_t reps, Fn&& fn) {
+  double best = fn();
+  for (size_t i = 1; i < reps; ++i) {
+    double ms = fn();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  size_t rows = EnvSize("PCTAGG_FUSED_BENCH_ROWS", smoke ? 20000 : 1000000);
+  size_t reps = EnvSize("PCTAGG_FUSED_BENCH_REPS", smoke ? 1 : 3);
+  size_t num_cores = std::thread::hardware_concurrency();
+
+  std::fprintf(stderr, "[setup] generating sales n=%zu (cores=%zu)...\n", rows,
+               num_cores);
+  PctDatabase db;
+  if (!db.CreateTable("sales", pctagg::GenerateSales(rows)).ok()) {
+    std::fprintf(stderr, "table setup failed\n");
+    return 1;
+  }
+  const Table& sales = *db.catalog().GetTable("sales").value();
+
+  // --- Kernel comparison: materialized Filter+HashAggregate (dop=1) is the
+  // seed reference; FusedAggregate runs at each DOP.
+  size_t seed_groups = 0;
+  double seed_ms = BestOf(
+      reps, [&] { return MaterializedAggregateMs(sales, 1, &seed_groups); });
+  std::fprintf(stderr, "[agg] materialized dop=1: %.2f ms (%zu groups)\n",
+               seed_ms, seed_groups);
+
+  std::string agg_json;
+  double dop1_ms = 0;
+  double dop4_ms = 0;
+  for (size_t dop : kDops) {
+    size_t groups = 0;
+    double ms =
+        BestOf(reps, [&] { return FusedAggregateMs(sales, dop, &groups); });
+    if (groups != seed_groups) {
+      std::fprintf(stderr, "group count mismatch: %zu vs %zu\n", groups,
+                   seed_groups);
+      return 1;
+    }
+    if (dop == 1) dop1_ms = ms;
+    if (dop == 4) dop4_ms = ms;
+    std::fprintf(stderr, "[agg] fused dop=%zu: %.2f ms (%.2fx vs materialized)\n",
+                 dop, ms, seed_ms / ms);
+    agg_json += StrFormat(
+        "      {\"dop\": %zu, \"ms\": %.3f, \"speedup_vs_seed\": %.3f}%s\n",
+        dop, ms, seed_ms / ms, dop == 8 ? "" : ",");
+  }
+  // Regression guard: fusing must not lose to materializing at DOP=1.
+  double dop1_regression_pct = (dop1_ms - seed_ms) / seed_ms * 100.0;
+
+  // --- End-to-end queries per DOP, fused vs materialized dispatch.
+  std::string query_json;
+  for (size_t qi = 0; qi < sizeof(kQueries) / sizeof(kQueries[0]); ++qi) {
+    const BenchQuery& q = kQueries[qi];
+    query_json += StrFormat("    {\"name\": \"%s\", \"dop_ms\": [", q.name);
+    for (size_t di = 0; di < 4; ++di) {
+      size_t dop = kDops[di];
+      double ms = BestOf(reps, [&] { return QueryMs(db, q, dop); });
+      std::fprintf(stderr, "[query] %s dop=%zu: %.2f ms\n", q.name, dop, ms);
+      query_json += StrFormat("%.3f%s", ms, di == 3 ? "" : ", ");
+    }
+    query_json += StrFormat(
+        "]}%s\n", qi + 1 == sizeof(kQueries) / sizeof(kQueries[0]) ? "" : ",");
+  }
+
+  std::string json = StrFormat(
+      "{\n"
+      "  \"benchmark\": \"fused_pipeline\",\n"
+      "  \"rows\": %zu,\n"
+      "  \"num_cores\": %zu,\n"
+      "  \"repetitions\": %zu,\n"
+      "  \"aggregate\": {\n"
+      "    \"groups\": %zu,\n"
+      "    \"seed_reference_ms\": %.3f,\n"
+      "    \"dop1_regression_pct\": %.2f,\n"
+      "    \"dop\": [\n%s    ]\n"
+      "  },\n"
+      "  \"queries\": [\n%s  ]\n"
+      "}\n",
+      rows, num_cores, reps, seed_groups, seed_ms, dop1_regression_pct,
+      agg_json.c_str(), query_json.c_str());
+
+  std::fputs(json.c_str(), stdout);
+  FILE* f = std::fopen("BENCH_fused.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote BENCH_fused.json\n");
+  }
+  if (dop1_regression_pct > 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: fused DOP=1 is %.2f%% slower than the materialized "
+                 "pair (budget: 5%%)\n",
+                 dop1_regression_pct);
+    return 1;
+  }
+  if (dop4_ms > dop1_ms * 1.15) {
+    // Sub-5ms timings on shared CI hosts are scheduler jitter, not signal:
+    // at smoke sizes this is a warning, at full size a failure.
+    bool hard = dop1_ms >= 5.0;
+    std::fprintf(stderr,
+                 "%s: fused DOP=4 (%.2f ms) is more than 15%% slower than "
+                 "DOP=1 (%.2f ms) — the adaptive morsel clamp is not holding\n",
+                 hard ? "FAIL" : "warning (timings below 5 ms, not enforced)",
+                 dop4_ms, dop1_ms);
+    if (hard) return 1;
+  }
+  return 0;
+}

@@ -36,6 +36,7 @@
 #include "common/string_util.h"
 #include "core/database.h"
 #include "engine/aggregate.h"
+#include "engine/parallel.h"
 #include "workload/generators.h"
 
 namespace {
@@ -129,6 +130,29 @@ double NewAggregateMs(const Table& t, size_t dop, size_t* out_groups) {
   }
   *out_groups = r.value().num_rows();
   return ms;
+}
+
+// Morsel-granularity sweep: the same column sum dispatched through
+// RunMorsels at fixed morsel sizes and through MorselPlan::Auto, at dop=4.
+// This is the measurement behind the adaptive bounds in engine/parallel.h —
+// too-small morsels pay per-morsel bookkeeping, too-large ones starve
+// dynamic balancing — and documents where Auto lands on this host.
+double MorselSweepMs(const Table& t, size_t value_col,
+                     const pctagg::MorselPlan& plan) {
+  const pctagg::Column& in = t.column(value_col);
+  pctagg::Stopwatch timer;
+  std::vector<double> partial(plan.num_workers > 0 ? plan.num_workers : 1, 0.0);
+  pctagg::RunMorsels(plan, [&](size_t worker, size_t begin, size_t end) {
+    double s = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      if (!in.IsNull(i)) s += in.NumericAt(i);
+    }
+    partial[worker] += s;
+  });
+  double total = 0.0;
+  for (double s : partial) total += s;
+  if (total == 0.0) std::fprintf(stderr, "[sweep] empty sum\n");
+  return timer.ElapsedMillis();
 }
 
 struct BenchQuery {
@@ -228,6 +252,33 @@ int main(int argc, char** argv) {
   // loop. Negative = faster than seed.
   double dop1_regression_pct = (dop1_ms - seed_ms) / seed_ms * 100.0;
 
+  // --- Morsel-size sweep at dop=4: fixed granularities vs MorselPlan::Auto.
+  std::string sweep_json;
+  constexpr size_t kSweepSizes[] = {4096, 16384, 65536, 262144};
+  for (size_t mr : kSweepSizes) {
+    pctagg::MorselPlan plan = pctagg::MorselPlan::For(rows, 4, mr);
+    double ms =
+        BestOf(reps, [&] { return MorselSweepMs(sales, value_col, plan); });
+    std::fprintf(stderr, "[sweep] morsel_rows=%zu: %.2f ms (%zu morsels)\n", mr,
+                 ms, plan.num_morsels);
+    sweep_json += StrFormat(
+        "    {\"morsel_rows\": %zu, \"num_morsels\": %zu, \"ms\": %.3f},\n", mr,
+        plan.num_morsels, ms);
+  }
+  {
+    pctagg::MorselPlan plan = pctagg::MorselPlan::Auto(rows, 4);
+    double ms =
+        BestOf(reps, [&] { return MorselSweepMs(sales, value_col, plan); });
+    std::fprintf(stderr,
+                 "[sweep] auto: morsel_rows=%zu workers=%zu: %.2f ms "
+                 "(%zu morsels)\n",
+                 plan.morsel_rows, plan.num_workers, ms, plan.num_morsels);
+    sweep_json += StrFormat(
+        "    {\"morsel_rows\": %zu, \"num_morsels\": %zu, \"ms\": %.3f, "
+        "\"auto\": true, \"workers\": %zu}\n",
+        plan.morsel_rows, plan.num_morsels, ms, plan.num_workers);
+  }
+
   // --- End-to-end queries per DOP.
   std::string query_json;
   for (size_t qi = 0; qi < sizeof(kQueries) / sizeof(kQueries[0]); ++qi) {
@@ -255,10 +306,11 @@ int main(int argc, char** argv) {
       "    \"dop1_regression_pct\": %.2f,\n"
       "    \"dop\": [\n%s    ]\n"
       "  },\n"
+      "  \"morsel_sweep\": [\n%s  ],\n"
       "  \"queries\": [\n%s  ]\n"
       "}\n",
       rows, num_cores, reps, seed_groups, seed_ms, dop1_regression_pct,
-      agg_json.c_str(), query_json.c_str());
+      agg_json.c_str(), sweep_json.c_str(), query_json.c_str());
 
   std::fputs(json.c_str(), stdout);
   FILE* f = std::fopen("BENCH_parallel.json", "w");

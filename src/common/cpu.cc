@@ -1,0 +1,67 @@
+#include "common/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace pctagg {
+
+namespace {
+
+bool ProbeSse42() {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("sse4.2");
+#else
+  return false;
+#endif
+}
+
+bool ProbeAvx2() {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool EnvSimdEnabled() {
+  const char* v = std::getenv("PCTAGG_DISABLE_SIMD");
+  if (v == nullptr || *v == '\0') return true;
+  return std::strcmp(v, "0") == 0;
+}
+
+// -1 = follow the environment, 0/1 = forced by a test.
+std::atomic<int> g_simd_override{-1};
+
+}  // namespace
+
+bool CpuHasSse42() {
+  static const bool have = ProbeSse42();
+  return have;
+}
+
+bool CpuHasAvx2() {
+  static const bool have = ProbeAvx2();
+  return have;
+}
+
+bool SimdEnabled() {
+  int forced = g_simd_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool env_enabled = EnvSimdEnabled();
+  return env_enabled;
+}
+
+namespace internal {
+
+void SetSimdEnabledForTest(bool enabled) {
+  g_simd_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ResetSimdEnabledForTest() {
+  g_simd_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+}  // namespace pctagg

@@ -1,0 +1,34 @@
+#ifndef PCTAGG_COMMON_CPU_H_
+#define PCTAGG_COMMON_CPU_H_
+
+// Runtime CPU-feature detection shared by every kernel that carries a
+// hand-vectorized path (crc32c, packed-key probing, fused aggregation).
+// All probes are cached after the first call and safe to call concurrently.
+
+namespace pctagg {
+
+// True when the CPU executing this process supports SSE4.2 (CRC32
+// instruction). Always false on non-x86-64 builds.
+bool CpuHasSse42();
+
+// True when the CPU supports AVX2 (256-bit integer gather/compare). Always
+// false on non-x86-64 builds.
+bool CpuHasAvx2();
+
+// Master switch consulted in addition to the hardware probes: false when the
+// PCTAGG_DISABLE_SIMD environment variable is set to a non-empty value other
+// than "0" (read once at first use), or when overridden for tests. Kernels
+// gate their vector paths on `SimdEnabled() && CpuHas...()` so CI can force
+// every scalar fallback with PCTAGG_DISABLE_SIMD=1.
+bool SimdEnabled();
+
+namespace internal {
+// Test hook: force SimdEnabled() to the given value (ignoring the
+// environment) until restored. Not for production code paths.
+void SetSimdEnabledForTest(bool enabled);
+void ResetSimdEnabledForTest();
+}  // namespace internal
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_COMMON_CPU_H_

@@ -97,6 +97,54 @@ HorizontalStrategy StrategyAdvisor::AdviseHorizontalByCost(
   return strategy;
 }
 
+bool StrategyAdvisor::AdviseVpctFused(const Table& fact,
+                                      const AnalyzedQuery& query,
+                                      size_t dop) const {
+  if (fact.num_rows() < kFusedMinRows) return false;
+  const AnalyzedTerm* term = nullptr;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.has_by) {
+      term = &t;
+      break;
+    }
+  }
+  CostModel model;
+  Result<FactStats> stats = model.EstimateStats(
+      fact, query.group_by,
+      term != nullptr ? term->by_columns : std::vector<std::string>{},
+      /*by=*/{});
+  if (!stats.ok()) return false;
+  FactStats s = stats.value();
+  s.dop = static_cast<double>(dop < 1 ? 1 : dop);
+  const VpctStrategy materialized = AdviseVpct(fact, query, dop);
+  return model.FusedVpctCost(s) < model.VpctCost(s, materialized);
+}
+
+bool StrategyAdvisor::AdviseHorizontalFused(const Table& fact,
+                                            const AnalyzedQuery& query,
+                                            size_t dop) const {
+  if (fact.num_rows() < kFusedMinRows) return false;
+  const AnalyzedTerm* term = nullptr;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.has_by) {
+      term = &t;
+      break;
+    }
+  }
+  if (term == nullptr) return false;
+  CostModel model;
+  std::vector<std::string> full_group = query.group_by;
+  full_group.insert(full_group.end(), term->by_columns.begin(),
+                    term->by_columns.end());
+  Result<FactStats> stats =
+      model.EstimateStats(fact, full_group, query.group_by, term->by_columns);
+  if (!stats.ok()) return false;
+  FactStats s = stats.value();
+  s.dop = static_cast<double>(dop < 1 ? 1 : dop);
+  const HorizontalStrategy materialized = AdviseHorizontal(fact, query, dop);
+  return model.FusedHorizontalCost(s) < model.HorizontalCost(s, materialized);
+}
+
 Result<size_t> StrategyAdvisor::EstimateCardinality(
     const Table& fact, const std::string& column) const {
   PCTAGG_ASSIGN_OR_RETURN(size_t idx, fact.schema().FindColumn(column));

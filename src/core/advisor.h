@@ -24,6 +24,11 @@ class StrategyAdvisor {
   // Rows sampled when estimating cardinalities.
   static constexpr size_t kSampleRows = 20000;
 
+  // Minimum fact cardinality before the fused pipelines are considered: the
+  // per-statement overhead the fusion saves is fixed, so on small tables the
+  // choice is noise and the well-exercised materialized plans stay default.
+  static constexpr size_t kFusedMinRows = 65536;
+
   // Vpct: at dop 1 the paper's best strategy is unconditional — matching
   // subkey indexes, Fj from the partial aggregate Fk, INSERT over UPDATE.
   // At dop > 1 the choice comes from the cost model with scan terms divided
@@ -38,6 +43,17 @@ class StrategyAdvisor {
   HorizontalStrategy AdviseHorizontal(const Table& fact,
                                       const AnalyzedQuery& query,
                                       size_t dop = 1) const;
+
+  // Whether the fused push-based pipeline (core/pipeline_plan.h) should
+  // replace the materialized plan for this query. Callers check the shape
+  // gates (VpctPipelineSupported / HorizontalPipelineSupported) first; these
+  // only compare costs: fused runs when the fact table is at least
+  // kFusedMinRows and the model prices the pipeline below the best
+  // materialized strategy at this dop. False on estimation failure.
+  bool AdviseVpctFused(const Table& fact, const AnalyzedQuery& query,
+                       size_t dop = 1) const;
+  bool AdviseHorizontalFused(const Table& fact, const AnalyzedQuery& query,
+                             size_t dop = 1) const;
 
   // Estimated number of distinct values in `column` over a bounded prefix
   // sample of `fact` (exact when the table is smaller than the sample).

@@ -153,6 +153,42 @@ double CostModel::OlapCost(const FactStats& stats) const {
          n * (params_.scan + params_.probe) + params_.statement;
 }
 
+double CostModel::FusedVpctCost(const FactStats& stats) const {
+  const double n = stats.rows;
+  const double fk = stats.group_cardinality;
+  const double fj = stats.totals_cardinality;
+  const double dop = std::max(1.0, stats.dop);
+  double cost = 0;
+  // One fused scan of F straight into the Fk accumulators; the WHERE clause
+  // is a selection mask inside the same pass, so filtered rows are never
+  // materialized. Only the |Fk| group rows are emitted.
+  cost += n * params_.scan / dop + fk * params_.write + params_.statement;
+  // Fj re-aggregates the in-memory Fk; no temp tables and no index build —
+  // the divide step probes Fj through the aggregate's own hash table.
+  cost += fk * params_.scan / dop + fj * params_.write + params_.statement;
+  // Vectorized divide: one probe per Fk row plus the FV emission.
+  cost += fk * params_.probe / dop + fk * params_.write + params_.statement;
+  return cost;
+}
+
+double CostModel::FusedHorizontalCost(const FactStats& stats) const {
+  const double n = stats.rows;
+  const double groups = stats.totals_cardinality;
+  const double cells = stats.by_cardinality;
+  const double fv = std::min(n, stats.group_cardinality);
+  const double dop = std::max(1.0, stats.dop);
+  const double group_probe =
+      stats.group_direct_dict ? params_.dict_probe : params_.probe;
+  double cost = 0;
+  // Fused scan of F into the FVh partial aggregates (WHERE folded in); the
+  // pivot sink then reads FVh from memory, saving the temp-table statement
+  // the materialized from-FV plan pays between its two passes.
+  cost += n * params_.scan / dop + fv * params_.write;
+  cost += fv * (params_.scan + group_probe + params_.probe) / dop +
+          groups * cells * params_.write + params_.statement;
+  return cost;
+}
+
 double CostModel::DeltaMergeCost(double delta_rows, double summary_rows,
                                  double dop) const {
   dop = std::max(1.0, dop);

@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "core/cost_model.h"
 #include "core/olap_planner.h"
+#include "core/pipeline_plan.h"
 #include "engine/aggregate.h"
 #include "engine/csv.h"
 #include "engine/merge.h"
@@ -131,7 +132,8 @@ const AnalyzedTerm* FirstByTerm(const AnalyzedQuery& query) {
 // predicted |Fk|.
 void FillVpctTrace(obs::QueryTrace* trace, const Table& fact,
                    const AnalyzedQuery& query, const VpctStrategy& strategy,
-                   bool olap_baseline, bool forced, size_t dop) {
+                   bool olap_baseline, bool forced, size_t dop,
+                   bool fused_candidate = false, bool fused_chosen = false) {
   trace->strategy =
       olap_baseline ? "OLAP-window" : VpctStrategyName(strategy);
   trace->strategy_source = forced ? "forced" : "advisor";
@@ -150,7 +152,7 @@ void FillVpctTrace(obs::QueryTrace* trace, const Table& fact,
     VpctStrategy candidate = strategy;
     candidate.fj_from_fk = fj_from_fk;
     candidate.insert_result = insert_result;
-    bool chosen = !olap_baseline &&
+    bool chosen = !fused_chosen && !olap_baseline &&
                   strategy.fj_from_fk == fj_from_fk &&
                   strategy.insert_result == insert_result;
     trace->predicted_costs.push_back(
@@ -161,6 +163,12 @@ void FillVpctTrace(obs::QueryTrace* trace, const Table& fact,
   add_candidate("Fj-from-Fk+UPDATE", true, false);
   trace->predicted_costs.push_back(
       {"OLAP-window", model.OlapCost(s), olap_baseline});
+  // The fused pipeline competes only on the advisor path; a forced strategy
+  // keeps the original four-candidate audit the goldens pin.
+  if (fused_candidate) {
+    trace->predicted_costs.push_back(
+        {"fused-pipeline", model.FusedVpctCost(s), fused_chosen});
+  }
 }
 
 // Same for a horizontal query: the four SIGMOD Table 5 / DMKD Table 3
@@ -168,7 +176,8 @@ void FillVpctTrace(obs::QueryTrace* trace, const Table& fact,
 void FillHorizontalTrace(obs::QueryTrace* trace, const Table& fact,
                          const AnalyzedQuery& query,
                          const HorizontalStrategy& strategy, bool forced,
-                         size_t dop) {
+                         size_t dop, bool fused_candidate = false,
+                         bool fused_chosen = false) {
   trace->strategy = std::string(HorizontalMethodName(strategy.method)) +
                     (strategy.hash_dispatch ? "+hash-dispatch" : "+naive-case");
   trace->strategy_source = forced ? "forced" : "advisor";
@@ -189,8 +198,11 @@ void FillHorizontalTrace(obs::QueryTrace* trace, const Table& fact,
   // methods materialize FV at D1..Dj ∪ BY first.
   bool from_fv = strategy.method == HorizontalMethod::kCaseFromFV ||
                  strategy.method == HorizontalMethod::kSpjFromFV;
-  trace->predicted_group_rows =
-      from_fv ? s.group_cardinality : s.totals_cardinality;
+  // The fused pipeline materializes FVh (GROUP BY ∪ BY) first, like the
+  // from-FV methods.
+  trace->predicted_group_rows = from_fv || fused_chosen
+                                    ? s.group_cardinality
+                                    : s.totals_cardinality;
   for (HorizontalMethod method :
        {HorizontalMethod::kCaseDirect, HorizontalMethod::kCaseFromFV,
         HorizontalMethod::kSpjDirect, HorizontalMethod::kSpjFromFV}) {
@@ -198,7 +210,12 @@ void FillHorizontalTrace(obs::QueryTrace* trace, const Table& fact,
     candidate.method = method;
     trace->predicted_costs.push_back({HorizontalMethodName(method),
                                       model.HorizontalCost(s, candidate),
-                                      method == strategy.method});
+                                      !fused_chosen &&
+                                          method == strategy.method});
+  }
+  if (fused_candidate) {
+    trace->predicted_costs.push_back(
+        {"fused-pipeline", model.FusedHorizontalCost(s), fused_chosen});
   }
 }
 
@@ -342,14 +359,50 @@ Result<Table> PctDatabase::Query(const std::string& sql,
       return ApplyTail(std::move(out), query);
     }
     case QueryClass::kVpct: {
+      PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
+                              catalog_.GetTable(query.table_name));
+      // Fused-pipeline dispatch: only on the advisor path (a forced strategy
+      // or the OLAP baseline is an explicit request for that plan), and only
+      // for supported shapes. SET exec fused forces it past the cost model.
+      const bool forced_strategy =
+          options.vpct_strategy.has_value() || options.olap_baseline;
+      bool fused = false;
+      if (!forced_strategy &&
+          options.execution != ExecutionMode::kMaterialized &&
+          VpctPipelineSupported(query)) {
+        fused = options.execution == ExecutionMode::kFused ||
+                advisor_.AdviseVpctFused(*fact, query, dop);
+      }
+      if (fused) {
+        if (trace != nullptr) {
+          FillVpctTrace(trace, *fact, query, VpctStrategy{},
+                        /*olap_baseline=*/false, /*forced=*/false, dop,
+                        /*fused_candidate=*/true, /*fused_chosen=*/true);
+          trace->strategy = "fused-pipeline";
+          trace->strategy_source = options.execution == ExecutionMode::kFused
+                                       ? "forced"
+                                       : "advisor";
+        }
+        PCTAGG_ASSIGN_OR_RETURN(
+            Table out,
+            ExecuteVpctPipeline(query, *fact,
+                                use_cache ? &summaries_ : nullptr, trace,
+                                dop));
+        if (trace != nullptr) {
+          const obs::TraceNode* agg = FindFirstAggregateOp(trace->root());
+          if (agg != nullptr) {
+            trace->actual_group_rows =
+                static_cast<double>(agg->stats.rows_out);
+          }
+        }
+        return ApplyTail(std::move(out), query);
+      }
       Plan plan;
       VpctStrategy strategy;
       if (!options.olap_baseline) {
         if (options.vpct_strategy.has_value()) {
           strategy = *options.vpct_strategy;
         } else {
-          PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
-                                  catalog_.GetTable(query.table_name));
           strategy = advisor_.AdviseVpct(*fact, query, dop);
         }
         PCTAGG_ASSIGN_OR_RETURN(plan, PlanVpctQuery(query, strategy));
@@ -357,30 +410,60 @@ Result<Table> PctDatabase::Query(const std::string& sql,
         PCTAGG_ASSIGN_OR_RETURN(plan, PlanOlapPercentageQuery(query));
       }
       if (trace != nullptr) {
-        PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
-                                catalog_.GetTable(query.table_name));
         FillVpctTrace(trace, *fact, query, strategy, options.olap_baseline,
-                      options.vpct_strategy.has_value() ||
-                          options.olap_baseline,
-                      dop);
+                      forced_strategy, dop,
+                      /*fused_candidate=*/!forced_strategy,
+                      /*fused_chosen=*/false);
       }
       return RunPlan(plan, query, use_cache, trace);
     }
     case QueryClass::kHorizontal: {
+      PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
+                              catalog_.GetTable(query.table_name));
+      const bool forced_strategy = options.horizontal_strategy.has_value();
+      bool fused = false;
+      if (!forced_strategy &&
+          options.execution != ExecutionMode::kMaterialized &&
+          HorizontalPipelineSupported(query, fact->num_rows())) {
+        fused = options.execution == ExecutionMode::kFused ||
+                advisor_.AdviseHorizontalFused(*fact, query, dop);
+      }
+      if (fused) {
+        if (trace != nullptr) {
+          FillHorizontalTrace(trace, *fact, query, HorizontalStrategy{},
+                              /*forced=*/false, dop,
+                              /*fused_candidate=*/true,
+                              /*fused_chosen=*/true);
+          trace->strategy = "fused-pipeline";
+          trace->strategy_source = options.execution == ExecutionMode::kFused
+                                       ? "forced"
+                                       : "advisor";
+        }
+        PCTAGG_ASSIGN_OR_RETURN(
+            Table out,
+            ExecuteHorizontalPipeline(query, *fact,
+                                      use_cache ? &summaries_ : nullptr,
+                                      trace, dop));
+        if (trace != nullptr) {
+          const obs::TraceNode* agg = FindFirstAggregateOp(trace->root());
+          if (agg != nullptr) {
+            trace->actual_group_rows =
+                static_cast<double>(agg->stats.rows_out);
+          }
+        }
+        return ApplyTail(std::move(out), query);
+      }
       HorizontalStrategy strategy;
       if (options.horizontal_strategy.has_value()) {
         strategy = *options.horizontal_strategy;
       } else {
-        PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
-                                catalog_.GetTable(query.table_name));
         strategy = advisor_.AdviseHorizontal(*fact, query, dop);
       }
       PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanHorizontalQuery(query, strategy));
       if (trace != nullptr) {
-        PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
-                                catalog_.GetTable(query.table_name));
-        FillHorizontalTrace(trace, *fact, query, strategy,
-                            options.horizontal_strategy.has_value(), dop);
+        FillHorizontalTrace(trace, *fact, query, strategy, forced_strategy,
+                            dop, /*fused_candidate=*/!forced_strategy,
+                            /*fused_chosen=*/false);
       }
       return RunPlan(plan, query, use_cache, trace);
     }

@@ -25,6 +25,17 @@ enum class AppendPolicy {
   kRecompute,  // always drop entries (recompute lazily on next lookup)
 };
 
+// Whether percentage queries run through the fused push-based pipeline
+// (core/pipeline_plan.h) or the materialized multi-statement plans. kAuto
+// asks the StrategyAdvisor per query; kFused forces the pipeline whenever
+// the query shape supports it (silently falling back otherwise); forcing a
+// Vpct/horizontal strategy or the OLAP baseline always materializes.
+enum class ExecutionMode {
+  kAuto,
+  kFused,
+  kMaterialized,
+};
+
 // Per-call overrides for PctDatabase::Query. Server sessions carry one of
 // these so concurrent callers can force strategies or toggle the summary
 // cache without mutating shared database state.
@@ -37,6 +48,8 @@ struct QueryOptions {
   std::optional<bool> use_summary_cache;
   // Evaluate a Vpct query through the ANSI OLAP window-function baseline.
   bool olap_baseline = false;
+  // Fused-pipeline dispatch (see ExecutionMode above; SET exec in sessions).
+  ExecutionMode execution = ExecutionMode::kAuto;
   // Degree of parallelism for the engine's morsel-driven operator kernels
   // (aggregate, pivot, join probe, window). 1 = serial (default), 0 = auto
   // (the shared worker pool's size), n = use up to n workers. Results are

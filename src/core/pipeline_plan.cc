@@ -1,0 +1,482 @@
+#include "core/pipeline_plan.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/string_util.h"
+#include "engine/aggregate.h"
+#include "engine/expression.h"
+#include "engine/join.h"
+#include "engine/pipeline.h"
+#include "engine/pivot.h"
+
+namespace pctagg {
+
+namespace {
+
+// Maps a non-percentage SELECT term onto the engine aggregate, exactly as
+// the materialized planners do. Fails for terms neither planner accepts.
+Result<AggFunc> TermAggFunc(TermFunc func) {
+  switch (func) {
+    case TermFunc::kSum:
+      return AggFunc::kSum;
+    case TermFunc::kCount:
+      return AggFunc::kCount;
+    case TermFunc::kCountStar:
+      return AggFunc::kCountStar;
+    case TermFunc::kAvg:
+      return AggFunc::kAvg;
+    case TermFunc::kMin:
+      return AggFunc::kMin;
+    case TermFunc::kMax:
+      return AggFunc::kMax;
+    default:
+      return Status::Internal("not a vertical aggregate term");
+  }
+}
+
+// Same rendering AddCacheableAggregateStep uses, so the fused pipeline and
+// the materialized plans share summary-cache entries for identical work.
+std::string RenderAggs(const std::vector<AggSpec>& aggs) {
+  std::vector<std::string> rendered;
+  rendered.reserve(aggs.size());
+  for (const AggSpec& a : aggs) {
+    std::string arg = a.func == AggFunc::kCountStar ? "*" : a.input->ToString();
+    rendered.push_back(std::string(AggFuncName(a.func)) + "(" + arg + ") AS " +
+                       a.output_name);
+  }
+  return Join(rendered, ",");
+}
+
+// SQL-ish description of one fused stage for EXPLAIN ANALYZE.
+std::string RenderStage(const std::string& what,
+                        const std::vector<std::string>& group_by,
+                        const std::vector<AggSpec>& aggs,
+                        const std::string& from, const ExprPtr& where) {
+  std::vector<std::string> cols = group_by;
+  for (const AggSpec& a : aggs) {
+    std::string arg = a.func == AggFunc::kCountStar ? "*" : a.input->ToString();
+    cols.push_back(std::string(AggFuncName(a.func)) + "(" + arg + ") AS " +
+                   a.output_name);
+  }
+  std::string sql = what + " SELECT " + Join(cols, ", ") + " FROM " + from;
+  if (where != nullptr) sql += " WHERE " + where->ToString();
+  if (!group_by.empty()) sql += " GROUP BY " + Join(group_by, ", ");
+  return sql;
+}
+
+Result<size_t> ColIndex(const Table& t, const std::string& name) {
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    if (EqualsIgnoreCase(t.schema().column(c).name, name)) return c;
+  }
+  return Status::Internal("fused pipeline lost column: " + name);
+}
+
+// Same lattice subsumption test as the materialized Vpct planner.
+bool Subsumes(const std::vector<std::string>& outer,
+              const std::vector<std::string>& inner) {
+  for (const std::string& i : inner) {
+    bool found = false;
+    for (const std::string& o : outer) {
+      if (EqualsIgnoreCase(o, i)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// Runs `fn` with the fused Fk/FVh stage traced, consulting and filling the
+// summary cache under the materialized planner's key so both paths share
+// entries (unfiltered scans of the base table only).
+Result<Table> CachedFusedAggregate(const AnalyzedQuery& query,
+                                   const Table& fact,
+                                   const std::vector<std::string>& group_by,
+                                   const std::vector<AggSpec>& aggs,
+                                   SummaryCache* summaries,
+                                   obs::QueryTrace* trace, size_t dop) {
+  std::string cache_key;
+  uint64_t generation = 0;
+  std::shared_ptr<const Table> cached;
+  if (query.where == nullptr && summaries != nullptr) {
+    cache_key =
+        SummaryCache::KeyFor(query.table_name, group_by, RenderAggs(aggs));
+    cached = summaries->Lookup(cache_key);
+    if (cached == nullptr) generation = summaries->GenerationFor(query.table_name);
+  }
+  obs::TraceNode* node =
+      trace != nullptr
+          ? trace->root().AddChild(
+                "fused", RenderStage("fused-scan:", group_by, aggs,
+                                     query.table_name, query.where))
+          : nullptr;
+  obs::ScopedTraceNode scope(node);
+  if (cached != nullptr) {
+    obs::MarkCacheHit();
+    return *cached;
+  }
+  PCTAGG_ASSIGN_OR_RETURN(Table out,
+                          FusedAggregate(fact, query.where, group_by, aggs, dop));
+  if (!cache_key.empty()) {
+    SummaryRecipe recipe{group_by, aggs};
+    summaries->Insert(cache_key, out, generation, &recipe);
+  }
+  return out;
+}
+
+// Plan-time bookkeeping for one fused Vpct term (mirrors the materialized
+// planner's VpctTermInfo, minus the temp-table names).
+struct FusedVpctTerm {
+  ExprPtr argument;
+  std::vector<std::string> totals_by;
+  std::string sum_col;
+  std::string tot_col;
+  std::string output_name;
+};
+
+}  // namespace
+
+bool VpctPipelineSupported(const AnalyzedQuery& query) {
+  if (query.query_class != QueryClass::kVpct) return false;
+  bool has_vpct = false;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.func == TermFunc::kVpct) {
+      has_vpct = true;
+    } else if (t.func != TermFunc::kScalar) {
+      // DISTINCT falls back so the materialized planner stays the single
+      // error surface; avg and friends are fine (plain Fk columns).
+      if (t.distinct || !TermAggFunc(t.func).ok()) return false;
+    }
+  }
+  return has_vpct;
+}
+
+bool HorizontalPipelineSupported(const AnalyzedQuery& query,
+                                 size_t fact_rows) {
+  if (query.query_class != QueryClass::kHorizontal) return false;
+  // The materialized plan emits a global result row even when the WHERE
+  // clause removes every fact row; the fused FVh would be empty. Keep those
+  // edges (and empty facts) on the materialized path.
+  if (fact_rows == 0) return false;
+  if (query.group_by.empty() && query.where != nullptr) return false;
+  size_t by_terms = 0;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.func == TermFunc::kScalar) continue;
+    if (t.has_by) {
+      ++by_terms;
+      if (t.distinct) return false;
+      // avg is algebraic: the pivot sink cannot combine partial avgs.
+      if (t.func == TermFunc::kAvg) return false;
+      if (t.func != TermFunc::kHpct && !TermAggFunc(t.func).ok()) return false;
+    } else {
+      if (t.distinct || !TermAggFunc(t.func).ok()) return false;
+      // Extras align with the pivot block positionally; a global (no GROUP
+      // BY) block would need the single-row concatenation path instead.
+      if (query.group_by.empty()) return false;
+    }
+  }
+  return by_terms == 1;
+}
+
+Result<Table> ExecuteVpctPipeline(const AnalyzedQuery& query,
+                                  const Table& fact, SummaryCache* summaries,
+                                  obs::QueryTrace* trace, size_t dop) {
+  // Collect terms exactly like the materialized planner: Vpct sums first (in
+  // SELECT order), then the extra vertical aggregates.
+  std::vector<FusedVpctTerm> terms;
+  std::vector<AggSpec> extra_aggs;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.func == TermFunc::kVpct) {
+      FusedVpctTerm info;
+      info.argument = t.argument;
+      info.totals_by = t.totals_by;
+      info.sum_col = "__psum_" + std::to_string(terms.size() + 1);
+      info.tot_col = "__ptot_" + std::to_string(terms.size() + 1);
+      info.output_name = t.output_name;
+      terms.push_back(std::move(info));
+    } else if (t.func != TermFunc::kScalar) {
+      PCTAGG_ASSIGN_OR_RETURN(AggFunc func, TermAggFunc(t.func));
+      extra_aggs.push_back({func, t.argument, t.output_name});
+    }
+  }
+  if (terms.empty()) {
+    return Status::Internal("fused Vpct pipeline without Vpct terms");
+  }
+
+  // Fk: one fused filter+aggregate pass over the fact table.
+  std::vector<AggSpec> fk_aggs;
+  for (const FusedVpctTerm& t : terms) {
+    fk_aggs.push_back({AggFunc::kSum, t.argument, t.sum_col});
+  }
+  for (const AggSpec& a : extra_aggs) fk_aggs.push_back(a);
+  PCTAGG_ASSIGN_OR_RETURN(
+      Table fk, CachedFusedAggregate(query, fact, query.group_by, fk_aggs,
+                                     summaries, trace, dop));
+
+  // Fj per term, fine to coarse, reusing the smallest already-computed level
+  // whose grouping subsumes the term's totals (same lattice walk as the
+  // materialized planner, over in-memory tables instead of temp names).
+  struct Level {
+    const Table* table;
+    std::string sum_col;
+    std::vector<std::string> group_cols;
+    std::string measure;
+  };
+  std::vector<Level> levels;
+  std::vector<size_t> term_order(terms.size());
+  for (size_t i = 0; i < term_order.size(); ++i) term_order[i] = i;
+  std::stable_sort(term_order.begin(), term_order.end(),
+                   [&terms](size_t a, size_t b) {
+                     return terms[a].totals_by.size() >
+                            terms[b].totals_by.size();
+                   });
+  std::vector<std::unique_ptr<Table>> fj_store(terms.size());
+  for (size_t oi : term_order) {
+    const FusedVpctTerm& t = terms[oi];
+    const Table* src = &fk;
+    std::string src_col = t.sum_col;
+    const Level* best = nullptr;
+    for (const Level& level : levels) {
+      if (level.measure != t.argument->ToString()) continue;
+      if (!Subsumes(level.group_cols, t.totals_by)) continue;
+      if (best == nullptr || level.group_cols.size() < best->group_cols.size()) {
+        best = &level;
+      }
+    }
+    if (best != nullptr) {
+      src = best->table;
+      src_col = best->sum_col;
+    }
+    std::vector<AggSpec> fj_aggs = {{AggFunc::kSum, Col(src_col), t.tot_col}};
+    obs::TraceNode* node =
+        trace != nullptr
+            ? trace->root().AddChild(
+                  "fused", RenderStage("fused-totals:", t.totals_by, fj_aggs,
+                                       src == &fk ? "Fk" : "Fj", nullptr))
+            : nullptr;
+    obs::ScopedTraceNode scope(node);
+    PCTAGG_ASSIGN_OR_RETURN(Table fj,
+                            HashAggregate(*src, t.totals_by, fj_aggs, dop));
+    fj_store[oi] = std::make_unique<Table>(std::move(fj));
+    levels.push_back(
+        {fj_store[oi].get(), t.tot_col, t.totals_by, t.argument->ToString()});
+  }
+
+  // Grand totals read their single row up front (like ReadScalarTotal).
+  std::vector<Value> scalar_totals(terms.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (!terms[i].totals_by.empty()) continue;
+    const Table& fj = *fj_store[i];
+    if (fj.num_rows() != 1) {
+      return Status::Internal("grand-total table must have exactly one row");
+    }
+    PCTAGG_ASSIGN_OR_RETURN(size_t tc, ColIndex(fj, terms[i].tot_col));
+    scalar_totals[i] = fj.column(tc).GetValue(0);
+  }
+
+  // Divide stage: fetch each term's totals column (the keyed join the
+  // materialized INSERT strategy performs), then the vectorized divisions,
+  // emitted in SELECT-list order.
+  obs::TraceNode* node =
+      trace != nullptr
+          ? trace->root().AddChild("fused",
+                                   "fused-divide: FV = Fk x Fj percentages")
+          : nullptr;
+  obs::ScopedTraceNode scope(node);
+  Table current = fk;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const FusedVpctTerm& t = terms[i];
+    if (t.totals_by.empty()) continue;
+    PCTAGG_ASSIGN_OR_RETURN(
+        Column totals, LookupColumn(current, *fj_store[i], t.totals_by,
+                                    t.totals_by, t.tot_col, nullptr));
+    PCTAGG_RETURN_IF_ERROR(
+        current.AddColumn({t.tot_col, totals.type()}, std::move(totals)));
+  }
+  obs::OpScope op("divide");
+  Table out;
+  size_t v = 0;
+  for (const AnalyzedTerm& term : query.terms) {
+    if (term.func == TermFunc::kScalar) {
+      PCTAGG_ASSIGN_OR_RETURN(size_t c, ColIndex(current, term.scalar_column));
+      PCTAGG_RETURN_IF_ERROR(out.AddColumn(
+          {term.output_name, current.schema().column(c).type},
+          current.column(c)));
+    } else if (term.func == TermFunc::kVpct) {
+      const FusedVpctTerm& t = terms[v];
+      PCTAGG_ASSIGN_OR_RETURN(size_t sc, ColIndex(current, t.sum_col));
+      Column cell(DataType::kFloat64);
+      if (t.totals_by.empty()) {
+        PCTAGG_ASSIGN_OR_RETURN(
+            cell, PercentDivideScalar(current.column(sc), scalar_totals[v]));
+      } else {
+        PCTAGG_ASSIGN_OR_RETURN(size_t tc, ColIndex(current, t.tot_col));
+        PCTAGG_ASSIGN_OR_RETURN(cell, PercentDivideColumns(
+                                          current.column(sc),
+                                          current.column(tc)));
+      }
+      PCTAGG_RETURN_IF_ERROR(out.AddColumn({t.output_name, DataType::kFloat64},
+                                           std::move(cell)));
+      ++v;
+    } else {
+      PCTAGG_ASSIGN_OR_RETURN(size_t c, ColIndex(current, term.output_name));
+      PCTAGG_RETURN_IF_ERROR(out.AddColumn(
+          {term.output_name, current.schema().column(c).type},
+          current.column(c)));
+    }
+  }
+  op.SetRows(current.num_rows(), out.num_rows());
+  op.SetDetail("vectorized divide, terms=" + std::to_string(terms.size()));
+  return out;
+}
+
+Result<Table> ExecuteHorizontalPipeline(const AnalyzedQuery& query,
+                                        const Table& fact,
+                                        SummaryCache* summaries,
+                                        obs::QueryTrace* trace, size_t dop) {
+  // The single BY term and the extra vertical aggregates.
+  const AnalyzedTerm* hterm = nullptr;
+  std::vector<const AnalyzedTerm*> extra_terms;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.func == TermFunc::kScalar) continue;
+    if (t.has_by) {
+      hterm = &t;
+    } else {
+      extra_terms.push_back(&t);
+    }
+  }
+  if (hterm == nullptr) {
+    return Status::Internal("fused horizontal pipeline without a BY term");
+  }
+  const bool is_pct = hterm->func == TermFunc::kHpct;
+  AggFunc direct = AggFunc::kSum;
+  if (!is_pct) {
+    PCTAGG_ASSIGN_OR_RETURN(direct, TermAggFunc(hterm->func));
+  }
+  // Distributive combine of the per-(group x BY) partials; the support gate
+  // excluded avg.
+  AggFunc combine = direct;
+  if (direct == AggFunc::kCount || direct == AggFunc::kCountStar) {
+    combine = AggFunc::kSum;
+  }
+
+  // FVh: one fused pass at GROUP BY ∪ BY carrying the pivot measure and the
+  // decomposed extras (avg splits into sum+count, which keeps every partial
+  // distributive and the cache entry mergeable on append).
+  struct FusedExtra {
+    const AnalyzedTerm* term;
+    AggFunc func;           // the term's own aggregate
+    AggFunc combine;        // re-aggregation of the partial column
+    std::string partial;    // partial column in FVh
+    std::string count_col;  // avg only: partial count column
+  };
+  std::vector<std::string> fv_group = query.group_by;
+  fv_group.insert(fv_group.end(), hterm->by_columns.begin(),
+                  hterm->by_columns.end());
+  std::vector<AggSpec> fv_aggs;
+  fv_aggs.push_back(
+      {is_pct ? AggFunc::kSum : direct, hterm->argument, "__v"});
+  std::vector<FusedExtra> extras;
+  for (size_t i = 0; i < extra_terms.size(); ++i) {
+    const AnalyzedTerm* t = extra_terms[i];
+    PCTAGG_ASSIGN_OR_RETURN(AggFunc func, TermAggFunc(t->func));
+    FusedExtra e;
+    e.term = t;
+    e.func = func;
+    if (func == AggFunc::kAvg) {
+      e.partial = "__exs_" + std::to_string(i + 1);
+      e.count_col = "__exc_" + std::to_string(i + 1);
+      e.combine = AggFunc::kSum;
+      fv_aggs.push_back({AggFunc::kSum, t->argument, e.partial});
+      fv_aggs.push_back({AggFunc::kCount, t->argument, e.count_col});
+    } else {
+      e.partial = "__ex_" + std::to_string(i + 1);
+      e.combine =
+          (func == AggFunc::kCount || func == AggFunc::kCountStar ||
+           func == AggFunc::kSum)
+              ? AggFunc::kSum
+              : func;
+      fv_aggs.push_back({func, t->argument, e.partial});
+    }
+    extras.push_back(std::move(e));
+  }
+  PCTAGG_ASSIGN_OR_RETURN(Table fvh,
+                          CachedFusedAggregate(query, fact, fv_group, fv_aggs,
+                                               summaries, trace, dop));
+
+  // Pivot sink straight off the in-memory FVh. For Hpct the group total is
+  // the sum of the partial sums, so percent-of-group-total over FVh equals
+  // the direct computation over F.
+  Table block;
+  {
+    PivotOptions popt;
+    popt.func = is_pct ? AggFunc::kSum : combine;
+    popt.default_zero = hterm->has_default;
+    popt.percent_of_group_total = is_pct;
+    obs::TraceNode* node =
+        trace != nullptr
+            ? trace->root().AddChild(
+                  "fused", "fused-pivot: " + std::string(AggFuncName(popt.func)) +
+                               "(__v) BY " + Join(hterm->by_columns, ", ") +
+                               (is_pct ? " percent-of-group-total" : ""))
+            : nullptr;
+    obs::ScopedTraceNode scope(node);
+    PCTAGG_ASSIGN_OR_RETURN(
+        block, HashDispatchPivot(fvh, query.group_by, hterm->by_columns,
+                                 Col("__v"), popt, dop));
+  }
+
+  // Extras re-aggregate the same FVh at GROUP BY level. Both the pivot and
+  // this aggregation emit groups in first-seen order over FVh, so the rows
+  // align positionally and the blocks concatenate without a join.
+  if (!extras.empty()) {
+    std::vector<AggSpec> reagg;
+    for (const FusedExtra& e : extras) {
+      reagg.push_back({e.combine, Col(e.partial), e.partial});
+      if (e.func == AggFunc::kAvg) {
+        reagg.push_back({AggFunc::kSum, Col(e.count_col), e.count_col});
+      }
+    }
+    obs::TraceNode* node =
+        trace != nullptr
+            ? trace->root().AddChild(
+                  "fused", RenderStage("fused-extras:", query.group_by, reagg,
+                                       "FVh", nullptr))
+            : nullptr;
+    obs::ScopedTraceNode scope(node);
+    PCTAGG_ASSIGN_OR_RETURN(Table ex,
+                            HashAggregate(fvh, query.group_by, reagg, dop));
+    if (ex.num_rows() != block.num_rows()) {
+      return Status::Internal("fused extras misaligned with pivot block");
+    }
+    for (const FusedExtra& e : extras) {
+      PCTAGG_ASSIGN_OR_RETURN(size_t pc, ColIndex(ex, e.partial));
+      if (e.func == AggFunc::kAvg) {
+        PCTAGG_ASSIGN_OR_RETURN(size_t cc, ColIndex(ex, e.count_col));
+        const Column& s = ex.column(pc);
+        const Column& n = ex.column(cc);
+        Column cell(DataType::kFloat64);
+        cell.Reserve(ex.num_rows());
+        for (size_t i = 0; i < ex.num_rows(); ++i) {
+          if (s.IsNull(i) || n.IsNull(i) || n.NumericAt(i) == 0.0) {
+            cell.AppendNull();
+          } else {
+            cell.AppendFloat64(s.NumericAt(i) / n.NumericAt(i));
+          }
+        }
+        PCTAGG_RETURN_IF_ERROR(block.AddColumn(
+            {e.term->output_name, DataType::kFloat64}, std::move(cell)));
+      } else {
+        PCTAGG_RETURN_IF_ERROR(block.AddColumn(
+            {e.term->output_name, ex.schema().column(pc).type},
+            ex.column(pc)));
+      }
+    }
+  }
+  return block;
+}
+
+}  // namespace pctagg

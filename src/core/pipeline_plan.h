@@ -1,0 +1,60 @@
+#ifndef PCTAGG_CORE_PIPELINE_PLAN_H_
+#define PCTAGG_CORE_PIPELINE_PLAN_H_
+
+#include "common/result.h"
+#include "core/summary_cache.h"
+#include "engine/table.h"
+#include "obs/trace.h"
+#include "sql/analyzer.h"
+
+namespace pctagg {
+
+// Fused push-based lowering of the percentage plans: instead of generating a
+// multi-statement Plan with temporary catalog tables (Fw, Fk, Fj, FV), the
+// whole Fk -> Fj -> divide chain (Vpct) or FVh -> pivot chain (horizontal)
+// runs as one or two passes over in-memory tables, with the WHERE clause
+// folded into the aggregation scan as a selection mask
+// (engine/pipeline.h::FusedAggregate).
+//
+// Results match the materialized plans exactly: both paths share the
+// accumulation kernels and emit groups in first-seen order, and the divide
+// stage performs the same IEEE operations as the Div expression. Integer
+// aggregates are bit-identical at every dop; float sums can differ from the
+// materialized plan only through reassociation (different fold grouping), the
+// same caveat that already applies across dop values (docs/PARALLELISM.md).
+
+// True when the query shape can run through the fused Vpct pipeline: any
+// number of Vpct terms plus distributive extra aggregates, with or without
+// WHERE. DISTINCT is not supported (mirrors the materialized planner's
+// rejection, which stays the error surface).
+bool VpctPipelineSupported(const AnalyzedQuery& query);
+
+// True for the fused horizontal pipeline: exactly one BY term (Hpct or a
+// distributive Hagg — avg and count(DISTINCT) fall back), extra vertical
+// aggregates only under a non-empty GROUP BY, and a non-empty fact; an empty
+// GROUP BY additionally requires no WHERE (the materialized plan emits a
+// global row even when the filter removes every fact row).
+bool HorizontalPipelineSupported(const AnalyzedQuery& query, size_t fact_rows);
+
+// Executes the fused Vpct pipeline: one fused filter+aggregate pass to Fk
+// (consulting/filling the summary cache with the same key the materialized
+// planner uses when unfiltered), per-term Fj re-aggregation with lattice
+// reuse, then the vectorized percentage divide. Returns the result in SELECT
+// order; the caller applies HAVING/ORDER BY/LIMIT.
+Result<Table> ExecuteVpctPipeline(const AnalyzedQuery& query,
+                                  const Table& fact, SummaryCache* summaries,
+                                  obs::QueryTrace* trace, size_t dop);
+
+// Executes the fused horizontal pipeline: one fused pass to the FVh partial
+// aggregate at GROUP BY ∪ BY, a hash-dispatch pivot sink over it, and
+// (under a non-empty GROUP BY) the extra vertical aggregates re-aggregated
+// from the same FVh and column-concatenated — both sides emit groups in
+// first-seen order over FVh, so no join is needed.
+Result<Table> ExecuteHorizontalPipeline(const AnalyzedQuery& query,
+                                        const Table& fact,
+                                        SummaryCache* summaries,
+                                        obs::QueryTrace* trace, size_t dop);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_PIPELINE_PLAN_H_

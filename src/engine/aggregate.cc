@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "engine/agg_internal.h"
 #include "engine/dictionary.h"
 #include "engine/packed_key.h"
 #include "engine/parallel.h"
@@ -13,247 +14,8 @@ namespace pctagg {
 
 namespace {
 
-// Accumulator state for one (group, aggregate) pair. A single struct covers
-// all functions; which fields are live depends on the function.
-struct AggState {
-  double sum = 0.0;
-  int64_t isum = 0;
-  int64_t count = 0;      // non-null inputs seen
-  int64_t row_count = 0;  // all rows (count(*))
-  double min = std::numeric_limits<double>::infinity();
-  double max = -std::numeric_limits<double>::infinity();
-  std::string smin;
-  std::string smax;
-  bool saw_value = false;
-};
-
-Result<DataType> AggOutputType(const AggSpec& spec, const Schema& schema) {
-  switch (spec.func) {
-    case AggFunc::kCount:
-    case AggFunc::kCountStar:
-      return DataType::kInt64;
-    case AggFunc::kAvg:
-      return DataType::kFloat64;
-    case AggFunc::kSum: {
-      PCTAGG_ASSIGN_OR_RETURN(DataType t, spec.input->ResultType(schema));
-      if (t == DataType::kString) {
-        return Status::TypeMismatch("sum() over string column");
-      }
-      return t;
-    }
-    case AggFunc::kMin:
-    case AggFunc::kMax: {
-      PCTAGG_ASSIGN_OR_RETURN(DataType t, spec.input->ResultType(schema));
-      return t;
-    }
-  }
-  return Status::Internal("unknown aggregate function");
-}
-
-// A per-spec accumulation micro-plan: the function x input-type dispatch and
-// the variant unpacking (Column::NumericAt runs a std::get per call) are
-// resolved once per HashAggregate instead of once per row per spec, and each
-// spec then runs its own tight loop over the morsel, touching only the
-// fields its emission actually reads.
-enum class AccKind : uint8_t {
-  kCountStar,  // row_count
-  kCount,      // count
-  kSumInt,     // isum, saw_value
-  kSumFloat,   // sum, saw_value
-  kAvg,        // sum, count, saw_value
-  kAvgStr,     // count, saw_value (degenerate avg-over-string: sum stays 0)
-  kMinNum,     // min, saw_value
-  kMaxNum,     // max, saw_value
-  kMinStr,     // smin, saw_value
-  kMaxStr,     // smax, saw_value
-};
-
-struct AccPlan {
-  AccKind kind = AccKind::kCountStar;
-  const uint8_t* validity = nullptr;
-  const int64_t* i64 = nullptr;       // set iff the input column is INT64
-  const double* f64 = nullptr;        // set iff FLOAT64
-  const uint32_t* codes = nullptr;    // set iff STRING (dictionary codes)
-  const Dictionary* dict = nullptr;   // set iff STRING
-
-  double NumericAt(size_t row) const {
-    return i64 != nullptr ? static_cast<double>(i64[row]) : f64[row];
-  }
-  const std::string& StringAt(size_t row) const {
-    return dict->value(codes[row]);
-  }
-};
-
-AccPlan MakeAccPlan(const AggSpec& spec, const Column& input) {
-  AccPlan ap;
-  if (spec.func == AggFunc::kCountStar) {
-    ap.kind = AccKind::kCountStar;
-    return ap;
-  }
-  ap.validity = input.validity().data();
-  switch (input.type()) {
-    case DataType::kInt64:
-      ap.i64 = input.int64_data().data();
-      break;
-    case DataType::kFloat64:
-      ap.f64 = input.float64_data().data();
-      break;
-    case DataType::kString:
-      ap.codes = input.codes().data();
-      ap.dict = input.dict().get();
-      break;
-  }
-  const bool is_string = input.type() == DataType::kString;
-  switch (spec.func) {
-    case AggFunc::kCountStar:
-      break;  // handled above
-    case AggFunc::kCount:
-      ap.kind = AccKind::kCount;
-      break;
-    case AggFunc::kSum:
-      // sum() over strings is rejected during validation.
-      ap.kind = input.type() == DataType::kInt64 ? AccKind::kSumInt
-                                                 : AccKind::kSumFloat;
-      break;
-    case AggFunc::kAvg:
-      ap.kind = is_string ? AccKind::kAvgStr : AccKind::kAvg;
-      break;
-    case AggFunc::kMin:
-      ap.kind = is_string ? AccKind::kMinStr : AccKind::kMinNum;
-      break;
-    case AggFunc::kMax:
-      ap.kind = is_string ? AccKind::kMaxStr : AccKind::kMaxNum;
-      break;
-  }
-  return ap;
-}
-
-// Folds one morsel into one spec's per-group accumulator column. `gid` holds
-// the local group id of row `begin + i` at position i.
-//
-// NULLs are the exception in real measure columns, so each morsel first asks
-// one memchr whether this span has any at all; the common all-valid span then
-// runs a branch-free inner loop (load, accumulate, store — no per-row
-// validity test in the dependency chain), and only spans that actually
-// contain NULLs pay the per-row branch.
-void AccumulateMorsel(const AccPlan& ap, const std::vector<uint32_t>& gid,
-                      size_t begin, size_t end, std::vector<AggState>& col) {
-  const bool no_nulls =
-      ap.validity == nullptr ||
-      std::memchr(ap.validity + begin, 0, end - begin) == nullptr;
-  switch (ap.kind) {
-    case AccKind::kCountStar:
-      for (size_t row = begin; row < end; ++row) {
-        col[gid[row - begin]].row_count++;
-      }
-      break;
-    case AccKind::kCount:
-      if (no_nulls) {
-        for (size_t row = begin; row < end; ++row) {
-          col[gid[row - begin]].count++;
-        }
-        break;
-      }
-      for (size_t row = begin; row < end; ++row) {
-        if (ap.validity[row]) col[gid[row - begin]].count++;
-      }
-      break;
-    case AccKind::kSumInt:
-      if (no_nulls) {
-        for (size_t row = begin; row < end; ++row) {
-          AggState& st = col[gid[row - begin]];
-          st.isum += ap.i64[row];
-          st.saw_value = true;
-        }
-        break;
-      }
-      for (size_t row = begin; row < end; ++row) {
-        if (!ap.validity[row]) continue;
-        AggState& st = col[gid[row - begin]];
-        st.isum += ap.i64[row];
-        st.saw_value = true;
-      }
-      break;
-    case AccKind::kSumFloat:
-      if (no_nulls && ap.f64 != nullptr) {
-        for (size_t row = begin; row < end; ++row) {
-          AggState& st = col[gid[row - begin]];
-          st.sum += ap.f64[row];
-          st.saw_value = true;
-        }
-        break;
-      }
-      for (size_t row = begin; row < end; ++row) {
-        if (!ap.validity[row]) continue;
-        AggState& st = col[gid[row - begin]];
-        st.sum += ap.NumericAt(row);
-        st.saw_value = true;
-      }
-      break;
-    case AccKind::kAvg:
-      if (no_nulls && ap.f64 != nullptr) {
-        for (size_t row = begin; row < end; ++row) {
-          AggState& st = col[gid[row - begin]];
-          st.sum += ap.f64[row];
-          st.count++;
-          st.saw_value = true;
-        }
-        break;
-      }
-      for (size_t row = begin; row < end; ++row) {
-        if (!ap.validity[row]) continue;
-        AggState& st = col[gid[row - begin]];
-        st.sum += ap.NumericAt(row);
-        st.count++;
-        st.saw_value = true;
-      }
-      break;
-    case AccKind::kAvgStr:
-      for (size_t row = begin; row < end; ++row) {
-        if (!ap.validity[row]) continue;
-        AggState& st = col[gid[row - begin]];
-        st.count++;
-        st.saw_value = true;
-      }
-      break;
-    case AccKind::kMinNum:
-      for (size_t row = begin; row < end; ++row) {
-        if (!ap.validity[row]) continue;
-        AggState& st = col[gid[row - begin]];
-        double v = ap.NumericAt(row);
-        if (v < st.min) st.min = v;
-        st.saw_value = true;
-      }
-      break;
-    case AccKind::kMaxNum:
-      for (size_t row = begin; row < end; ++row) {
-        if (!ap.validity[row]) continue;
-        AggState& st = col[gid[row - begin]];
-        double v = ap.NumericAt(row);
-        if (v > st.max) st.max = v;
-        st.saw_value = true;
-      }
-      break;
-    case AccKind::kMinStr:
-      for (size_t row = begin; row < end; ++row) {
-        if (!ap.validity[row]) continue;
-        AggState& st = col[gid[row - begin]];
-        const std::string& s = ap.StringAt(row);
-        if (!st.saw_value || s < st.smin) st.smin = s;
-        st.saw_value = true;
-      }
-      break;
-    case AccKind::kMaxStr:
-      for (size_t row = begin; row < end; ++row) {
-        if (!ap.validity[row]) continue;
-        AggState& st = col[gid[row - begin]];
-        const std::string& s = ap.StringAt(row);
-        if (!st.saw_value || s > st.smax) st.smax = s;
-        st.saw_value = true;
-      }
-      break;
-  }
-}
+using aggdetail::AccPlan;
+using aggdetail::AggState;
 
 // One worker's thread-local partial aggregation table. Accumulators are
 // laid out per spec ([agg][local group]) so each spec's morsel loop walks
@@ -266,36 +28,11 @@ struct AggPartial {
   std::vector<char> key_buf;      // morsel scratch: fixed-stride packed keys
 };
 
-// One group's accumulators gathered back into [agg] order for emission.
-std::vector<AggState> GatherStates(const AggPartial& p, size_t id,
-                                   size_t num_specs) {
-  std::vector<AggState> gs;
-  gs.reserve(num_specs);
-  for (size_t a = 0; a < num_specs; ++a) gs.push_back(p.spec_states[a][id]);
-  return gs;
-}
-
-// Folds one accumulator into another (associative, commutative up to the
-// first-seen tie-breaks handled by the callers' row ordering).
-void MergeState(AggState& d, const AggState& s) {
-  d.row_count += s.row_count;
-  d.count += s.count;
-  d.sum += s.sum;
-  d.isum += s.isum;
-  if (s.min < d.min) d.min = s.min;
-  if (s.max > d.max) d.max = s.max;
-  if (s.saw_value) {
-    if (!d.saw_value || s.smin < d.smin) d.smin = s.smin;
-    if (!d.saw_value || s.smax > d.smax) d.smax = s.smax;
-    d.saw_value = true;
-  }
-}
-
 // Folds partial `p`'s accumulators for local group `id` into `dst`.
 void MergeFromPartial(std::vector<AggState>& dst, const AggPartial& p,
                       size_t id) {
   for (size_t a = 0; a < dst.size(); ++a) {
-    MergeState(dst[a], p.spec_states[a][id]);
+    aggdetail::MergeState(dst[a], p.spec_states[a][id]);
   }
 }
 
@@ -322,33 +59,12 @@ Result<Table> HashAggregate(const Table& input,
                             const std::vector<std::string>& group_by,
                             const std::vector<AggSpec>& aggs, size_t dop) {
   obs::OpScope op("aggregate");
-  // Resolve group-by columns.
-  std::vector<size_t> group_idx;
-  group_idx.reserve(group_by.size());
-  for (const std::string& name : group_by) {
-    PCTAGG_ASSIGN_OR_RETURN(size_t idx, input.schema().FindColumn(name));
-    group_idx.push_back(idx);
-  }
-
-  // Validate aggregates and evaluate inputs (vectorized, once per spec).
-  std::vector<DataType> out_types;
-  std::vector<Column> agg_inputs;
-  out_types.reserve(aggs.size());
-  agg_inputs.reserve(aggs.size());
-  for (const AggSpec& spec : aggs) {
-    if (spec.func != AggFunc::kCountStar && spec.input == nullptr) {
-      return Status::InvalidArgument("aggregate requires an input expression");
-    }
-    if (spec.func == AggFunc::kCountStar) {
-      out_types.push_back(DataType::kInt64);
-      agg_inputs.emplace_back(DataType::kInt64);  // placeholder, unused
-      continue;
-    }
-    PCTAGG_ASSIGN_OR_RETURN(DataType t, AggOutputType(spec, input.schema()));
-    out_types.push_back(t);
-    PCTAGG_ASSIGN_OR_RETURN(Column c, spec.input->Evaluate(input));
-    agg_inputs.push_back(std::move(c));
-  }
+  // Resolve group columns, validate aggregates, evaluate inputs (vectorized,
+  // once per spec) and build the per-spec accumulation micro-plans.
+  PCTAGG_ASSIGN_OR_RETURN(aggdetail::AggBindings bind,
+                          aggdetail::BindAggs(input, group_by, aggs));
+  const std::vector<size_t>& group_idx = bind.group_idx;
+  const std::vector<AccPlan>& acc_plans = bind.acc_plans;
 
   // Phase 1: each worker folds its morsels into a thread-local partial
   // table, keyed by the packed group key. Per morsel, a keying loop assigns
@@ -358,11 +74,6 @@ Result<Table> HashAggregate(const Table& input,
   if (dop == 0) dop = CurrentDop();
   MorselPlan plan = MorselPlan::For(n, dop);
   const KeyEncoder encoder(input, group_idx);
-  std::vector<AccPlan> acc_plans;
-  acc_plans.reserve(aggs.size());
-  for (size_t a = 0; a < aggs.size(); ++a) {
-    acc_plans.push_back(MakeAccPlan(aggs[a], agg_inputs[a]));
-  }
 
   // Direct-array keying: grouping by ONE dictionary-encoded string column
   // whose dictionary is small means the code already IS a dense group id —
@@ -435,7 +146,8 @@ Result<Table> HashAggregate(const Table& input,
       }
     }
     for (size_t a = 0; a < acc_plans.size(); ++a) {
-      AccumulateMorsel(acc_plans[a], p.gid, begin, end, p.spec_states[a]);
+      aggdetail::AccumulateMorsel(acc_plans[a], p.gid, begin, end,
+                                  p.spec_states[a]);
     }
   });
 
@@ -458,7 +170,7 @@ Result<Table> HashAggregate(const Table& input,
       for (size_t g = 0; g < direct_slots; ++g) {
         if (pw.first_row[g] == SIZE_MAX) continue;
         for (size_t a = 0; a < aggs.size(); ++a) {
-          MergeState(p0.spec_states[a][g], pw.spec_states[a][g]);
+          aggdetail::MergeState(p0.spec_states[a][g], pw.spec_states[a][g]);
         }
         p0.first_row[g] = std::min(p0.first_row[g], pw.first_row[g]);
       }
@@ -476,14 +188,14 @@ Result<Table> HashAggregate(const Table& input,
     states.reserve(order.size());
     representative_row.reserve(order.size());
     for (uint32_t g : order) {
-      states.push_back(GatherStates(p0, g, aggs.size()));
+      states.push_back(aggdetail::GatherStates(p0.spec_states, g));
       representative_row.push_back(p0.first_row[g]);
     }
   } else if (plan.num_workers <= 1 && !partials.empty()) {
     AggPartial& p = partials[0];
     states.reserve(p.groups.size());
     for (size_t g = 0; g < p.groups.size(); ++g) {
-      states.push_back(GatherStates(p, g, aggs.size()));
+      states.push_back(aggdetail::GatherStates(p.spec_states, g));
     }
     representative_row = std::move(p.first_row);
   } else if (!partials.empty()) {
@@ -501,7 +213,8 @@ Result<Table> HashAggregate(const Table& input,
           if (KeyMap::Hash(key) % num_parts != part) return;
           auto [g, inserted] = seen.GetOrAdd(key);
           if (inserted) {
-            out.push_back({GatherStates(p, id, aggs.size()), p.first_row[id]});
+            out.push_back(
+                {aggdetail::GatherStates(p.spec_states, id), p.first_row[id]});
           } else {
             MergeFromPartial(out[g].states, p, id);
             out[g].first_row = std::min(out[g].first_row, p.first_row[id]);
@@ -551,80 +264,8 @@ Result<Table> HashAggregate(const Table& input,
     if (plan.num_workers > 1) op.SetPartialsMerged(partials.size());
   }
 
-  // A global aggregation over zero rows still produces one (empty) group.
-  if (group_idx.empty() && states.empty()) {
-    states.emplace_back(aggs.size());
-    representative_row.push_back(0);  // unused: no group columns to copy
-  }
-
-  // Build output schema.
-  Schema out_schema;
-  for (size_t gi : group_idx) {
-    out_schema.AddColumn(input.schema().column(gi));
-  }
-  for (size_t a = 0; a < aggs.size(); ++a) {
-    out_schema.AddColumn({aggs[a].output_name, out_types[a]});
-  }
-  Table out(out_schema);
-  out.Reserve(states.size());
-
-  for (size_t g = 0; g < states.size(); ++g) {
-    std::vector<Value> row;
-    row.reserve(group_idx.size() + aggs.size());
-    for (size_t gi : group_idx) {
-      row.push_back(input.column(gi).GetValue(representative_row[g]));
-    }
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      const AggState& st = states[g][a];
-      const AggSpec& spec = aggs[a];
-      switch (spec.func) {
-        case AggFunc::kCountStar:
-          row.push_back(Value::Int64(st.row_count));
-          break;
-        case AggFunc::kCount:
-          row.push_back(Value::Int64(st.count));
-          break;
-        case AggFunc::kSum:
-          if (!st.saw_value) {
-            row.push_back(Value::Null());
-          } else if (out_types[a] == DataType::kInt64) {
-            row.push_back(Value::Int64(st.isum));
-          } else {
-            row.push_back(Value::Float64(st.sum));
-          }
-          break;
-        case AggFunc::kAvg:
-          row.push_back(st.saw_value
-                            ? Value::Float64(st.sum / static_cast<double>(st.count))
-                            : Value::Null());
-          break;
-        case AggFunc::kMin:
-          if (!st.saw_value) {
-            row.push_back(Value::Null());
-          } else if (out_types[a] == DataType::kString) {
-            row.push_back(Value::String(st.smin));
-          } else if (out_types[a] == DataType::kInt64) {
-            row.push_back(Value::Int64(static_cast<int64_t>(st.min)));
-          } else {
-            row.push_back(Value::Float64(st.min));
-          }
-          break;
-        case AggFunc::kMax:
-          if (!st.saw_value) {
-            row.push_back(Value::Null());
-          } else if (out_types[a] == DataType::kString) {
-            row.push_back(Value::String(st.smax));
-          } else if (out_types[a] == DataType::kInt64) {
-            row.push_back(Value::Int64(static_cast<int64_t>(st.max)));
-          } else {
-            row.push_back(Value::Float64(st.max));
-          }
-          break;
-      }
-    }
-    PCTAGG_RETURN_IF_ERROR(out.AppendRow(row));
-  }
-  return out;
+  return aggdetail::EmitAggOutput(input, group_idx, aggs, bind.out_types,
+                                  states, representative_row);
 }
 
 }  // namespace pctagg

@@ -1,6 +1,14 @@
 #include "engine/packed_key.h"
 
+#include "common/cpu.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 namespace pctagg {
+
+bool KeyMapBatchProbeSimd() { return CpuHasAvx2() && SimdEnabled(); }
 
 namespace {
 
@@ -166,6 +174,112 @@ void KeyEncoder::EncodeFixedBatch(size_t begin, size_t end, char* out) const {
     off += col.width;
   }
 }
+
+void KeyEncoder::EncodeFixedRows(const uint32_t* rows, size_t count,
+                                 char* out) const {
+  const size_t stride = fixed_width_;
+  size_t off = 0;
+  for (const Col& col : cols_) {
+    const char tag = TypeTag(col.type);
+    const uint8_t* validity = col.validity;
+    char* p = out + off;
+    switch (col.type) {
+      case DataType::kInt64: {
+        const int64_t* v = col.i64;
+        for (size_t i = 0; i < count; ++i, p += stride) {
+          const uint32_t row = rows[i];
+          if (validity[row] != 0) {
+            *p = tag;
+            std::memcpy(p + 1, &v[row], 8);
+          } else {
+            *p = kNullTag;
+            std::memset(p + 1, 0, 8);
+          }
+        }
+        break;
+      }
+      case DataType::kFloat64: {
+        const double* v = col.f64;
+        for (size_t i = 0; i < count; ++i, p += stride) {
+          const uint32_t row = rows[i];
+          if (validity[row] != 0) {
+            *p = tag;
+            std::memcpy(p + 1, &v[row], 8);
+          } else {
+            *p = kNullTag;
+            std::memset(p + 1, 0, 8);
+          }
+        }
+        break;
+      }
+      case DataType::kString: {
+        const uint32_t* codes = col.codes;
+        const uint32_t* translate = col.translate;
+        for (size_t i = 0; i < count; ++i, p += stride) {
+          const uint32_t row = rows[i];
+          if (validity[row] != 0) {
+            *p = tag;
+            const uint32_t code =
+                translate != nullptr ? translate[codes[row]] : codes[row];
+            std::memcpy(p + 1, &code, 4);
+          } else {
+            *p = kNullTag;
+            std::memset(p + 1, 0, 4);
+          }
+        }
+        break;
+      }
+    }
+    off += col.width;
+  }
+}
+
+#if defined(__x86_64__)
+// Four probe lanes per iteration: gather each hash's first slot (8-byte
+// stored hash, 4-byte stored id) and report the id where the hash matches a
+// non-empty slot. Byte confirmation stays with the (scalar) caller — the
+// vector path performs no key-arena loads at all, so it cannot over-read.
+__attribute__((target("avx2"))) void KeyMap::ProbeCandidates(
+    const uint64_t* hashes, size_t count, uint32_t* cand) const {
+  const long long* hash_base =
+      reinterpret_cast<const long long*>(slot_hash_.data());
+  const int* id_base = reinterpret_cast<const int*>(slot_id_.data());
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask_));
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    const __m256i h = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(hashes + j));
+    const __m256i idx = _mm256_and_si256(h, vmask);
+    const __m256i stored = _mm256_i64gather_epi64(hash_base, idx, 8);
+    const __m128i ids = _mm256_i64gather_epi32(id_base, idx, 4);
+    const __m256i eq = _mm256_cmpeq_epi64(stored, h);
+    alignas(32) long long eqs[4];
+    alignas(16) int id4[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(eqs), eq);
+    _mm_store_si128(reinterpret_cast<__m128i*>(id4), ids);
+    for (int k = 0; k < 4; ++k) {
+      const uint32_t id = static_cast<uint32_t>(id4[k]);
+      cand[j + k] = (eqs[k] != 0 && id != kEmptySlot) ? id : kEmptySlot;
+    }
+  }
+  for (; j < count; ++j) {
+    const size_t idx = hashes[j] & mask_;
+    const uint32_t id = slot_id_[idx];
+    cand[j] =
+        (id != kEmptySlot && slot_hash_[idx] == hashes[j]) ? id : kEmptySlot;
+  }
+}
+#else
+void KeyMap::ProbeCandidates(const uint64_t* hashes, size_t count,
+                             uint32_t* cand) const {
+  for (size_t j = 0; j < count; ++j) {
+    const size_t idx = hashes[j] & mask_;
+    const uint32_t id = slot_id_[idx];
+    cand[j] =
+        (id != kEmptySlot && slot_hash_[idx] == hashes[j]) ? id : kEmptySlot;
+  }
+}
+#endif
 
 void KeyMap::Grow(size_t min_slots) {
   size_t slots = 64;

@@ -11,6 +11,11 @@
 
 namespace pctagg {
 
+// True when KeyMap's batch path should run its AVX2 candidate pre-probe:
+// the CPU has AVX2 and SIMD is not disabled (PCTAGG_DISABLE_SIMD / test
+// override). Defined in packed_key.cc next to the vector kernel.
+bool KeyMapBatchProbeSimd();
+
 // Packed binary group-key encoding shared by group-by, pivot, joins, window
 // partitioning and hash indexes.
 //
@@ -67,6 +72,11 @@ class KeyEncoder {
   // dispatch runs once per column instead of once per row. Byte-identical to
   // AppendKey. `out` must hold (end - begin) * fixed_width() bytes.
   void EncodeFixedBatch(size_t begin, size_t end, char* out) const;
+
+  // Gather variant for the fused path's filtered morsels: same layout and
+  // bytes as EncodeFixedBatch, but over an explicit row list instead of a
+  // contiguous range. `out` must hold count * fixed_width() bytes.
+  void EncodeFixedRows(const uint32_t* rows, size_t count, char* out) const;
 
   // Exact bytes per key.
   size_t fixed_width() const { return fixed_width_; }
@@ -138,27 +148,38 @@ class KeyMap {
                           std::vector<size_t>* first_row) {
     switch (stride) {
       case 5:   // one string column
-        return FixedBatch<5>(keys, count, base_row, gid_out, first_row);
+        return FixedBatch<5, false>(keys, count, base_row, nullptr, gid_out,
+                                    first_row);
       case 9:   // one numeric column
-        return FixedBatch<9>(keys, count, base_row, gid_out, first_row);
+        return FixedBatch<9, false>(keys, count, base_row, nullptr, gid_out,
+                                    first_row);
       case 10:  // two strings
-        return FixedBatch<10>(keys, count, base_row, gid_out, first_row);
+        return FixedBatch<10, false>(keys, count, base_row, nullptr, gid_out,
+                                     first_row);
       case 14:  // string + numeric
-        return FixedBatch<14>(keys, count, base_row, gid_out, first_row);
+        return FixedBatch<14, false>(keys, count, base_row, nullptr, gid_out,
+                                     first_row);
       case 15:  // three strings
-        return FixedBatch<15>(keys, count, base_row, gid_out, first_row);
+        return FixedBatch<15, false>(keys, count, base_row, nullptr, gid_out,
+                                     first_row);
       case 18:  // two numerics
-        return FixedBatch<18>(keys, count, base_row, gid_out, first_row);
+        return FixedBatch<18, false>(keys, count, base_row, nullptr, gid_out,
+                                     first_row);
       case 19:  // two strings + numeric
-        return FixedBatch<19>(keys, count, base_row, gid_out, first_row);
+        return FixedBatch<19, false>(keys, count, base_row, nullptr, gid_out,
+                                     first_row);
       case 23:  // string + two numerics
-        return FixedBatch<23>(keys, count, base_row, gid_out, first_row);
+        return FixedBatch<23, false>(keys, count, base_row, nullptr, gid_out,
+                                     first_row);
       case 27:  // three numerics
-        return FixedBatch<27>(keys, count, base_row, gid_out, first_row);
+        return FixedBatch<27, false>(keys, count, base_row, nullptr, gid_out,
+                                     first_row);
       case 28:  // two strings + two numerics
-        return FixedBatch<28>(keys, count, base_row, gid_out, first_row);
+        return FixedBatch<28, false>(keys, count, base_row, nullptr, gid_out,
+                                     first_row);
       case 36:  // four numerics
-        return FixedBatch<36>(keys, count, base_row, gid_out, first_row);
+        return FixedBatch<36, false>(keys, count, base_row, nullptr, gid_out,
+                                     first_row);
       default:
         const char* kp = keys;
         for (size_t i = 0; i < count; ++i, kp += stride) {
@@ -167,6 +188,49 @@ class KeyMap {
             first_row->push_back(base_row + i);
           } else if (base_row + i < (*first_row)[id]) {
             (*first_row)[id] = base_row + i;
+          }
+          gid_out[i] = static_cast<uint32_t>(id);
+        }
+    }
+  }
+
+  // Rows-list variant for the fused path's filtered morsels: key i was
+  // encoded from input row rows[i] (ascending). Semantically identical to
+  // GetOrAddFixedBatch with base_row replaced by the explicit row ids.
+  void GetOrAddFixedBatchRows(const char* keys, size_t stride, size_t count,
+                              const uint32_t* rows, uint32_t* gid_out,
+                              std::vector<size_t>* first_row) {
+    switch (stride) {
+      case 5:
+        return FixedBatch<5, true>(keys, count, 0, rows, gid_out, first_row);
+      case 9:
+        return FixedBatch<9, true>(keys, count, 0, rows, gid_out, first_row);
+      case 10:
+        return FixedBatch<10, true>(keys, count, 0, rows, gid_out, first_row);
+      case 14:
+        return FixedBatch<14, true>(keys, count, 0, rows, gid_out, first_row);
+      case 15:
+        return FixedBatch<15, true>(keys, count, 0, rows, gid_out, first_row);
+      case 18:
+        return FixedBatch<18, true>(keys, count, 0, rows, gid_out, first_row);
+      case 19:
+        return FixedBatch<19, true>(keys, count, 0, rows, gid_out, first_row);
+      case 23:
+        return FixedBatch<23, true>(keys, count, 0, rows, gid_out, first_row);
+      case 27:
+        return FixedBatch<27, true>(keys, count, 0, rows, gid_out, first_row);
+      case 28:
+        return FixedBatch<28, true>(keys, count, 0, rows, gid_out, first_row);
+      case 36:
+        return FixedBatch<36, true>(keys, count, 0, rows, gid_out, first_row);
+      default:
+        const char* kp = keys;
+        for (size_t i = 0; i < count; ++i, kp += stride) {
+          auto [id, inserted] = GetOrAdd(std::string_view(kp, stride));
+          if (inserted) {
+            first_row->push_back(rows[i]);
+          } else if (rows[i] < (*first_row)[id]) {
+            (*first_row)[id] = rows[i];
           }
           gid_out[i] = static_cast<uint32_t>(id);
         }
@@ -284,45 +348,100 @@ class KeyMap {
   // Doubles the slot table and re-places every id by its stored hash.
   void Grow(size_t min_slots);
 
+  // One full probe-or-insert for a key whose hash is already computed.
+  // Extracted from the batch loop so the AVX2 candidate path can fall back
+  // to it per key; identical to the GetOrAdd probe.
+  template <size_t kStride>
+  uint32_t ProbeOne(const char* kp, uint64_t h, size_t row,
+                    std::vector<size_t>* first_row) {
+    size_t idx = h & mask_;
+    for (;;) {
+      const uint32_t slot = slot_id_[idx];
+      if (slot == kEmptySlot) {
+        const size_t id = key_offset_.size();
+        key_offset_.push_back(arena_.size());
+        arena_.append(kp, kStride);
+        slot_hash_[idx] = h;
+        slot_id_[idx] = static_cast<uint32_t>(id);
+        first_row->push_back(row);
+        if ((id + 1) * 2 >= slot_id_.size()) Grow(slot_id_.size() * 2);
+        return static_cast<uint32_t>(id);
+      }
+      if (slot_hash_[idx] == h) {
+        std::string_view stored = KeyAt(slot);
+        if (stored.size() == kStride &&
+            KeyEq(std::string_view(stored.data(), kStride),
+                  std::string_view(kp, kStride))) {
+          if (row < (*first_row)[slot]) (*first_row)[slot] = row;
+          return slot;
+        }
+      }
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  // Gathers the FIRST probe slot for each hash (8-byte slot_hash and 4-byte
+  // slot_id loads, four lanes at a time under AVX2) and emits the slot's id
+  // where the stored hash matches, UINT32_MAX otherwise. Candidates are
+  // hash-matches only — the caller confirms bytes via KeyAt/KeyEq, so the
+  // vector path never reads key bytes out of bounds and a stale or colliding
+  // candidate degrades to the scalar probe instead of a wrong id. Defined in
+  // packed_key.cc (with a target attribute on x86-64, a scalar loop
+  // elsewhere).
+  void ProbeCandidates(const uint64_t* hashes, size_t count,
+                       uint32_t* cand) const;
+
   // GetOrAddFixedBatch's per-stride worker. With kStride a constant the
   // Hash chunk loop and the KeyEq word loop fully unroll, and the compiler
   // keeps each key's words in registers across hashing and comparison.
-  template <size_t kStride>
+  // When the runtime probe allows it, each chunk of keys is hashed up front
+  // and the slot table is probed four lanes at a time; in the steady state
+  // (group exists, first probe slot hits) the per-key work collapses to one
+  // confirm-compare. Keys that miss their candidate — new groups, probe
+  // chains, keys inserted earlier in the same chunk — take the scalar
+  // ProbeOne, so results are identical with SIMD on or off.
+  template <size_t kStride, bool kHasRows>
   void FixedBatch(const char* keys, size_t count, size_t base_row,
-                  uint32_t* gid_out, std::vector<size_t>* first_row) {
+                  const uint32_t* rows, uint32_t* gid_out,
+                  std::vector<size_t>* first_row) {
     if (slot_id_.empty()) Grow(64);
-    const char* kp = keys;
-    for (size_t i = 0; i < count; ++i, kp += kStride) {
-      const uint64_t h = Hash(std::string_view(kp, kStride));
-      size_t idx = h & mask_;
-      size_t id;
-      for (;;) {
-        const uint32_t slot = slot_id_[idx];
-        if (slot == kEmptySlot) {
-          id = key_offset_.size();
-          key_offset_.push_back(arena_.size());
-          arena_.append(kp, kStride);
-          slot_hash_[idx] = h;
-          slot_id_[idx] = static_cast<uint32_t>(id);
-          first_row->push_back(base_row + i);
-          if ((id + 1) * 2 >= slot_id_.size()) Grow(slot_id_.size() * 2);
-          break;
+    constexpr size_t kChunk = 16;
+    const bool simd = KeyMapBatchProbeSimd();
+    uint64_t hashes[kChunk];
+    uint32_t cand[kChunk];
+    size_t i = 0;
+    while (i < count) {
+      const size_t c = count - i < kChunk ? count - i : kChunk;
+      const char* kp = keys + i * kStride;
+      if (simd && c == kChunk) {
+        const char* q = kp;
+        for (size_t j = 0; j < kChunk; ++j, q += kStride) {
+          hashes[j] = Hash(std::string_view(q, kStride));
         }
-        if (slot_hash_[idx] == h) {
-          std::string_view stored = KeyAt(slot);
-          if (stored.size() == kStride &&
-              KeyEq(std::string_view(stored.data(), kStride),
-                    std::string_view(kp, kStride))) {
-            id = slot;
-            if (base_row + i < (*first_row)[id]) {
-              (*first_row)[id] = base_row + i;
+        ProbeCandidates(hashes, kChunk, cand);
+        for (size_t j = 0; j < kChunk; ++j, kp += kStride) {
+          const size_t row = kHasRows ? rows[i + j] : base_row + i + j;
+          const uint32_t id = cand[j];
+          if (id != kEmptySlot) {
+            std::string_view stored = KeyAt(id);
+            if (stored.size() == kStride &&
+                KeyEq(std::string_view(stored.data(), kStride),
+                      std::string_view(kp, kStride))) {
+              if (row < (*first_row)[id]) (*first_row)[id] = row;
+              gid_out[i + j] = id;
+              continue;
             }
-            break;
           }
+          gid_out[i + j] = ProbeOne<kStride>(kp, hashes[j], row, first_row);
         }
-        idx = (idx + 1) & mask_;
+      } else {
+        for (size_t j = 0; j < c; ++j, kp += kStride) {
+          const size_t row = kHasRows ? rows[i + j] : base_row + i + j;
+          const uint64_t h = Hash(std::string_view(kp, kStride));
+          gid_out[i + j] = ProbeOne<kStride>(kp, h, row, first_row);
+        }
       }
-      gid_out[i] = static_cast<uint32_t>(id);
+      i += c;
     }
   }
 

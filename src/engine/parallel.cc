@@ -4,6 +4,11 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "common/thread_pool.h"
 
@@ -49,7 +54,24 @@ struct MorselRun {
   }
 };
 
+size_t ProbeAvailableParallelism() {
+#if defined(__linux__)
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+#endif
+  unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 1;
+}
+
 }  // namespace
+
+size_t AvailableParallelism() {
+  static const size_t cpus = ProbeAvailableParallelism();
+  return cpus;
+}
 
 size_t CurrentDop() { return tls_dop; }
 
@@ -69,6 +91,18 @@ MorselPlan MorselPlan::For(size_t num_rows, size_t dop, size_t morsel_rows) {
   plan.num_workers = dop < plan.num_morsels ? dop : plan.num_morsels;
   if (plan.num_workers < 1) plan.num_workers = 1;
   return plan;
+}
+
+MorselPlan MorselPlan::Auto(size_t num_rows, size_t dop) {
+  if (dop < 1) dop = 1;
+  size_t effective = dop < AvailableParallelism() ? dop : AvailableParallelism();
+  if (effective <= 1) return For(num_rows, 1);
+  // ~4 morsels per effective worker keeps dynamic claiming able to balance
+  // skew without paying per-morsel overhead on every 64K rows.
+  size_t target = (num_rows + effective * 4 - 1) / (effective * 4);
+  if (target < kMinAdaptiveMorselRows) target = kMinAdaptiveMorselRows;
+  if (target > kMaxAdaptiveMorselRows) target = kMaxAdaptiveMorselRows;
+  return For(num_rows, effective, target);
 }
 
 void RunMorsels(const MorselPlan& plan,

@@ -22,6 +22,19 @@ namespace pctagg {
 // bookkeeping (one mutex acquisition) is noise.
 inline constexpr size_t kDefaultMorselRows = 65536;
 
+// Bounds for MorselPlan::Auto's adaptive sizing. The lower bound keeps the
+// per-morsel bookkeeping amortized; the upper bound keeps enough morsels in
+// flight that dynamic claiming can still balance skewed workers.
+inline constexpr size_t kMinAdaptiveMorselRows = 16384;
+inline constexpr size_t kMaxAdaptiveMorselRows = 262144;
+
+// Number of CPUs actually available to this process (sched_getaffinity on
+// Linux, hardware_concurrency otherwise), cached after the first call and
+// never less than 1. Requesting more workers than this only adds context
+// switches, never throughput — BENCH_parallel.json's dop=4-slower-than-dop=1
+// row was exactly this effect on a small host.
+size_t AvailableParallelism();
+
 // The degree of parallelism in effect for the current thread; kernels read
 // this when their `dop` argument is 0. Defaults to 1 (serial). Pool workers
 // running morsels always see 1, so nested dispatch degenerates to serial
@@ -54,6 +67,14 @@ struct MorselPlan {
 
   static MorselPlan For(size_t num_rows, size_t dop,
                         size_t morsel_rows = kDefaultMorselRows);
+
+  // Adaptive variant used by the fused operators: clamps the worker count to
+  // AvailableParallelism() (oversubscription is pure overhead) and sizes
+  // morsels so each effective worker claims ~4 of them, bounded to
+  // [kMinAdaptiveMorselRows, kMaxAdaptiveMorselRows]. A serial plan
+  // (effective dop 1) keeps kDefaultMorselRows so accumulation scratch stays
+  // cache-resident.
+  static MorselPlan Auto(size_t num_rows, size_t dop);
 
   size_t Begin(size_t morsel) const { return morsel * morsel_rows; }
   size_t End(size_t morsel) const {

@@ -65,6 +65,7 @@ class Session {
   QueryOptions options_;
   std::string vpct_name_ = "auto";
   std::string horizontal_name_ = "auto";
+  std::string exec_name_ = "auto";
   std::string append_policy_name_ = "auto";
   bool trace_ = false;
   uint64_t queries_ = 0;

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "common/cpu.h"
+
 namespace pctagg {
 namespace storage {
 
@@ -63,16 +65,15 @@ __attribute__((target("sse4.2"))) uint32_t Crc32cHw(uint32_t crc,
   }
   return ~crc;
 }
-
-bool HaveSse42() { return __builtin_cpu_supports("sse4.2"); }
 #endif
 
 }  // namespace
 
 uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
 #if defined(__x86_64__)
-  static const bool have_hw = HaveSse42();
-  if (have_hw) {
+  // Shared probe from common/cpu.h; SimdEnabled() lets CI force the table
+  // fallback (PCTAGG_DISABLE_SIMD=1) to keep it covered.
+  if (CpuHasSse42() && SimdEnabled()) {
     return Crc32cHw(crc, static_cast<const uint8_t*>(data), n);
   }
 #endif

@@ -166,7 +166,7 @@ TEST_F(ExplainAnalyzeTest, HpctTracePopulatesPredictedVsActual) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
   EXPECT_EQ(trace.query_class, "horizontal");
-  ASSERT_EQ(trace.predicted_costs.size(), 4u);  // CASE/SPJ x F/FV
+  ASSERT_EQ(trace.predicted_costs.size(), 5u);  // CASE/SPJ x F/FV + fused
   int chosen = 0;
   for (const auto& c : trace.predicted_costs) {
     if (c.chosen) ++chosen;

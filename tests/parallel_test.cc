@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -159,6 +160,41 @@ TEST(ParallelOpsDispatch, MorselPlanShapes) {
   EXPECT_EQ(MorselPlan::For(0, 8).num_morsels, 0u);
   // Serial.
   EXPECT_EQ(MorselPlan::For(1000, 1).num_workers, 1u);
+}
+
+TEST(ParallelOpsDispatch, MorselPlanAutoAdaptiveShapes) {
+  // Serial keeps the fixed default granularity.
+  MorselPlan serial = MorselPlan::Auto(1 << 20, 1);
+  EXPECT_EQ(serial.num_workers, 1u);
+  EXPECT_EQ(serial.morsel_rows, kDefaultMorselRows);
+
+  // Workers never exceed what the host can actually run in parallel.
+  size_t cpus = AvailableParallelism();
+  EXPECT_GE(cpus, 1u);
+  EXPECT_LE(MorselPlan::Auto(1 << 22, 64).num_workers, cpus);
+
+  // Adaptive sizing stays inside its bounds and covers every row, across a
+  // spread of input sizes and dops.
+  for (size_t n : {size_t{0}, size_t{100}, size_t{50000}, size_t{1} << 21}) {
+    for (size_t dop : {size_t{2}, size_t{4}, size_t{8}}) {
+      MorselPlan p = MorselPlan::Auto(n, dop);
+      SCOPED_TRACE("n=" + std::to_string(n) + " dop=" + std::to_string(dop));
+      if (p.num_workers > 1) {
+        EXPECT_GE(p.morsel_rows, kMinAdaptiveMorselRows);
+        EXPECT_LE(p.morsel_rows, kMaxAdaptiveMorselRows);
+      }
+      EXPECT_EQ(p.num_morsels,
+                n == 0 ? 0u : (n + p.morsel_rows - 1) / p.morsel_rows);
+      if (p.num_morsels > 0) {
+        EXPECT_EQ(p.End(p.num_morsels - 1), n);
+      }
+      EXPECT_LE(p.num_workers, std::max<size_t>(p.num_morsels, 1));
+    }
+  }
+
+  // Small inputs collapse to one morsel (the lower bound dominates), so a
+  // parallel request degenerates to serial work instead of thread churn.
+  EXPECT_EQ(MorselPlan::Auto(10000, 8).num_morsels, 1u);
 }
 
 TEST(ParallelOpsDispatch, EveryRowRunsExactlyOnce) {

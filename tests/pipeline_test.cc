@@ -1,0 +1,563 @@
+// Property sweep for the fused push-based percentage pipelines: every query
+// runs twice — ExecutionMode::kFused vs kMaterialized — and the results must
+// be bit-identical (exact value bits, including FLOAT64), across dop {1,4},
+// NULL keys, numeric and string/dictionary group keys, WHERE clauses,
+// multi-term Vpct with lattice reuse, grand totals, and the horizontal
+// variants with extras. Float measures stay under one morsel (<= 16384 rows)
+// so the fold order is pinned at every dop; the large-input sweep uses an
+// INT64 measure, whose double sums are exact regardless of morsel shape.
+//
+// The same suite doubles as the SIMD/scalar equivalence check: see the
+// SimdVsScalar tests here plus the `pipeline_test_scalar` ctest variant
+// (PCTAGG_DISABLE_SIMD=1) and the `fused_tsan` target in tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cpu.h"
+#include "common/rng.h"
+#include "core/database.h"
+#include "engine/pipeline.h"
+#include "engine/table_ops.h"
+#include "obs/trace.h"
+#include "server/session.h"
+#include "workload/generators.h"
+
+namespace pctagg {
+namespace {
+
+// d1(4) x d2(5) x d3(3) with ~10% NULL d2 keys; INT64 measure in [1, 100]
+// with ~8% NULLs. Integer measures keep double sums exact, so fused and
+// materialized agree bitwise at every dop and morsel shape.
+Table IntFact(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table t(Schema({{"d1", DataType::kInt64},
+                  {"d2", DataType::kInt64},
+                  {"d3", DataType::kInt64},
+                  {"a", DataType::kInt64}}));
+  for (size_t i = 0; i < n; ++i) {
+    Value d2 = rng.Uniform(10) == 0
+                   ? Value::Null()
+                   : Value::Int64(static_cast<int64_t>(rng.Uniform(5)));
+    Value a = rng.Uniform(12) == 0
+                  ? Value::Null()
+                  : Value::Int64(static_cast<int64_t>(rng.Uniform(100)) + 1);
+    t.AppendRow({Value::Int64(static_cast<int64_t>(rng.Uniform(4))), d2,
+                 Value::Int64(static_cast<int64_t>(rng.Uniform(3))), a});
+  }
+  return t;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// Exact-equality comparison: same schema, same row count, and every cell
+// matches bit-for-bit (doubles compared by bit pattern, so NaN payloads and
+// signed zeros count too).
+::testing::AssertionResult BitIdentical(const Table& a, const Table& b) {
+  if (a.num_columns() != b.num_columns()) {
+    return ::testing::AssertionFailure()
+           << "column count " << a.num_columns() << " vs " << b.num_columns();
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    if (a.schema().column(c).name != b.schema().column(c).name) {
+      return ::testing::AssertionFailure()
+             << "column " << c << " name " << a.schema().column(c).name
+             << " vs " << b.schema().column(c).name;
+    }
+  }
+  if (a.num_rows() != b.num_rows()) {
+    return ::testing::AssertionFailure()
+           << "row count " << a.num_rows() << " vs " << b.num_rows();
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    for (size_t i = 0; i < a.num_rows(); ++i) {
+      Value va = a.column(c).GetValue(i);
+      Value vb = b.column(c).GetValue(i);
+      if (va.is_null() != vb.is_null()) {
+        return ::testing::AssertionFailure()
+               << "null mismatch at (" << i << ", "
+               << a.schema().column(c).name << "): " << va.ToString() << " vs "
+               << vb.ToString();
+      }
+      if (va.is_null()) continue;
+      bool same;
+      if (va.is_float64() && vb.is_float64()) {
+        same = DoubleBits(va.AsDouble()) == DoubleBits(vb.AsDouble());
+      } else {
+        same = !va.is_float64() && !vb.is_float64() &&
+               va.ToString() == vb.ToString();
+      }
+      if (!same) {
+        return ::testing::AssertionFailure()
+               << "cell mismatch at (" << i << ", "
+               << a.schema().column(c).name << "): " << va.ToString() << " vs "
+               << vb.ToString();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Runs `sql` under both execution modes at `dop` and checks bit-identity.
+// `expect_fused` additionally asserts the fused pipeline really ran (the
+// forced mode falls back silently on unsupported shapes, which would turn
+// the comparison into materialized-vs-materialized and prove nothing).
+void ExpectFusedMatchesMaterialized(const PctDatabase& db,
+                                    const std::string& sql, size_t dop,
+                                    bool expect_fused = true) {
+  SCOPED_TRACE(sql + " @ dop=" + std::to_string(dop));
+  obs::QueryTrace trace;
+  QueryOptions fused;
+  fused.execution = ExecutionMode::kFused;
+  fused.degree_of_parallelism = dop;
+  fused.trace = &trace;
+  Result<Table> rf = db.Query(sql, fused);
+  ASSERT_TRUE(rf.ok()) << rf.status().ToString();
+  if (expect_fused) {
+    EXPECT_EQ(trace.strategy, "fused-pipeline");
+    EXPECT_EQ(trace.strategy_source, "forced");
+  }
+
+  QueryOptions mat;
+  mat.execution = ExecutionMode::kMaterialized;
+  mat.degree_of_parallelism = dop;
+  Result<Table> rm = db.Query(sql, mat);
+  ASSERT_TRUE(rm.ok()) << rm.status().ToString();
+  EXPECT_TRUE(BitIdentical(*rf, *rm));
+}
+
+// --- Bit-identity sweep across dop {1, 4} -----------------------------------
+
+class PipelineSweep : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("f", IntFact(3000, 7)).ok());
+    ASSERT_TRUE(db_.CreateTable("sales", GenerateSales(4000)).ok());
+    ASSERT_TRUE(db_.CreateTable("salesn", GenerateSalesNamed(4000)).ok());
+  }
+  PctDatabase db_;
+};
+
+TEST_P(PipelineSweep, VpctSimple) {
+  ExpectFusedMatchesMaterialized(
+      db_, "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2",
+      GetParam());
+}
+
+TEST_P(PipelineSweep, VpctSingleKeyDirectDictTier) {
+  // One INT64 group column exercises the direct/inline key tier.
+  ExpectFusedMatchesMaterialized(
+      db_, "SELECT d1, Vpct(a) AS pct FROM f GROUP BY d1", GetParam());
+}
+
+TEST_P(PipelineSweep, VpctMultiTermLatticeAndGrandTotal) {
+  // p1 reuses p2's finer level through the lattice; p3 is a grand total;
+  // s rides along as a scalar extra. Three group columns force packed keys.
+  ExpectFusedMatchesMaterialized(
+      db_,
+      "SELECT d1, d2, d3, Vpct(a BY d3) AS p1, Vpct(a BY d2, d3) AS p2, "
+      "Vpct(a) AS p3, sum(a) AS s FROM f GROUP BY d1, d2, d3",
+      GetParam());
+}
+
+TEST_P(PipelineSweep, VpctWithWhere) {
+  ExpectFusedMatchesMaterialized(
+      db_,
+      "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f WHERE d3 = 1 "
+      "GROUP BY d1, d2",
+      GetParam());
+}
+
+TEST_P(PipelineSweep, VpctWhereMatchesNothing) {
+  ExpectFusedMatchesMaterialized(
+      db_,
+      "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f WHERE d3 = 99 "
+      "GROUP BY d1, d2",
+      GetParam());
+}
+
+TEST_P(PipelineSweep, VpctFloatMeasureNumericKeys) {
+  // FLOAT64 measure: 4000 rows fit in one morsel at every dop, pinning the
+  // accumulation order, so even float sums are bit-identical.
+  ExpectFusedMatchesMaterialized(
+      db_,
+      "SELECT state, city, Vpct(salesAmt BY state) AS pct FROM sales "
+      "GROUP BY state, city",
+      GetParam());
+}
+
+TEST_P(PipelineSweep, VpctStringDictionaryKeys) {
+  ExpectFusedMatchesMaterialized(
+      db_,
+      "SELECT state, city, Vpct(salesAmt BY state) AS pct FROM salesn "
+      "GROUP BY state, city",
+      GetParam());
+}
+
+TEST_P(PipelineSweep, VpctOrderByAndHaving) {
+  // ApplyTail (HAVING/ORDER BY/LIMIT) runs after both paths' result tables.
+  ExpectFusedMatchesMaterialized(
+      db_,
+      "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2 "
+      "HAVING pct >= 0.1 ORDER BY d1, d2 LIMIT 12",
+      GetParam());
+}
+
+TEST_P(PipelineSweep, HpctSimple) {
+  ExpectFusedMatchesMaterialized(
+      db_, "SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1", GetParam());
+}
+
+TEST_P(PipelineSweep, HpctTwoByColumns) {
+  ExpectFusedMatchesMaterialized(
+      db_, "SELECT d1, Hpct(a BY d2, d3) FROM f GROUP BY d1", GetParam());
+}
+
+TEST_P(PipelineSweep, HpctGlobalNoGroupBy) {
+  ExpectFusedMatchesMaterialized(db_, "SELECT Hpct(a BY d2) FROM f",
+                                 GetParam());
+}
+
+TEST_P(PipelineSweep, HpctStringKeysWithWhere) {
+  // Hpct(1 ...) makes the measure an exact integer count. A float measure
+  // would not be bitwise here: the fused pipeline folds per-combination
+  // partials from FVh while CASE-from-F folds raw rows, and float addition
+  // is not associative (same boundary as cross-dop sums; docs/PARALLELISM.md).
+  ExpectFusedMatchesMaterialized(
+      db_,
+      "SELECT state, Hpct(1 BY dweek) FROM salesn "
+      "WHERE city <> 'city03' GROUP BY state",
+      GetParam());
+}
+
+TEST_P(PipelineSweep, HaggSumWithDefaultZero) {
+  ExpectFusedMatchesMaterialized(
+      db_, "SELECT d1, sum(a BY d2 DEFAULT 0) FROM f GROUP BY d1", GetParam());
+}
+
+TEST_P(PipelineSweep, HaggCountMinMax) {
+  ExpectFusedMatchesMaterialized(
+      db_, "SELECT d1, count(a BY d2) FROM f GROUP BY d1", GetParam());
+  ExpectFusedMatchesMaterialized(
+      db_, "SELECT d1, max(a BY d3) FROM f GROUP BY d1", GetParam());
+  ExpectFusedMatchesMaterialized(
+      db_, "SELECT d1, min(a BY d3 DEFAULT 0) FROM f GROUP BY d1", GetParam());
+}
+
+TEST_P(PipelineSweep, HaggWithExtrasIncludingAvg) {
+  // Plain aggregates alongside the horizontal term: the fused pipeline
+  // decomposes avg into sum+count partials over FVh and must still match the
+  // materialized plan's direct kAvg, including its NULL semantics.
+  ExpectFusedMatchesMaterialized(
+      db_,
+      "SELECT d1, sum(a BY d2 DEFAULT 0), sum(a) AS s, count(*) AS n, "
+      "avg(a) AS m FROM f GROUP BY d1",
+      GetParam());
+}
+
+TEST_P(PipelineSweep, LargeInputIntMeasure) {
+  // 50k rows split into several adaptive morsels at dop=4; the INT64 measure
+  // keeps partial sums exact so the cross-shape comparison stays bitwise.
+  PctDatabase big;
+  ASSERT_TRUE(big.CreateTable("f", IntFact(50000, 11)).ok());
+  ExpectFusedMatchesMaterialized(
+      big,
+      "SELECT d1, d2, Vpct(a BY d2) AS pct, sum(a) AS s FROM f "
+      "GROUP BY d1, d2",
+      GetParam());
+  ExpectFusedMatchesMaterialized(
+      big, "SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1", GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dop, PipelineSweep, ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "dop" + std::to_string(info.param);
+                         });
+
+// --- SIMD vs scalar ----------------------------------------------------------
+
+class PipelineSimd : public ::testing::Test {
+ protected:
+  void TearDown() override { internal::ResetSimdEnabledForTest(); }
+};
+
+TEST_F(PipelineSimd, FusedAggregateMatchesScalarFallback) {
+  Table f = IntFact(20000, 23);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col("a"), "s"});
+  aggs.push_back({AggFunc::kCount, Col("a"), "n"});
+  ExprPtr where = Eq(Col("d3"), Lit(Value::Int64(1)));
+
+  internal::SetSimdEnabledForTest(true);
+  Result<Table> vec = FusedAggregate(f, where, {"d1", "d2"}, aggs, 4);
+  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+
+  internal::SetSimdEnabledForTest(false);
+  Result<Table> scalar = FusedAggregate(f, where, {"d1", "d2"}, aggs, 4);
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+
+  EXPECT_TRUE(BitIdentical(*vec, *scalar));
+}
+
+TEST_F(PipelineSimd, FusedAggregateMatchesFilterThenHashAggregate) {
+  Table f = IntFact(20000, 29);
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col("a"), "s"});
+  aggs.push_back({AggFunc::kCountStar, nullptr, "n"});
+  ExprPtr where = Gt(Col("a"), Lit(Value::Int64(40)));
+
+  Result<Table> fused = FusedAggregate(f, where, {"d1", "d2", "d3"}, aggs, 1);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+
+  Result<Table> filtered = Filter(f, where);
+  ASSERT_TRUE(filtered.ok());
+  Result<Table> reference =
+      HashAggregate(*filtered, {"d1", "d2", "d3"}, aggs, 1);
+  ASSERT_TRUE(reference.ok());
+
+  EXPECT_TRUE(BitIdentical(*fused, *reference));
+}
+
+TEST_F(PipelineSimd, PercentDivideMatchesScalarLoop) {
+  Rng rng(31);
+  Column num(DataType::kFloat64);
+  Column den(DataType::kFloat64);
+  for (size_t i = 0; i < 10000; ++i) {
+    if (rng.Uniform(20) == 0) {
+      num.AppendNull();
+    } else {
+      num.AppendFloat64(rng.NextDouble() * 50.0);
+    }
+    // Mix of NULL, zero and ordinary divisors: all three must agree.
+    uint64_t kind = rng.Uniform(10);
+    if (kind == 0) {
+      den.AppendNull();
+    } else if (kind == 1) {
+      den.AppendFloat64(0.0);
+    } else {
+      den.AppendFloat64(rng.NextDouble() * 100.0 + 1.0);
+    }
+  }
+
+  internal::SetSimdEnabledForTest(true);
+  Result<Column> vec = PercentDivideColumns(num, den);
+  ASSERT_TRUE(vec.ok());
+
+  internal::SetSimdEnabledForTest(false);
+  Result<Column> scalar = PercentDivideColumns(num, den);
+  ASSERT_TRUE(scalar.ok());
+
+  ASSERT_EQ(vec->size(), scalar->size());
+  for (size_t i = 0; i < vec->size(); ++i) {
+    Value a = vec->GetValue(i);
+    Value b = scalar->GetValue(i);
+    ASSERT_EQ(a.is_null(), b.is_null()) << "row " << i;
+    if (!a.is_null()) {
+      EXPECT_EQ(DoubleBits(a.AsDouble()), DoubleBits(b.AsDouble()))
+          << "row " << i;
+    }
+  }
+}
+
+TEST_F(PipelineSimd, EndToEndQueriesMatchWithSimdDisabled) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", IntFact(3000, 37)).ok());
+  internal::SetSimdEnabledForTest(false);
+  ExpectFusedMatchesMaterialized(
+      db, "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2", 4);
+  ExpectFusedMatchesMaterialized(
+      db, "SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1", 4);
+}
+
+// --- Dispatch, trace and fallback -------------------------------------------
+
+class PipelineDispatch : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("f", IntFact(1200, 41)).ok());
+  }
+  PctDatabase db_;
+};
+
+TEST_F(PipelineDispatch, FusedTraceShowsPipelineNodesAndCandidates) {
+  obs::QueryTrace trace;
+  QueryOptions options;
+  options.execution = ExecutionMode::kFused;
+  options.trace = &trace;
+  Result<Table> r = db_.Query(
+      "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2", options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  EXPECT_EQ(trace.query_class, "vertical-percentage");
+  EXPECT_EQ(trace.strategy, "fused-pipeline");
+  EXPECT_EQ(trace.strategy_source, "forced");
+  // All four materialized candidates plus the fused pipeline, exactly one
+  // chosen — and the chosen one is the fused entry.
+  ASSERT_EQ(trace.predicted_costs.size(), 5u);
+  int chosen = 0;
+  bool fused_chosen = false;
+  for (const auto& c : trace.predicted_costs) {
+    EXPECT_GT(c.cost, 0.0);
+    if (c.chosen) {
+      ++chosen;
+      fused_chosen = c.name == "fused-pipeline";
+    }
+  }
+  EXPECT_EQ(chosen, 1);
+  EXPECT_TRUE(fused_chosen);
+  // The plan tree is the fused node chain, with operator stats attached.
+  ASSERT_FALSE(trace.root().children.empty());
+  bool saw_fused_node = false;
+  for (const auto& child : trace.root().children) {
+    if (child->detail.find("fused") != std::string::npos) saw_fused_node = true;
+  }
+  EXPECT_TRUE(saw_fused_node);
+  EXPECT_GT(trace.ActualRowOps(), 0u);
+  EXPECT_DOUBLE_EQ(trace.actual_group_rows,
+                   static_cast<double>(r->num_rows()));
+}
+
+TEST_F(PipelineDispatch, ExplainAnalyzeRendersFusedTree) {
+  QueryOptions options;
+  options.execution = ExecutionMode::kFused;
+  Result<std::string> rendered = db_.ExplainAnalyze(
+      "SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1", options);
+  ASSERT_TRUE(rendered.ok()) << rendered.status().ToString();
+  EXPECT_NE(rendered->find("fused-pipeline"), std::string::npos);
+  EXPECT_NE(rendered->find("fused"), std::string::npos);
+  // Per-node operator stats made it into the render.
+  EXPECT_NE(rendered->find("rows_in="), std::string::npos);
+  EXPECT_NE(rendered->find("fused-pipeline="), std::string::npos);
+}
+
+TEST_F(PipelineDispatch, AdvisorPathListsFusedCandidateUnchosenOnSmallInput) {
+  // 1200 rows is far below kFusedMinRows, so kAuto keeps the materialized
+  // plan but the trace still prices the fused alternative.
+  obs::QueryTrace trace;
+  QueryOptions options;
+  options.trace = &trace;
+  ASSERT_TRUE(
+      db_.Query("SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2",
+                options)
+          .ok());
+  EXPECT_NE(trace.strategy, "fused-pipeline");
+  ASSERT_EQ(trace.predicted_costs.size(), 5u);
+  bool fused_listed = false;
+  for (const auto& c : trace.predicted_costs) {
+    if (c.name == "fused-pipeline") {
+      fused_listed = true;
+      EXPECT_FALSE(c.chosen);
+    }
+  }
+  EXPECT_TRUE(fused_listed);
+}
+
+TEST_F(PipelineDispatch, AutoPicksFusedAboveRowThreshold) {
+  PctDatabase big;
+  ASSERT_TRUE(big.CreateTable("f", IntFact(70000, 43)).ok());
+  obs::QueryTrace trace;
+  QueryOptions options;
+  options.trace = &trace;
+  Result<Table> r = big.Query(
+      "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2", options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(trace.strategy, "fused-pipeline");
+  EXPECT_EQ(trace.strategy_source, "advisor");
+}
+
+TEST_F(PipelineDispatch, ForcedFusedFallsBackOnUnsupportedShapes) {
+  // avg as the BY term has no distributive combine step over FVh partials;
+  // a global horizontal with WHERE has no fused shape either. Both must run
+  // and must not claim the fused strategy.
+  for (const char* sql :
+       {"SELECT d1, avg(a BY d2) FROM f GROUP BY d1",
+        "SELECT Hpct(a BY d2) FROM f WHERE d3 = 1"}) {
+    SCOPED_TRACE(sql);
+    obs::QueryTrace trace;
+    QueryOptions options;
+    options.execution = ExecutionMode::kFused;
+    options.trace = &trace;
+    Result<Table> r = db_.Query(sql, options);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_NE(trace.strategy, "fused-pipeline");
+    // Still bit-identical to the materialized run (trivially, it is one).
+    QueryOptions mat;
+    mat.execution = ExecutionMode::kMaterialized;
+    Result<Table> rm = db_.Query(sql, mat);
+    ASSERT_TRUE(rm.ok());
+    EXPECT_TRUE(BitIdentical(*r, *rm));
+  }
+}
+
+TEST_F(PipelineDispatch, ForcedMaterializedStrategyIsNeverFused) {
+  obs::QueryTrace trace;
+  QueryOptions options;
+  options.execution = ExecutionMode::kFused;  // loses to the explicit strategy
+  options.vpct_strategy = VpctStrategy{};
+  options.trace = &trace;
+  ASSERT_TRUE(
+      db_.Query("SELECT d1, Vpct(a BY d1) AS pct FROM f GROUP BY d1", options)
+          .ok());
+  EXPECT_NE(trace.strategy, "fused-pipeline");
+  EXPECT_EQ(trace.strategy_source, "forced");
+  // Forced-strategy traces keep exactly the four materialized candidates.
+  EXPECT_EQ(trace.predicted_costs.size(), 4u);
+}
+
+TEST_F(PipelineDispatch, FusedSharesSummaryCacheWithMaterialized) {
+  PctDatabase db;
+  ASSERT_TRUE(db.CreateTable("f", IntFact(2000, 47)).ok());
+  db.EnableSummaryCache(true);
+  const std::string sql =
+      "SELECT d1, d2, Vpct(a BY d2) AS pct FROM f GROUP BY d1, d2";
+
+  // Materialized run populates the Fk-level summary; the fused run keys the
+  // identical (table, group-by, rendered-aggs) entry and must hit it.
+  QueryOptions mat;
+  mat.execution = ExecutionMode::kMaterialized;
+  Result<Table> rm = db.Query(sql, mat);
+  ASSERT_TRUE(rm.ok()) << rm.status().ToString();
+  size_t hits_before = db.summaries().hits();
+
+  QueryOptions fused;
+  fused.execution = ExecutionMode::kFused;
+  Result<Table> rf = db.Query(sql, fused);
+  ASSERT_TRUE(rf.ok()) << rf.status().ToString();
+  EXPECT_GT(db.summaries().hits(), hits_before);
+  EXPECT_TRUE(BitIdentical(*rf, *rm));
+
+  // And a repeated fused run hits the entry it (or the first run) cached.
+  size_t hits_mid = db.summaries().hits();
+  ASSERT_TRUE(db.Query(sql, fused).ok());
+  EXPECT_GT(db.summaries().hits(), hits_mid);
+}
+
+// --- SET exec through the server session ------------------------------------
+
+TEST(PipelineSession, SetExecRoundTrips) {
+  Session s(1, 0);
+  Result<std::string> r = s.ApplySet("exec fused");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "exec = fused");
+  EXPECT_EQ(s.query_options().execution, ExecutionMode::kFused);
+
+  ASSERT_TRUE(s.ApplySet("exec materialized").ok());
+  EXPECT_EQ(s.query_options().execution, ExecutionMode::kMaterialized);
+
+  ASSERT_TRUE(s.ApplySet("exec default").ok());
+  EXPECT_EQ(s.query_options().execution, ExecutionMode::kAuto);
+  EXPECT_NE(s.Describe().find("exec = auto"), std::string::npos);
+
+  EXPECT_FALSE(s.ApplySet("exec bogus").ok());
+}
+
+}  // namespace
+}  // namespace pctagg
