@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Local dry-run of .github/workflows/ci.yml: runs each CI job's commands with
 # whatever toolchain this machine has, and *skips* (rather than fails) jobs
-# whose tools are missing — clang, ccache and clang-format are present on the
-# CI image but not necessarily here. Exit code is nonzero only when a job
-# that could run failed.
+# whose tools are missing — clang, ccache, clang-format and clang-tidy are
+# present on the CI image but not necessarily here. Exit code is nonzero only
+# when a job that could run failed.
 #
 # Usage: scripts/ci_dry_run.sh [--quick]
 #   --quick   gcc Release only (skip the Debug leg and the sanitizers)
@@ -45,7 +45,11 @@ build_and_test() {  # build_and_test <dir> <cc> <cxx> <build_type> [extra cmake 
   shift 4
   CC=$cc CXX=$cxx cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE="$type" "$@" &&
     cmake --build "$dir" -j"$JOBS" &&
-    ctest --test-dir "$dir" -j"$JOBS" --output-on-failure
+    ctest --test-dir "$dir" -j"$JOBS" --timeout 300 --output-on-failure
+  local rc=$?
+  # Mirror the CI jobs' trailing ccache-stats step (informational only).
+  have ccache && ccache -s
+  return $rc
 }
 
 # --- build-test matrix -------------------------------------------------------
@@ -72,8 +76,8 @@ if [ "$QUICK" = 0 ]; then
   if CC=gcc CXX=g++ cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
        -DPCTAGG_SANITIZE=thread &&
      cmake --build build-ci-tsan -j"$JOBS" &&
-     ctest --test-dir build-ci-tsan --output-on-failure \
-       -R "server_smoke_tsan|parallel_ops_tsan|MetricsTest|MetricsRegistryTest"; then
+     ctest --test-dir build-ci-tsan --timeout 600 --output-on-failure \
+       -R "server_smoke_tsan|parallel_ops_tsan|lattice_tsan|MetricsTest|MetricsRegistryTest"; then
     echo "[TSan] OK"
   else
     echo "[TSan] FAILED"
@@ -83,35 +87,38 @@ else
   skip_job "sanitizers" "--quick"
 fi
 
-# --- bench smoke -------------------------------------------------------------
-note "bench smoke"
-if cmake --build build-ci-gcc-release -j"$JOBS" --target bench_parallel_scaling pctagg_shell &&
-   python3 scripts/bench_smoke.py \
-     --binary build-ci-gcc-release/bench/bench_parallel_scaling \
-     --baseline BENCH_parallel.json --out bench-artifacts \
-     --max-regression-pct 25 &&
-   printf '.gen sales sales 100000\nEXPLAIN ANALYZE SELECT state, Vpct(salesAmt BY state) FROM sales GROUP BY state;\nEXPLAIN ANALYZE SELECT state, Hpct(salesAmt BY dweek) FROM sales GROUP BY state;\n.quit\n' \
-     | build-ci-gcc-release/tools/pctagg_shell > bench-artifacts/explain_analyze_samples.txt; then
-  echo "[bench smoke] OK (artifacts in bench-artifacts/)"
-else
-  echo "[bench smoke] FAILED"
-  FAILED+=("bench smoke")
-fi
+# --- bench smoke matrix ------------------------------------------------------
+# Same bench/baseline/env-prefix rows as the bench-smoke matrix in ci.yml.
+bench_smoke() {  # bench_smoke <binary> <baseline> <env_prefix>
+  cmake --build build-ci-gcc-release -j"$JOBS" --target "$1" &&
+    python3 scripts/bench_smoke.py \
+      --binary "build-ci-gcc-release/bench/$1" \
+      --baseline "$2" \
+      --env-prefix "$3" \
+      --json-name "$2" \
+      --out bench-artifacts \
+      --max-regression-pct 25
+}
 
-# --- persistence bench smoke -------------------------------------------------
-note "persistence bench smoke"
-if cmake --build build-ci-gcc-release -j"$JOBS" --target bench_persistence &&
-   python3 scripts/bench_smoke.py \
-     --binary build-ci-gcc-release/bench/bench_persistence \
-     --baseline BENCH_persistence.json \
-     --env-prefix PCTAGG_PERSISTENCE \
-     --json-name BENCH_persistence.json \
-     --out bench-artifacts \
-     --max-regression-pct 25; then
-  echo "[persistence bench smoke] OK"
+run_job "bench smoke (parallel)" bench_smoke bench_parallel_scaling BENCH_parallel.json PCTAGG_PARALLEL_BENCH
+run_job "bench smoke (dictionary)" bench_smoke bench_dictionary BENCH_dictionary.json PCTAGG_DICT_BENCH
+run_job "bench smoke (append)" bench_smoke bench_append_delta BENCH_append.json PCTAGG_APPEND_BENCH
+run_job "bench smoke (fused)" bench_smoke bench_fused BENCH_fused.json PCTAGG_FUSED_BENCH
+run_job "bench smoke (persistence)" bench_smoke bench_persistence BENCH_persistence.json PCTAGG_PERSISTENCE
+run_job "bench smoke (lattice)" bench_smoke bench_lattice BENCH_lattice.json PCTAGG_LATTICE_BENCH
+
+# --- EXPLAIN ANALYZE samples -------------------------------------------------
+note "EXPLAIN ANALYZE samples"
+if cmake --build build-ci-gcc-release -j"$JOBS" --target pctagg_shell &&
+   mkdir -p bench-artifacts &&
+   printf '.gen sales sales 100000\nEXPLAIN ANALYZE SELECT state, Vpct(salesAmt BY state) FROM sales GROUP BY state;\nEXPLAIN ANALYZE SELECT state, Hpct(salesAmt BY dweek) FROM sales GROUP BY state;\nEXPLAIN ANALYZE SELECT monthNo, dweek, store, Vpct(salesAmt BY dweek) AS pct, sum(salesAmt) AS s FROM sales GROUP BY CUBE(monthNo, dweek, store);\n.quit\n' \
+     | build-ci-gcc-release/tools/pctagg_shell > bench-artifacts/explain_analyze_samples.txt &&
+   [ "$(grep -c 'fused-scan:' bench-artifacts/explain_analyze_samples.txt)" -eq 1 ] &&
+   [ "$(grep -c 'lattice-rollup:' bench-artifacts/explain_analyze_samples.txt)" -eq 7 ]; then
+  echo "[explain samples] OK (one fused scan feeds all 7 rollup levels)"
 else
-  echo "[persistence bench smoke] FAILED"
-  FAILED+=("persistence bench smoke")
+  echo "[explain samples] FAILED"
+  FAILED+=("explain samples")
 fi
 
 # --- recovery smoke ----------------------------------------------------------
@@ -138,6 +145,27 @@ if have clang-format; then
   fi
 else
   skip_job "clang-format" "clang-format not installed"
+fi
+
+# --- clang-tidy --------------------------------------------------------------
+# Mirrors the tidy job: diff-only over changed sources, curated checks from
+# the repo-root .clang-tidy with WarningsAsErrors, against the Release
+# compile commands.
+if have clang-tidy; then
+  note "clang-tidy (changed files vs HEAD~1)"
+  files=$(git diff --name-only --diff-filter=d HEAD~1 -- \
+    'src/*.cc' 'tests/*.cc' 'bench/*.cc')
+  if [ -z "$files" ]; then
+    echo "no C++ sources changed"
+  elif cmake -B build-ci-gcc-release -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null &&
+       echo "$files" | xargs clang-tidy -p build-ci-gcc-release --quiet; then
+    echo "[tidy] OK"
+  else
+    echo "[tidy] FAILED"
+    FAILED+=("tidy")
+  fi
+else
+  skip_job "clang-tidy" "clang-tidy not installed"
 fi
 
 # --- cmake lint --------------------------------------------------------------

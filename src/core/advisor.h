@@ -55,6 +55,14 @@ class StrategyAdvisor {
   bool AdviseHorizontalFused(const Table& fact, const AnalyzedQuery& query,
                              size_t dop = 1) const;
 
+  // Grouping-set lattices (core/lattice_plan.h): true when the shared-scan
+  // rollup should beat recomputing every level from the fact table. Shared
+  // is the safe default — it only loses when the finest level is nearly as
+  // large as the fact table (rollups then rescan ~n rows while writing far
+  // fewer useful partials) — so estimation failure returns true.
+  bool AdviseLatticeShared(const Table& fact, const AnalyzedQuery& query,
+                           size_t dop = 1) const;
+
   // Estimated number of distinct values in `column` over a bounded prefix
   // sample of `fact` (exact when the table is smaller than the sample).
   Result<size_t> EstimateCardinality(const Table& fact,

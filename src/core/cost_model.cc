@@ -189,6 +189,67 @@ double CostModel::FusedHorizontalCost(const FactStats& stats) const {
   return cost;
 }
 
+double CostModel::LatticeSharedCost(
+    const FactStats& stats, const std::vector<double>& level_rows) const {
+  const double n = stats.rows;
+  const double dop = std::max(1.0, stats.dop);
+  const double finest =
+      level_rows.empty() ? stats.group_cardinality : level_rows[0];
+  // The one fused scan of F into the finest level's partials.
+  double cost = n * params_.scan / dop + finest * params_.write +
+                params_.statement;
+  // Every coarser level re-aggregates cached partials. The executor rolls up
+  // from the smallest subsuming ancestor; pricing every rollup against the
+  // finest level keeps this a (cheap-to-compute) upper bound.
+  for (size_t i = 1; i < level_rows.size(); ++i) {
+    cost += finest * params_.scan / dop + level_rows[i] * params_.write +
+            params_.statement;
+  }
+  return cost;
+}
+
+double CostModel::LatticePerLevelCost(
+    const FactStats& stats, const std::vector<double>& level_rows) const {
+  const double n = stats.rows;
+  const double dop = std::max(1.0, stats.dop);
+  double cost = 0;
+  for (double rows : level_rows) {
+    cost += n * params_.scan / dop + rows * params_.write + params_.statement;
+  }
+  return cost;
+}
+
+Result<std::vector<double>> CostModel::EstimateLatticeLevelRows(
+    const Table& fact, const AnalyzedQuery& query) const {
+  std::vector<std::string> by;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.func != TermFunc::kScalar && t.func != TermFunc::kGrouping &&
+        t.func != TermFunc::kVpct && t.has_by) {
+      by = t.by_columns;
+      break;
+    }
+  }
+  std::vector<double> rows;
+  rows.reserve(query.grouping_sets.size() + 1);
+  bool has_finest = false;
+  for (const std::vector<std::string>& level : query.grouping_sets) {
+    std::vector<std::string> cols = level;
+    cols.insert(cols.end(), by.begin(), by.end());
+    PCTAGG_ASSIGN_OR_RETURN(double card, ComboCardinality(fact, cols));
+    rows.push_back(card);
+    has_finest = has_finest || level.size() == query.group_by.size();
+  }
+  if (!has_finest) {
+    std::vector<std::string> cols = query.group_by;
+    cols.insert(cols.end(), by.begin(), by.end());
+    PCTAGG_ASSIGN_OR_RETURN(double card, ComboCardinality(fact, cols));
+    rows.push_back(card);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](double a, double b) { return a > b; });
+  return rows;
+}
+
 double CostModel::DeltaMergeCost(double delta_rows, double summary_rows,
                                  double dop) const {
   dop = std::max(1.0, dop);

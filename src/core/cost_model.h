@@ -97,6 +97,27 @@ class CostModel {
   double FusedVpctCost(const FactStats& stats) const;
   double FusedHorizontalCost(const FactStats& stats) const;
 
+  // Grouping-set lattices (core/lattice_plan.h). `level_rows` is the
+  // estimated result cardinality of each lattice level, sorted descending
+  // with the finest level first (the shape EstimateLatticeLevelRows
+  // returns). Shared-scan: one fused pass of F builds the finest level, and
+  // every coarser level re-aggregates at most |finest| cached partial rows.
+  // Per-level: every level pays its own full scan of F — the n·scan term
+  // multiplies by the level count, which is why shared wins whenever
+  // |finest| << n.
+  double LatticeSharedCost(const FactStats& stats,
+                           const std::vector<double>& level_rows) const;
+  double LatticePerLevelCost(const FactStats& stats,
+                             const std::vector<double>& level_rows) const;
+
+  // Estimated result cardinality of every lattice level of `query`
+  // (grouping sets already expanded by the analyzer), sorted descending with
+  // the finest level first; includes the synthetic finest level when the
+  // union itself was not requested. For horizontal queries the single BY
+  // term's columns join every level (the lattice aggregates at level ∪ BY).
+  Result<std::vector<double>> EstimateLatticeLevelRows(
+      const Table& fact, const AnalyzedQuery& query) const;
+
   // Minimum-cost strategies according to the model.
   VpctStrategy PickVpct(const FactStats& stats) const;
   HorizontalStrategy PickHorizontal(const FactStats& stats) const;

@@ -5,6 +5,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/cost_model.h"
+#include "core/lattice_plan.h"
 #include "core/olap_planner.h"
 #include "core/pipeline_plan.h"
 #include "engine/aggregate.h"
@@ -219,6 +220,31 @@ void FillHorizontalTrace(obs::QueryTrace* trace, const Table& fact,
   }
 }
 
+// Planning metadata for a grouping-set lattice query: the executed mode,
+// both candidates priced by the model, predicted finest-level cardinality.
+void FillLatticeTrace(obs::QueryTrace* trace, const Table& fact,
+                      const AnalyzedQuery& query, bool shared, bool forced,
+                      size_t dop) {
+  trace->strategy = shared ? "lattice-shared" : "lattice-per-level";
+  trace->strategy_source = forced ? "forced" : "advisor";
+  CostModel model;
+  Result<std::vector<double>> level_rows =
+      model.EstimateLatticeLevelRows(fact, query);
+  Result<FactStats> stats =
+      model.EstimateStats(fact, query.group_by, /*totals_by=*/{}, /*by=*/{});
+  if (!level_rows.ok() || !stats.ok()) return;
+  FactStats s = stats.value();
+  s.dop = static_cast<double>(dop < 1 ? 1 : dop);
+  trace->predicted_group_rows =
+      level_rows.value().empty() ? s.group_cardinality : level_rows.value()[0];
+  trace->predicted_costs.push_back(
+      {"lattice-shared", model.LatticeSharedCost(s, level_rows.value()),
+       shared});
+  trace->predicted_costs.push_back(
+      {"lattice-per-level", model.LatticePerLevelCost(s, level_rows.value()),
+       !shared});
+}
+
 // Append-path delta-maintenance counters (process-wide, like the summary
 // cache's own counters in core/summary_cache.cc).
 obs::Counter& DeltaMergeCounter() {
@@ -342,6 +368,34 @@ Result<Table> PctDatabase::Query(const std::string& sql,
   obs::QueryTrace* trace = options.trace;
   if (trace != nullptr) {
     trace->query_class = QueryClassName(query.query_class);
+  }
+  // Grouping-set lattice: the shared-scan/per-level executor is the only
+  // evaluator for CUBE/ROLLUP/GROUPING SETS, across every query class.
+  if (query.has_grouping_sets) {
+    PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
+                            catalog_.GetTable(query.table_name));
+    std::string why;
+    if (!LatticeSupported(query, &why)) {
+      return Status::InvalidArgument("grouping sets: " + why);
+    }
+    const bool forced = options.lattice != LatticeMode::kAuto;
+    const bool shared = forced ? options.lattice == LatticeMode::kShared
+                               : advisor_.AdviseLatticeShared(*fact, query,
+                                                              dop);
+    if (trace != nullptr) {
+      FillLatticeTrace(trace, *fact, query, shared, forced, dop);
+    }
+    PCTAGG_ASSIGN_OR_RETURN(
+        Table out,
+        ExecuteLatticeQuery(query, *fact, use_cache ? &summaries_ : nullptr,
+                            trace, dop, shared));
+    if (trace != nullptr) {
+      const obs::TraceNode* agg = FindFirstAggregateOp(trace->root());
+      if (agg != nullptr) {
+        trace->actual_group_rows = static_cast<double>(agg->stats.rows_out);
+      }
+    }
+    return ApplyTail(std::move(out), query);
   }
   switch (query.query_class) {
     case QueryClass::kProjection:
@@ -494,6 +548,11 @@ Result<std::string> PctDatabase::ExplainAnalyze(
 Result<Table> PctDatabase::QueryVpct(const std::string& sql,
                                      const VpctStrategy& strategy) const {
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
+  if (query.has_grouping_sets) {
+    return Status::InvalidArgument(
+        "forced-strategy evaluation does not support grouping sets; use "
+        "Query()");
+  }
   PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanVpctQuery(query, strategy));
   return RunPlan(plan, query, summary_cache_enabled_);
 }
@@ -501,12 +560,21 @@ Result<Table> PctDatabase::QueryVpct(const std::string& sql,
 Result<Table> PctDatabase::QueryHorizontal(
     const std::string& sql, const HorizontalStrategy& strategy) const {
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
+  if (query.has_grouping_sets) {
+    return Status::InvalidArgument(
+        "forced-strategy evaluation does not support grouping sets; use "
+        "Query()");
+  }
   PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanHorizontalQuery(query, strategy));
   return RunPlan(plan, query, summary_cache_enabled_);
 }
 
 Result<Table> PctDatabase::QueryOlapBaseline(const std::string& sql) const {
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
+  if (query.has_grouping_sets) {
+    return Status::InvalidArgument(
+        "the OLAP baseline does not support grouping sets; use Query()");
+  }
   PCTAGG_ASSIGN_OR_RETURN(Plan plan, PlanOlapPercentageQuery(query));
   return RunPlan(plan, query, summary_cache_enabled_);
 }
@@ -796,6 +864,14 @@ Result<std::string> PctDatabase::Explain(const std::string& sql) const {
   PCTAGG_ASSIGN_OR_RETURN(AnalyzedQuery query, Prepare(sql));
   PCTAGG_ASSIGN_OR_RETURN(const Table* fact,
                           catalog_.GetTable(query.table_name));
+  if (query.has_grouping_sets) {
+    std::string why;
+    if (!LatticeSupported(query, &why)) {
+      return Status::InvalidArgument("grouping sets: " + why);
+    }
+    return RenderLatticeScript(query,
+                               advisor_.AdviseLatticeShared(*fact, query));
+  }
   switch (query.query_class) {
     case QueryClass::kVpct: {
       VpctStrategy strategy = advisor_.AdviseVpct(*fact, query);

@@ -36,6 +36,17 @@ enum class ExecutionMode {
   kMaterialized,
 };
 
+// How grouping-set queries (GROUP BY CUBE/ROLLUP/GROUPING SETS) evaluate
+// their lattice (core/lattice_plan.h; SET lattice in sessions). kShared
+// computes the finest level with one fused scan and rolls every coarser
+// level up from cached partials; kPerLevel recomputes each level from the
+// fact table; kAuto asks the StrategyAdvisor.
+enum class LatticeMode {
+  kAuto,
+  kShared,
+  kPerLevel,
+};
+
 // Per-call overrides for PctDatabase::Query. Server sessions carry one of
 // these so concurrent callers can force strategies or toggle the summary
 // cache without mutating shared database state.
@@ -50,6 +61,8 @@ struct QueryOptions {
   bool olap_baseline = false;
   // Fused-pipeline dispatch (see ExecutionMode above; SET exec in sessions).
   ExecutionMode execution = ExecutionMode::kAuto;
+  // Grouping-set lattice strategy (see LatticeMode above; SET lattice).
+  LatticeMode lattice = LatticeMode::kAuto;
   // Degree of parallelism for the engine's morsel-driven operator kernels
   // (aggregate, pivot, join probe, window). 1 = serial (default), 0 = auto
   // (the shared worker pool's size), n = use up to n workers. Results are

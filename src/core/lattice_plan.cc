@@ -1,0 +1,828 @@
+#include "core/lattice_plan.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include "common/string_util.h"
+#include "engine/aggregate.h"
+#include "engine/expression.h"
+#include "engine/join.h"
+#include "engine/pipeline.h"
+#include "engine/pivot.h"
+#include "engine/table_ops.h"
+
+namespace pctagg {
+
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+// Maps a non-percentage SELECT term onto the engine aggregate (same table as
+// the materialized planners and the fused pipelines).
+Result<AggFunc> TermAggFunc(TermFunc func) {
+  switch (func) {
+    case TermFunc::kSum:
+      return AggFunc::kSum;
+    case TermFunc::kCount:
+      return AggFunc::kCount;
+    case TermFunc::kCountStar:
+      return AggFunc::kCountStar;
+    case TermFunc::kAvg:
+      return AggFunc::kAvg;
+    case TermFunc::kMin:
+      return AggFunc::kMin;
+    case TermFunc::kMax:
+      return AggFunc::kMax;
+    default:
+      return Status::Internal("not a vertical aggregate term");
+  }
+}
+
+// Same rendering as the fused pipeline / AddCacheableAggregateStep, so a
+// lattice level and a plain GROUP BY of the same shape share one summary
+// cache entry.
+std::string RenderAggs(const std::vector<AggSpec>& aggs) {
+  std::vector<std::string> rendered;
+  rendered.reserve(aggs.size());
+  for (const AggSpec& a : aggs) {
+    std::string arg = a.func == AggFunc::kCountStar ? "*" : a.input->ToString();
+    rendered.push_back(std::string(AggFuncName(a.func)) + "(" + arg + ") AS " +
+                       a.output_name);
+  }
+  return Join(rendered, ",");
+}
+
+// SQL-ish description of one lattice stage for EXPLAIN ANALYZE.
+std::string RenderStage(const std::string& what,
+                        const std::vector<std::string>& group_by,
+                        const std::vector<AggSpec>& aggs,
+                        const std::string& from, const ExprPtr& where) {
+  std::vector<std::string> cols = group_by;
+  for (const AggSpec& a : aggs) {
+    std::string arg = a.func == AggFunc::kCountStar ? "*" : a.input->ToString();
+    cols.push_back(std::string(AggFuncName(a.func)) + "(" + arg + ") AS " +
+                   a.output_name);
+  }
+  std::string sql = what + " SELECT " + Join(cols, ", ") + " FROM " + from;
+  if (where != nullptr) sql += " WHERE " + where->ToString();
+  if (!group_by.empty()) sql += " GROUP BY " + Join(group_by, ", ");
+  return sql;
+}
+
+Result<size_t> ColIndex(const Table& t, const std::string& name) {
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    if (EqualsIgnoreCase(t.schema().column(c).name, name)) return c;
+  }
+  return Status::Internal("lattice plan lost column: " + name);
+}
+
+bool ContainsColumn(const std::vector<std::string>& cols,
+                    const std::string& name) {
+  for (const std::string& c : cols) {
+    if (EqualsIgnoreCase(c, name)) return true;
+  }
+  return false;
+}
+
+bool Subsumes(const std::vector<std::string>& outer,
+              const std::vector<std::string>& inner) {
+  for (const std::string& i : inner) {
+    if (!ContainsColumn(outer, i)) return false;
+  }
+  return true;
+}
+
+std::string LevelName(const std::vector<std::string>& cols) {
+  return "(" + Join(cols, ", ") + ")";
+}
+
+// One deduplicated distributive partial carried through every lattice level:
+// the finest-level aggregate over the fact table plus the re-aggregation that
+// rolls its column up to a coarser level.
+struct Partial {
+  AggSpec spec;
+  AggFunc combine;
+  bool count_typed;  // the empty-source () rollup patches NULL back to 0
+};
+
+// Builds the partial list, deduplicating by (func, argument) so e.g.
+// Vpct(x BY a) and Vpct(x BY b) — or Hpct(x BY d) and sum(x) — share one sum
+// partial. avg is never added directly; callers decompose it into sum+count,
+// which keeps every partial distributive and the cache recipes mergeable.
+class PartialSet {
+ public:
+  size_t Add(AggFunc func, const ExprPtr& argument) {
+    std::string key =
+        std::string(AggFuncName(func)) + "(" +
+        (func == AggFunc::kCountStar ? "*" : argument->ToString()) + ")";
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    Partial p;
+    p.spec = {func, argument, "__l" + std::to_string(partials_.size() + 1)};
+    p.count_typed = func == AggFunc::kCount || func == AggFunc::kCountStar;
+    p.combine = func == AggFunc::kMin   ? AggFunc::kMin
+                : func == AggFunc::kMax ? AggFunc::kMax
+                                        : AggFunc::kSum;
+    index_[key] = partials_.size();
+    partials_.push_back(std::move(p));
+    return partials_.size() - 1;
+  }
+
+  const std::vector<Partial>& partials() const { return partials_; }
+  const std::string& name(size_t i) const {
+    return partials_[i].spec.output_name;
+  }
+
+  std::vector<AggSpec> Specs() const {
+    std::vector<AggSpec> out;
+    out.reserve(partials_.size());
+    for (const Partial& p : partials_) out.push_back(p.spec);
+    return out;
+  }
+
+  // The rollup aggregates: each partial column re-aggregated under its own
+  // name, so every level's table has an identical schema.
+  std::vector<AggSpec> CombineSpecs() const {
+    std::vector<AggSpec> out;
+    out.reserve(partials_.size());
+    for (const Partial& p : partials_) {
+      out.push_back({p.combine, Col(p.spec.output_name), p.spec.output_name});
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Partial> partials_;
+  std::map<std::string, size_t> index_;
+};
+
+// Which partials a vertical/Vpct SELECT term reads at assembly time.
+struct TermPlan {
+  size_t main = kNone;
+  size_t count = kNone;  // avg only
+};
+
+Status BuildVerticalPartials(const AnalyzedQuery& query, PartialSet* pset,
+                             std::vector<TermPlan>* plans) {
+  plans->assign(query.terms.size(), TermPlan{});
+  for (size_t i = 0; i < query.terms.size(); ++i) {
+    const AnalyzedTerm& t = query.terms[i];
+    TermPlan& p = (*plans)[i];
+    switch (t.func) {
+      case TermFunc::kScalar:
+      case TermFunc::kGrouping:
+        break;
+      case TermFunc::kVpct:
+        p.main = pset->Add(AggFunc::kSum, t.argument);
+        break;
+      case TermFunc::kAvg:
+        p.main = pset->Add(AggFunc::kSum, t.argument);
+        p.count = pset->Add(AggFunc::kCount, t.argument);
+        break;
+      default: {
+        PCTAGG_ASSIGN_OR_RETURN(AggFunc func, TermAggFunc(t.func));
+        p.main = pset->Add(func, t.argument);
+        break;
+      }
+    }
+  }
+  // A pure grouping query (scalars + GROUPING() only) still needs one
+  // concrete column per level so the () level materializes its single row.
+  if (pset->partials().empty()) pset->Add(AggFunc::kCountStar, nullptr);
+  return Status::OK();
+}
+
+// The single BY term, its pivot shape, and the extra vertical aggregates of
+// a horizontal lattice query.
+struct HorizontalPlan {
+  const AnalyzedTerm* hterm = nullptr;
+  bool is_pct = false;
+  size_t main = kNone;
+  AggFunc pivot_func = AggFunc::kSum;
+  struct Extra {
+    const AnalyzedTerm* term;
+    AggFunc func;
+    size_t main = kNone;
+    size_t count = kNone;  // avg only
+  };
+  std::vector<Extra> extras;
+};
+
+Status BuildHorizontalPartials(const AnalyzedQuery& query, PartialSet* pset,
+                               HorizontalPlan* plan) {
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.func != TermFunc::kScalar && t.func != TermFunc::kGrouping &&
+        t.has_by) {
+      plan->hterm = &t;
+      break;
+    }
+  }
+  if (plan->hterm == nullptr) {
+    return Status::Internal("horizontal lattice without a BY term");
+  }
+  plan->is_pct = plan->hterm->func == TermFunc::kHpct;
+  AggFunc direct = AggFunc::kSum;
+  if (!plan->is_pct) {
+    PCTAGG_ASSIGN_OR_RETURN(direct, TermAggFunc(plan->hterm->func));
+  }
+  plan->main = pset->Add(plan->is_pct ? AggFunc::kSum : direct,
+                         plan->hterm->argument);
+  // For Hpct the group total is the sum of the partial sums, so
+  // percent-of-group-total over partials equals the direct computation.
+  plan->pivot_func =
+      plan->is_pct ? AggFunc::kSum : pset->partials()[plan->main].combine;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.func == TermFunc::kScalar || t.func == TermFunc::kGrouping ||
+        t.has_by) {
+      continue;
+    }
+    HorizontalPlan::Extra e;
+    e.term = &t;
+    PCTAGG_ASSIGN_OR_RETURN(e.func, TermAggFunc(t.func));
+    if (e.func == AggFunc::kAvg) {
+      e.main = pset->Add(AggFunc::kSum, t.argument);
+      e.count = pset->Add(AggFunc::kCount, t.argument);
+    } else {
+      e.main = pset->Add(e.func, t.argument);
+    }
+    plan->extras.push_back(e);
+  }
+  return Status::OK();
+}
+
+// One computed lattice level: its aggregation columns (grouping-set columns,
+// plus the BY columns for horizontal queries) and the partial table.
+struct LatticeLevel {
+  std::vector<std::string> cols;
+  std::shared_ptr<const Table> table;
+};
+
+// Computes every level's partial table, finest (widest) first. In shared-scan
+// mode only the finest level touches the fact table (one fused pass); every
+// coarser level re-aggregates the smallest already-computed ancestor. In
+// per-level mode each level runs its own fused scan — both modes produce the
+// same tables bit for bit on integer measures, so they share cache entries.
+// Each level is looked up in / inserted into the summary cache under its own
+// mergeable recipe (unfiltered scans of the base table only).
+Result<std::vector<LatticeLevel>> ComputeLevels(
+    const AnalyzedQuery& query, const Table& fact,
+    const std::vector<std::vector<std::string>>& level_cols,
+    const PartialSet& pset, SummaryCache* summaries, obs::QueryTrace* trace,
+    size_t dop, bool shared_scan) {
+  const std::vector<AggSpec> specs = pset.Specs();
+  const std::vector<AggSpec> combine = pset.CombineSpecs();
+  const std::string rendered = RenderAggs(specs);
+  const bool cacheable = query.where == nullptr && summaries != nullptr;
+
+  std::vector<LatticeLevel> out(level_cols.size());
+  std::vector<size_t> order(level_cols.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&level_cols](size_t a, size_t b) {
+                     return level_cols[a].size() > level_cols[b].size();
+                   });
+
+  for (size_t oi = 0; oi < order.size(); ++oi) {
+    const size_t li = order[oi];
+    const std::vector<std::string>& cols = level_cols[li];
+    out[li].cols = cols;
+
+    std::string cache_key;
+    uint64_t generation = 0;
+    std::shared_ptr<const Table> cached;
+    if (cacheable) {
+      cache_key = SummaryCache::KeyFor(query.table_name, cols, rendered);
+      cached = summaries->Lookup(cache_key);
+      if (cached == nullptr) {
+        generation = summaries->GenerationFor(query.table_name);
+      }
+    }
+
+    const bool fused_path = !shared_scan || oi == 0;
+    const LatticeLevel* src = nullptr;
+    if (!fused_path) {
+      for (size_t pj = 0; pj < oi; ++pj) {
+        const LatticeLevel& cand = out[order[pj]];
+        if (!Subsumes(cand.cols, cols)) continue;
+        if (src == nullptr || cand.table->num_rows() < src->table->num_rows()) {
+          src = &cand;
+        }
+      }
+      if (src == nullptr) {
+        return Status::Internal("lattice rollup has no source level");
+      }
+    }
+
+    obs::TraceNode* node = nullptr;
+    if (trace != nullptr) {
+      std::string detail =
+          fused_path ? RenderStage("fused-scan:", cols, specs,
+                                   query.table_name, query.where)
+                     : "lattice-rollup: level " + LevelName(cols) + " from " +
+                           LevelName(src->cols);
+      node = trace->root().AddChild(fused_path ? "fused" : "lattice", detail);
+    }
+    obs::ScopedTraceNode scope(node);
+    if (cached != nullptr) {
+      obs::MarkCacheHit();
+      out[li].table = std::move(cached);
+      continue;
+    }
+
+    Table t;
+    if (fused_path) {
+      PCTAGG_ASSIGN_OR_RETURN(
+          t, FusedAggregate(fact, query.where, cols, specs, dop));
+    } else {
+      PCTAGG_ASSIGN_OR_RETURN(t,
+                              HashAggregate(*src->table, cols, combine, dop));
+      if (cols.empty() && src->table->num_rows() == 0) {
+        // Rolling up zero groups leaves the global row's count partials NULL
+        // where a direct scan of the empty fact emits 0; patch them so both
+        // lattice modes agree bit for bit.
+        for (size_t a = 0; a < combine.size(); ++a) {
+          if (!pset.partials()[a].count_typed || !t.column(a).IsNull(0)) {
+            continue;
+          }
+          PCTAGG_RETURN_IF_ERROR(
+              t.mutable_column(a).SetValue(0, Value::Int64(0)));
+        }
+      }
+    }
+    if (!cache_key.empty()) {
+      SummaryRecipe recipe{cols, specs};
+      summaries->Insert(cache_key, t, generation, &recipe);
+    }
+    out[li].table = std::make_shared<Table>(std::move(t));
+  }
+  return out;
+}
+
+// Vertical/Vpct assembly: one block per emitted level with the full
+// SELECT-order schema (grouping columns the level rolled away become NULL,
+// GROUPING() becomes its 0/1 id, Vpct divides against the level's own
+// totals), concatenated in statement order.
+Result<Table> AssembleVertical(const AnalyzedQuery& query,
+                               const std::vector<LatticeLevel>& levels,
+                               size_t emitted_count,
+                               const std::vector<TermPlan>& plans,
+                               const PartialSet& pset, size_t dop,
+                               obs::QueryTrace* trace) {
+  obs::TraceNode* node =
+      trace != nullptr
+          ? trace->root().AddChild(
+                "lattice",
+                StrFormat("lattice-assemble: %zu level(s), SELECT-order "
+                          "blocks + GROUPING ids",
+                          emitted_count))
+          : nullptr;
+  obs::ScopedTraceNode scope(node);
+  obs::OpScope op("assemble");
+  Table out;
+  for (size_t li = 0; li < emitted_count; ++li) {
+    const LatticeLevel& level = levels[li];
+    const Table& t = *level.table;
+    Table block;
+    for (size_t ti = 0; ti < query.terms.size(); ++ti) {
+      const AnalyzedTerm& term = query.terms[ti];
+      const TermPlan& plan = plans[ti];
+      switch (term.func) {
+        case TermFunc::kScalar: {
+          if (ContainsColumn(level.cols, term.scalar_column)) {
+            PCTAGG_ASSIGN_OR_RETURN(size_t c,
+                                    ColIndex(t, term.scalar_column));
+            PCTAGG_RETURN_IF_ERROR(block.AddColumn(
+                {term.output_name, t.schema().column(c).type}, t.column(c)));
+          } else {
+            PCTAGG_ASSIGN_OR_RETURN(size_t fc,
+                                    query.schema.FindColumn(term.scalar_column));
+            Column nulls(query.schema.column(fc).type);
+            nulls.Reserve(t.num_rows());
+            for (size_t r = 0; r < t.num_rows(); ++r) nulls.AppendNull();
+            PCTAGG_RETURN_IF_ERROR(block.AddColumn(
+                {term.output_name, nulls.type()}, std::move(nulls)));
+          }
+          break;
+        }
+        case TermFunc::kGrouping: {
+          const int64_t id =
+              ContainsColumn(level.cols, term.scalar_column) ? 0 : 1;
+          Column g(DataType::kInt64);
+          g.Reserve(t.num_rows());
+          for (size_t r = 0; r < t.num_rows(); ++r) g.AppendInt64(id);
+          PCTAGG_RETURN_IF_ERROR(block.AddColumn(
+              {term.output_name, DataType::kInt64}, std::move(g)));
+          break;
+        }
+        case TermFunc::kVpct: {
+          // The level's own totals: its columns minus BY (grand total when
+          // empty), matching the analyzer's totals_by reading per level.
+          const std::string& sum_col = pset.name(plan.main);
+          PCTAGG_ASSIGN_OR_RETURN(size_t sc, ColIndex(t, sum_col));
+          std::vector<std::string> totals_by;
+          if (term.has_by) {
+            for (const std::string& c : level.cols) {
+              if (!ContainsColumn(term.by_columns, c)) totals_by.push_back(c);
+            }
+          }
+          std::vector<AggSpec> tot_aggs = {
+              {AggFunc::kSum, Col(sum_col), "__tot"}};
+          PCTAGG_ASSIGN_OR_RETURN(Table tot,
+                                  HashAggregate(t, totals_by, tot_aggs, dop));
+          Column cell(DataType::kFloat64);
+          if (totals_by.empty()) {
+            if (tot.num_rows() != 1) {
+              return Status::Internal(
+                  "lattice grand-total table must have exactly one row");
+            }
+            PCTAGG_ASSIGN_OR_RETURN(size_t tc, ColIndex(tot, "__tot"));
+            PCTAGG_ASSIGN_OR_RETURN(
+                cell,
+                PercentDivideScalar(t.column(sc), tot.column(tc).GetValue(0)));
+          } else {
+            PCTAGG_ASSIGN_OR_RETURN(
+                Column totals, LookupColumn(t, tot, totals_by, totals_by,
+                                            "__tot", nullptr));
+            PCTAGG_ASSIGN_OR_RETURN(
+                cell, PercentDivideColumns(t.column(sc), totals));
+          }
+          PCTAGG_RETURN_IF_ERROR(block.AddColumn(
+              {term.output_name, DataType::kFloat64}, std::move(cell)));
+          break;
+        }
+        case TermFunc::kAvg: {
+          PCTAGG_ASSIGN_OR_RETURN(size_t sc, ColIndex(t, pset.name(plan.main)));
+          PCTAGG_ASSIGN_OR_RETURN(size_t cc,
+                                  ColIndex(t, pset.name(plan.count)));
+          const Column& s = t.column(sc);
+          const Column& n = t.column(cc);
+          Column cell(DataType::kFloat64);
+          cell.Reserve(t.num_rows());
+          for (size_t r = 0; r < t.num_rows(); ++r) {
+            if (s.IsNull(r) || n.IsNull(r) || n.NumericAt(r) == 0.0) {
+              cell.AppendNull();
+            } else {
+              cell.AppendFloat64(s.NumericAt(r) / n.NumericAt(r));
+            }
+          }
+          PCTAGG_RETURN_IF_ERROR(block.AddColumn(
+              {term.output_name, DataType::kFloat64}, std::move(cell)));
+          break;
+        }
+        default: {
+          PCTAGG_ASSIGN_OR_RETURN(size_t c, ColIndex(t, pset.name(plan.main)));
+          PCTAGG_RETURN_IF_ERROR(block.AddColumn(
+              {term.output_name, t.schema().column(c).type}, t.column(c)));
+          break;
+        }
+      }
+    }
+    if (li == 0) {
+      out = std::move(block);
+    } else {
+      PCTAGG_RETURN_IF_ERROR(InsertInto(&out, block));
+    }
+  }
+  op.SetRows(out.num_rows(), out.num_rows());
+  op.SetDetail("levels=" + std::to_string(emitted_count));
+  return out;
+}
+
+// Horizontal assembly: each level pivots its partial table at its own
+// grouping columns; blocks land in one result whose schema is the union
+// grouping columns (NULL where rolled away) + GROUPING() ids + the union of
+// all pivot columns + the extra aggregates.
+Result<Table> AssembleHorizontal(const AnalyzedQuery& query,
+                                 const std::vector<LatticeLevel>& levels,
+                                 size_t emitted_count,
+                                 const HorizontalPlan& plan,
+                                 const PartialSet& pset, size_t dop,
+                                 obs::QueryTrace* trace) {
+  PivotOptions popt;
+  popt.func = plan.pivot_func;
+  popt.default_zero = plan.hterm->has_default;
+  popt.percent_of_group_total = plan.is_pct;
+
+  struct LevelBlock {
+    const std::vector<std::string>* set;
+    Table pivot;
+    std::vector<std::string> pivot_names;
+    Table extras;
+    bool has_extras = false;
+  };
+  std::vector<LevelBlock> blocks;
+  blocks.reserve(emitted_count);
+  for (size_t li = 0; li < emitted_count; ++li) {
+    const Table& t = *levels[li].table;
+    const std::vector<std::string>& set = query.grouping_sets[li];
+    LevelBlock b;
+    b.set = &set;
+    {
+      obs::TraceNode* node =
+          trace != nullptr
+              ? trace->root().AddChild(
+                    "lattice",
+                    "lattice-pivot: level " + LevelName(set) + " " +
+                        std::string(AggFuncName(popt.func)) + "(" +
+                        pset.name(plan.main) + ") BY " +
+                        Join(plan.hterm->by_columns, ", ") +
+                        (plan.is_pct ? " percent-of-group-total" : ""))
+              : nullptr;
+      obs::ScopedTraceNode scope(node);
+      PCTAGG_ASSIGN_OR_RETURN(
+          b.pivot, HashDispatchPivot(t, set, plan.hterm->by_columns,
+                                     Col(pset.name(plan.main)), popt, dop));
+    }
+    for (size_t c = set.size(); c < b.pivot.num_columns(); ++c) {
+      b.pivot_names.push_back(b.pivot.schema().column(c).name);
+    }
+    if (!plan.extras.empty()) {
+      // Both the pivot and this re-aggregation emit groups in first-seen
+      // order over the same partial table, so the rows align positionally.
+      std::vector<AggSpec> reagg;
+      for (const HorizontalPlan::Extra& e : plan.extras) {
+        reagg.push_back({pset.partials()[e.main].combine,
+                         Col(pset.name(e.main)), pset.name(e.main)});
+        if (e.count != kNone) {
+          reagg.push_back(
+              {AggFunc::kSum, Col(pset.name(e.count)), pset.name(e.count)});
+        }
+      }
+      PCTAGG_ASSIGN_OR_RETURN(b.extras, HashAggregate(t, set, reagg, dop));
+      if (b.extras.num_rows() != b.pivot.num_rows()) {
+        return Status::Internal("lattice extras misaligned with pivot block");
+      }
+      b.has_extras = true;
+    }
+    blocks.push_back(std::move(b));
+  }
+
+  // Union of the per-level pivot columns, in first-appearance order across
+  // blocks. Every level sees the same BY combinations of the (filtered) fact
+  // in the same first-seen order, so this matches each block's own order; the
+  // union form only matters if a level's pivot came up empty.
+  std::vector<std::string> master;
+  std::vector<DataType> master_types;
+  for (const LevelBlock& b : blocks) {
+    for (size_t i = 0; i < b.pivot_names.size(); ++i) {
+      if (ContainsColumn(master, b.pivot_names[i])) continue;
+      master.push_back(b.pivot_names[i]);
+      master_types.push_back(
+          b.pivot.schema().column(b.set->size() + i).type);
+    }
+  }
+
+  obs::TraceNode* node =
+      trace != nullptr
+          ? trace->root().AddChild(
+                "lattice",
+                StrFormat("lattice-assemble: %zu level(s), %zu pivot "
+                          "column(s) + GROUPING ids",
+                          emitted_count, master.size()))
+          : nullptr;
+  obs::ScopedTraceNode scope(node);
+  obs::OpScope op("assemble");
+
+  Schema schema;
+  for (const std::string& g : query.group_by) {
+    PCTAGG_ASSIGN_OR_RETURN(size_t fc, query.schema.FindColumn(g));
+    schema.AddColumn(query.schema.column(fc));
+  }
+  std::vector<const AnalyzedTerm*> grouping_terms;
+  for (const AnalyzedTerm& term : query.terms) {
+    if (term.func != TermFunc::kGrouping) continue;
+    schema.AddColumn({term.output_name, DataType::kInt64});
+    grouping_terms.push_back(&term);
+  }
+  for (size_t i = 0; i < master.size(); ++i) {
+    schema.AddColumn({master[i], master_types[i]});
+  }
+  for (const HorizontalPlan::Extra& e : plan.extras) {
+    DataType type = DataType::kFloat64;
+    if (e.count == kNone) {
+      PCTAGG_ASSIGN_OR_RETURN(size_t c,
+                              ColIndex(blocks[0].extras, pset.name(e.main)));
+      type = blocks[0].extras.schema().column(c).type;
+    }
+    schema.AddColumn({e.term->output_name, type});
+  }
+
+  Table out{schema};
+  for (const LevelBlock& b : blocks) {
+    const std::vector<std::string>& set = *b.set;
+    std::vector<size_t> group_at(query.group_by.size(), kNone);
+    for (size_t gi = 0; gi < query.group_by.size(); ++gi) {
+      for (size_t si = 0; si < set.size(); ++si) {
+        if (EqualsIgnoreCase(set[si], query.group_by[gi])) group_at[gi] = si;
+      }
+    }
+    std::vector<size_t> pivot_at(master.size(), kNone);
+    for (size_t i = 0; i < b.pivot_names.size(); ++i) {
+      for (size_t mi = 0; mi < master.size(); ++mi) {
+        if (EqualsIgnoreCase(master[mi], b.pivot_names[i])) {
+          pivot_at[mi] = set.size() + i;
+          break;
+        }
+      }
+    }
+    std::vector<size_t> extra_main(plan.extras.size(), kNone);
+    std::vector<size_t> extra_count(plan.extras.size(), kNone);
+    if (b.has_extras) {
+      for (size_t ei = 0; ei < plan.extras.size(); ++ei) {
+        PCTAGG_ASSIGN_OR_RETURN(
+            extra_main[ei], ColIndex(b.extras, pset.name(plan.extras[ei].main)));
+        if (plan.extras[ei].count != kNone) {
+          PCTAGG_ASSIGN_OR_RETURN(
+              extra_count[ei],
+              ColIndex(b.extras, pset.name(plan.extras[ei].count)));
+        }
+      }
+    }
+    for (size_t r = 0; r < b.pivot.num_rows(); ++r) {
+      std::vector<Value> row;
+      row.reserve(schema.num_columns());
+      for (size_t gi = 0; gi < query.group_by.size(); ++gi) {
+        row.push_back(group_at[gi] == kNone
+                          ? Value::Null()
+                          : b.pivot.column(group_at[gi]).GetValue(r));
+      }
+      for (const AnalyzedTerm* gt : grouping_terms) {
+        row.push_back(
+            Value::Int64(ContainsColumn(set, gt->scalar_column) ? 0 : 1));
+      }
+      for (size_t mi = 0; mi < master.size(); ++mi) {
+        if (pivot_at[mi] == kNone) {
+          row.push_back(!popt.default_zero ? Value::Null()
+                        : master_types[mi] == DataType::kInt64
+                            ? Value::Int64(0)
+                            : Value::Float64(0.0));
+        } else {
+          row.push_back(b.pivot.column(pivot_at[mi]).GetValue(r));
+        }
+      }
+      for (size_t ei = 0; ei < plan.extras.size(); ++ei) {
+        if (plan.extras[ei].count != kNone) {
+          const Column& s = b.extras.column(extra_main[ei]);
+          const Column& n = b.extras.column(extra_count[ei]);
+          if (s.IsNull(r) || n.IsNull(r) || n.NumericAt(r) == 0.0) {
+            row.push_back(Value::Null());
+          } else {
+            row.push_back(Value::Float64(s.NumericAt(r) / n.NumericAt(r)));
+          }
+        } else {
+          row.push_back(b.extras.column(extra_main[ei]).GetValue(r));
+        }
+      }
+      PCTAGG_RETURN_IF_ERROR(out.AppendRow(row));
+    }
+  }
+  op.SetRows(out.num_rows(), out.num_rows());
+  op.SetDetail("levels=" + std::to_string(emitted_count));
+  return out;
+}
+
+// The requested levels plus, when the union itself was not among them, a
+// synthetic finest level that only feeds rollups (computed and cached, never
+// emitted).
+std::vector<std::vector<std::string>> LevelsWithFinest(
+    const AnalyzedQuery& query) {
+  std::vector<std::vector<std::string>> sets = query.grouping_sets;
+  for (const std::vector<std::string>& s : sets) {
+    // Levels are normalized subsets of the union, so size equality means
+    // equality.
+    if (s.size() == query.group_by.size()) return sets;
+  }
+  sets.push_back(query.group_by);
+  return sets;
+}
+
+}  // namespace
+
+bool LatticeSupported(const AnalyzedQuery& query, std::string* why) {
+  auto fail = [why](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (!query.has_grouping_sets) return fail("not a grouping-sets query");
+  if (query.query_class == QueryClass::kWindow) {
+    return fail("window functions cannot be combined with grouping sets");
+  }
+  size_t by_terms = 0;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.func == TermFunc::kScalar || t.func == TermFunc::kGrouping) continue;
+    if (t.distinct) {
+      return fail("count(DISTINCT ...) is not supported with grouping sets");
+    }
+    if (t.func == TermFunc::kVpct) continue;
+    if (t.has_by) {
+      ++by_terms;
+      if (t.func == TermFunc::kAvg) {
+        return fail(
+            "avg(... BY ...) is not distributive over the lattice; use "
+            "sum and count terms instead");
+      }
+      if (t.func != TermFunc::kHpct && !TermAggFunc(t.func).ok()) {
+        return fail("unsupported horizontal aggregate with grouping sets");
+      }
+    } else if (!TermAggFunc(t.func).ok()) {
+      return fail("unsupported aggregate with grouping sets");
+    }
+  }
+  if (query.query_class == QueryClass::kHorizontal && by_terms != 1) {
+    return fail(
+        "grouping sets support exactly one horizontal (BY) term per "
+        "statement");
+  }
+  return true;
+}
+
+Result<Table> ExecuteLatticeQuery(const AnalyzedQuery& query, const Table& fact,
+                                  SummaryCache* summaries,
+                                  obs::QueryTrace* trace, size_t dop,
+                                  bool shared_scan) {
+  std::string why;
+  if (!LatticeSupported(query, &why)) {
+    return Status::InvalidArgument("grouping sets: " + why);
+  }
+  const std::vector<std::vector<std::string>> sets = LevelsWithFinest(query);
+  const size_t emitted_count = query.grouping_sets.size();
+
+  if (query.query_class == QueryClass::kHorizontal) {
+    PartialSet pset;
+    HorizontalPlan plan;
+    PCTAGG_RETURN_IF_ERROR(BuildHorizontalPartials(query, &pset, &plan));
+    std::vector<std::vector<std::string>> level_cols;
+    level_cols.reserve(sets.size());
+    for (const std::vector<std::string>& s : sets) {
+      std::vector<std::string> cols = s;
+      cols.insert(cols.end(), plan.hterm->by_columns.begin(),
+                  plan.hterm->by_columns.end());
+      level_cols.push_back(std::move(cols));
+    }
+    PCTAGG_ASSIGN_OR_RETURN(
+        std::vector<LatticeLevel> levels,
+        ComputeLevels(query, fact, level_cols, pset, summaries, trace, dop,
+                      shared_scan));
+    return AssembleHorizontal(query, levels, emitted_count, plan, pset, dop,
+                              trace);
+  }
+
+  PartialSet pset;
+  std::vector<TermPlan> plans;
+  PCTAGG_RETURN_IF_ERROR(BuildVerticalPartials(query, &pset, &plans));
+  PCTAGG_ASSIGN_OR_RETURN(
+      std::vector<LatticeLevel> levels,
+      ComputeLevels(query, fact, sets, pset, summaries, trace, dop,
+                    shared_scan));
+  return AssembleVertical(query, levels, emitted_count, plans, pset, dop,
+                          trace);
+}
+
+std::string RenderLatticeScript(const AnalyzedQuery& query, bool shared_scan) {
+  PartialSet pset;
+  std::vector<std::string> by;
+  if (query.query_class == QueryClass::kHorizontal) {
+    HorizontalPlan plan;
+    if (!BuildHorizontalPartials(query, &pset, &plan).ok()) {
+      return "-- lattice plan unavailable";
+    }
+    by = plan.hterm->by_columns;
+  } else {
+    std::vector<TermPlan> plans;
+    if (!BuildVerticalPartials(query, &pset, &plans).ok()) {
+      return "-- lattice plan unavailable";
+    }
+  }
+  const std::vector<AggSpec> specs = pset.Specs();
+  const std::vector<AggSpec> combine = pset.CombineSpecs();
+  std::vector<std::string> finest = query.group_by;
+  finest.insert(finest.end(), by.begin(), by.end());
+
+  std::string out = StrFormat(
+      "-- grouping-set lattice: %zu level(s) over union %s; strategy: %s\n",
+      query.grouping_sets.size(), LevelName(query.group_by).c_str(),
+      shared_scan ? "shared-scan rollup" : "per-level recompute");
+  const std::vector<std::vector<std::string>> sets = LevelsWithFinest(query);
+  for (size_t li = 0; li < sets.size(); ++li) {
+    std::vector<std::string> cols = sets[li];
+    cols.insert(cols.end(), by.begin(), by.end());
+    const bool is_finest = cols.size() == finest.size();
+    if (!shared_scan || is_finest) {
+      out += RenderStage("scan:", cols, specs, query.table_name, query.where) +
+             ";\n";
+    } else {
+      out += RenderStage("rollup:", cols, combine,
+                         "lattice" + LevelName(finest), nullptr) +
+             ";\n";
+    }
+  }
+  out +=
+      "-- assemble: per-level percentages + GROUPING() ids, blocks "
+      "concatenated in statement order\n";
+  return out;
+}
+
+}  // namespace pctagg

@@ -1,0 +1,57 @@
+#ifndef PCTAGG_CORE_LATTICE_PLAN_H_
+#define PCTAGG_CORE_LATTICE_PLAN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/summary_cache.h"
+#include "engine/table.h"
+#include "obs/trace.h"
+#include "sql/analyzer.h"
+
+namespace pctagg {
+
+// Shared-scan evaluation of grouping-set lattices (GROUP BY CUBE / ROLLUP /
+// GROUPING SETS), the Data Cube generalization of the paper's Fj-from-Fk
+// reuse: one fused scan of the fact table computes distributive partials
+// (sum/count/min/max; avg decomposed into sum+count) at the finest requested
+// level, and every coarser level re-aggregates the smallest already-computed
+// ancestor instead of rescanning the fact table. Per-level results carry the
+// requested percentages (Vpct divide / Hpct pivot) plus GROUPING() ids and
+// are concatenated in the order the statement requested the levels.
+//
+// Every lattice level lands in the SummaryCache under its own SummaryRecipe
+// (grouping columns + the distributive partial list), so AppendRows
+// delta-maintains all of them and a dashboard hitting every rollup level is
+// all cache hits after the first query.
+//
+// The per-level mode (shared_scan = false) recomputes each level with its own
+// fused scan of the fact table — same results bit for bit on integer
+// measures (both paths share the accumulation kernels and emit groups in
+// first-seen fact order; float sums can differ only by reassociation, the
+// standard cross-dop caveat) — and exists as the cost-model's alternative
+// and the benchmark baseline.
+
+// True when the grouping-sets query can run through the lattice executor;
+// otherwise `*why` (when non-null) receives the reason. The lattice is the
+// only executor for grouping sets, so a false here surfaces as
+// InvalidArgument to the caller.
+bool LatticeSupported(const AnalyzedQuery& query, std::string* why = nullptr);
+
+// Executes the lattice: computes every level (shared rollup or per-level
+// fused scans), assembles the per-level output blocks in SELECT order
+// (vertical/Vpct) or group ∪ pivot order (horizontal), and concatenates them
+// in the statement's level order. The caller applies HAVING/ORDER BY/LIMIT.
+Result<Table> ExecuteLatticeQuery(const AnalyzedQuery& query, const Table& fact,
+                                  SummaryCache* summaries,
+                                  obs::QueryTrace* trace, size_t dop,
+                                  bool shared_scan);
+
+// Human-readable script of the lattice evaluation for plain EXPLAIN: one
+// pseudo-statement per level (fused scan or rollup source) plus the assembly
+// note.
+std::string RenderLatticeScript(const AnalyzedQuery& query, bool shared_scan);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_LATTICE_PLAN_H_

@@ -34,6 +34,7 @@ class Session {
   //   vpct auto|best|noindex|update|rescan
   //   horizontal auto|case|case_fv|spj|spj_fv
   //   trace on|off                append the executed-plan trace to results
+  //   lattice auto|shared|per-level   grouping-set lattice strategy
   //   append_policy auto|merge|recompute   summary maintenance for INSERT/COPY
   // (SET summary_cache_mb is database-wide and handled by the server.)
   // Returns a human-readable confirmation.
@@ -66,6 +67,7 @@ class Session {
   std::string vpct_name_ = "auto";
   std::string horizontal_name_ = "auto";
   std::string exec_name_ = "auto";
+  std::string lattice_name_ = "auto";
   std::string append_policy_name_ = "auto";
   bool trace_ = false;
   uint64_t queries_ = 0;

@@ -120,6 +120,85 @@ Result<AnalyzedQuery> Analyze(const SelectStatement& stmt,
     }
   }
 
+  // Expand CUBE/ROLLUP/GROUPING SETS into explicit levels. The union of all
+  // levels (first-appearance order) becomes the statement's GROUP BY, so the
+  // per-term rules below (Vpct BY subset, Hpct disjointness, scalar
+  // membership) apply unchanged against the union.
+  if (stmt.grouping_kind != SelectStatement::GroupingSetsKind::kNone) {
+    out.has_grouping_sets = true;
+    std::vector<std::vector<std::string>> raw_sets;
+    if (stmt.grouping_kind == SelectStatement::GroupingSetsKind::kSets) {
+      for (const std::vector<std::string>& set : stmt.grouping_sets) {
+        PCTAGG_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                                ResolveColumns(schema, set));
+        std::set<std::string> dup;
+        for (const std::string& c : cols) {
+          if (!dup.insert(ToLower(c)).second) {
+            return Status::AnalysisError("duplicate column in grouping set: " +
+                                         c);
+          }
+        }
+        raw_sets.push_back(std::move(cols));
+      }
+    } else {
+      PCTAGG_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                              ResolveColumns(schema, stmt.grouping_columns));
+      std::set<std::string> dup;
+      for (const std::string& c : cols) {
+        if (!dup.insert(ToLower(c)).second) {
+          return Status::AnalysisError("duplicate CUBE/ROLLUP column: " + c);
+        }
+      }
+      const size_t k = cols.size();
+      if (stmt.grouping_kind == SelectStatement::GroupingSetsKind::kCube) {
+        // 2^k levels; cap k so a typo cannot demand thousands of levels.
+        constexpr size_t kMaxCubeColumns = 6;
+        if (k > kMaxCubeColumns) {
+          return Status::AnalysisError(
+              StrFormat("CUBE supports at most %zu columns (%zu given)",
+                        kMaxCubeColumns, k));
+        }
+        // Bit (k-1-i) = column i, so descending masks enumerate subsets in
+        // the conventional order (a,b,c), (a,b), (a,c), (a), (b,c), ... ;
+        // the size sort below then yields finest-to-coarsest.
+        for (size_t mask = size_t{1} << k; mask-- > 0;) {
+          std::vector<std::string> set;
+          for (size_t i = 0; i < k; ++i) {
+            if ((mask >> (k - 1 - i)) & 1) set.push_back(cols[i]);
+          }
+          raw_sets.push_back(std::move(set));
+        }
+        std::stable_sort(raw_sets.begin(), raw_sets.end(),
+                         [](const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+                           return a.size() > b.size();
+                         });
+      } else {  // ROLLUP: every prefix, longest first, down to ().
+        for (size_t len = k + 1; len-- > 0;) {
+          raw_sets.emplace_back(cols.begin(), cols.begin() + len);
+        }
+      }
+    }
+    for (const std::vector<std::string>& set : raw_sets) {
+      for (const std::string& c : set) {
+        if (!Contains(out.group_by, c)) out.group_by.push_back(c);
+      }
+    }
+    // Normalize each level to union order; duplicate levels collapse.
+    std::set<std::string> seen_levels;
+    for (const std::vector<std::string>& set : raw_sets) {
+      std::vector<std::string> normalized;
+      for (const std::string& g : out.group_by) {
+        if (Contains(set, g)) normalized.push_back(g);
+      }
+      std::string key;
+      for (const std::string& c : normalized) key += ToLower(c) + "\x1f";
+      if (seen_levels.insert(key).second) {
+        out.grouping_sets.push_back(std::move(normalized));
+      }
+    }
+  }
+
   bool any_vpct = false;
   bool any_horizontal = false;
   bool any_window = false;
@@ -227,6 +306,26 @@ Result<AnalyzedQuery> Analyze(const SelectStatement& stmt,
           }
         }
         any_horizontal = true;
+        break;
+      }
+      case TermFunc::kGrouping: {
+        if (t.has_over || t.has_by || t.distinct || t.has_default) {
+          return Status::AnalysisError(
+              "GROUPING() takes a single column argument");
+        }
+        if (!out.has_grouping_sets) {
+          return Status::AnalysisError(
+              "GROUPING() requires GROUP BY CUBE/ROLLUP/GROUPING SETS");
+        }
+        std::string rendered = t.argument->ToString();
+        PCTAGG_ASSIGN_OR_RETURN(std::string name,
+                                ResolveColumn(schema, rendered));
+        if (!Contains(out.group_by, name)) {
+          return Status::AnalysisError(
+              "GROUPING() argument " + name +
+              " does not appear in any grouping set");
+        }
+        a.scalar_column = std::move(name);
         break;
       }
       default: {  // standard functions

@@ -28,7 +28,8 @@ struct AnalyzedTerm {
   // For kVpct: the totals grouping D1..Dj = GROUP BY minus BY, in GROUP BY
   // order (empty means totals over all rows).
   std::vector<std::string> totals_by;
-  // For kScalar under GROUP BY: the referenced grouping column.
+  // For kScalar under GROUP BY and for kGrouping: the referenced grouping
+  // column.
   std::string scalar_column;
 };
 
@@ -50,6 +51,15 @@ struct AnalyzedQuery {
   ExprPtr where;           // may be null
   bool has_group_by = false;
   std::vector<std::string> group_by;  // normalized names
+  // Grouping-set lattice (GROUP BY CUBE/ROLLUP/GROUPING SETS). When true,
+  // `group_by` holds the union of all levels in first-appearance order and
+  // `grouping_sets` the expanded levels, each normalized to union order and
+  // deduplicated, in the order the statement's output emits them (CUBE and
+  // ROLLUP expand finest-to-coarsest; explicit GROUPING SETS keep declared
+  // order). All per-term rules (Vpct BY subset, Hpct disjointness, scalar
+  // membership) are checked against the union.
+  bool has_grouping_sets = false;
+  std::vector<std::vector<std::string>> grouping_sets;
   std::vector<AnalyzedTerm> terms;
   // HAVING predicate over the result columns; may be null.
   ExprPtr having;

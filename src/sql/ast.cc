@@ -23,6 +23,8 @@ const char* TermFuncName(TermFunc func) {
       return "Vpct";
     case TermFunc::kHpct:
       return "Hpct";
+    case TermFunc::kGrouping:
+      return "GROUPING";
   }
   return "?";
 }
@@ -55,7 +57,28 @@ std::string SelectStatement::ToString() const {
   for (const SelectTerm& t : terms) rendered.push_back(t.ToString());
   std::string out = "SELECT " + Join(rendered, ", ") + " FROM " + from_table;
   if (where != nullptr) out += " WHERE " + where->ToString();
-  if (has_group_by) out += " GROUP BY " + Join(group_by, ", ");
+  if (has_group_by) {
+    switch (grouping_kind) {
+      case GroupingSetsKind::kNone:
+        out += " GROUP BY " + Join(group_by, ", ");
+        break;
+      case GroupingSetsKind::kCube:
+        out += " GROUP BY CUBE(" + Join(grouping_columns, ", ") + ")";
+        break;
+      case GroupingSetsKind::kRollup:
+        out += " GROUP BY ROLLUP(" + Join(grouping_columns, ", ") + ")";
+        break;
+      case GroupingSetsKind::kSets: {
+        std::vector<std::string> sets;
+        sets.reserve(grouping_sets.size());
+        for (const std::vector<std::string>& s : grouping_sets) {
+          sets.push_back("(" + Join(s, ", ") + ")");
+        }
+        out += " GROUP BY GROUPING SETS (" + Join(sets, ", ") + ")";
+        break;
+      }
+    }
+  }
   if (having != nullptr) out += " HAVING " + having->ToString();
   if (!order_by.empty()) {
     std::vector<std::string> keys;

@@ -23,6 +23,7 @@ enum class TermFunc {
   kMax,
   kVpct,
   kHpct,
+  kGrouping,  // GROUPING(col): 0 when col participates in the row's level
 };
 
 const char* TermFuncName(TermFunc func);
@@ -62,6 +63,14 @@ struct SelectStatement {
   bool has_group_by = false;
   // Entries are column names, or 1-based positions as written ("GROUP BY 1,2").
   std::vector<std::string> group_by;
+  // GROUP BY CUBE(...) / ROLLUP(...) / GROUPING SETS ((...),...). When set,
+  // `group_by` stays empty: `grouping_columns` holds the CUBE/ROLLUP column
+  // list and `grouping_sets` the explicit GROUPING SETS lists (an empty inner
+  // list is the grand-total level `()`).
+  enum class GroupingSetsKind { kNone, kCube, kRollup, kSets };
+  GroupingSetsKind grouping_kind = GroupingSetsKind::kNone;
+  std::vector<std::string> grouping_columns;
+  std::vector<std::vector<std::string>> grouping_sets;
   // Evaluated over the result columns (aliases included); may be null.
   ExprPtr having;
   std::vector<OrderItem> order_by;

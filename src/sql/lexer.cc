@@ -16,7 +16,7 @@ bool IsKeywordWord(const std::string& upper) {
       "ORDER",  "ASC",   "DESC",     "DISTINCT",  "DEFAULT", "HAVING",
       "LIMIT",  "EXPLAIN", "ANALYZE", "INSERT",   "INTO",   "VALUES",
       "COPY",   "APPEND",  "DROP",    "TABLE",    "IF",     "EXISTS",
-      "CHECKPOINT"};
+      "CHECKPOINT", "CUBE", "ROLLUP",  "GROUPING", "SETS"};
   for (const char* kw : kKeywords) {
     if (upper == kw) return true;
   }

@@ -45,18 +45,61 @@ class Parser {
     if (ConsumeKeyword("GROUP")) {
       PCTAGG_RETURN_IF_ERROR(ExpectKeyword("BY"));
       stmt.has_group_by = true;
-      while (true) {
-        const Token& t = Peek();
-        if (t.type == TokenType::kIdentifier) {
-          stmt.group_by.push_back(t.text);
-          Advance();
-        } else if (t.type == TokenType::kInteger) {
-          stmt.group_by.push_back(t.text);  // positional reference
-          Advance();
-        } else {
-          return Status::ParseError("expected column name in GROUP BY");
+      if (Peek().IsKeyword("CUBE") || Peek().IsKeyword("ROLLUP")) {
+        stmt.grouping_kind = Peek().IsKeyword("CUBE")
+                                 ? SelectStatement::GroupingSetsKind::kCube
+                                 : SelectStatement::GroupingSetsKind::kRollup;
+        Advance();
+        PCTAGG_RETURN_IF_ERROR(ExpectSymbol("("));
+        while (true) {
+          PCTAGG_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+          stmt.grouping_columns.push_back(std::move(name));
+          if (!ConsumeSymbol(",")) break;
         }
-        if (!ConsumeSymbol(",")) break;
+        PCTAGG_RETURN_IF_ERROR(ExpectSymbol(")"));
+        if (ConsumeSymbol(",")) {
+          return Status::ParseError(
+              "CUBE/ROLLUP cannot be mixed with other GROUP BY entries");
+        }
+      } else if (Peek().IsKeyword("GROUPING")) {
+        Advance();
+        PCTAGG_RETURN_IF_ERROR(ExpectKeyword("SETS"));
+        stmt.grouping_kind = SelectStatement::GroupingSetsKind::kSets;
+        PCTAGG_RETURN_IF_ERROR(ExpectSymbol("("));
+        while (true) {
+          PCTAGG_RETURN_IF_ERROR(ExpectSymbol("("));
+          std::vector<std::string> set;
+          if (!Peek().IsSymbol(")")) {
+            while (true) {
+              PCTAGG_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+              set.push_back(std::move(name));
+              if (!ConsumeSymbol(",")) break;
+            }
+          }
+          PCTAGG_RETURN_IF_ERROR(ExpectSymbol(")"));
+          stmt.grouping_sets.push_back(std::move(set));
+          if (!ConsumeSymbol(",")) break;
+        }
+        PCTAGG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        while (true) {
+          const Token& t = Peek();
+          if (t.type == TokenType::kIdentifier) {
+            stmt.group_by.push_back(t.text);
+            Advance();
+          } else if (t.type == TokenType::kInteger) {
+            stmt.group_by.push_back(t.text);  // positional reference
+            Advance();
+          } else if (t.IsKeyword("CUBE") || t.IsKeyword("ROLLUP") ||
+                     t.IsKeyword("GROUPING")) {
+            return Status::ParseError(
+                "CUBE/ROLLUP/GROUPING SETS cannot be mixed with other GROUP "
+                "BY entries");
+          } else {
+            return Status::ParseError("expected column name in GROUP BY");
+          }
+          if (!ConsumeSymbol(",")) break;
+        }
       }
     }
     if (ConsumeKeyword("HAVING")) {
@@ -267,6 +310,20 @@ class Parser {
 
   Result<SelectTerm> ParseTerm() {
     SelectTerm term;
+    // GROUPING(col): GROUPING is a keyword (for GROUPING SETS), so it never
+    // reaches the identifier-call branch below.
+    if (Peek().IsKeyword("GROUPING") && Peek(1).IsSymbol("(")) {
+      term.func = TermFunc::kGrouping;
+      Advance();  // GROUPING
+      Advance();  // (
+      PCTAGG_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      term.argument = Col(std::move(name));
+      PCTAGG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (ConsumeKeyword("AS")) {
+        PCTAGG_ASSIGN_OR_RETURN(term.alias, ExpectIdentifier());
+      }
+      return term;
+    }
     // Aggregate call: IDENT '(' with a recognized function name.
     if (Peek().type == TokenType::kIdentifier && Peek(1).IsSymbol("(") &&
         FuncFromName(Peek().text) != TermFunc::kScalar) {
