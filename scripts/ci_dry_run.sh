@@ -77,7 +77,7 @@ if [ "$QUICK" = 0 ]; then
        -DPCTAGG_SANITIZE=thread &&
      cmake --build build-ci-tsan -j"$JOBS" &&
      ctest --test-dir build-ci-tsan --timeout 600 --output-on-failure \
-       -R "server_smoke_tsan|parallel_ops_tsan|lattice_tsan|MetricsTest|MetricsRegistryTest"; then
+       -R "server_smoke_tsan|parallel_ops_tsan|lattice_tsan|dist_tsan|MetricsTest|MetricsRegistryTest"; then
     echo "[TSan] OK"
   else
     echo "[TSan] FAILED"
@@ -106,6 +106,7 @@ run_job "bench smoke (append)" bench_smoke bench_append_delta BENCH_append.json 
 run_job "bench smoke (fused)" bench_smoke bench_fused BENCH_fused.json PCTAGG_FUSED_BENCH
 run_job "bench smoke (persistence)" bench_smoke bench_persistence BENCH_persistence.json PCTAGG_PERSISTENCE
 run_job "bench smoke (lattice)" bench_smoke bench_lattice BENCH_lattice.json PCTAGG_LATTICE_BENCH
+run_job "bench smoke (shard)" bench_smoke bench_shard BENCH_shard.json PCTAGG_SHARD_BENCH
 
 # --- EXPLAIN ANALYZE samples -------------------------------------------------
 note "EXPLAIN ANALYZE samples"
@@ -123,12 +124,22 @@ fi
 
 # --- recovery smoke ----------------------------------------------------------
 note "recovery smoke (kill -9)"
-if cmake --build build-ci-gcc-release -j"$JOBS" --target pctagg_server pctagg_client &&
+if cmake --build build-ci-gcc-release -j"$JOBS" --target pctagg_server_bin pctagg_client &&
    scripts/recovery_smoke.sh build-ci-gcc-release; then
   echo "[recovery smoke] OK"
 else
   echo "[recovery smoke] FAILED"
   FAILED+=("recovery smoke")
+fi
+
+# --- shard smoke -------------------------------------------------------------
+note "shard smoke (2 workers + coordinator)"
+if cmake --build build-ci-gcc-release -j"$JOBS" --target pctagg_server_bin pctagg_client &&
+   scripts/shard_smoke.sh build-ci-gcc-release; then
+  echo "[shard smoke] OK"
+else
+  echo "[shard smoke] FAILED"
+  FAILED+=("shard smoke")
 fi
 
 # --- format ------------------------------------------------------------------

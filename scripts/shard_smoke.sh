@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# End-to-end sharding smoke: start two worker pctagg_server processes and a
+# coordinator pointing at them, SHARD a generated table over the wire, and
+# verify (1) the sharded answer is byte-identical to the pre-shard answer on
+# an INT64 measure, (2) SHOW reports the topology, (3) a sharded table is
+# read-only, and (4) killing a worker turns the next query into a typed
+# Unavailable instead of a hang. Real processes, real sockets, real SIGKILL
+# — the multi-process path the in-process dist_test forks around.
+#
+# Usage: scripts/shard_smoke.sh [build-dir]   (default: build)
+
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+SERVER=$BUILD/tools/pctagg_server
+CLIENT=$BUILD/tools/pctagg_client
+BASE_PORT=${PCTAGG_SHARD_SMOKE_PORT:-7571}
+COORD_PORT=$BASE_PORT
+W1_PORT=$((BASE_PORT + 1))
+W2_PORT=$((BASE_PORT + 2))
+SCRATCH=$(mktemp -d /tmp/pctagg_shard_smoke_XXXXXX)
+PIDS=()
+
+fail() {
+  echo "FAIL: $*" >&2
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null; done
+  rm -rf "$SCRATCH"
+  exit 1
+}
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null; done
+  rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+
+[ -x "$SERVER" ] || fail "$SERVER not built"
+[ -x "$CLIENT" ] || fail "$CLIENT not built"
+
+wait_ready() {  # wait_ready <port> <pid>
+  for _ in $(seq 1 50); do
+    if printf '.ping\n.quit\n' | "$CLIENT" --connect 127.0.0.1:"$1" \
+        >/dev/null 2>&1; then
+      return 0
+    fi
+    kill -0 "$2" 2>/dev/null || fail "server on port $1 died during startup"
+    sleep 0.1
+  done
+  fail "server on port $1 did not start listening"
+}
+
+# INT64 measure (itemId) so the distributed merge is bit-identical; ORDER BY
+# pins row order against the merge-on-arrival gather.
+QUERY="SELECT dweek, state, Vpct(itemId BY state) AS pct, count(*) AS n \
+FROM f GROUP BY dweek, state ORDER BY dweek, state"
+
+echo "=== phase 1: two workers + coordinator"
+"$SERVER" --port "$W1_PORT" &
+PIDS+=($!)
+W1_PID=$!
+wait_ready "$W1_PORT" "$W1_PID"
+"$SERVER" --port "$W2_PORT" &
+PIDS+=($!)
+W2_PID=$!
+wait_ready "$W2_PORT" "$W2_PID"
+"$SERVER" --port "$COORD_PORT" \
+  --worker 127.0.0.1:"$W1_PORT" --worker 127.0.0.1:"$W2_PORT" &
+PIDS+=($!)
+COORD_PID=$!
+wait_ready "$COORD_PORT" "$COORD_PID"
+echo "    workers on $W1_PORT/$W2_PORT, coordinator on $COORD_PORT"
+
+echo "=== phase 2: generate, query, SHARD, re-query"
+printf '.gen sales f 20000\n.quit\n' | "$CLIENT" --connect 127.0.0.1:"$COORD_PORT" \
+  >/dev/null || fail "could not generate table"
+
+"$CLIENT" --connect 127.0.0.1:"$COORD_PORT" --query "$QUERY" \
+  > "$SCRATCH/before.csv" || fail "pre-shard query failed"
+
+printf '.shard f city\n.quit\n' | "$CLIENT" --connect 127.0.0.1:"$COORD_PORT" \
+  > "$SCRATCH/shard.txt" 2>&1 || fail "SHARD failed"
+grep -q "sharded f" "$SCRATCH/shard.txt" || fail "SHARD not acknowledged"
+
+"$CLIENT" --connect 127.0.0.1:"$COORD_PORT" --query "$QUERY" \
+  > "$SCRATCH/after.csv" || fail "post-shard query failed"
+diff -q "$SCRATCH/before.csv" "$SCRATCH/after.csv" >/dev/null ||
+  fail "sharded answer differs from the single-node answer"
+echo "    sharded answer is byte-identical to pre-shard"
+
+echo "=== phase 3: topology in SHOW, sharded table is read-only"
+printf '.show\n.quit\n' | "$CLIENT" --connect 127.0.0.1:"$COORD_PORT" \
+  > "$SCRATCH/show.txt" || fail ".show failed"
+grep -q "dist: 2 workers" "$SCRATCH/show.txt" ||
+  fail "SHOW does not report the 2-worker topology"
+
+if "$CLIENT" --connect 127.0.0.1:"$COORD_PORT" --query \
+    "INSERT INTO f VALUES (0, 0, 1, 1, 1, 1, 1, 1, 1, 1.0)" \
+    > "$SCRATCH/insert.txt" 2>&1; then
+  fail "INSERT into a sharded table was accepted"
+fi
+grep -q "read-only" "$SCRATCH/insert.txt" ||
+  fail "INSERT rejection does not explain the table is read-only"
+echo "    INSERT rejected with the read-only message"
+
+echo "=== phase 4: kill a worker; queries degrade to typed Unavailable"
+kill -9 "$W2_PID" || fail "kill failed"
+wait "$W2_PID" 2>/dev/null
+if "$CLIENT" --connect 127.0.0.1:"$COORD_PORT" --query "$QUERY" \
+    > "$SCRATCH/lost.txt" 2>&1; then
+  fail "query succeeded with a dead worker"
+fi
+grep -q "Unavailable" "$SCRATCH/lost.txt" ||
+  fail "shard loss did not surface as Unavailable: $(cat "$SCRATCH/lost.txt")"
+grep -q "shard 1" "$SCRATCH/lost.txt" ||
+  fail "the error does not name the lost shard: $(cat "$SCRATCH/lost.txt")"
+echo "    lost worker reported as: $(head -1 "$SCRATCH/lost.txt")"
+
+echo "shard smoke passed"

@@ -208,6 +208,27 @@ double CostModel::LatticeSharedCost(
   return cost;
 }
 
+double CostModel::DistributedCost(const FactStats& stats, double num_shards,
+                                  double shard_dop, double partial_cols) const {
+  const double n = stats.rows;
+  const double shards = std::max(1.0, num_shards);
+  const double dop = std::max(1.0, shard_dop);
+  const double groups = std::max(1.0, stats.group_cardinality);
+  const double cols = std::max(1.0, partial_cols);
+  // Shards scan concurrently: each aggregates its n/shards rows at its own
+  // dop and materializes up to `groups` partial rows.
+  double cost = n * params_.scan / (shards * dop) + groups * params_.write +
+                params_.statement;
+  // Every shard ships its partial table; the coordinator deserializes and
+  // hash-upserts each cell into the merged summary as results arrive (the
+  // merge overlaps in-flight shards, but is itself serial).
+  cost += shards * groups * cols * params_.net;
+  cost += shards * groups * (params_.probe + params_.update);
+  // Coordinator-side assembly over the merged partials (divide/pivot).
+  cost += groups * params_.write + params_.statement;
+  return cost;
+}
+
 double CostModel::LatticePerLevelCost(
     const FactStats& stats, const std::vector<double>& level_rows) const {
   const double n = stats.rows;

@@ -32,6 +32,8 @@ namespace pctagg {
 //   kWriteCost     materializing one output row (INSERT)
 //   kUpdateCost    read-modify-write of one row (UPDATE)
 //   kStatementCost fixed overhead per generated statement
+//   kNetCost       shipping one partial-summary cell between processes
+//                  (serialize + TCP + deserialize; dwarfs an in-memory row op)
 struct CostParams {
   double scan = 1.0;
   double cell = 0.15;
@@ -40,6 +42,7 @@ struct CostParams {
   double write = 0.6;
   double update = 2.0;
   double statement = 50.0;
+  double net = 2.5;
 };
 
 // Statistics the model needs; derived from a table via EstimateStats.
@@ -117,6 +120,17 @@ class CostModel {
   // term's columns join every level (the lattice aggregates at level ∪ BY).
   Result<std::vector<double>> EstimateLatticeLevelRows(
       const Table& fact, const AnalyzedQuery& query) const;
+
+  // Sharded scatter/gather execution (src/dist/). Each of `num_shards`
+  // workers scans its rows/num_shards share at `shard_dop` and ships a
+  // partial table of ~group_cardinality rows × `partial_cols` cells; the
+  // coordinator merges the shard partials as they arrive (hash upsert per
+  // cell, serial) and assembles the percentages from the merged table. The
+  // wall-clock win is the scan term dividing by num_shards·shard_dop — the
+  // network and merge terms grow with shards, which is the fan-out tradeoff
+  // EXPLAIN ANALYZE shows next to the single-node candidate.
+  double DistributedCost(const FactStats& stats, double num_shards,
+                         double shard_dop, double partial_cols) const;
 
   // Minimum-cost strategies according to the model.
   VpctStrategy PickVpct(const FactStats& stats) const;

@@ -400,6 +400,23 @@ Result<Table> PctDatabase::Query(const std::string& sql,
   switch (query.query_class) {
     case QueryClass::kProjection:
     case QueryClass::kVertical: {
+      // Partial-lattice reuse: a plain GROUP BY whose grouping is subsumed
+      // by a cached mergeable summary rolls up from the cache instead of
+      // rescanning the fact table (same rows, same order, bit for bit on
+      // integer measures).
+      if (use_cache && query.query_class == QueryClass::kVertical) {
+        bool answered = false;
+        PCTAGG_ASSIGN_OR_RETURN(
+            Table cached, AnswerFromCachedAncestor(query, &summaries_, trace,
+                                                   dop, &answered));
+        if (answered) {
+          if (trace != nullptr) {
+            trace->strategy = "cache-ancestor";
+            trace->strategy_source = "cache";
+          }
+          return ApplyTail(std::move(cached), query);
+        }
+      }
       Table out;
       if (trace != nullptr) {
         trace->strategy = "direct";
@@ -886,6 +903,10 @@ Result<std::string> PctDatabase::Explain(const std::string& sql) const {
     default:
       return std::string("/* evaluated directly, no generated script */\n");
   }
+}
+
+Result<Table> ApplyQueryTail(Table table, const AnalyzedQuery& query) {
+  return ApplyTail(std::move(table), query);
 }
 
 }  // namespace pctagg

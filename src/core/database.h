@@ -237,6 +237,12 @@ class PctDatabase {
   std::unique_ptr<storage::StorageManager> storage_;
 };
 
+// Applies a statement's tail — HAVING, ORDER BY, LIMIT, in SQL's order — to
+// an already-assembled result. Exposed for the distributed coordinator,
+// which assembles query results outside PctDatabase::Query but must match
+// its tail semantics exactly.
+Result<Table> ApplyQueryTail(Table table, const AnalyzedQuery& query);
+
 }  // namespace pctagg
 
 #endif  // PCTAGG_CORE_DATABASE_H_

@@ -267,15 +267,25 @@ struct LatticeLevel {
 // same tables bit for bit on integer measures, so they share cache entries.
 // Each level is looked up in / inserted into the summary cache under its own
 // mergeable recipe (unfiltered scans of the base table only).
+// When `finest_override` is non-null the finest level is not computed at all:
+// the caller already holds its partial table (e.g. the coordinator's merged
+// per-shard partials) and every coarser level rolls up from it. Requires
+// shared_scan (there is no fact table to rescan) and disables the cache.
 Result<std::vector<LatticeLevel>> ComputeLevels(
     const AnalyzedQuery& query, const Table& fact,
     const std::vector<std::vector<std::string>>& level_cols,
     const PartialSet& pset, SummaryCache* summaries, obs::QueryTrace* trace,
-    size_t dop, bool shared_scan) {
+    size_t dop, bool shared_scan,
+    std::shared_ptr<const Table> finest_override = nullptr) {
   const std::vector<AggSpec> specs = pset.Specs();
   const std::vector<AggSpec> combine = pset.CombineSpecs();
   const std::string rendered = RenderAggs(specs);
-  const bool cacheable = query.where == nullptr && summaries != nullptr;
+  const bool cacheable = query.where == nullptr && summaries != nullptr &&
+                         finest_override == nullptr;
+  if (finest_override != nullptr && !shared_scan) {
+    return Status::Internal(
+        "finest-override lattice requires shared-scan rollups");
+  }
 
   std::vector<LatticeLevel> out(level_cols.size());
   std::vector<size_t> order(level_cols.size());
@@ -319,13 +329,20 @@ Result<std::vector<LatticeLevel>> ComputeLevels(
     obs::TraceNode* node = nullptr;
     if (trace != nullptr) {
       std::string detail =
-          fused_path ? RenderStage("fused-scan:", cols, specs,
-                                   query.table_name, query.where)
-                     : "lattice-rollup: level " + LevelName(cols) + " from " +
-                           LevelName(src->cols);
+          fused_path
+              ? (finest_override != nullptr
+                     ? "merged-partials: level " + LevelName(cols)
+                     : RenderStage("fused-scan:", cols, specs,
+                                   query.table_name, query.where))
+              : "lattice-rollup: level " + LevelName(cols) + " from " +
+                    LevelName(src->cols);
       node = trace->root().AddChild(fused_path ? "fused" : "lattice", detail);
     }
     obs::ScopedTraceNode scope(node);
+    if (fused_path && finest_override != nullptr) {
+      out[li].table = finest_override;
+      continue;
+    }
     if (cached != nullptr) {
       obs::MarkCacheHit();
       out[li].table = std::move(cached);
@@ -495,12 +512,12 @@ Result<Table> AssembleVertical(const AnalyzedQuery& query,
 // grouping columns; blocks land in one result whose schema is the union
 // grouping columns (NULL where rolled away) + GROUPING() ids + the union of
 // all pivot columns + the extra aggregates.
-Result<Table> AssembleHorizontal(const AnalyzedQuery& query,
-                                 const std::vector<LatticeLevel>& levels,
-                                 size_t emitted_count,
-                                 const HorizontalPlan& plan,
-                                 const PartialSet& pset, size_t dop,
-                                 obs::QueryTrace* trace) {
+Result<Table> AssembleHorizontal(
+    const AnalyzedQuery& query, const std::vector<LatticeLevel>& levels,
+    const std::vector<std::vector<std::string>>& emitted_sets,
+    const HorizontalPlan& plan, const PartialSet& pset, size_t dop,
+    obs::QueryTrace* trace) {
+  const size_t emitted_count = emitted_sets.size();
   PivotOptions popt;
   popt.func = plan.pivot_func;
   popt.default_zero = plan.hterm->has_default;
@@ -517,7 +534,7 @@ Result<Table> AssembleHorizontal(const AnalyzedQuery& query,
   blocks.reserve(emitted_count);
   for (size_t li = 0; li < emitted_count; ++li) {
     const Table& t = *levels[li].table;
-    const std::vector<std::string>& set = query.grouping_sets[li];
+    const std::vector<std::string>& set = emitted_sets[li];
     LevelBlock b;
     b.set = &set;
     {
@@ -766,8 +783,8 @@ Result<Table> ExecuteLatticeQuery(const AnalyzedQuery& query, const Table& fact,
         std::vector<LatticeLevel> levels,
         ComputeLevels(query, fact, level_cols, pset, summaries, trace, dop,
                       shared_scan));
-    return AssembleHorizontal(query, levels, emitted_count, plan, pset, dop,
-                              trace);
+    return AssembleHorizontal(query, levels, query.grouping_sets, plan, pset,
+                              dop, trace);
   }
 
   PartialSet pset;
@@ -779,6 +796,225 @@ Result<Table> ExecuteLatticeQuery(const AnalyzedQuery& query, const Table& fact,
                     shared_scan));
   return AssembleVertical(query, levels, emitted_count, plans, pset, dop,
                           trace);
+}
+
+bool DistributedSupported(const AnalyzedQuery& query, std::string* why) {
+  auto fail = [why](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (query.has_grouping_sets) return LatticeSupported(query, why);
+  if (query.query_class == QueryClass::kProjection) {
+    return fail("projection queries have no distributive partials");
+  }
+  if (query.query_class == QueryClass::kWindow) {
+    return fail("window functions are not distributed");
+  }
+  size_t by_terms = 0;
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.func == TermFunc::kScalar || t.func == TermFunc::kGrouping) continue;
+    if (t.distinct) {
+      return fail("count(DISTINCT ...) is not distributive across shards");
+    }
+    if (t.func == TermFunc::kVpct) continue;
+    if (t.has_by) {
+      ++by_terms;
+      if (t.func == TermFunc::kAvg) {
+        return fail(
+            "avg(... BY ...) is not distributive across shards; use sum "
+            "and count terms instead");
+      }
+      if (t.func != TermFunc::kHpct && !TermAggFunc(t.func).ok()) {
+        return fail("unsupported horizontal aggregate for distributed "
+                    "execution");
+      }
+    } else if (!TermAggFunc(t.func).ok()) {
+      return fail("unsupported aggregate for distributed execution");
+    }
+  }
+  if (query.query_class == QueryClass::kHorizontal && by_terms != 1) {
+    return fail(
+        "distributed execution supports exactly one horizontal (BY) term "
+        "per statement");
+  }
+  return true;
+}
+
+Result<DistPartialPlan> BuildDistributedPartialPlan(
+    const AnalyzedQuery& query) {
+  std::string why;
+  if (!DistributedSupported(query, &why)) {
+    return Status::InvalidArgument("distributed: " + why);
+  }
+  PartialSet pset;
+  std::vector<std::string> by;
+  if (query.query_class == QueryClass::kHorizontal) {
+    HorizontalPlan hplan;
+    PCTAGG_RETURN_IF_ERROR(BuildHorizontalPartials(query, &pset, &hplan));
+    by = hplan.hterm->by_columns;
+  } else {
+    std::vector<TermPlan> plans;
+    PCTAGG_RETURN_IF_ERROR(BuildVerticalPartials(query, &pset, &plans));
+  }
+  DistPartialPlan plan;
+  plan.finest_cols = query.group_by;
+  plan.finest_cols.insert(plan.finest_cols.end(), by.begin(), by.end());
+  plan.partials = pset.Specs();
+  plan.combine = pset.CombineSpecs();
+
+  std::vector<std::string> cols = plan.finest_cols;
+  for (const AggSpec& a : plan.partials) {
+    std::string arg = a.func == AggFunc::kCountStar ? "*" : a.input->ToString();
+    cols.push_back(std::string(AggFuncName(a.func)) + "(" + arg + ") AS " +
+                   a.output_name);
+  }
+  plan.partial_sql = "SELECT " + Join(cols, ", ") + " FROM " + query.table_name;
+  if (query.where != nullptr) {
+    plan.partial_sql += " WHERE " + query.where->ToString();
+  }
+  if (!plan.finest_cols.empty()) {
+    plan.partial_sql += " GROUP BY " + Join(plan.finest_cols, ", ");
+  }
+  return plan;
+}
+
+Result<Table> AssembleFromPartials(const AnalyzedQuery& query,
+                                   std::shared_ptr<const Table> finest,
+                                   obs::QueryTrace* trace, size_t dop) {
+  std::string why;
+  if (!DistributedSupported(query, &why)) {
+    return Status::InvalidArgument("distributed: " + why);
+  }
+  const Table no_fact;  // never scanned: the finest level is the override
+  const std::vector<std::vector<std::string>> emitted =
+      query.has_grouping_sets
+          ? query.grouping_sets
+          : std::vector<std::vector<std::string>>{query.group_by};
+  const std::vector<std::vector<std::string>> sets =
+      query.has_grouping_sets ? LevelsWithFinest(query) : emitted;
+
+  if (query.query_class == QueryClass::kHorizontal) {
+    PartialSet pset;
+    HorizontalPlan plan;
+    PCTAGG_RETURN_IF_ERROR(BuildHorizontalPartials(query, &pset, &plan));
+    std::vector<std::vector<std::string>> level_cols;
+    level_cols.reserve(sets.size());
+    for (const std::vector<std::string>& s : sets) {
+      std::vector<std::string> cols = s;
+      cols.insert(cols.end(), plan.hterm->by_columns.begin(),
+                  plan.hterm->by_columns.end());
+      level_cols.push_back(std::move(cols));
+    }
+    PCTAGG_ASSIGN_OR_RETURN(
+        std::vector<LatticeLevel> levels,
+        ComputeLevels(query, no_fact, level_cols, pset, nullptr, trace, dop,
+                      /*shared_scan=*/true, std::move(finest)));
+    return AssembleHorizontal(query, levels, emitted, plan, pset, dop, trace);
+  }
+
+  PartialSet pset;
+  std::vector<TermPlan> plans;
+  PCTAGG_RETURN_IF_ERROR(BuildVerticalPartials(query, &pset, &plans));
+  PCTAGG_ASSIGN_OR_RETURN(
+      std::vector<LatticeLevel> levels,
+      ComputeLevels(query, no_fact, sets, pset, nullptr, trace, dop,
+                    /*shared_scan=*/true, std::move(finest)));
+  return AssembleVertical(query, levels, emitted.size(), plans, pset, dop,
+                          trace);
+}
+
+Result<Table> AnswerFromCachedAncestor(const AnalyzedQuery& query,
+                                       SummaryCache* summaries,
+                                       obs::QueryTrace* trace, size_t dop,
+                                       bool* answered) {
+  *answered = false;
+  Table none;
+  if (summaries == nullptr || query.has_grouping_sets ||
+      query.where != nullptr ||
+      query.query_class != QueryClass::kVertical) {
+    return none;
+  }
+  for (const AnalyzedTerm& t : query.terms) {
+    if (t.distinct) return none;
+  }
+  PartialSet pset;
+  std::vector<TermPlan> plans;
+  if (!BuildVerticalPartials(query, &pset, &plans).ok()) return none;
+
+  // Identify partials by the same (func, argument) rendering PartialSet
+  // dedups on, so a recipe written by any planner matches.
+  auto render_key = [](AggFunc func, const ExprPtr& arg) {
+    return std::string(AggFuncName(func)) + "(" +
+           (func == AggFunc::kCountStar ? "*" : arg->ToString()) + ")";
+  };
+  const std::vector<SummaryCache::AncestorCandidate> candidates =
+      summaries->MergeableEntriesFor(query.table_name);
+  const SummaryCache::AncestorCandidate* best = nullptr;
+  std::vector<AggSpec> best_rollup;
+  for (const SummaryCache::AncestorCandidate& cand : candidates) {
+    if (!Subsumes(cand.recipe.group_by, query.group_by)) continue;
+    std::vector<AggSpec> rollup;
+    bool complete = true;
+    for (const Partial& p : pset.partials()) {
+      const std::string want = render_key(p.spec.func, p.spec.input);
+      const AggSpec* found = nullptr;
+      for (const AggSpec& a : cand.recipe.aggs) {
+        if (render_key(a.func, a.input) == want) {
+          found = &a;
+          break;
+        }
+      }
+      if (found == nullptr) {
+        complete = false;
+        break;
+      }
+      rollup.push_back(
+          {p.combine, Col(found->output_name), p.spec.output_name});
+    }
+    if (!complete) continue;
+    if (best == nullptr ||
+        cand.summary->num_rows() < best->summary->num_rows()) {
+      best = &cand;
+      best_rollup = std::move(rollup);
+    }
+  }
+  if (best == nullptr) return none;
+
+  obs::TraceNode* node =
+      trace != nullptr
+          ? trace->root().AddChild(
+                "cache", "cache-ancestor-rollup: level " +
+                             LevelName(query.group_by) + " from cached " +
+                             LevelName(best->recipe.group_by))
+          : nullptr;
+  {
+    obs::ScopedTraceNode scope(node);
+    obs::MarkCacheHit();
+  }
+  // Count the hit and refresh the LRU position of the entry actually used.
+  summaries->Lookup(best->key);
+
+  PCTAGG_ASSIGN_OR_RETURN(
+      Table finest,
+      HashAggregate(*best->summary, query.group_by, best_rollup, dop));
+  if (query.group_by.empty() && best->summary->num_rows() == 0) {
+    // Same patch as the lattice rollup: the global row's count partials come
+    // back NULL from an empty source where a direct scan emits 0.
+    for (size_t a = 0; a < best_rollup.size(); ++a) {
+      if (!pset.partials()[a].count_typed || !finest.column(a).IsNull(0)) {
+        continue;
+      }
+      PCTAGG_RETURN_IF_ERROR(
+          finest.mutable_column(a).SetValue(0, Value::Int64(0)));
+    }
+  }
+  std::vector<LatticeLevel> levels(1);
+  levels[0].cols = query.group_by;
+  levels[0].table = std::make_shared<Table>(std::move(finest));
+  PCTAGG_ASSIGN_OR_RETURN(
+      Table out, AssembleVertical(query, levels, 1, plans, pset, dop, trace));
+  *answered = true;
+  return out;
 }
 
 std::string RenderLatticeScript(const AnalyzedQuery& query, bool shared_scan) {

@@ -1,7 +1,9 @@
 #ifndef PCTAGG_CORE_LATTICE_PLAN_H_
 #define PCTAGG_CORE_LATTICE_PLAN_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/summary_cache.h"
@@ -51,6 +53,57 @@ Result<Table> ExecuteLatticeQuery(const AnalyzedQuery& query, const Table& fact,
 // pseudo-statement per level (fused scan or rollup source) plus the assembly
 // note.
 std::string RenderLatticeScript(const AnalyzedQuery& query, bool shared_scan);
+
+// --- Distributed partial aggregation (docs/SHARDING.md) ---------------------
+//
+// A sharded query is the lattice machinery run across processes: every
+// supported query — plain vertical, Vpct, horizontal, or grouping sets — is
+// treated as a (possibly single-level) lattice whose finest level is the
+// union of grouped columns (+ the BY columns for horizontal terms). Each
+// shard computes the finest-level distributive partials over its rows; the
+// coordinator merges the per-shard partial tables (MergeSummaries with the
+// translating KeyEncoder) and assembles percentages exactly as the
+// single-node lattice assembles from its fused scan.
+
+// True when `query` decomposes into distributive partials that merge across
+// shards; otherwise `*why` (when non-null) receives the reason. Grouping-set
+// queries defer to LatticeSupported; count(DISTINCT) and window terms are
+// never distributable.
+bool DistributedSupported(const AnalyzedQuery& query,
+                          std::string* why = nullptr);
+
+// The worker-side request for one query: the finest grouping level, the
+// deduplicated partial aggregates (named __l1, __l2, ...), the merge spec
+// for gathered partials, and the rendered partial-aggregation SELECT each
+// shard executes locally (a plain GROUP BY statement).
+struct DistPartialPlan {
+  std::vector<std::string> finest_cols;
+  std::vector<AggSpec> partials;
+  std::vector<AggSpec> combine;
+  std::string partial_sql;
+};
+Result<DistPartialPlan> BuildDistributedPartialPlan(const AnalyzedQuery& query);
+
+// Final coordinator-side step: rolls coarser lattice levels up from the
+// merged finest-level partial table and assembles the percentage result
+// (divide / pivot / GROUPING ids), bit-identical to the single-node path on
+// integer measures. The caller applies HAVING/ORDER BY/LIMIT.
+Result<Table> AssembleFromPartials(const AnalyzedQuery& query,
+                                   std::shared_ptr<const Table> finest,
+                                   obs::QueryTrace* trace, size_t dop);
+
+// Partial-lattice reuse for plain GROUP BY queries (no grouping sets in the
+// statement): when the summary cache holds a mergeable entry whose grouping
+// subsumes the query's and whose recipe covers every needed partial, answer
+// by rolling the smallest such ancestor up instead of rescanning the fact
+// table. Row order and values match the direct computation exactly
+// (first-seen group order survives rollups). `*answered` reports whether a
+// cached ancestor was found; when false the returned table is empty and the
+// caller runs the normal scan path.
+Result<Table> AnswerFromCachedAncestor(const AnalyzedQuery& query,
+                                       SummaryCache* summaries,
+                                       obs::QueryTrace* trace, size_t dop,
+                                       bool* answered);
 
 }  // namespace pctagg
 

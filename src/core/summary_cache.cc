@@ -189,6 +189,19 @@ std::vector<SummaryCache::PendingMerge> SummaryCache::BeginAppend(
   return pending;
 }
 
+std::vector<SummaryCache::AncestorCandidate> SummaryCache::MergeableEntriesFor(
+    const std::string& base_table) const {
+  std::string lowered = ToLower(base_table);
+  std::vector<AncestorCandidate> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, entry] : entries_) {
+    if (entry.base_table != lowered) continue;
+    if (!entry.has_recipe || !RecipeIsMergeable(entry.recipe)) continue;
+    out.push_back(AncestorCandidate{key, entry.summary, entry.recipe});
+  }
+  return out;
+}
+
 bool SummaryCache::CompleteMerge(const PendingMerge& pending,
                                  const Table& merged) {
   auto snapshot = std::make_shared<const Table>(merged);

@@ -110,6 +110,23 @@ class SummaryCache {
   std::vector<PendingMerge> BeginAppend(const std::string& base_table,
                                         size_t* dropped = nullptr);
 
+  // One live mergeable entry derived from a base table, as seen by the
+  // partial-lattice planner: answer a plain GROUP BY by rolling up the
+  // smallest cached ancestor whose grouping subsumes the query's.
+  struct AncestorCandidate {
+    std::string key;
+    std::shared_ptr<const Table> summary;
+    SummaryRecipe recipe;
+  };
+
+  // Snapshot of every entry derived from `base_table` that carries a
+  // mergeable recipe (distributive partials only — exactly the entries whose
+  // rollup to a coarser grouping equals a recompute). Refreshes no LRU
+  // positions and counts no hits; the caller reports a hit on the entry it
+  // actually uses by calling Lookup on its key.
+  std::vector<AncestorCandidate> MergeableEntriesFor(
+      const std::string& base_table) const;
+
   // Re-inserts a delta-merged summary checked out by BeginAppend. The entry
   // lands iff the table is still at `pending.target_generation` and no
   // fresher fill claimed the key meanwhile (per-entry generations: a lookup

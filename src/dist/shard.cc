@@ -1,0 +1,86 @@
+#include "dist/shard.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "engine/column.h"
+
+namespace pctagg {
+namespace dist {
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed 64-bit integer hash.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<std::vector<Table>> HashPartitionTable(const Table& input,
+                                              const std::string& key_column,
+                                              size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("HashPartitionTable: zero shards");
+  }
+  int key_idx = -1;
+  for (size_t c = 0; c < input.num_columns(); ++c) {
+    if (EqualsIgnoreCase(input.schema().column(c).name, key_column)) {
+      key_idx = static_cast<int>(c);
+      break;
+    }
+  }
+  if (key_idx < 0) {
+    return Status::InvalidArgument("SHARD: no such column: " + key_column);
+  }
+
+  std::vector<Table> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) shards.emplace_back(input.schema());
+
+  const Column& key = input.column(static_cast<size_t>(key_idx));
+  const size_t n = input.num_rows();
+  for (size_t row = 0; row < n; ++row) {
+    size_t target = 0;  // NULL keys all land in shard 0
+    if (!key.IsNull(row)) {
+      uint64_t h = 0;
+      switch (key.type()) {
+        case DataType::kInt64:
+          h = Mix64(static_cast<uint64_t>(key.Int64At(row)));
+          break;
+        case DataType::kFloat64: {
+          // Hash the bit pattern; canonicalize -0.0 so it shards with +0.0.
+          double v = key.Float64At(row);
+          if (v == 0.0) v = 0.0;
+          uint64_t bits;
+          std::memcpy(&bits, &v, sizeof(bits));
+          h = Mix64(bits);
+          break;
+        }
+        case DataType::kString:
+          // Hash the payload, not the dictionary code: codes depend on
+          // insert order, which differs per shard after reloads.
+          h = Fnv1a(key.StringAt(row));
+          break;
+      }
+      target = static_cast<size_t>(h % num_shards);
+    }
+    shards[target].AppendRowFrom(input, row);
+  }
+  return shards;
+}
+
+}  // namespace dist
+}  // namespace pctagg

@@ -1,21 +1,102 @@
 #include "server/client.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "common/string_util.h"
 
 namespace pctagg {
+
+namespace {
+
+void SetSocketDeadlines(int fd, uint64_t io_timeout_ms) {
+  if (io_timeout_ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(io_timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((io_timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// Connect with a deadline: non-blocking connect, poll for writability, read
+// SO_ERROR, then restore blocking mode. `timeout_ms` 0 = plain blocking
+// connect.
+Status ConnectFd(int fd, const sockaddr* addr, socklen_t addrlen,
+                 uint64_t timeout_ms) {
+  if (timeout_ms == 0) {
+    if (::connect(fd, addr, addrlen) == 0) return Status::OK();
+    return Status(StatusCode::kUnavailable,
+                  std::string("connect: ") + std::strerror(errno));
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  Status status = Status::OK();
+  if (::connect(fd, addr, addrlen) != 0) {
+    if (errno != EINPROGRESS) {
+      status = Status(StatusCode::kUnavailable,
+                      std::string("connect: ") + std::strerror(errno));
+    } else {
+      pollfd pfd{fd, POLLOUT, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        status = Status(StatusCode::kTimeout, "connect: timed out");
+      } else if (rc < 0) {
+        status = Status::Internal(std::string("poll: ") + std::strerror(errno));
+      } else {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+          status = Status(StatusCode::kUnavailable,
+                          std::string("connect: ") + std::strerror(err));
+        }
+      }
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return status;
+}
+
+bool IsTransportFailure(const Status& status) {
+  // Transport-level breakage worth a reconnect: closed/reset sockets surface
+  // as kNotFound ("connection closed") or kInternal (send/recv errno), socket
+  // deadlines as kTimeout, refused dials as kUnavailable. Anything a *server*
+  // reports travels inside an ok() transport result and never lands here.
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+    case StatusCode::kInternal:
+    case StatusCode::kTimeout:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 PctClient& PctClient::operator=(PctClient&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
     reader_ = std::move(other.reader_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    options_ = other.options_;
     other.fd_ = -1;
   }
   return *this;
@@ -29,7 +110,8 @@ void PctClient::Close() {
   reader_.reset();
 }
 
-Result<PctClient> PctClient::Connect(const std::string& host, int port) {
+Result<int> PctClient::DialOnce(const std::string& host, int port,
+                                uint64_t attempt_timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -47,26 +129,61 @@ Result<PctClient> PctClient::Connect(const std::string& host, int port) {
       last = Status::Internal(std::string("socket: ") + std::strerror(errno));
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+    Status status = ConnectFd(fd, ai->ai_addr, ai->ai_addrlen,
+                              attempt_timeout_ms);
+    if (status.ok()) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       ::freeaddrinfo(found);
-      return PctClient(fd);
+      return fd;
     }
-    last = Status(StatusCode::kUnavailable,
-                  std::string("connect: ") + std::strerror(errno));
+    last = status;
     ::close(fd);
   }
   ::freeaddrinfo(found);
   return last;
 }
 
-Result<WireResponse> PctClient::Call(RequestVerb verb,
-                                     const std::string& payload) {
-  if (!connected()) {
-    return Status::InvalidArgument("client not connected");
+Result<PctClient> PctClient::Connect(const std::string& host, int port) {
+  return Connect(host, port, ConnectOptions{});
+}
+
+Result<PctClient> PctClient::Connect(const std::string& host, int port,
+                                     const ConnectOptions& options) {
+  uint64_t backoff = options.backoff_initial_ms;
+  Status last = Status::InvalidArgument("connect: attempts must be >= 1");
+  int attempts = options.attempts < 1 ? 1 : options.attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, options.backoff_max_ms);
+    }
+    Result<int> fd = DialOnce(host, port, options.attempt_timeout_ms);
+    if (fd.ok()) {
+      SetSocketDeadlines(fd.value(), options.io_timeout_ms);
+      PctClient client(fd.value());
+      client.host_ = host;
+      client.port_ = port;
+      client.options_ = options;
+      return client;
+    }
+    last = fd.status();
   }
-  PCTAGG_RETURN_IF_ERROR(WriteAll(fd_, EncodeRequest({verb, payload})));
+  return last;
+}
+
+Status PctClient::Reconnect() {
+  if (host_.empty()) {
+    return Status::InvalidArgument("client has no remembered endpoint");
+  }
+  Close();
+  Result<PctClient> fresh = Connect(host_, port_, options_);
+  if (!fresh.ok()) return fresh.status();
+  *this = std::move(fresh.value());
+  return Status::OK();
+}
+
+Result<WireResponse> PctClient::ReadResponse() {
   PCTAGG_ASSIGN_OR_RETURN(std::string header, reader_->ReadLine());
   size_t body_bytes = 0;
   PCTAGG_ASSIGN_OR_RETURN(WireResponse resp,
@@ -75,6 +192,51 @@ Result<WireResponse> PctClient::Call(RequestVerb verb,
     PCTAGG_ASSIGN_OR_RETURN(resp.body, reader_->ReadBytes(body_bytes));
   }
   return resp;
+}
+
+Result<WireResponse> PctClient::Call(RequestVerb verb,
+                                     const std::string& payload) {
+  if (!connected()) {
+    return Status::InvalidArgument("client not connected");
+  }
+  PCTAGG_RETURN_IF_ERROR(WriteAll(fd_, EncodeRequest({verb, payload})));
+  return ReadResponse();
+}
+
+Result<WireResponse> PctClient::CallWithRetry(RequestVerb verb,
+                                              const std::string& payload,
+                                              int attempts, int* retries) {
+  if (retries != nullptr) *retries = 0;
+  if (attempts < 1) attempts = 1;
+  Result<WireResponse> last = Status::Internal("call never attempted");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // The old socket is suspect after any transport failure: re-dial (the
+      // dial loop carries its own backoff) before resending.
+      Status rc = Reconnect();
+      if (!rc.ok()) {
+        last = rc;
+        continue;
+      }
+      if (retries != nullptr) ++*retries;
+    }
+    last = Call(verb, payload);
+    if (last.ok()) return last;
+    if (!IsTransportFailure(last.status())) return last;
+  }
+  return last;
+}
+
+Result<WireResponse> PctClient::ShardData(const std::string& table,
+                                          const std::string& bytes) {
+  if (!connected()) {
+    return Status::InvalidArgument("client not connected");
+  }
+  std::string frame =
+      StrFormat("SHARDDATA %s %zu\n", table.c_str(), bytes.size());
+  PCTAGG_RETURN_IF_ERROR(WriteAll(fd_, frame));
+  PCTAGG_RETURN_IF_ERROR(WriteAll(fd_, bytes));
+  return ReadResponse();
 }
 
 }  // namespace pctagg

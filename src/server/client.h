@@ -1,6 +1,7 @@
 #ifndef PCTAGG_SERVER_CLIENT_H_
 #define PCTAGG_SERVER_CLIENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -9,13 +10,33 @@
 
 namespace pctagg {
 
+// Connection establishment policy. The defaults are the historical behavior:
+// one attempt, blocking connect, no socket deadlines. The coordinator's
+// worker links turn all three knobs on (docs/SHARDING.md): a refused or
+// unreachable worker is retried with bounded exponential backoff instead of
+// surfacing a hard error on the first RST.
+struct ConnectOptions {
+  // Total dial attempts (>= 1). Between attempts the dialer sleeps
+  // backoff_initial_ms, doubling up to backoff_max_ms.
+  int attempts = 1;
+  uint64_t backoff_initial_ms = 50;
+  uint64_t backoff_max_ms = 2000;
+  // Per-attempt connect deadline (non-blocking connect + poll); 0 keeps the
+  // OS default blocking connect.
+  uint64_t attempt_timeout_ms = 0;
+  // SO_RCVTIMEO/SO_SNDTIMEO on the established socket, so a hung peer turns
+  // into a typed kTimeout instead of a stuck thread; 0 = no deadline.
+  uint64_t io_timeout_ms = 0;
+};
+
 // Client side of PctProtocol: one blocking TCP connection, one outstanding
-// request at a time. Used by tools/pctagg_client, the shell's .remote mode
-// and the server-throughput benchmark.
+// request at a time. Used by tools/pctagg_client, the shell's .remote mode,
+// the server-throughput benchmark, and the distributed coordinator's
+// persistent worker links.
 //
 // A Call() that returns ok() carries the *server's* answer, which may itself
 // be a typed error (response.status); a non-ok Result means the transport
-// failed and the connection should be abandoned.
+// failed and the connection should be abandoned (or Reconnect()ed).
 class PctClient {
  public:
   PctClient() = default;
@@ -28,11 +49,33 @@ class PctClient {
 
   // `host` is an IPv4 literal or name resolvable via getaddrinfo.
   static Result<PctClient> Connect(const std::string& host, int port);
+  static Result<PctClient> Connect(const std::string& host, int port,
+                                   const ConnectOptions& options);
+
+  // Re-dials the remembered endpoint with the remembered ConnectOptions
+  // (including backoff), replacing the current socket.
+  Status Reconnect();
 
   bool connected() const { return fd_ >= 0; }
   void Close();
 
   Result<WireResponse> Call(RequestVerb verb, const std::string& payload);
+
+  // Call() that survives transport failures: on a transport error (broken
+  // pipe, refused reconnect, socket timeout) it re-dials the endpoint with
+  // backoff and resends, up to `attempts` total sends. Only safe for
+  // idempotent requests — the server may have executed a request whose
+  // response was lost. A server-reported ERR is returned as-is, never
+  // retried. Returns the number of resends performed via `*retries` when
+  // non-null.
+  Result<WireResponse> CallWithRetry(RequestVerb verb,
+                                     const std::string& payload, int attempts,
+                                     int* retries = nullptr);
+
+  // SHARDDATA — the one verb with a request body: sends the header line plus
+  // `bytes` raw (serde-encoded table) bytes, then reads a normal response.
+  Result<WireResponse> ShardData(const std::string& table,
+                                 const std::string& bytes);
 
   Result<WireResponse> Query(const std::string& sql) {
     return Call(RequestVerb::kQuery, sql);
@@ -48,8 +91,17 @@ class PctClient {
   explicit PctClient(int fd)
       : fd_(fd), reader_(std::make_unique<LineReader>(fd)) {}
 
+  // One dial attempt (no retry loop).
+  static Result<int> DialOnce(const std::string& host, int port,
+                              uint64_t attempt_timeout_ms);
+  Result<WireResponse> ReadResponse();
+
   int fd_ = -1;
   std::unique_ptr<LineReader> reader_;
+  // Endpoint + policy remembered for Reconnect()/CallWithRetry().
+  std::string host_;
+  int port_ = 0;
+  ConnectOptions options_;
 };
 
 }  // namespace pctagg

@@ -21,7 +21,7 @@ struct VerbEntry {
   RequestVerb verb;
 };
 
-constexpr std::array<VerbEntry, 14> kVerbs = {{
+constexpr std::array<VerbEntry, 17> kVerbs = {{
     {"QUERY", RequestVerb::kQuery},
     {"APPEND", RequestVerb::kAppend},
     {"EXPLAIN", RequestVerb::kExplain},
@@ -36,6 +36,9 @@ constexpr std::array<VerbEntry, 14> kVerbs = {{
     {"STATS", RequestVerb::kStats},
     {"PING", RequestVerb::kPing},
     {"QUIT", RequestVerb::kQuit},
+    {"SHARD", RequestVerb::kShard},
+    {"PARTIAL", RequestVerb::kPartial},
+    {"SHARDDATA", RequestVerb::kShardData},
 }};
 
 }  // namespace
@@ -213,6 +216,11 @@ Status LineReader::Fill() {
     n = ::recv(fd_, chunk, sizeof(chunk), 0);
   } while (n < 0 && errno == EINTR);
   if (n < 0) {
+    // SO_RCVTIMEO expiry: surface the socket deadline as a typed timeout so
+    // retry policies can tell a hung peer from a protocol bug.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status(StatusCode::kTimeout, "recv: timed out");
+    }
     return Status::Internal(std::string("recv: ") + std::strerror(errno));
   }
   if (n == 0) {

@@ -40,6 +40,15 @@ enum class RequestVerb {
   kStats,    // STATS             process-wide metrics, Prometheus text format
   kPing,     // PING              liveness check, empty OK
   kQuit,     // QUIT              close the session
+  // Distributed execution (docs/SHARDING.md). SHARD is client -> coordinator;
+  // PARTIAL and SHARDDATA are coordinator -> worker.
+  kShard,      // SHARD <table> <column>   hash-partition a table across workers
+  kPartial,    // PARTIAL <dop> <sql>      run a partial-aggregation SELECT at
+               //                          the given dop; body is the result
+               //                          table in storage/serde encoding
+  kShardData,  // SHARDDATA <table> <nbytes>\n<bytes>  install one shard of a
+               //                          table (serde-encoded request body —
+               //                          the only verb with a request body)
 };
 
 const char* VerbName(RequestVerb verb);

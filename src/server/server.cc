@@ -16,6 +16,8 @@
 #include "common/string_util.h"
 #include "engine/csv.h"
 #include "obs/metrics.h"
+#include "sql/parser.h"
+#include "storage/serde.h"
 #include "workload/generators.h"
 
 namespace pctagg {
@@ -162,6 +164,10 @@ void PctServer::HandleConnection(int fd) {
     Result<WireRequest> request = DecodeRequestLine(*line);
     if (!request.ok()) {
       resp.status = request.status();
+    } else if (request->verb == RequestVerb::kShardData) {
+      // The one verb with a request body: the body must be read from this
+      // connection's reader before anything else touches the stream.
+      resp = HandleShardData(&session, *request, &reader, &quit);
     } else {
       resp = HandleRequest(&session, *request, &quit);
     }
@@ -184,8 +190,46 @@ WireResponse PctServer::RunStatement(Session* session, const std::string& sql,
   std::shared_ptr<obs::QueryTrace> trace;
   if (session->trace_enabled()) trace = std::make_shared<obs::QueryTrace>();
   Stopwatch timer;
-  Result<Table> result =
-      executor_.ExecuteStatement(sql, options, session->timeout_ms(), trace);
+  Result<Table> result = Table();
+  bool routed = false;
+  if (config_.router != nullptr) {
+    // Offer the statement to the distributed router first, under the same
+    // executor admission a local statement would get: distributed SELECTs
+    // only read the local stub catalog, while a routed DROP (or the
+    // rejection of a write on a sharded table) takes the exclusive path.
+    Result<ParsedStatement> kind = ParseStatementKind(sql);
+    const bool exclusive =
+        kind.ok() && (kind->kind == ParsedStatement::Kind::kDrop ||
+                      kind->kind == ParsedStatement::Kind::kInsert ||
+                      kind->kind == ParsedStatement::Kind::kCopy);
+    // Shared with the worker lambda for the same outlive-on-timeout reason
+    // as `trace` above.
+    auto routed_table = std::make_shared<std::optional<Table>>();
+    auto run = [router = config_.router, routed_table, sql, options,
+                trace]() -> Status {
+      QueryOptions opts = options;
+      opts.trace = trace ? trace.get() : nullptr;
+      Result<std::optional<Table>> r =
+          router->MaybeExecute(sql, opts, opts.trace);
+      if (!r.ok()) return r.status();
+      *routed_table = std::move(*r);
+      return Status::OK();
+    };
+    Status st = exclusive
+                    ? executor_.ExecuteWrite(run, session->timeout_ms())
+                    : executor_.ExecuteRead(run, session->timeout_ms());
+    if (!st.ok()) {
+      routed = true;
+      result = st;
+    } else if (routed_table->has_value()) {
+      routed = true;
+      result = std::move(**routed_table);
+    }
+  }
+  if (!routed) {
+    result =
+        executor_.ExecuteStatement(sql, options, session->timeout_ms(), trace);
+  }
   resp.micros = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
   QueryLatencyHistogram().Observe(resp.micros);
   session->RecordQuery(resp.micros, result.ok());
@@ -200,6 +244,61 @@ WireResponse PctServer::RunStatement(Session* session, const std::string& sql,
     trace->total_ms = static_cast<double>(resp.micros) / 1000.0;
     resp.body += "-- trace\n";
     resp.body += trace->Render();
+  }
+  return resp;
+}
+
+WireResponse PctServer::HandleShardData(Session* session,
+                                        const WireRequest& request,
+                                        LineReader* reader, bool* quit) {
+  WireResponse resp;
+  std::istringstream in(request.payload);
+  std::string table, nbytes_word;
+  in >> table >> nbytes_word;
+  if (table.empty() || !IsInteger(nbytes_word)) {
+    // The body length is unknown, so the stream cannot be resynchronized;
+    // answer and hang up.
+    resp.status = Status::InvalidArgument(
+        "SHARDDATA expects: SHARDDATA <table> <nbytes>");
+    *quit = true;
+    return resp;
+  }
+  const uint64_t nbytes = std::strtoull(nbytes_word.c_str(), nullptr, 10);
+  if (nbytes > kMaxBodyBytes) {
+    resp.status = Status::LimitExceeded(
+        StrFormat("SHARDDATA body of %llu bytes exceeds the %zu-byte cap",
+                  (unsigned long long)nbytes, kMaxBodyBytes));
+    *quit = true;
+    return resp;
+  }
+  // Consume the body unconditionally from here on: any validation error
+  // below must leave the stream positioned at the next frame line.
+  Result<std::string> body = reader->ReadBytes(static_cast<size_t>(nbytes));
+  if (!body.ok()) {
+    resp.status = body.status();
+    *quit = true;
+    return resp;
+  }
+  storage::ByteReader bytes(*body);
+  Result<Table> decoded = storage::DecodeTable(&bytes);
+  if (!decoded.ok()) {
+    resp.status = decoded.status();
+    return resp;
+  }
+  const size_t rows = decoded->num_rows();
+  auto shard = std::make_shared<Table>(std::move(*decoded));
+  Stopwatch timer;
+  Status st = executor_.ExecuteWrite(
+      [this, table, shard]() -> Status {
+        return db_->ReplaceTable(table, std::move(*shard));
+      },
+      session->timeout_ms());
+  resp.micros = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+  if (!st.ok()) {
+    resp.status = st;
+  } else {
+    resp.body = StrFormat("installed shard of %s: %zu rows\n", table.c_str(),
+                          rows);
   }
   return resp;
 }
@@ -302,6 +401,9 @@ WireResponse PctServer::HandleRequest(Session* session,
             (unsigned long long)sm.wal_fsyncs());
       } else {
         resp.body += "storage: none (in-memory only)\n";
+      }
+      if (config_.router != nullptr) {
+        resp.body += "dist: " + config_.router->Describe() + "\n";
       }
       return resp;
     }
@@ -449,6 +551,72 @@ WireResponse PctServer::HandleRequest(Session* session,
       resp.body = metrics.RenderPrometheus();
       return resp;
     }
+    case RequestVerb::kShard: {
+      std::istringstream in(request.payload);
+      std::string table, column;
+      in >> table >> column;
+      if (table.empty() || column.empty()) {
+        resp.status =
+            Status::InvalidArgument("SHARD expects: SHARD <table> <column>");
+        return resp;
+      }
+      if (config_.router == nullptr) {
+        resp.status = Status::InvalidArgument(
+            "SHARD: this server has no workers configured (--worker)");
+        return resp;
+      }
+      Stopwatch timer;
+      Status st = executor_.ExecuteWrite(
+          [router = config_.router, table, column]() -> Status {
+            return router->ShardTable(table, column);
+          },
+          session->timeout_ms());
+      resp.micros = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+      if (!st.ok()) {
+        resp.status = st;
+      } else {
+        resp.body = StrFormat("sharded %s on %s: %s\n", table.c_str(),
+                              column.c_str(),
+                              config_.router->Describe().c_str());
+      }
+      return resp;
+    }
+    case RequestVerb::kPartial: {
+      // PARTIAL <dop> <sql> — the dop rides in the payload (not session
+      // state) so a coordinator resend after a reconnect is self-contained.
+      const size_t space = request.payload.find(' ');
+      const std::string dop_word = request.payload.substr(0, space);
+      if (space == std::string::npos || !IsInteger(dop_word)) {
+        resp.status =
+            Status::InvalidArgument("PARTIAL expects: PARTIAL <dop> <sql>");
+        return resp;
+      }
+      QueryOptions options = session->query_options();
+      options.degree_of_parallelism = static_cast<size_t>(
+          std::strtoull(dop_word.c_str(), nullptr, 10));
+      const std::string sql = request.payload.substr(space + 1);
+      Stopwatch timer;
+      Result<Table> result =
+          executor_.ExecuteStatement(sql, options, session->timeout_ms(),
+                                     /*trace=*/nullptr);
+      resp.micros = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+      QueryLatencyHistogram().Observe(resp.micros);
+      session->RecordQuery(resp.micros, result.ok());
+      if (!result.ok()) {
+        resp.status = result.status();
+        return resp;
+      }
+      resp.rows = result->num_rows();
+      resp.cols = result->num_columns();
+      // Binary serde body instead of CSV: the coordinator needs the exact
+      // column types and dictionary payloads to merge partials losslessly.
+      storage::EncodeTable(*result, &resp.body);
+      return resp;
+    }
+    case RequestVerb::kShardData:
+      // Handled in HandleConnection (needs the connection's LineReader).
+      resp.status = Status::Internal("SHARDDATA dispatched without a reader");
+      return resp;
     case RequestVerb::kPing:
       resp.body = "pong\n";
       return resp;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "server/dist_router.h"
 #include "server/executor.h"
 #include "server/protocol.h"
 #include "server/session.h"
@@ -26,6 +27,11 @@ struct ServerConfig {
   // with SET timeout_ms). 0 = no deadline.
   uint64_t default_timeout_ms = 30000;
   int listen_backlog = 64;
+  // When set, the server is a coordinator: every statement is offered to the
+  // router first (sharded tables execute scatter/gather; everything else
+  // falls through to the local database) and SHARD becomes available. Not
+  // owned; must outlive the server. See docs/SHARDING.md.
+  DistRouter* router = nullptr;
 };
 
 // The pctagg query service: a TCP listener speaking PctProtocol, one
@@ -59,6 +65,11 @@ class PctServer {
                              bool* quit);
   WireResponse RunStatement(Session* session, const std::string& sql,
                             bool olap_baseline);
+  // SHARDDATA carries the only request body; it is read from the
+  // connection's own LineReader, so the handler lives outside HandleRequest.
+  // Sets `*quit` when the frame is too malformed to keep the stream in sync.
+  WireResponse HandleShardData(Session* session, const WireRequest& request,
+                               LineReader* reader, bool* quit);
 
   PctDatabase* db_;
   ServerConfig config_;

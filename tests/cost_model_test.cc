@@ -160,6 +160,34 @@ TEST(CostModelTest, EstimateStatsFromData) {
   EXPECT_FALSE(model.EstimateStats(t, {"nope"}, {}, {}).ok());
 }
 
+// Distributed fan-out economics: on a scan-bound fact the 4-shard plan
+// beats the single-node scan, more shards keep helping while scans dominate,
+// and when the partial table is nearly as large as the fact (high group
+// cardinality) the network/merge terms make fan-out a loss. This crossover
+// is what EXPLAIN ANALYZE's "predicted costs" line shows on sharded tables.
+TEST(CostModelTest, DistributedCostCrossover) {
+  CostModel model;
+  FactStats scan_bound = BigSalesStats();
+  scan_bound.group_cardinality = 70;  // dweek x stateId: tiny partials
+  scan_bound.dop = 1;
+  const double single = model.FusedVpctCost(scan_bound);
+  const double four = model.DistributedCost(scan_bound, 4, 1, 3);
+  EXPECT_LT(four, single);
+  EXPECT_GT(single / four, 2.0);  // the bench_shard acceptance floor
+  // More shards shrink the scan term further (merge stays negligible here).
+  EXPECT_LT(model.DistributedCost(scan_bound, 8, 1, 3), four);
+  // Worker-side dop multiplies into the scan term too.
+  EXPECT_LT(model.DistributedCost(scan_bound, 4, 4, 3), four);
+
+  // Merge-bound shape: every row its own group, so each shard ships a
+  // partial as big as its slice and the coordinator re-aggregates all of
+  // it serially — fan-out must lose to the local scan.
+  FactStats merge_bound = scan_bound;
+  merge_bound.group_cardinality = merge_bound.rows;
+  EXPECT_GT(model.DistributedCost(merge_bound, 4, 1, 3),
+            model.FusedVpctCost(merge_bound));
+}
+
 TEST(CostModelTest, PickHorizontalNeverPicksSpj) {
   CostModel model;
   for (const FactStats& stats : {BigSalesStats(), SmallEmployeeStats()}) {

@@ -70,8 +70,9 @@ bool RunDotCommand(PctClient* client, const std::string& line,
   if (cmd == ".help") {
     std::printf(
         ".tables | .schema <t> | .explain <sql> | .olap <sql> |\n"
-        ".gen <kind> <name> <rows> | .drop <t> | .set <opt> <val> |\n"
-        ".show | .stats | .ping | .timer on|off | .quit — SQL ends with ';'\n");
+        ".gen <kind> <name> <rows> | .drop <t> | .shard <t> <column> |\n"
+        ".set <opt> <val> | .show | .stats | .ping | .timer on|off |\n"
+        ".quit — SQL ends with ';'\n");
     return true;
   }
   if (cmd == ".timer") {
@@ -92,6 +93,8 @@ bool RunDotCommand(PctClient* client, const std::string& line,
     verb = RequestVerb::kGen;
   } else if (cmd == ".drop") {
     verb = RequestVerb::kDrop;
+  } else if (cmd == ".shard") {
+    verb = RequestVerb::kShard;
   } else if (cmd == ".set") {
     verb = RequestVerb::kSet;
   } else if (cmd == ".show") {

@@ -17,6 +17,17 @@
 //   --gen <kind>:<name>:<rows>  preload a synthetic workload table
 //                          (kind: employee|sales|transactionline|census)
 //
+// Coordinator mode (docs/SHARDING.md) — with at least one --worker the
+// server accepts SHARD and scatters queries on sharded tables:
+//   --worker <host:port>   a worker pctagg_server to shard across (repeatable;
+//                          shard i goes to the i-th --worker)
+//   --worker-dop <n>       dop workers run partial aggregations at
+//                          (default 0 = forward the session's dop)
+//   --shard-timeout-ms <n> per-shard connect/send/recv deadline (default 30000)
+//   --shard-retries <n>    total attempts per shard request (default 3)
+//   --shard-backoff-ms <n> initial reconnect backoff, doubling per retry up
+//                          to 2000 ms (default 50)
+//
 // SIGINT/SIGTERM shut down gracefully: stop accepting, drain in-flight
 // statements, checkpoint to the data dir, and write the CLEAN marker. A
 // second signal force-exits immediately.
@@ -25,12 +36,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
 #include "common/string_util.h"
+#include "dist/coordinator.h"
 #include "engine/csv.h"
 #include "server/server.h"
 #include "storage/storage.h"
@@ -71,7 +84,9 @@ int Usage(const char* argv0) {
                "usage: %s [--host A] [--port N] [--threads N] "
                "[--max-inflight N] [--timeout-ms N] [--data-dir DIR] "
                "[--wal-fsync always|batch|off] [--load t:file.csv]... "
-               "[--gen kind:name:rows]...\n",
+               "[--gen kind:name:rows]... [--worker host:port]... "
+               "[--worker-dop N] [--shard-timeout-ms N] [--shard-retries N] "
+               "[--shard-backoff-ms N]\n",
                argv0);
   return 2;
 }
@@ -87,6 +102,8 @@ int main(int argc, char** argv) {
   // --load/--gen are deferred until storage is attached so preloaded tables
   // are persisted regardless of flag order.
   std::vector<std::string> load_specs, gen_specs;
+  std::vector<pctagg::dist::WorkerEndpoint> workers;
+  pctagg::dist::CoordinatorConfig dist_config;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -129,6 +146,28 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       gen_specs.push_back(v);
+    } else if (arg == "--worker") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      std::vector<std::string> parts = SplitColons(v);
+      if (parts.size() != 2) return Usage(argv[0]);
+      workers.push_back({parts[0], std::atoi(parts[1].c_str())});
+    } else if (arg == "--worker-dop") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      dist_config.worker_dop = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--shard-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      dist_config.shard_timeout_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--shard-retries") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      dist_config.shard_attempts = std::atoi(v);
+    } else if (arg == "--shard-backoff-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      dist_config.backoff_initial_ms = static_cast<uint64_t>(std::atoll(v));
     } else {
       return Usage(argv[0]);
     }
@@ -214,6 +253,15 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "generated %zu %s rows into %s\n", rows,
                  kind.c_str(), parts[1].c_str());
+  }
+
+  std::unique_ptr<pctagg::dist::Coordinator> coordinator;
+  if (!workers.empty()) {
+    coordinator = std::make_unique<pctagg::dist::Coordinator>(
+        &db, workers, dist_config);
+    config.router = coordinator.get();
+    std::fprintf(stderr, "coordinator mode: %s\n",
+                 coordinator->Describe().c_str());
   }
 
   pctagg::PctServer server(&db, config);
