@@ -77,7 +77,7 @@ if [ "$QUICK" = 0 ]; then
        -DPCTAGG_SANITIZE=thread &&
      cmake --build build-ci-tsan -j"$JOBS" &&
      ctest --test-dir build-ci-tsan --timeout 600 --output-on-failure \
-       -R "server_smoke_tsan|parallel_ops_tsan|lattice_tsan|dist_tsan|MetricsTest|MetricsRegistryTest"; then
+       -R "server_smoke_tsan|parallel_ops_tsan|lattice_tsan|dist_tsan|mqo_tsan|MetricsTest|MetricsRegistryTest"; then
     echo "[TSan] OK"
   else
     echo "[TSan] FAILED"
@@ -107,6 +107,7 @@ run_job "bench smoke (fused)" bench_smoke bench_fused BENCH_fused.json PCTAGG_FU
 run_job "bench smoke (persistence)" bench_smoke bench_persistence BENCH_persistence.json PCTAGG_PERSISTENCE
 run_job "bench smoke (lattice)" bench_smoke bench_lattice BENCH_lattice.json PCTAGG_LATTICE_BENCH
 run_job "bench smoke (shard)" bench_smoke bench_shard BENCH_shard.json PCTAGG_SHARD_BENCH
+run_job "bench smoke (mqo)" bench_smoke bench_mqo BENCH_mqo.json PCTAGG_MQO_BENCH
 
 # --- EXPLAIN ANALYZE samples -------------------------------------------------
 note "EXPLAIN ANALYZE samples"

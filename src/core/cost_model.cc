@@ -229,6 +229,25 @@ double CostModel::DistributedCost(const FactStats& stats, double num_shards,
   return cost;
 }
 
+double CostModel::MqoBatchCost(const FactStats& stats, double num_queries,
+                               double partial_cols) const {
+  const double n = stats.rows;
+  const double q = std::max(1.0, num_queries);
+  const double groups = std::max(1.0, stats.group_cardinality);
+  const double cols = std::max(1.0, partial_cols);
+  const double dop = std::max(1.0, stats.dop);
+  // One fused scan of F into the union-level partials, paid once for the
+  // whole batch.
+  double cost = n * params_.scan / dop + groups * cols * params_.write +
+                params_.statement;
+  // Each member rolls the union table down to its own level (a scan + probe
+  // per union row) and assembles its percentages from there — proportional
+  // to |union level|, not n, which is the whole point.
+  cost += q * (groups * (params_.scan + params_.probe) / dop +
+               groups * params_.write + params_.statement);
+  return cost;
+}
+
 double CostModel::LatticePerLevelCost(
     const FactStats& stats, const std::vector<double>& level_rows) const {
   const double n = stats.rows;

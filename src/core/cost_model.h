@@ -132,6 +132,18 @@ class CostModel {
   double DistributedCost(const FactStats& stats, double num_shards,
                          double shard_dop, double partial_cols) const;
 
+  // Multi-query shared-scan batching (core/mqo_plan.h). `num_queries`
+  // concurrently admitted compatible queries share ONE fused scan of F
+  // computing `partial_cols` deduplicated union partials at the union finest
+  // level (~group_cardinality rows); each member then rolls that small table
+  // down to its own level and assembles percentages. The per-query cost that
+  // remains after the scan is shared is proportional to the union
+  // cardinality, not n — batching wins whenever |union level| << n, and the
+  // solo alternative the gate compares against is num_queries independent
+  // fused scans (num_queries × FusedVpctCost).
+  double MqoBatchCost(const FactStats& stats, double num_queries,
+                      double partial_cols) const;
+
   // Minimum-cost strategies according to the model.
   VpctStrategy PickVpct(const FactStats& stats) const;
   HorizontalStrategy PickHorizontal(const FactStats& stats) const;

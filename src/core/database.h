@@ -47,6 +47,18 @@ enum class LatticeMode {
   kPerLevel,
 };
 
+// Whether the server's multi-query batching gate (server/mqo_gate.h;
+// SET mqo in sessions) may merge a statement into a shared scan with
+// concurrently admitted compatible reads (core/mqo_plan.h). kAuto prices
+// batch-vs-solo with CostModel::MqoBatchCost; kOn always batches compatible
+// queries; kOff never batches. Embedded PctDatabase::Query ignores the
+// setting — batching happens at server admission, above the database.
+enum class MqoMode {
+  kAuto,
+  kOn,
+  kOff,
+};
+
 // Per-call overrides for PctDatabase::Query. Server sessions carry one of
 // these so concurrent callers can force strategies or toggle the summary
 // cache without mutating shared database state.
@@ -63,6 +75,8 @@ struct QueryOptions {
   ExecutionMode execution = ExecutionMode::kAuto;
   // Grouping-set lattice strategy (see LatticeMode above; SET lattice).
   LatticeMode lattice = LatticeMode::kAuto;
+  // Multi-query shared-scan batching (see MqoMode above; SET mqo).
+  MqoMode mqo = MqoMode::kAuto;
   // Degree of parallelism for the engine's morsel-driven operator kernels
   // (aggregate, pivot, join probe, window). 1 = serial (default), 0 = auto
   // (the shared worker pool's size), n = use up to n workers. Results are
@@ -114,7 +128,16 @@ class PctDatabase {
   // aggregate instead of re-scanning F). Off by default. Assumes base
   // tables are only replaced through CreateTable/ReplaceTable.
   void EnableSummaryCache(bool enabled) { summary_cache_enabled_ = enabled; }
+  bool summary_cache_enabled() const { return summary_cache_enabled_; }
   SummaryCache& summaries() { return summaries_; }
+
+  // Parses and analyzes a plain SELECT against the current catalog without
+  // executing it. The server's MQO batching gate (server/mqo_gate.h) uses
+  // this to extract a statement's partial requirements before admission;
+  // callers hold the same reader lock they would hold for Query.
+  Result<AnalyzedQuery> PrepareQuery(const std::string& sql) const {
+    return Prepare(sql);
+  }
 
   // Replaces a base table, invalidating its cached summaries (and, with
   // storage attached, superseding its segment and any earlier WAL records).

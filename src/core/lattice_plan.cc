@@ -303,13 +303,18 @@ Result<std::vector<LatticeLevel>> ComputeLevels(
     std::string cache_key;
     uint64_t generation = 0;
     std::shared_ptr<const Table> cached;
+    bool own_fill = false;
     if (cacheable) {
       cache_key = SummaryCache::KeyFor(query.table_name, cols, rendered);
-      cached = summaries->Lookup(cache_key);
-      if (cached == nullptr) {
+      // Single-flight per level; safe against cross-query deadlock because a
+      // thread releases each level's fill (ScopedFill below) before asking
+      // for the next one — nobody waits while owning.
+      own_fill = summaries->LookupOrBeginFill(cache_key, &cached);
+      if (own_fill) {
         generation = summaries->GenerationFor(query.table_name);
       }
     }
+    SummaryCache::ScopedFill fill(own_fill ? summaries : nullptr, cache_key);
 
     const bool fused_path = !shared_scan || oi == 0;
     const LatticeLevel* src = nullptr;
@@ -369,7 +374,7 @@ Result<std::vector<LatticeLevel>> ComputeLevels(
         }
       }
     }
-    if (!cache_key.empty()) {
+    if (own_fill) {
       SummaryRecipe recipe{cols, specs};
       summaries->Insert(cache_key, t, generation, &recipe);
     }

@@ -1,0 +1,110 @@
+#ifndef PCTAGG_CORE_MQO_PLAN_H_
+#define PCTAGG_CORE_MQO_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/summary_cache.h"
+#include "engine/aggregate.h"
+#include "engine/table.h"
+#include "obs/trace.h"
+#include "sql/analyzer.h"
+
+namespace pctagg {
+
+// --- Multi-query shared-scan batching (docs/DESIGN.md, MQO section) ----------
+//
+// N concurrently admitted queries over the same fact table usually differ
+// only in their grouping/BY columns and aggregate arguments — the
+// shared-subexpression structure of dashboard bursts. Because every supported
+// query decomposes into distributive finest-level partials (the lattice view
+// of the Data Cube), a whole batch can be fed from ONE fused scan computing
+// the deduplicated union of everyone's partials at the union finest level;
+// each member then rolls that union table down to its own finest level (the
+// AnswerFromCachedAncestor move, applied across concurrent batch-mates
+// instead of across time) and assembles its percentages from there.
+//
+// Batch compatibility: same table and the same rendered WHERE clause (the
+// union scan runs under one predicate, so predicates must match textually —
+// mixed WHERE never batches). Bit-identity with solo execution holds for the
+// same reason the sharded path is bit-identical: rollups preserve first-seen
+// group order and INT64 partials merge exactly (float sums carry the usual
+// reassociation caveat, see docs/PARALLELISM.md).
+
+// True when `query` can join a shared-scan batch: it must decompose into
+// distributive finest-level partials that assemble back per query — exactly
+// the gate the distributed scatter path uses (no count(DISTINCT), window or
+// projection statements; grouping sets defer to the lattice rules).
+bool MqoSupported(const AnalyzedQuery& query, std::string* why = nullptr);
+
+// Batch-compatibility key: queries may batch together iff their keys are
+// equal. Callers append their own execution-context fingerprint (dop, cache
+// setting, ...) before using the key for admission.
+std::string MqoCompatibilityKey(const AnalyzedQuery& query);
+
+// One member's assembly plan: how to roll the batch-level union partials
+// down to this query's own finest level and reassemble its answer.
+struct MqoMemberPlan {
+  const AnalyzedQuery* query = nullptr;
+  std::vector<std::string> finest_cols;  // the member's own finest level
+  // Rollup specs over the batch union table: member partial `__lN` computed
+  // by combining the matching batch partial column `__bM`.
+  std::vector<AggSpec> rollup;
+  std::vector<bool> count_typed;  // per rollup spec: empty-() NULL -> 0 patch
+  size_t partials_requested = 0;  // before batch-level dedup, for traces
+};
+
+// The deduplicated union scan serving every member: one fused pass over the
+// fact table at the union finest level computing the union of every member's
+// partials (named __b1, __b2, ... in first-appearance order).
+struct MqoBatchPlan {
+  std::string table;                   // as analyzed (first member's casing)
+  ExprPtr where;                       // shared predicate; may be null
+  std::vector<std::string> scan_cols;  // union finest level
+  std::vector<AggSpec> scan_partials;  // deduplicated union partials
+  std::vector<AggSpec> scan_combine;   // merge spec for shard partial tables
+  std::string scan_sql;     // rendered partial SELECT for the sharded path
+  std::vector<MqoMemberPlan> members;  // one per input query, same order
+  size_t partials_requested = 0;       // sum over members, before dedup
+};
+
+// Plans the batch: extracts each member's distributive partial requirements
+// (the lattice recipe machinery), dedupes them into one union scan recipe,
+// and maps each member to its rollup + assembly plan. Fails when the members
+// are not mutually compatible (different tables or WHERE clauses) or any
+// member is unsupported — callers gate on MqoCompatibilityKey and
+// MqoSupported first, so a failure here means the gate was bypassed.
+Result<MqoBatchPlan> PlanMqoBatch(
+    const std::vector<const AnalyzedQuery*>& queries);
+
+// Assembles one member's final result (HAVING/ORDER BY/LIMIT applied) from
+// the batch-level union partial table — used by both the local batch
+// executor below and the coordinator's sharded batch path, which feeds it
+// the gathered cross-shard merge of the union partials.
+Result<Table> AssembleMqoMember(const MqoMemberPlan& member,
+                                const Table& batch_partials,
+                                obs::QueryTrace* trace, size_t dop);
+
+// What ExecuteMqoBatch actually did, for gate metrics and SHOW.
+struct MqoBatchStats {
+  uint64_t rows_scanned = 0;  // fact rows read by the one shared scan
+  bool cache_hit = false;     // union partials answered from the cache
+  bool cache_filled = false;  // this batch filled the union cache entry
+};
+
+// Executes the whole batch on the calling thread: one fused scan of `fact`
+// at the union level — consulting and filling the summary cache via
+// single-flight when the batch is unfiltered and `summaries` is non-null —
+// then per-member rollup + assembly. `traces` parallels `plan.members`
+// (entries may be null; shorter vectors are padded with null), as does the
+// returned result vector.
+Result<std::vector<Table>> ExecuteMqoBatch(
+    const MqoBatchPlan& plan, const Table& fact, SummaryCache* summaries,
+    const std::vector<obs::QueryTrace*>& traces, size_t dop,
+    MqoBatchStats* stats = nullptr);
+
+}  // namespace pctagg
+
+#endif  // PCTAGG_CORE_MQO_PLAN_H_

@@ -101,12 +101,17 @@ Result<Table> CachedFusedAggregate(const AnalyzedQuery& query,
   std::string cache_key;
   uint64_t generation = 0;
   std::shared_ptr<const Table> cached;
+  bool own_fill = false;
   if (query.where == nullptr && summaries != nullptr) {
     cache_key =
         SummaryCache::KeyFor(query.table_name, group_by, RenderAggs(aggs));
-    cached = summaries->Lookup(cache_key);
-    if (cached == nullptr) generation = summaries->GenerationFor(query.table_name);
+    // Single-flight: identical concurrent misses block here while one of
+    // them scans; the owner reads the generation only after claiming the
+    // fill, so the stale-insert check still covers its whole scan window.
+    own_fill = summaries->LookupOrBeginFill(cache_key, &cached);
+    if (own_fill) generation = summaries->GenerationFor(query.table_name);
   }
+  SummaryCache::ScopedFill fill(own_fill ? summaries : nullptr, cache_key);
   obs::TraceNode* node =
       trace != nullptr
           ? trace->root().AddChild(
@@ -120,7 +125,7 @@ Result<Table> CachedFusedAggregate(const AnalyzedQuery& query,
   }
   PCTAGG_ASSIGN_OR_RETURN(Table out,
                           FusedAggregate(fact, query.where, group_by, aggs, dop));
-  if (!cache_key.empty()) {
+  if (own_fill) {
     SummaryRecipe recipe{group_by, aggs};
     summaries->Insert(cache_key, out, generation, &recipe);
   }

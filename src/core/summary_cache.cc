@@ -41,6 +41,12 @@ obs::Counter& EvictionCounter() {
       "Summary-cache entries evicted by the byte-budget LRU");
   return c;
 }
+obs::Counter& SharedFillCounter() {
+  static obs::Counter& c = obs::GlobalMetrics().GetCounter(
+      "pctagg_summary_cache_shared_fills_total",
+      "Lookups answered by waiting on another thread's in-flight fill");
+  return c;
+}
 obs::Gauge& BytesGauge() {
   static obs::Gauge& g = obs::GlobalMetrics().GetGauge(
       "pctagg_summary_cache_bytes",
@@ -104,6 +110,45 @@ std::shared_ptr<const Table> SummaryCache::Lookup(const std::string& key) {
   HitCounter().Add();
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);  // refresh recency
   return it->second.summary;
+}
+
+bool SummaryCache::LookupOrBeginFill(const std::string& key,
+                                     std::shared_ptr<const Table>* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool waited = false;
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      HitCounter().Add();
+      if (waited) {
+        ++shared_fills_;
+        SharedFillCounter().Add();
+      }
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      *out = it->second.summary;
+      return false;
+    }
+    if (fills_in_flight_.insert(key).second) {
+      ++misses_;  // the whole herd counts as one miss: the owner's
+      MissCounter().Add();
+      return true;
+    }
+    // Another thread owns the fill; sleep until it finishes, then re-check.
+    // If the owner failed (or its insert was rejected as stale), the entry is
+    // still absent and this waiter claims ownership on the next iteration —
+    // no caller ever leaves empty-handed because an owner errored out.
+    waited = true;
+    fill_cv_.wait(lock);
+  }
+}
+
+void SummaryCache::FinishFill(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fills_in_flight_.erase(key);
+  }
+  fill_cv_.notify_all();
 }
 
 uint64_t SummaryCache::GenerationFor(const std::string& base_table) const {
@@ -312,6 +357,11 @@ size_t SummaryCache::stale_inserts() const {
 size_t SummaryCache::evictions() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return evictions_;
+}
+
+size_t SummaryCache::shared_fills() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shared_fills_;
 }
 
 }  // namespace pctagg

@@ -1,11 +1,14 @@
 #ifndef PCTAGG_CORE_SUMMARY_CACHE_H_
 #define PCTAGG_CORE_SUMMARY_CACHE_H_
 
+#include <condition_variable>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/aggregate.h"
@@ -64,6 +67,42 @@ class SummaryCache {
   // entry is concurrently replaced, invalidated or evicted (entries are
   // immutable once stored).
   std::shared_ptr<const Table> Lookup(const std::string& key);
+
+  // Combined lookup + in-flight fill registration (single-flight): returns
+  // true when the caller now *owns* the fill for `key` — counted as the one
+  // miss — and must Insert the computed summary and then FinishFill(key), on
+  // success and on error alike (ScopedFill below automates the release).
+  // Returns false when the entry was present, either immediately or after
+  // blocking on another thread's in-flight fill of the same key; `*out`
+  // receives the summary (counted as a hit; callers that had to wait are
+  // additionally counted in shared_fills()). A waiter whose owner failed —
+  // or whose fill was rejected as stale — re-checks and claims ownership
+  // itself, so a false return always carries a non-null *out. This is the
+  // thundering-herd fix: N identical concurrent misses run one scan, not N.
+  bool LookupOrBeginFill(const std::string& key,
+                         std::shared_ptr<const Table>* out);
+
+  // Releases the in-flight registration taken by LookupOrBeginFill and wakes
+  // every waiter (each re-runs its lookup loop).
+  void FinishFill(const std::string& key);
+
+  // RAII release of fill ownership, so early error returns between
+  // LookupOrBeginFill and Insert never strand waiters. A null cache is a
+  // no-op (for callers that only conditionally own a fill).
+  class ScopedFill {
+   public:
+    ScopedFill(SummaryCache* cache, std::string key)
+        : cache_(cache), key_(std::move(key)) {}
+    ~ScopedFill() {
+      if (cache_ != nullptr) cache_->FinishFill(key_);
+    }
+    ScopedFill(const ScopedFill&) = delete;
+    ScopedFill& operator=(const ScopedFill&) = delete;
+
+   private:
+    SummaryCache* cache_;
+    std::string key_;
+  };
 
   // The current invalidation generation of `base_table` (starts at 0, bumped
   // by InvalidateTable/Clear/BeginAppend). A filler reads this *before*
@@ -150,6 +189,9 @@ class SummaryCache {
   size_t misses() const;
   size_t stale_inserts() const;
   size_t evictions() const;
+  // Lookups answered by waiting on another thread's in-flight fill instead
+  // of running their own scan (a subset of hits()).
+  size_t shared_fills() const;
 
  private:
   struct Entry {
@@ -177,12 +219,17 @@ class SummaryCache {
   std::list<std::string> lru_;  // keys, most-recently-used first
   // Invalidation generation per lower-cased base table; absent means 0.
   std::map<std::string, uint64_t> generations_;
+  // Keys whose fill some thread currently owns (LookupOrBeginFill returned
+  // true and FinishFill has not run yet). Waiters sleep on fill_cv_.
+  std::set<std::string> fills_in_flight_;
+  std::condition_variable fill_cv_;
   size_t capacity_bytes_ = 256ull << 20;
   size_t bytes_ = 0;
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t stale_inserts_ = 0;
   size_t evictions_ = 0;
+  size_t shared_fills_ = 0;
 };
 
 }  // namespace pctagg

@@ -128,7 +128,9 @@ struct Arrival {
 
 Coordinator::Coordinator(PctDatabase* db, std::vector<WorkerEndpoint> workers,
                          CoordinatorConfig config)
-    : db_(db), config_(config) {
+    : db_(db),
+      config_(config),
+      mqo_gate_(MqoGateConfig{config.mqo_window_ms, config.mqo_max_batch}) {
   links_.reserve(workers.size());
   for (WorkerEndpoint& w : workers) {
     auto link = std::make_unique<ShardLink>();
@@ -341,59 +343,43 @@ Result<std::optional<Table>> Coordinator::MaybeExecute(
   if (trace != nullptr) {
     trace->query_class = QueryClassName(query.query_class);
   }
+  // Route plain distributed SELECTs through the MQO gate: compatible queries
+  // arriving within the collection window scatter ONE merged PARTIAL per
+  // worker instead of N. Singletons fall through to the plain path inside
+  // ExecuteDistributedBatch.
+  if (options.mqo != MqoMode::kOff && meta.total_rows > 0) {
+    const std::string key =
+        MqoCompatibilityKey(query) +
+        StrFormat("|dist|d%zu", options.degree_of_parallelism);
+    MqoGate::Member member{&query, kind->select_sql, trace};
+    Result<Table> batched = mqo_gate_.Run(
+        key, member,
+        [this, &meta, &options](std::vector<MqoGate::Member*>& members) {
+          ExecuteDistributedBatch(members, meta, options);
+        });
+    if (!batched.ok()) return batched.status();
+    return std::optional<Table>(std::move(*batched));
+  }
   PCTAGG_ASSIGN_OR_RETURN(Table result,
                           ExecuteDistributed(query, meta, options, trace));
   return std::optional<Table>(std::move(result));
 }
 
-Result<Table> Coordinator::ExecuteDistributed(const AnalyzedQuery& query,
-                                              const ShardedMeta& meta,
-                                              const QueryOptions& options,
-                                              obs::QueryTrace* trace) {
-  PCTAGG_ASSIGN_OR_RETURN(DistPartialPlan plan,
-                          BuildDistributedPartialPlan(query));
+Result<Table> Coordinator::ScatterGather(const std::string& partial_sql,
+                                         size_t num_key_cols,
+                                         const std::vector<AggSpec>& combine,
+                                         size_t worker_dop,
+                                         obs::QueryTrace* trace) {
   const size_t nshards = links_.size();
-  const size_t worker_dop =
-      config_.worker_dop != 0 ? config_.worker_dop
-                              : options.degree_of_parallelism;
   const std::string payload =
-      StrFormat("%zu %s", worker_dop, plan.partial_sql.c_str());
+      StrFormat("%zu %s", worker_dop, partial_sql.c_str());
   QueriesCounter().Add(1);
 
-  // Cost-model bookkeeping for EXPLAIN ANALYZE: the distributed plan next to
-  // the single-node fused scan it replaces, both from the statistics
-  // captured at SHARD time (the stub has no rows to sample).
   obs::TraceNode* scatter_node = nullptr;
   if (trace != nullptr) {
-    trace->strategy = "distributed scatter/gather";
-    trace->strategy_source = "topology";
-    FactStats stats;
-    stats.rows = static_cast<double>(meta.total_rows);
-    double groups = 1;
-    for (const std::string& col : plan.finest_cols) {
-      auto it = meta.column_cardinality.find(ToLower(col));
-      if (it != meta.column_cardinality.end()) groups *= it->second;
-    }
-    stats.group_cardinality = std::min(groups, std::max(1.0, stats.rows));
-    CostModel model;
-    const double dist_cost = model.DistributedCost(
-        stats, static_cast<double>(nshards),
-        static_cast<double>(std::max<size_t>(1, worker_dop)),
-        static_cast<double>(plan.finest_cols.size() + plan.partials.size()));
-    trace->predicted_costs.push_back(
-        {StrFormat("distributed (%zu shards x dop %zu)", nshards,
-                   std::max<size_t>(1, worker_dop)),
-         dist_cost, true});
-    stats.dop = static_cast<double>(std::max<size_t>(
-        1, options.degree_of_parallelism));
-    trace->predicted_costs.push_back(
-        {StrFormat("single-node fused scan (dop %zu)",
-                   std::max<size_t>(1, options.degree_of_parallelism)),
-         model.FusedVpctCost(stats), false});
-    trace->predicted_group_rows = stats.group_cardinality;
     scatter_node = trace->root().AddChild(
         "scatter", StrFormat("PARTIAL %zu %s -> %zu shards", worker_dop,
-                             plan.partial_sql.c_str(), nshards));
+                             partial_sql.c_str(), nshards));
   }
 
   // Scatter: one thread per shard holds that link's mutex for the whole
@@ -491,9 +477,8 @@ Result<Table> Coordinator::ExecuteDistributed(const AnalyzedQuery& query,
         merged = std::move(a.partial);
         have_merged = true;
       } else {
-        Result<Table> m = MergeSummaries(merged, a.partial,
-                                         plan.finest_cols.size(),
-                                         plan.combine);
+        Result<Table> m =
+            MergeSummaries(merged, a.partial, num_key_cols, combine);
         if (!m.ok()) failure = m.status();
         else merged = std::move(*m);
       }
@@ -535,12 +520,62 @@ Result<Table> Coordinator::ExecuteDistributed(const AnalyzedQuery& query,
     gather_node = trace->root().AddChild(
         "gather-merge",
         StrFormat("merged %zu shard partials (%zu group cols, %zu aggregates)",
-                  nshards, plan.finest_cols.size(), plan.combine.size()));
+                  nshards, num_key_cols, combine.size()));
     gather_node->stats.rows_in = rows_gathered;
     gather_node->stats.rows_out = merged.num_rows();
     gather_node->stats.wall_ms = merge_ms;
     trace->actual_group_rows = static_cast<double>(merged.num_rows());
   }
+  return merged;
+}
+
+Result<Table> Coordinator::ExecuteDistributed(const AnalyzedQuery& query,
+                                              const ShardedMeta& meta,
+                                              const QueryOptions& options,
+                                              obs::QueryTrace* trace) {
+  PCTAGG_ASSIGN_OR_RETURN(DistPartialPlan plan,
+                          BuildDistributedPartialPlan(query));
+  const size_t nshards = links_.size();
+  const size_t worker_dop =
+      config_.worker_dop != 0 ? config_.worker_dop
+                              : options.degree_of_parallelism;
+
+  // Cost-model bookkeeping for EXPLAIN ANALYZE: the distributed plan next to
+  // the single-node fused scan it replaces, both from the statistics
+  // captured at SHARD time (the stub has no rows to sample).
+  if (trace != nullptr) {
+    trace->strategy = "distributed scatter/gather";
+    trace->strategy_source = "topology";
+    FactStats stats;
+    stats.rows = static_cast<double>(meta.total_rows);
+    double groups = 1;
+    for (const std::string& col : plan.finest_cols) {
+      auto it = meta.column_cardinality.find(ToLower(col));
+      if (it != meta.column_cardinality.end()) groups *= it->second;
+    }
+    stats.group_cardinality = std::min(groups, std::max(1.0, stats.rows));
+    CostModel model;
+    const double dist_cost = model.DistributedCost(
+        stats, static_cast<double>(nshards),
+        static_cast<double>(std::max<size_t>(1, worker_dop)),
+        static_cast<double>(plan.finest_cols.size() + plan.partials.size()));
+    trace->predicted_costs.push_back(
+        {StrFormat("distributed (%zu shards x dop %zu)", nshards,
+                   std::max<size_t>(1, worker_dop)),
+         dist_cost, true});
+    stats.dop = static_cast<double>(std::max<size_t>(
+        1, options.degree_of_parallelism));
+    trace->predicted_costs.push_back(
+        {StrFormat("single-node fused scan (dop %zu)",
+                   std::max<size_t>(1, options.degree_of_parallelism)),
+         model.FusedVpctCost(stats), false});
+    trace->predicted_group_rows = stats.group_cardinality;
+  }
+
+  PCTAGG_ASSIGN_OR_RETURN(
+      Table merged,
+      ScatterGather(plan.partial_sql, plan.finest_cols.size(), plan.combine,
+                    worker_dop, trace));
 
   // Assemble locally at the session's dop, exactly as the single-node
   // lattice assembles from its fused scan, then apply the statement tail.
@@ -550,6 +585,64 @@ Result<Table> Coordinator::ExecuteDistributed(const AnalyzedQuery& query,
       Table assembled,
       AssembleFromPartials(query, finest, trace, CurrentDop()));
   return ApplyQueryTail(std::move(assembled), query);
+}
+
+void Coordinator::ExecuteDistributedBatch(
+    std::vector<MqoGate::Member*>& members, const ShardedMeta& meta,
+    const QueryOptions& options) {
+  auto run_solo = [this, &meta, &options](MqoGate::Member* m) {
+    m->result = ExecuteDistributed(*m->query, meta, options, m->trace);
+  };
+  if (members.size() < 2) {
+    for (MqoGate::Member* m : members) run_solo(m);
+    return;
+  }
+  std::vector<const AnalyzedQuery*> queries;
+  queries.reserve(members.size());
+  for (MqoGate::Member* m : members) queries.push_back(m->query);
+  Result<MqoBatchPlan> plan = PlanMqoBatch(queries);
+  if (!plan.ok()) {
+    for (MqoGate::Member* m : members) run_solo(m);
+    return;
+  }
+  const size_t worker_dop =
+      config_.worker_dop != 0 ? config_.worker_dop
+                              : options.degree_of_parallelism;
+
+  obs::QueryTrace* lead_trace = nullptr;
+  for (MqoGate::Member* m : members) {
+    if (m->trace == nullptr) continue;
+    if (lead_trace == nullptr) lead_trace = m->trace;
+    m->trace->strategy = "distributed mqo batch";
+    m->trace->strategy_source = "mqo-gate";
+    m->trace->root().AddChild(
+        "mqo-batch",
+        StrFormat("%zu queries share one scatter of %s (%zu partials deduped "
+                  "from %zu; %zu shards scanned once instead of %zu times)",
+                  members.size(), plan->table.c_str(),
+                  plan->scan_partials.size(), plan->partials_requested,
+                  links_.size(), members.size()));
+  }
+
+  // One scatter of the merged partial statement serves the whole batch; the
+  // scatter/shard trace nodes land on the first traced member only (the
+  // scatter genuinely ran once).
+  Result<Table> merged =
+      ScatterGather(plan->scan_sql, plan->scan_cols.size(),
+                    plan->scan_combine, worker_dop, lead_trace);
+  if (!merged.ok()) {
+    for (MqoGate::Member* m : members) run_solo(m);
+    return;
+  }
+  mqo_gate_.RecordScanRowsSaved(static_cast<uint64_t>(meta.total_rows) *
+                                (members.size() - 1));
+
+  ScopedParallelism parallelism(options.degree_of_parallelism);
+  const size_t dop = CurrentDop();
+  for (size_t i = 0; i < members.size(); ++i) {
+    members[i]->result =
+        AssembleMqoMember(plan->members[i], *merged, members[i]->trace, dop);
+  }
 }
 
 Result<Table> Coordinator::ExplainDistributed(const AnalyzedQuery& query,

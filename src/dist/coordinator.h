@@ -14,8 +14,10 @@
 #include "core/database.h"
 #include "engine/table.h"
 #include "obs/trace.h"
+#include "core/mqo_plan.h"
 #include "server/client.h"
 #include "server/dist_router.h"
+#include "server/mqo_gate.h"
 #include "sql/analyzer.h"
 
 namespace pctagg {
@@ -41,6 +43,11 @@ struct CoordinatorConfig {
   int shard_attempts = 3;
   uint64_t backoff_initial_ms = 50;
   uint64_t backoff_max_ms = 2000;
+  // Multi-query batching gate (server/mqo_gate.h; SET mqo): compatible
+  // concurrent distributed SELECTs arriving within the window share ONE
+  // scatter of a merged PARTIAL statement instead of N scatters.
+  uint64_t mqo_window_ms = 2;
+  size_t mqo_max_batch = 16;
 };
 
 // The scatter/gather coordinator (docs/SHARDING.md): owns one persistent
@@ -80,6 +87,9 @@ class Coordinator : public DistRouter {
                     const std::string& key_column) override;
   std::string Describe() const override;
 
+  // The distributed multi-query batching gate (tests/metrics).
+  const MqoGate& mqo_gate() const { return mqo_gate_; }
+
  private:
   // One worker: endpoint, a lazily-dialed persistent client, and transfer
   // counters (the registry has no labels, so per-shard byte counts live
@@ -108,11 +118,28 @@ class Coordinator : public DistRouter {
   // Dials the link's endpoint if not connected (caller holds link->mu).
   Status EnsureConnected(ShardLink* link);
 
+  // Scatters one PARTIAL statement to every shard and merges the responses
+  // as they arrive. `num_key_cols` leading columns of the partial result are
+  // the group keys; `combine` re-aggregates the rest. This is the shared
+  // primitive under both the single-query path and MQO batches (one batch of
+  // N queries costs one ScatterGather, and one pctagg_dist_queries_total).
+  Result<Table> ScatterGather(const std::string& partial_sql,
+                              size_t num_key_cols,
+                              const std::vector<AggSpec>& combine,
+                              size_t worker_dop, obs::QueryTrace* trace);
+
   // Runs the distributed scatter/gather for an analyzed SELECT.
   Result<Table> ExecuteDistributed(const AnalyzedQuery& query,
                                    const ShardedMeta& meta,
                                    const QueryOptions& options,
                                    obs::QueryTrace* trace);
+
+  // Batch leader body for the MQO gate: one scatter of the merged partial
+  // statement serves every member; falls back to per-member
+  // ExecuteDistributed when planning or the shared scatter fails.
+  void ExecuteDistributedBatch(std::vector<MqoGate::Member*>& members,
+                               const ShardedMeta& meta,
+                               const QueryOptions& options);
 
   // Plain-EXPLAIN rendering of the distributed plan.
   Result<Table> ExplainDistributed(const AnalyzedQuery& query,
@@ -121,6 +148,7 @@ class Coordinator : public DistRouter {
 
   PctDatabase* db_;
   CoordinatorConfig config_;
+  MqoGate mqo_gate_;
   std::vector<std::unique_ptr<ShardLink>> links_;
   mutable std::mutex tables_mu_;
   std::map<std::string, ShardedMeta> tables_;  // key: lower-cased table name

@@ -3,8 +3,13 @@
 #include <chrono>
 #include <memory>
 #include <sstream>
+#include <utility>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/cost_model.h"
+#include "core/mqo_plan.h"
+#include "engine/parallel.h"
 #include "obs/metrics.h"
 
 namespace pctagg {
@@ -44,7 +49,9 @@ obs::Gauge& InFlightGauge() {
 }  // namespace
 
 QueryExecutor::QueryExecutor(PctDatabase* db, ExecutorConfig config)
-    : db_(db), config_(config) {
+    : db_(db),
+      config_(config),
+      mqo_gate_(MqoGateConfig{config.mqo_window_ms, config.mqo_max_batch}) {
   if (config.worker_threads > 0) {
     owned_pool_ = std::make_unique<ThreadPool>(config.worker_threads);
     pool_ = owned_pool_.get();
@@ -184,7 +191,8 @@ Result<Table> QueryExecutor::ExecuteStatement(
   Status st = Run(
       is_ctas || is_append,
       [this, out, opts, trace, name = std::move(name),
-       select_sql = std::move(select_sql), sql, is_ctas, is_append]() -> Status {
+       select_sql = std::move(select_sql), sql, is_ctas, is_append,
+       timeout_ms]() -> Status {
         if (is_ctas) {
           // Note: CreateTableAs runs its inner SELECT while we hold the
           // exclusive lock — correct (the new table appears atomically to
@@ -202,7 +210,7 @@ Result<Table> QueryExecutor::ExecuteStatement(
           *out = std::move(r);
           return Status::OK();
         }
-        Result<Table> r = db_->Query(sql, opts);
+        Result<Table> r = RunMqoRead(sql, opts, timeout_ms);
         if (!r.ok()) return r.status();
         *out = std::move(r);
         return Status::OK();
@@ -210,6 +218,195 @@ Result<Table> QueryExecutor::ExecuteStatement(
       timeout_ms);
   if (!st.ok()) return st;
   return std::move(*out);
+}
+
+namespace {
+
+// First word (trailing semicolons stripped) is SELECT — the only statements
+// the batching gate admits. EXPLAIN forms are peeled separately below.
+bool IsPlainSelect(const std::string& sql) {
+  std::istringstream in(sql);
+  std::string word;
+  in >> word;
+  while (!word.empty() && word.back() == ';') word.pop_back();
+  return EqualsIgnoreCase(word, "SELECT");
+}
+
+// Splits an EXPLAIN ANALYZE <select> statement; false for anything else
+// (including plain EXPLAIN, which never executes and so never batches).
+bool SplitExplainAnalyze(const std::string& sql, std::string* inner) {
+  std::istringstream in(sql);
+  std::string w1, w2;
+  in >> w1 >> w2;
+  if (!EqualsIgnoreCase(w1, "EXPLAIN") || !EqualsIgnoreCase(w2, "ANALYZE")) {
+    return false;
+  }
+  std::string rest;
+  std::getline(in, rest);
+  size_t start = rest.find_first_not_of(" \t");
+  if (start == std::string::npos) return false;
+  *inner = rest.substr(start);
+  return IsPlainSelect(*inner);
+}
+
+// Same single-column "plan" rendering PctDatabase uses for EXPLAIN output.
+Table TextToPlanTable(const std::string& text) {
+  Schema schema;
+  schema.AddColumn({"plan", DataType::kString});
+  Table out(schema);
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    out.mutable_column(0).AppendString(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> QueryExecutor::RunMqoRead(const std::string& sql,
+                                        const QueryOptions& opts,
+                                        uint64_t timeout_ms) {
+  // Anything that can't batch falls through to the ordinary solo path with
+  // identical semantics and error text. Forced strategies and the OLAP
+  // baseline bypass the gate because the batch executor would override the
+  // forced plan; materialized execution likewise.
+  if (opts.mqo == MqoMode::kOff || opts.olap_baseline ||
+      opts.vpct_strategy.has_value() || opts.horizontal_strategy.has_value() ||
+      opts.execution == ExecutionMode::kMaterialized) {
+    return db_->Query(sql, opts);
+  }
+  std::string inner;
+  const bool analyze = SplitExplainAnalyze(sql, &inner);
+  if (!analyze) {
+    if (!IsPlainSelect(sql)) return db_->Query(sql, opts);
+    inner = sql;
+  }
+  // Per-query deadlines win over batching: a query whose timeout could be
+  // eaten by the collection window executes solo.
+  if (mqo_gate_.ShouldRunSolo(timeout_ms)) {
+    mqo_gate_.RecordSoloEscape();
+    return db_->Query(sql, opts);
+  }
+  Result<AnalyzedQuery> prepared = db_->PrepareQuery(inner);
+  if (!prepared.ok()) return db_->Query(sql, opts);
+  std::string why;
+  if (!MqoSupported(*prepared, &why)) return db_->Query(sql, opts);
+  Result<const Table*> fact =
+      static_cast<const PctDatabase*>(db_)->catalog().GetTable(
+          prepared->table_name);
+  if (!fact.ok() || (*fact)->num_rows() == 0) return db_->Query(sql, opts);
+
+  // Compatibility key + execution-context fingerprint: only queries whose
+  // results depend on the same settings may share a batch.
+  const bool use_cache =
+      opts.use_summary_cache.value_or(db_->summary_cache_enabled());
+  const std::string key =
+      MqoCompatibilityKey(*prepared) +
+      StrFormat("|c%d|d%zu|l%d", use_cache ? 1 : 0, opts.degree_of_parallelism,
+                static_cast<int>(opts.lattice));
+
+  MqoGate::Member member;
+  member.query = &*prepared;
+  member.sql = inner;
+  obs::QueryTrace analyze_trace;
+  member.trace = analyze ? &analyze_trace : opts.trace;
+  Stopwatch timer;
+  Result<Table> result = mqo_gate_.Run(
+      key, member, [this, &opts](std::vector<MqoGate::Member*>& members) {
+        ExecuteMqoMembers(opts, members);
+      });
+  if (!analyze || !result.ok()) return result;
+  analyze_trace.total_ms = timer.ElapsedMillis();
+  if (analyze_trace.query_class.empty()) {
+    analyze_trace.query_class = QueryClassName(prepared->query_class);
+  }
+  return TextToPlanTable(analyze_trace.Render());
+}
+
+void QueryExecutor::ExecuteMqoMembers(const QueryOptions& opts,
+                                      std::vector<MqoGate::Member*>& members) {
+  auto run_solo = [this, &opts](MqoGate::Member* m) {
+    QueryOptions o = opts;
+    o.trace = m->trace;
+    m->result = db_->Query(m->sql, o);
+  };
+  bool want_costs = false;
+  for (MqoGate::Member* m : members) want_costs |= m->trace != nullptr;
+  if (members.size() == 1 && !want_costs) {
+    run_solo(members[0]);
+    return;
+  }
+  std::vector<const AnalyzedQuery*> queries;
+  queries.reserve(members.size());
+  for (MqoGate::Member* m : members) queries.push_back(m->query);
+  Result<MqoBatchPlan> plan = PlanMqoBatch(queries);
+  Result<const Table*> fact =
+      plan.ok() ? static_cast<const PctDatabase*>(db_)->catalog().GetTable(
+                      plan->table)
+                : Result<const Table*>(plan.status());
+  if (!plan.ok() || !fact.ok()) {
+    for (MqoGate::Member* m : members) run_solo(m);
+    return;
+  }
+
+  ScopedParallelism parallelism(opts.degree_of_parallelism);
+  const size_t dop = CurrentDop();
+
+  // Price batch vs N independent fused scans; EXPLAIN ANALYZE and SET trace
+  // render both candidates. kAuto lets the model decide; kOn always batches
+  // when >= 2 members made it this far.
+  bool batch_it = members.size() >= 2;
+  CostModel model;
+  Result<FactStats> stats =
+      model.EstimateStats(**fact, plan->scan_cols, {}, {});
+  if (stats.ok()) {
+    stats->dop = static_cast<double>(dop);
+    const double batch_cost = model.MqoBatchCost(
+        *stats, static_cast<double>(members.size()),
+        static_cast<double>(plan->scan_partials.size()));
+    const double solo_cost =
+        static_cast<double>(members.size()) * model.FusedVpctCost(*stats);
+    if (opts.mqo == MqoMode::kAuto && batch_it) batch_it = batch_cost <= solo_cost;
+    for (MqoGate::Member* m : members) {
+      if (m->trace == nullptr) continue;
+      m->trace->predicted_costs.push_back(
+          {StrFormat("mqo-batch (%zu queries, %zu shared partials)",
+                     members.size(), plan->scan_partials.size()),
+           batch_cost, batch_it});
+      m->trace->predicted_costs.push_back(
+          {StrFormat("solo fused scans (x%zu)", members.size()), solo_cost,
+           !batch_it});
+    }
+  }
+  if (!batch_it) {
+    for (MqoGate::Member* m : members) run_solo(m);
+    return;
+  }
+
+  const bool use_cache =
+      opts.use_summary_cache.value_or(db_->summary_cache_enabled());
+  SummaryCache* summaries = use_cache ? &db_->summaries() : nullptr;
+  std::vector<obs::QueryTrace*> traces;
+  traces.reserve(members.size());
+  for (MqoGate::Member* m : members) traces.push_back(m->trace);
+  MqoBatchStats bstats;
+  Result<std::vector<Table>> results =
+      ExecuteMqoBatch(*plan, **fact, summaries, traces, dop, &bstats);
+  if (!results.ok()) {
+    // A batch-level failure (e.g. a mid-flight DROP) re-runs every member
+    // solo so each gets its own precise error or result.
+    for (MqoGate::Member* m : members) run_solo(m);
+    return;
+  }
+  mqo_gate_.RecordScanRowsSaved(
+      static_cast<uint64_t>((*fact)->num_rows()) *
+      static_cast<uint64_t>(members.size() - 1));
+  for (size_t i = 0; i < members.size(); ++i) {
+    members[i]->result = std::move((*results)[i]);
+  }
 }
 
 Status QueryExecutor::ExecuteWrite(std::function<Status()> fn,

@@ -7,9 +7,11 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "core/database.h"
+#include "server/mqo_gate.h"
 
 namespace pctagg {
 
@@ -23,6 +25,11 @@ struct ExecutorConfig {
   // queued). Beyond this, new statements are rejected with kUnavailable so
   // overload degrades into fast typed errors instead of an unbounded pile-up.
   size_t max_in_flight = 64;
+  // Multi-query batching gate (server/mqo_gate.h; SET mqo): leader collection
+  // window and early-close batch size. Batch members occupy pool threads
+  // while parked, so mqo_max_batch should not exceed the pool size.
+  uint64_t mqo_window_ms = 2;
+  size_t mqo_max_batch = 16;
 };
 
 // Runs statements against one shared PctDatabase with reader/writer
@@ -81,6 +88,8 @@ class QueryExecutor {
   static bool IsWriteStatement(const std::string& sql);
 
   const ExecutorConfig& config() const { return config_; }
+  // The multi-query batching gate (SHOW renders its Describe() line).
+  const MqoGate& mqo_gate() const { return mqo_gate_; }
   size_t worker_threads() const { return pool_->num_threads(); }
   // Tasks waiting in the pool's queue right now (STATS gauge).
   size_t pool_queue_depth() const { return pool_->queued(); }
@@ -93,8 +102,22 @@ class QueryExecutor {
   // The shared core: admission check, submit, bounded wait.
   Status Run(bool writer, std::function<Status()> fn, uint64_t timeout_ms);
 
+  // The read path of ExecuteStatement, running on a pool worker under the
+  // shared lock: routes eligible plain SELECTs (and their EXPLAIN ANALYZE
+  // forms) through the MQO batching gate; everything else — and every
+  // fallback — is the ordinary solo db_->Query with identical semantics.
+  Result<Table> RunMqoRead(const std::string& sql, const QueryOptions& opts,
+                           uint64_t timeout_ms);
+
+  // Batch leader body: plans and executes one closed batch (or falls back to
+  // per-member solo execution when planning fails, the batch is a singleton,
+  // or the cost model prefers solo under SET mqo auto).
+  void ExecuteMqoMembers(const QueryOptions& opts,
+                         std::vector<MqoGate::Member*>& members);
+
   PctDatabase* db_;
   ExecutorConfig config_;
+  MqoGate mqo_gate_;
   std::shared_mutex table_lock_;
   std::atomic<size_t> in_flight_{0};
   std::atomic<uint64_t> executed_{0};

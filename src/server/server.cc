@@ -55,7 +55,9 @@ PctServer::PctServer(PctDatabase* db, ServerConfig config)
     : db_(db),
       config_(std::move(config)),
       executor_(db, ExecutorConfig{config_.worker_threads,
-                                   config_.max_in_flight}) {}
+                                   config_.max_in_flight,
+                                   config_.mqo_window_ms,
+                                   config_.mqo_max_batch}) {}
 
 PctServer::~PctServer() { Stop(); }
 
@@ -392,6 +394,7 @@ WireResponse PctServer::HandleRequest(Session* session,
           (unsigned long long)executor_.executed(),
           (unsigned long long)executor_.rejected(),
           (unsigned long long)executor_.timed_out(), sessions_active());
+      resp.body += "mqo: " + executor_.mqo_gate().Describe() + "\n";
       if (db_->HasStorage()) {
         const storage::StorageManager& sm = *db_->storage();
         resp.body += StrFormat(

@@ -27,6 +27,10 @@ struct ServerConfig {
   // with SET timeout_ms). 0 = no deadline.
   uint64_t default_timeout_ms = 30000;
   int listen_backlog = 64;
+  // Multi-query batching gate (SET mqo; server/mqo_gate.h): leader collection
+  // window and early-close batch size, forwarded to the executor.
+  uint64_t mqo_window_ms = 2;
+  size_t mqo_max_batch = 16;
   // When set, the server is a coordinator: every statement is offered to the
   // router first (sharded tables execute scatter/gather; everything else
   // falls through to the local database) and SHARD becomes available. Not

@@ -171,6 +171,23 @@ Result<std::string> Session::ApplySet(const std::string& args) {
     }
     return "lattice = " + lattice_name_;
   }
+  if (option == "mqo") {
+    // Multi-query shared-scan batching: auto = cost-model decision per
+    // batch, on = always batch compatible queries, off = never batch.
+    if (value == "auto" || value == "default") {
+      options_.mqo = MqoMode::kAuto;
+      mqo_name_ = "auto";
+    } else if (value == "on") {
+      options_.mqo = MqoMode::kOn;
+      mqo_name_ = value;
+    } else if (value == "off") {
+      options_.mqo = MqoMode::kOff;
+      mqo_name_ = value;
+    } else {
+      return Status::InvalidArgument("SET mqo expects auto|on|off");
+    }
+    return "mqo = " + mqo_name_;
+  }
   if (option == "append_policy") {
     if (value == "auto" || value == "default") {
       options_.append_policy = AppendPolicy::kAuto;
@@ -203,14 +220,15 @@ std::string Session::Describe() const {
       "horizontal = %s\n"
       "exec = %s\n"
       "lattice = %s\n"
+      "mqo = %s\n"
       "dop = %s\n"
       "trace = %s\n"
       "append_policy = %s\n"
       "queries = %llu (%llu errors, %.3f ms total)\n",
       (unsigned long long)id_, (unsigned long long)timeout_ms_, cache.c_str(),
       vpct_name_.c_str(), horizontal_name_.c_str(), exec_name_.c_str(),
-      lattice_name_.c_str(), DescribeDop().c_str(), trace_ ? "on" : "off",
-      append_policy_name_.c_str(),
+      lattice_name_.c_str(), mqo_name_.c_str(), DescribeDop().c_str(),
+      trace_ ? "on" : "off", append_policy_name_.c_str(),
       (unsigned long long)queries_, (unsigned long long)errors_,
       static_cast<double>(total_micros_) / 1000.0);
 }

@@ -35,6 +35,7 @@ class Session {
   //   horizontal auto|case|case_fv|spj|spj_fv
   //   trace on|off                append the executed-plan trace to results
   //   lattice auto|shared|per-level   grouping-set lattice strategy
+  //   mqo auto|on|off             multi-query shared-scan batching
   //   append_policy auto|merge|recompute   summary maintenance for INSERT/COPY
   // (SET summary_cache_mb is database-wide and handled by the server.)
   // Returns a human-readable confirmation.
@@ -68,6 +69,7 @@ class Session {
   std::string horizontal_name_ = "auto";
   std::string exec_name_ = "auto";
   std::string lattice_name_ = "auto";
+  std::string mqo_name_ = "auto";
   std::string append_policy_name_ = "auto";
   bool trace_ = false;
   uint64_t queries_ = 0;

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/database.h"
 
@@ -317,6 +322,71 @@ TEST(SummaryCacheTest, StaleInsertDuringAppendIsRejected) {
   EXPECT_EQ(cache.stale_inserts(), 1u);
   // A fill snapshotted after the append publishes fine.
   cache.Insert(key, SmallSummary(2), cache.GenerationFor("f"));
+  EXPECT_NE(cache.Lookup(key), nullptr);
+}
+
+// The thundering-herd regression (single-flight): N identical concurrent
+// misses must run ONE fill. Every non-owner blocks on the owner's in-flight
+// fill and wakes with the entry — exactly 1 miss and N-1 hits, never N scans.
+TEST(SummaryCacheTest, SingleFlightThunderingHerd) {
+  SummaryCache cache;
+  const std::string key = SummaryCache::KeyFor("f", {"d1"}, "sum(a)");
+  constexpr size_t kThreads = 8;
+  std::atomic<size_t> owners{0};
+  std::atomic<size_t> got_table{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      std::shared_ptr<const Table> out;
+      if (cache.LookupOrBeginFill(key, &out)) {
+        owners.fetch_add(1);
+        // The "scan": slow enough that the herd piles up behind it.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        cache.Insert(key, SmallSummary(7));
+        cache.FinishFill(key);
+      } else {
+        ASSERT_NE(out, nullptr);
+        got_table.fetch_add(1);
+      }
+    });
+  }
+  go.store(true);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(owners.load(), 1u);
+  EXPECT_EQ(got_table.load(), kThreads - 1);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), kThreads - 1);
+  EXPECT_EQ(cache.stale_inserts(), 0u);
+  // Every waiter that parked behind the owner counts as a shared fill.
+  EXPECT_GE(cache.shared_fills(), 1u);
+  EXPECT_LE(cache.shared_fills(), kThreads - 1);
+}
+
+// A fill owner that fails (FinishFill without Insert) must not strand its
+// waiters: one of them claims ownership and runs its own fill.
+TEST(SummaryCacheTest, FailedFillHandsOwnershipToWaiter) {
+  SummaryCache cache;
+  const std::string key = SummaryCache::KeyFor("f", {"d1"}, "sum(a)");
+  std::shared_ptr<const Table> out;
+  ASSERT_TRUE(cache.LookupOrBeginFill(key, &out));
+  std::atomic<bool> waiter_owned{false};
+  std::thread waiter([&] {
+    std::shared_ptr<const Table> w;
+    if (cache.LookupOrBeginFill(key, &w)) {
+      waiter_owned.store(true);
+      cache.Insert(key, SmallSummary(1));
+      cache.FinishFill(key);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Owner errors out: release without inserting (what ScopedFill does on an
+  // early return).
+  cache.FinishFill(key);
+  waiter.join();
+  EXPECT_TRUE(waiter_owned.load());
+  EXPECT_EQ(cache.misses(), 2u);  // both ran their own fill
   EXPECT_NE(cache.Lookup(key), nullptr);
 }
 

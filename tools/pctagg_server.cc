@@ -10,6 +10,10 @@
 //   --threads <n>          query worker threads  (default: hardware)
 //   --max-inflight <n>     admission limit       (default 64)
 //   --timeout-ms <n>       default per-query deadline, 0 = none (default 30000)
+//   --mqo-window-ms <n>    multi-query batching collection window; also the
+//                          coordinator gate's window (default 2)
+//   --mqo-max-batch <n>    queries per batch before it closes early
+//                          (default 16)
 //   --data-dir <path>      durable storage directory; recovers any existing
 //                          tables on startup and WAL-logs appends
 //   --wal-fsync <policy>   always | batch | off  (default batch)
@@ -82,7 +86,8 @@ std::vector<std::string> SplitColons(const std::string& s) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host A] [--port N] [--threads N] "
-               "[--max-inflight N] [--timeout-ms N] [--data-dir DIR] "
+               "[--max-inflight N] [--timeout-ms N] [--mqo-window-ms N] "
+               "[--mqo-max-batch N] [--data-dir DIR] "
                "[--wal-fsync always|batch|off] [--load t:file.csv]... "
                "[--gen kind:name:rows]... [--worker host:port]... "
                "[--worker-dop N] [--shard-timeout-ms N] [--shard-retries N] "
@@ -130,6 +135,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       config.default_timeout_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--mqo-window-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.mqo_window_ms = static_cast<uint64_t>(std::atoll(v));
+      dist_config.mqo_window_ms = config.mqo_window_ms;
+    } else if (arg == "--mqo-max-batch") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.mqo_max_batch = static_cast<size_t>(std::atoll(v));
+      dist_config.mqo_max_batch = config.mqo_max_batch;
     } else if (arg == "--data-dir") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
